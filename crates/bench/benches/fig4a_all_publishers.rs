@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 4a** of the paper: the *all-publishers*
+//! replication micro-benchmark. One publisher sends 10 msg/s on a single
+//! channel while the subscriber count sweeps 100 → 800, first without
+//! replication (one pub/sub server) and then replicated over three
+//! servers. The paper's shape: without replication, response time rises
+//! with the subscriber count and collapses past ~500 subscribers; with
+//! 3-server replication it stays flat.
+
+use dynamoth_bench::fig4a;
+
+fn main() {
+    println!("# Fig. 4a — all-publishers replication (1 publisher @ 10 msg/s)");
+    println!("subscribers,config,response_ms,delivery_ratio,lost_subscriptions");
+    for &subs in &[100, 200, 300, 400, 500, 600, 700, 800] {
+        for (label, replicated) in [("no-replication", false), ("replicated-3", true)] {
+            let row = fig4a(subs, replicated, 1);
+            println!(
+                "{},{},{},{:.3},{}",
+                subs,
+                label,
+                row.response_ms
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_else(|| "n/a".into()),
+                row.delivery_ratio,
+                row.lost_subscriptions
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 4b** of the paper: the *all-subscribers*
+//! replication micro-benchmark. The publisher count sweeps 100 → 800
+//! (each at 10 msg/s) against a single subscriber, first without
+//! replication and then replicated over three servers. The paper's
+//! shape: without replication delivery fails past ~200 publishers (the
+//! subscriber's output buffer overflows); with 3-server replication the
+//! system holds to ~600 publishers.
+
+use dynamoth_bench::fig4b;
+
+fn main() {
+    println!("# Fig. 4b — all-subscribers replication (1 subscriber, N publishers @ 10 msg/s)");
+    println!("publishers,config,response_ms,delivery_ratio,lost_subscriptions");
+    for &pubs in &[100, 200, 300, 400, 500, 600, 700, 800] {
+        for (label, replicated) in [("no-replication", false), ("replicated-3", true)] {
+            let row = fig4b(pubs, replicated, 1);
+            println!(
+                "{},{},{},{:.3},{}",
+                pubs,
+                label,
+                row.response_ms
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_else(|| "n/a".into()),
+                row.delivery_ratio,
+                row.lost_subscriptions
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 6** of the paper: average and maximum per-server
+//! load ratio (eq. 1) plus the active server count over the Dynamoth run
+//! of Experiment 2. The paper's shape: the balancer keeps the average
+//! below 1 until the system as a whole saturates, and the busiest
+//! server below ~1 for most of the run (servers fail past ≈1.15).
+
+use dynamoth_bench::fig6;
+
+fn main() {
+    let series = fig6(1_200, 2);
+    println!("# Fig. 6 — load ratios under the Dynamoth balancer");
+    println!("second,avg_load_ratio,max_load_ratio,servers");
+    for &(s, avg, max) in &series.load {
+        let servers = series
+            .servers
+            .iter()
+            .take_while(|&&(t, _)| t <= s)
+            .last()
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        println!("{s},{avg:.3},{max:.3},{servers}");
+    }
+    println!("# reconfigurations");
+    for (t, kind) in &series.rebalances {
+        println!("{t:.0},{kind:?}");
+    }
+}

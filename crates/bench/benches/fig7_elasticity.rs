@@ -1,0 +1,38 @@
+//! Regenerates **Fig. 7a-b** of the paper: elasticity under a
+//! fluctuating player count (ramp up, sharp drop, climb back). The
+//! paper's shape: servers are added as load grows and — with lower
+//! priority, hence a visible delay — released as it falls; high-load
+//! rebalances cause small latency spikes, scale-downs none.
+
+use dynamoth_bench::fig7;
+
+fn main() {
+    let series = fig7(3);
+    println!("# Fig. 7a — players and active servers");
+    println!("second,players,servers");
+    for &(s, n) in &series.players {
+        let servers = series
+            .servers
+            .iter()
+            .take_while(|&&(t, _)| t <= s)
+            .last()
+            .map(|&(_, m)| m)
+            .unwrap_or(0);
+        println!("{s},{n},{servers}");
+    }
+    println!("# Fig. 7b — mean response time and outgoing messages");
+    println!("second,response_ms,messages_per_s");
+    for &(s, r) in &series.response {
+        let msgs = series
+            .messages
+            .iter()
+            .find(|&&(t, _)| t == s)
+            .map(|&(_, m)| m)
+            .unwrap_or(0);
+        println!("{s},{r:.1},{msgs}");
+    }
+    println!("# reconfigurations");
+    for (t, kind) in &series.rebalances {
+        println!("{t:.0},{kind:?}");
+    }
+}

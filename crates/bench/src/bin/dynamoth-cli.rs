@@ -1,0 +1,195 @@
+//! Command-line experiment driver.
+//!
+//! ```text
+//! dynamoth-cli fig4a [--replicated] [--subscribers N] [--seed S]
+//! dynamoth-cli fig4b [--replicated] [--publishers N] [--seed S]
+//! dynamoth-cli fig5  [--strategy dynamoth|ch] [--players N] [--seed S] [--out FILE]
+//! dynamoth-cli fig7  [--seed S] [--out FILE]
+//! dynamoth-cli chat  [--users N] [--rooms N] [--seed S]
+//! ```
+//!
+//! Series are printed as CSV (or written to `--out`). Durations scale
+//! with `DYNAMOTH_TIME_SCALE`.
+
+use std::io::Write;
+
+use dynamoth_bench::{fig4a, fig4b, fig5, fig7, sustained_players, GameSeries};
+use dynamoth_core::BalancerStrategy;
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn out_writer(args: &Args) -> Box<dyn Write> {
+    match args.get("out") {
+        Some(path) => Box::new(std::fs::File::create(path).expect("create --out file")),
+        None => Box::new(std::io::stdout()),
+    }
+}
+
+fn write_game_series(mut w: impl Write, series: &GameSeries) {
+    writeln!(w, "second,players,servers,messages_per_s,response_ms,avg_lr,max_lr").unwrap();
+    let at = |v: &[(u64, usize)], sec: u64| {
+        v.iter()
+            .take_while(|&&(s, _)| s <= sec)
+            .last()
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    for &(sec, resp) in &series.response {
+        let players = at(&series.players, sec);
+        let servers = at(&series.servers, sec);
+        let msgs = series
+            .messages
+            .iter()
+            .find(|&&(s, _)| s == sec)
+            .map(|&(_, m)| m)
+            .unwrap_or(0);
+        let (avg, max) = series
+            .load
+            .iter()
+            .find(|&&(s, _, _)| s == sec)
+            .map(|&(_, a, m)| (a, m))
+            .unwrap_or((0.0, 0.0));
+        writeln!(
+            w,
+            "{sec},{players},{servers},{msgs},{resp:.1},{avg:.3},{max:.3}"
+        )
+        .unwrap();
+    }
+    writeln!(w, "# reconfigurations").unwrap();
+    for (t, kind) in &series.rebalances {
+        writeln!(w, "# {t:.0},{kind:?}").unwrap();
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprintln!("usage: dynamoth-cli <fig4a|fig4b|fig5|fig7|chat> [flags]  (see the source header)");
+        std::process::exit(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    let seed = args.num("seed", 1u64);
+
+    match command.as_str() {
+        "fig4a" => {
+            let subs = args.num("subscribers", 500usize);
+            let row = fig4a(subs, args.has("replicated"), seed);
+            println!("subscribers,response_ms,delivery_ratio,lost_subscriptions");
+            println!(
+                "{subs},{},{:.3},{}",
+                row.response_ms.map(|r| format!("{r:.1}")).unwrap_or_default(),
+                row.delivery_ratio,
+                row.lost_subscriptions
+            );
+        }
+        "fig4b" => {
+            let pubs = args.num("publishers", 300usize);
+            let row = fig4b(pubs, args.has("replicated"), seed);
+            println!("publishers,response_ms,delivery_ratio,lost_subscriptions");
+            println!(
+                "{pubs},{},{:.3},{}",
+                row.response_ms.map(|r| format!("{r:.1}")).unwrap_or_default(),
+                row.delivery_ratio,
+                row.lost_subscriptions
+            );
+        }
+        "fig5" => {
+            let strategy = match args.get("strategy").unwrap_or("dynamoth") {
+                "ch" | "consistent-hash" => BalancerStrategy::ConsistentHash,
+                _ => BalancerStrategy::Dynamoth,
+            };
+            let players = args.num("players", 1_200usize);
+            let series = fig5(strategy, players, seed);
+            eprintln!(
+                "sustained below 150 ms: {}",
+                sustained_players(&series, 150.0)
+            );
+            write_game_series(out_writer(&args), &series);
+        }
+        "fig7" => {
+            let series = fig7(seed);
+            write_game_series(out_writer(&args), &series);
+        }
+        "chat" => {
+            use dynamoth_core::{Cluster, ClusterConfig};
+            use dynamoth_sim::{SimDuration, SimTime};
+            use dynamoth_workloads::setup::spawn_chat_users;
+            use dynamoth_workloads::ChatConfig;
+            use std::sync::Arc;
+
+            let users = args.num("users", 800usize);
+            let rooms = args.num("rooms", 400usize);
+            let mut cluster = Cluster::build(ClusterConfig {
+                seed,
+                pool_size: 6,
+                initial_active: 1,
+                ..Default::default()
+            });
+            let cfg = Arc::new(ChatConfig {
+                rooms,
+                ..Default::default()
+            });
+            spawn_chat_users(
+                &mut cluster,
+                &cfg,
+                users,
+                SimTime::from_secs(1),
+                SimDuration::from_secs(45),
+            );
+            cluster.run_for(SimDuration::from_secs(120));
+            println!(
+                "users,{users}\nrooms,{rooms}\nmean_response_ms,{:.1}\np99_response_ms,{:.1}\nservers,{}\nserver_seconds,{}\ndelivered,{}",
+                cluster.trace.mean_response_ms().unwrap_or(f64::NAN),
+                cluster.trace.response_quantile_ms(0.99).unwrap_or(f64::NAN),
+                cluster.active_server_count(),
+                cluster.trace.server_seconds(),
+                cluster.trace.delivered_total()
+            );
+        }
+        other => {
+            eprintln!("unknown command {other:?}; expected fig4a|fig4b|fig5|fig7|chat");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Adaptive threshold tuning — the paper's §III-B future-work idea of
+//! "a mechanism to automatically set and update thresholds based on
+//! real-time conditions".
+//!
+//! The paper sets `LR_high` / `LR_safe` empirically for its hardware and
+//! notes they would need re-tuning elsewhere. [`AdaptiveThresholds`]
+//! automates that with a conservative AIMD rule driven by the one signal
+//! the balancer can observe without client cooperation: how close the
+//! busiest server comes to the failure point (≈ 1.15 in the paper's
+//! measurements, Fig. 6):
+//!
+//! * whenever the maximum load ratio reaches the danger zone, the
+//!   trigger thresholds are lowered multiplicatively — rebalance
+//!   earlier next time;
+//! * after a long calm stretch they creep back up additively, so an
+//!   over-conservative setting does not waste servers forever.
+
+/// AIMD controller for the pair (`LR_high`, `LR_safe`).
+#[derive(Debug, Clone)]
+pub struct AdaptiveThresholds {
+    initial_high: f64,
+    gap: f64,
+    lr_high: f64,
+    /// Load ratio considered dangerously close to server failure.
+    danger: f64,
+    /// Lower bound for `LR_high`.
+    floor: f64,
+    /// Consecutive calm observations required before relaxing.
+    calm_needed: u32,
+    calm: u32,
+}
+
+impl AdaptiveThresholds {
+    /// Creates a controller starting from the configured thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lr_safe < lr_high < danger`.
+    pub fn new(lr_high: f64, lr_safe: f64, danger: f64) -> Self {
+        assert!(
+            0.0 < lr_safe && lr_safe < lr_high && lr_high < danger,
+            "thresholds must satisfy 0 < LR_safe < LR_high < danger"
+        );
+        AdaptiveThresholds {
+            initial_high: lr_high,
+            gap: lr_high - lr_safe,
+            lr_high,
+            danger,
+            floor: lr_high * 0.6,
+            calm_needed: 30,
+            calm: 0,
+        }
+    }
+
+    /// Current `LR_high`.
+    pub fn lr_high(&self) -> f64 {
+        self.lr_high
+    }
+
+    /// Current `LR_safe` (tracks `LR_high` at a constant gap).
+    pub fn lr_safe(&self) -> f64 {
+        self.lr_high - self.gap
+    }
+
+    /// Feeds one tick's maximum observed load ratio. Returns `true` if
+    /// the thresholds changed.
+    pub fn observe(&mut self, max_lr: f64) -> bool {
+        if max_lr >= self.danger {
+            // Multiplicative decrease: we nearly lost a server; trigger
+            // rebalancing earlier from now on.
+            self.calm = 0;
+            let new = (self.lr_high * 0.85).max(self.floor);
+            if (new - self.lr_high).abs() > f64::EPSILON {
+                self.lr_high = new;
+                return true;
+            }
+            return false;
+        }
+        if max_lr < self.lr_safe() {
+            self.calm += 1;
+            if self.calm >= self.calm_needed && self.lr_high < self.initial_high {
+                // Additive increase back towards the configured value.
+                self.calm = 0;
+                self.lr_high = (self.lr_high + 0.02).min(self.initial_high);
+                return true;
+            }
+        } else {
+            self.calm = 0;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveThresholds {
+        AdaptiveThresholds::new(0.9, 0.7, 1.1)
+    }
+
+    #[test]
+    fn starts_at_configured_values() {
+        let a = controller();
+        assert!((a.lr_high() - 0.9).abs() < 1e-12);
+        assert!((a.lr_safe() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn danger_lowers_thresholds_multiplicatively() {
+        let mut a = controller();
+        assert!(a.observe(1.2));
+        assert!((a.lr_high() - 0.765).abs() < 1e-9);
+        // The gap is preserved.
+        assert!((a.lr_high() - a.lr_safe() - 0.2).abs() < 1e-9);
+        // Repeated danger keeps lowering, but never below the floor.
+        for _ in 0..20 {
+            a.observe(1.2);
+        }
+        assert!(a.lr_high() >= 0.9 * 0.6 - 1e-9);
+    }
+
+    #[test]
+    fn calm_stretch_relaxes_back_additively() {
+        let mut a = controller();
+        a.observe(1.2); // lowered to 0.765
+        let lowered = a.lr_high();
+        // 29 calm ticks: nothing yet.
+        for _ in 0..29 {
+            assert!(!a.observe(0.3));
+        }
+        assert!(a.observe(0.3));
+        assert!((a.lr_high() - (lowered + 0.02)).abs() < 1e-9);
+        // It never exceeds the configured value.
+        for _ in 0..10_000 {
+            a.observe(0.1);
+        }
+        assert!(a.lr_high() <= 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn moderate_load_resets_the_calm_counter() {
+        let mut a = controller();
+        a.observe(1.2);
+        for _ in 0..29 {
+            a.observe(0.3);
+        }
+        // One busy tick resets the streak…
+        assert!(!a.observe(0.8));
+        // …so the 30th calm tick no longer fires.
+        assert!(!a.observe(0.3));
+    }
+
+    #[test]
+    fn never_adjusts_without_danger_at_initial_values() {
+        let mut a = controller();
+        for _ in 0..1_000 {
+            assert!(!a.observe(0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must satisfy")]
+    fn invalid_ordering_panics() {
+        let _ = AdaptiveThresholds::new(0.7, 0.9, 1.1);
+    }
+}

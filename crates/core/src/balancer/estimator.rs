@@ -1,0 +1,314 @@
+//! Load estimation under candidate plans (`estimateLR`, Algorithm 2
+//! line 13).
+//!
+//! A [`LoadView`] snapshots the measured per-server egress and the
+//! per-channel contributions from the metrics window, then lets the
+//! rebalancing algorithms *simulate* channel migrations and replication
+//! changes, tracking the estimated load ratio each server would have if
+//! the candidate plan were applied.
+
+use std::collections::HashMap;
+
+use crate::metrics::MetricsStore;
+use crate::types::{ChannelId, ServerId};
+
+/// Mutable estimate of per-server load under a candidate plan.
+#[derive(Debug, Clone)]
+pub struct LoadView {
+    capacity_bytes_per_tick: f64,
+    /// Estimated outgoing bytes per tick for each active server.
+    load: HashMap<ServerId, f64>,
+    /// Estimated per-channel bytes per tick currently attributed to each
+    /// server.
+    channels_on: HashMap<ServerId, HashMap<ChannelId, f64>>,
+}
+
+impl LoadView {
+    /// Builds a view from the metrics window for the given active
+    /// servers. Servers that have not reported yet are assumed idle.
+    pub fn from_store(
+        store: &MetricsStore,
+        active: &[ServerId],
+        capacity_bytes_per_tick: f64,
+    ) -> Self {
+        Self::from_store_with_cpu(store, active, capacity_bytes_per_tick, None)
+    }
+
+    /// [`LoadView::from_store`] with the CPU-aware extension: when
+    /// `cpu` is `Some((cpu_capacity, tick_micros))`, a server's base
+    /// load is inflated to `max(bytes, cpu_ratio / cpu_capacity ×
+    /// capacity)`, expressing CPU pressure in the bandwidth currency the
+    /// algorithms already optimize.
+    pub fn from_store_with_cpu(
+        store: &MetricsStore,
+        active: &[ServerId],
+        capacity_bytes_per_tick: f64,
+        cpu: Option<(f64, u64)>,
+    ) -> Self {
+        let mut load = HashMap::new();
+        let mut channels_on: HashMap<ServerId, HashMap<ChannelId, f64>> = HashMap::new();
+        let all_channels = store.channels();
+        for &s in active {
+            let bytes_base = store.egress_bytes_per_tick(s).unwrap_or(0.0);
+            let mut base = bytes_base;
+            if let Some((cpu_capacity, tick_micros)) = cpu {
+                let cpu_ratio = store.cpu_ratio(s, tick_micros).unwrap_or(0.0);
+                base = base.max(cpu_ratio / cpu_capacity * capacity_bytes_per_tick);
+            }
+            load.insert(s, base);
+            let mut per_channel = HashMap::new();
+            // Channels observed on this server during the window. Under
+            // the CPU-aware extension a CPU-dominated server's load is
+            // attributed to channels by their *delivery* share — CPU
+            // cost scales with fan-out, not bytes — so migrating a
+            // chatty channel moves the right amount of estimated load.
+            let cpu_dominated = base > bytes_base * 1.0001 && base > 0.0;
+            let total_deliveries: f64 = if cpu_dominated {
+                all_channels
+                    .iter()
+                    .map(|&c| store.channel_deliveries_on(s, c))
+                    .sum()
+            } else {
+                0.0
+            };
+            for &report_channel in &all_channels {
+                let bytes = store.channel_bytes_on(s, report_channel);
+                let contribution = if cpu_dominated && total_deliveries > 0.0 {
+                    let share =
+                        store.channel_deliveries_on(s, report_channel) / total_deliveries;
+                    bytes.max(share * base)
+                } else {
+                    bytes
+                };
+                if contribution > 0.0 {
+                    per_channel.insert(report_channel, contribution);
+                }
+            }
+            channels_on.insert(s, per_channel);
+        }
+        LoadView {
+            capacity_bytes_per_tick,
+            load,
+            channels_on,
+        }
+    }
+
+    /// The active servers in this view.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.load.keys().copied()
+    }
+
+    /// Estimated load ratio of `server`.
+    pub fn load_ratio(&self, server: ServerId) -> f64 {
+        self.load.get(&server).copied().unwrap_or(0.0) / self.capacity_bytes_per_tick
+    }
+
+    /// Mean estimated load ratio across all servers in the view.
+    pub fn average_load_ratio(&self) -> f64 {
+        if self.load.is_empty() {
+            return 0.0;
+        }
+        self.load.values().sum::<f64>() / (self.capacity_bytes_per_tick * self.load.len() as f64)
+    }
+
+    /// The most loaded server, ties broken by id for determinism.
+    pub fn max_loaded(&self) -> Option<(ServerId, f64)> {
+        self.load
+            .iter()
+            .map(|(&s, &l)| (s, l / self.capacity_bytes_per_tick))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// The least loaded server excluding `excluding`, ties broken by id.
+    pub fn min_loaded(&self, excluding: Option<ServerId>) -> Option<(ServerId, f64)> {
+        self.load
+            .iter()
+            .filter(|(&s, _)| Some(s) != excluding)
+            .map(|(&s, &l)| (s, l / self.capacity_bytes_per_tick))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// The busiest channel on `server` (by estimated bytes/tick),
+    /// ignoring channels in `skip`. Ties broken by channel id.
+    pub fn busiest_channel(&self, server: ServerId, skip: &[ChannelId]) -> Option<(ChannelId, f64)> {
+        self.channels_on.get(&server).and_then(|per_channel| {
+            per_channel
+                .iter()
+                .filter(|(c, _)| !skip.contains(c))
+                .map(|(&c, &b)| (c, b))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+        })
+    }
+
+    /// All channels attributed to `server`, heaviest first.
+    pub fn channels_on(&self, server: ServerId) -> Vec<(ChannelId, f64)> {
+        let mut v: Vec<(ChannelId, f64)> = self
+            .channels_on
+            .get(&server)
+            .map(|m| m.iter().map(|(&c, &b)| (c, b)).collect())
+            .unwrap_or_default();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Simulates migrating `channel` from `from` to `to`, updating the
+    /// estimated loads (the `estimateLR` step of Algorithm 2).
+    pub fn migrate(&mut self, channel: ChannelId, from: ServerId, to: ServerId) {
+        let bytes = self
+            .channels_on
+            .get_mut(&from)
+            .and_then(|m| m.remove(&channel))
+            .unwrap_or(0.0);
+        if let Some(l) = self.load.get_mut(&from) {
+            *l = (*l - bytes).max(0.0);
+        }
+        *self.load.entry(to).or_insert(0.0) += bytes;
+        self.channels_on
+            .entry(to)
+            .or_default()
+            .entry(channel)
+            .and_modify(|b| *b += bytes)
+            .or_insert(bytes);
+    }
+
+    /// Simulates re-replicating `channel` over `servers`, splitting its
+    /// total estimated traffic evenly among them (both replication
+    /// schemes split egress ≈ 1/n — see `DESIGN.md`).
+    pub fn rereplicate(&mut self, channel: ChannelId, servers: &[ServerId]) {
+        if servers.is_empty() {
+            return;
+        }
+        // Remove the channel from every server it is currently on.
+        let mut total = 0.0;
+        for (s, per_channel) in self.channels_on.iter_mut() {
+            if let Some(bytes) = per_channel.remove(&channel) {
+                total += bytes;
+                if let Some(l) = self.load.get_mut(s) {
+                    *l = (*l - bytes).max(0.0);
+                }
+            }
+        }
+        let share = total / servers.len() as f64;
+        for &s in servers {
+            *self.load.entry(s).or_insert(0.0) += share;
+            self.channels_on
+                .entry(s)
+                .or_default()
+                .entry(channel)
+                .and_modify(|b| *b += share)
+                .or_insert(share);
+        }
+    }
+
+    /// Estimated additional load ratio that `bytes` per tick would add.
+    pub fn ratio_of(&self, bytes: f64) -> f64 {
+        bytes / self.capacity_bytes_per_tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ChannelTick, LlaReport};
+    use dynamoth_sim::NodeId;
+
+    fn sid(i: usize) -> ServerId {
+        ServerId(NodeId::from_index(i))
+    }
+
+    type ServerLoad = (usize, u64, Vec<(u64, u64)>);
+
+    fn store_with(loads: &[ServerLoad]) -> MetricsStore {
+        // (server, egress, [(channel, bytes_out)])
+        let mut store = MetricsStore::new(1);
+        for &(s, egress, ref channels) in loads {
+            store.record(LlaReport {
+                server: sid(s),
+                tick: 0,
+                measured_egress_bytes: egress,
+                capacity_bytes: 1_000.0,
+                cpu_busy_micros: 0,
+                channels: channels
+                    .iter()
+                    .map(|&(c, b)| {
+                        (
+                            ChannelId(c),
+                            ChannelTick {
+                                bytes_out: b,
+                                deliveries: 1,
+                                ..Default::default()
+                            },
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn view_reflects_measured_load() {
+        let store = store_with(&[
+            (0, 900, vec![(1, 600), (2, 300)]),
+            (1, 100, vec![(3, 100)]),
+        ]);
+        let view = LoadView::from_store(&store, &[sid(0), sid(1)], 1_000.0);
+        assert!((view.load_ratio(sid(0)) - 0.9).abs() < 1e-9);
+        assert!((view.load_ratio(sid(1)) - 0.1).abs() < 1e-9);
+        assert!((view.average_load_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(view.max_loaded().unwrap().0, sid(0));
+        assert_eq!(view.min_loaded(None).unwrap().0, sid(1));
+        assert_eq!(view.min_loaded(Some(sid(1))).unwrap().0, sid(0));
+    }
+
+    #[test]
+    fn busiest_channel_with_skip() {
+        let store = store_with(&[(0, 900, vec![(1, 600), (2, 300)])]);
+        let view = LoadView::from_store(&store, &[sid(0)], 1_000.0);
+        assert_eq!(view.busiest_channel(sid(0), &[]).unwrap().0, ChannelId(1));
+        assert_eq!(
+            view.busiest_channel(sid(0), &[ChannelId(1)]).unwrap().0,
+            ChannelId(2)
+        );
+        assert!(view
+            .busiest_channel(sid(0), &[ChannelId(1), ChannelId(2)])
+            .is_none());
+    }
+
+    #[test]
+    fn migrate_moves_estimated_bytes() {
+        let store = store_with(&[(0, 900, vec![(1, 600)]), (1, 100, vec![])]);
+        let mut view = LoadView::from_store(&store, &[sid(0), sid(1)], 1_000.0);
+        view.migrate(ChannelId(1), sid(0), sid(1));
+        assert!((view.load_ratio(sid(0)) - 0.3).abs() < 1e-9);
+        assert!((view.load_ratio(sid(1)) - 0.7).abs() < 1e-9);
+        // The channel is now attributed to the target.
+        assert_eq!(view.busiest_channel(sid(1), &[]).unwrap().0, ChannelId(1));
+    }
+
+    #[test]
+    fn migrate_unknown_channel_is_noop_on_load() {
+        let store = store_with(&[(0, 500, vec![]), (1, 100, vec![])]);
+        let mut view = LoadView::from_store(&store, &[sid(0), sid(1)], 1_000.0);
+        view.migrate(ChannelId(42), sid(0), sid(1));
+        assert!((view.load_ratio(sid(0)) - 0.5).abs() < 1e-9);
+        assert!((view.load_ratio(sid(1)) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rereplicate_splits_traffic() {
+        let store = store_with(&[(0, 900, vec![(1, 600)]), (1, 0, vec![]), (2, 0, vec![])]);
+        let mut view = LoadView::from_store(&store, &[sid(0), sid(1), sid(2)], 1_000.0);
+        view.rereplicate(ChannelId(1), &[sid(0), sid(1), sid(2)]);
+        assert!((view.load_ratio(sid(0)) - 0.5).abs() < 1e-9); // 300 base + 200 share
+        assert!((view.load_ratio(sid(1)) - 0.2).abs() < 1e-9);
+        assert!((view.load_ratio(sid(2)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn servers_without_reports_are_idle() {
+        let store = store_with(&[(0, 500, vec![])]);
+        let view = LoadView::from_store(&store, &[sid(0), sid(7)], 1_000.0);
+        assert_eq!(view.load_ratio(sid(7)), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! System-level high-load rebalancing — Algorithm 2 of the paper.
+//!
+//! While any pub/sub server's load ratio exceeds `LR_high`, the busiest
+//! channels of the most loaded server are migrated to the least loaded
+//! server until the *estimated* load ratio of the source falls below
+//! `LR_safe`. If the pool has no capacity left to absorb the excess,
+//! additional servers must be rented from the cloud.
+
+use crate::config::DynamothConfig;
+use crate::plan::Plan;
+use crate::types::ChannelId;
+
+use super::estimator::LoadView;
+
+/// Result of a high-load rebalancing pass.
+#[derive(Debug, Clone)]
+pub struct HighLoadOutcome {
+    /// The candidate plan `P*`.
+    pub plan: Plan,
+    /// `true` if `plan` differs from the input plan.
+    pub changed: bool,
+    /// Number of additional servers that should be rented because the
+    /// current pool cannot absorb the load.
+    pub servers_wanted: usize,
+}
+
+/// Algorithm 2. `plan` is the current plan; `view` the estimated loads
+/// of the active servers (consumed and mutated as migrations are
+/// simulated).
+pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> HighLoadOutcome {
+    let mut p_star = plan.clone();
+    let mut changed = false;
+    let mut servers_wanted = 0usize;
+    // Servers we already failed to relieve; prevents infinite loops.
+    let mut exhausted: Vec<crate::types::ServerId> = Vec::new();
+
+    while let Some((h_max, lr_max)) = view
+        .servers()
+        .filter(|s| !exhausted.contains(s))
+        .map(|s| (s, view.load_ratio(s)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    {
+        if lr_max < cfg.lr_high {
+            break;
+        }
+
+        // Inner loop: shed channels until the estimate is safe.
+        let mut moved_any = false;
+        let mut skip: Vec<ChannelId> = Vec::new();
+        while view.load_ratio(h_max) >= cfg.lr_safe {
+            let Some((h_min, lr_min)) = view.min_loaded(Some(h_max)) else {
+                break; // single-server cluster: nothing to migrate to
+            };
+            let Some((channel, bytes)) = view.busiest_channel(h_max, &skip) else {
+                break; // no channels left to move
+            };
+            // Do not overload the receiving server (§III-B3): skip
+            // channels whose traffic would push it past LR_safe, and try
+            // the next busiest.
+            if lr_min + view.ratio_of(bytes) > cfg.lr_safe && view.servers().count() > 1 {
+                skip.push(channel);
+                continue;
+            }
+            // Never move a replicated channel here — its members are
+            // managed by channel-level rebalancing.
+            if p_star
+                .mapping(channel)
+                .is_some_and(super::super::plan::ChannelMapping::is_replicated)
+            {
+                skip.push(channel);
+                continue;
+            }
+            p_star.migrate(channel, h_max, h_min);
+            view.migrate(channel, h_max, h_min);
+            changed = true;
+            moved_any = true;
+        }
+
+        if view.load_ratio(h_max) >= cfg.lr_safe {
+            // Could not bring this server down with the current pool.
+            exhausted.push(h_max);
+            if !moved_any || view.load_ratio(h_max) >= cfg.lr_high {
+                servers_wanted += 1;
+            }
+        }
+    }
+
+    HighLoadOutcome {
+        plan: p_star,
+        changed,
+        servers_wanted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ChannelTick, LlaReport, MetricsStore};
+    use crate::types::ServerId;
+    use dynamoth_sim::NodeId;
+
+    fn sid(i: usize) -> ServerId {
+        ServerId(NodeId::from_index(i))
+    }
+
+    fn cfg() -> DynamothConfig {
+        DynamothConfig {
+            lr_high: 0.9,
+            lr_safe: 0.7,
+            ..DynamothConfig::default()
+        }
+    }
+
+    /// Builds a view where each server carries the listed channels
+    /// (channel, bytes/tick); capacity is 1000 bytes/tick.
+    fn view(servers: &[(usize, Vec<(u64, u64)>)]) -> LoadView {
+        let mut store = MetricsStore::new(1);
+        for (s, channels) in servers {
+            let egress: u64 = channels.iter().map(|&(_, b)| b).sum();
+            store.record(LlaReport {
+                server: sid(*s),
+                tick: 0,
+                measured_egress_bytes: egress,
+                capacity_bytes: 1_000.0,
+                cpu_busy_micros: 0,
+                channels: channels
+                    .iter()
+                    .map(|&(c, b)| {
+                        (
+                            ChannelId(c),
+                            ChannelTick {
+                                bytes_out: b,
+                                ..Default::default()
+                            },
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        let ids: Vec<ServerId> = servers.iter().map(|&(s, _)| sid(s)).collect();
+        LoadView::from_store(&store, &ids, 1_000.0)
+    }
+
+    #[test]
+    fn no_rebalance_below_threshold() {
+        let mut v = view(&[(0, vec![(1, 500)]), (1, vec![(2, 400)])]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        assert!(!out.changed);
+        assert_eq!(out.servers_wanted, 0);
+    }
+
+    #[test]
+    fn overloaded_server_sheds_busiest_channels() {
+        // Server 0 at 1.2, server 1 at 0.1.
+        let mut v = view(&[
+            (0, vec![(1, 500), (2, 400), (3, 300)]),
+            (1, vec![(4, 100)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        assert!(out.changed);
+        assert_eq!(out.servers_wanted, 0);
+        // The busiest channel moved to server 1.
+        assert!(out.plan.mapping(ChannelId(1)).is_some());
+        // Post-condition: estimated loads are at or below LR_safe
+        // everywhere (the source can land exactly on the threshold).
+        for s in [sid(0), sid(1)] {
+            assert!(v.load_ratio(s) <= 0.7 + 1e-9, "{} at {}", s, v.load_ratio(s));
+        }
+    }
+
+    #[test]
+    fn requests_servers_when_pool_exhausted() {
+        // Both servers hot: no migration target can absorb anything.
+        let mut v = view(&[
+            (0, vec![(1, 600), (2, 600)]),
+            (1, vec![(3, 600), (4, 600)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        assert!(out.servers_wanted >= 1, "wanted {}", out.servers_wanted);
+    }
+
+    #[test]
+    fn single_server_requests_growth() {
+        let mut v = view(&[(0, vec![(1, 950)])]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        assert!(!out.changed);
+        assert_eq!(out.servers_wanted, 1);
+    }
+
+    #[test]
+    fn does_not_overload_the_target() {
+        // One giant channel (950) that would blow past LR_safe on the
+        // idle server, plus small ones that fit.
+        let mut v = view(&[
+            (0, vec![(1, 950), (2, 100), (3, 100)]),
+            (1, vec![]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        // The giant channel must NOT have been migrated.
+        assert!(
+            out.plan.mapping(ChannelId(1)).is_none(),
+            "giant channel moved: {:?}",
+            out.plan.mapping(ChannelId(1))
+        );
+        // The small channels moved instead.
+        assert!(out.changed);
+    }
+
+    #[test]
+    fn replicated_channels_are_left_to_channel_level() {
+        use crate::plan::ChannelMapping;
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]));
+        let mut v = view(&[(0, vec![(1, 1_200)]), (1, vec![])]);
+        let out = rebalance(&plan, &mut v, &cfg());
+        // Mapping unchanged for the replicated channel.
+        assert_eq!(
+            out.plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]))
+        );
+    }
+
+    #[test]
+    fn terminates_on_pathological_input() {
+        // Many hot servers, no capacity anywhere: must terminate.
+        let mut v = view(&[
+            (0, vec![(1, 1_000)]),
+            (1, vec![(2, 1_000)]),
+            (2, vec![(3, 1_000)]),
+            (3, vec![(4, 1_000)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        assert!(out.servers_wanted >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! System-level low-load rebalancing (§III-B4).
+//!
+//! When the global average load ratio falls below a threshold, the
+//! least-loaded server is drained: its channels are migrated to the
+//! remaining servers as long as their estimated load stays below
+//! `LR_safe`. When the server holds no more channels it is released
+//! back to the cloud. The operation aborts (and releases nothing) if
+//! the remaining pool cannot absorb all channels.
+
+use crate::config::DynamothConfig;
+use crate::plan::Plan;
+use crate::types::ServerId;
+
+use super::estimator::LoadView;
+
+/// Result of a low-load rebalancing pass.
+#[derive(Debug, Clone)]
+pub struct LowLoadOutcome {
+    /// The candidate plan with the drained server's channels migrated.
+    pub plan: Plan,
+    /// The server that can be released once the plan is applied.
+    pub release: ServerId,
+}
+
+/// Attempts to drain one server. Returns `None` when the global load is
+/// not low enough, only one server is active, or the remaining servers
+/// cannot absorb the drained channels without approaching overload.
+pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> Option<LowLoadOutcome> {
+    if view.servers().count() <= 1 {
+        return None;
+    }
+    if view.average_load_ratio() >= cfg.lr_low {
+        return None;
+    }
+    let (victim, _) = view.min_loaded(None)?;
+
+    let mut p_star = plan.clone();
+    let channels = view.channels_on(victim);
+    for (channel, bytes) in channels {
+        // Replicated channels must first be collapsed by channel-level
+        // rebalancing; draining a replica member here would fight it.
+        if p_star
+            .mapping(channel)
+            .is_some_and(|m| m.is_replicated())
+        {
+            return None;
+        }
+        let (target, lr) = view.min_loaded(Some(victim))?;
+        if lr + view.ratio_of(bytes) > cfg.lr_safe {
+            return None; // pool cannot absorb; abort the drain
+        }
+        p_star.migrate(channel, victim, target);
+        view.migrate(channel, victim, target);
+    }
+    Some(LowLoadOutcome {
+        plan: p_star,
+        release: victim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ChannelTick, LlaReport, MetricsStore};
+    use crate::types::ChannelId;
+    use dynamoth_sim::NodeId;
+
+    fn sid(i: usize) -> ServerId {
+        ServerId(NodeId::from_index(i))
+    }
+
+    fn cfg() -> DynamothConfig {
+        DynamothConfig {
+            lr_low: 0.35,
+            lr_safe: 0.7,
+            ..DynamothConfig::default()
+        }
+    }
+
+    fn view(servers: &[(usize, Vec<(u64, u64)>)]) -> LoadView {
+        let mut store = MetricsStore::new(1);
+        for (s, channels) in servers {
+            let egress: u64 = channels.iter().map(|&(_, b)| b).sum();
+            store.record(LlaReport {
+                server: sid(*s),
+                tick: 0,
+                measured_egress_bytes: egress,
+                capacity_bytes: 1_000.0,
+                cpu_busy_micros: 0,
+                channels: channels
+                    .iter()
+                    .map(|&(c, b)| {
+                        (
+                            ChannelId(c),
+                            ChannelTick {
+                                bytes_out: b,
+                                ..Default::default()
+                            },
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        let ids: Vec<ServerId> = servers.iter().map(|&(s, _)| sid(s)).collect();
+        LoadView::from_store(&store, &ids, 1_000.0)
+    }
+
+    #[test]
+    fn drains_least_loaded_server_when_global_load_is_low() {
+        let mut v = view(&[
+            (0, vec![(1, 300)]),
+            (1, vec![(2, 100), (3, 50)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg()).expect("drain");
+        assert_eq!(out.release, sid(1));
+        // Both channels moved to server 0.
+        assert!(out.plan.mapping(ChannelId(2)).is_some());
+        assert!(out.plan.mapping(ChannelId(3)).is_some());
+        assert_eq!(v.channels_on(sid(1)).len(), 0);
+    }
+
+    #[test]
+    fn no_drain_when_load_is_moderate() {
+        let mut v = view(&[(0, vec![(1, 600)]), (1, vec![(2, 500)])]);
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &cfg()).is_none());
+    }
+
+    #[test]
+    fn no_drain_with_single_server() {
+        let mut v = view(&[(0, vec![(1, 10)])]);
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &cfg()).is_none());
+    }
+
+    #[test]
+    fn aborts_when_pool_cannot_absorb() {
+        // Average is low but the victim's single channel would push the
+        // other server past LR_safe.
+        let mut v = view(&[(0, vec![(1, 500)]), (1, vec![(2, 250)])]);
+        let mut c = cfg();
+        c.lr_low = 0.5;
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &c).is_none());
+    }
+
+    #[test]
+    fn aborts_on_replicated_channels() {
+        use crate::plan::ChannelMapping;
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(2), ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]));
+        let mut v = view(&[(0, vec![(1, 200)]), (1, vec![(2, 50)])]);
+        assert!(rebalance(&plan, &mut v, &cfg()).is_none());
+    }
+
+    #[test]
+    fn idle_server_is_released_without_migrations() {
+        let mut v = view(&[(0, vec![(1, 300)]), (1, vec![])]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg()).expect("drain");
+        assert_eq!(out.release, sid(1));
+        assert!(out.plan.is_empty());
+    }
+}

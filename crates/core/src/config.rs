@@ -1,0 +1,189 @@
+//! All tunable thresholds of the Dynamoth middleware, named after the
+//! quantities in the paper.
+//!
+//! The paper states (§III-B) that "the values of the various threshold
+//! parameters were determined empirically based on the capabilities of
+//! the machines at our disposal"; the defaults here were calibrated the
+//! same way against the simulated substrate (see `DESIGN.md` and
+//! `EXPERIMENTS.md`).
+
+use dynamoth_sim::SimDuration;
+
+/// Configuration of the load balancer, local load analyzers, dispatchers
+/// and client library.
+#[derive(Debug, Clone)]
+pub struct DynamothConfig {
+    // ---- Channel-level rebalancing (Algorithm 1) ----
+    /// `AllSubs_threshold`: minimum publications-to-subscribers ratio
+    /// (`P_ratio`) for *all-subscribers* replication.
+    pub all_subs_threshold: f64,
+    /// `Publication_threshold`: minimum publications per second before
+    /// all-subscribers replication is considered.
+    pub publication_threshold: f64,
+    /// `AllPubs_threshold`: minimum subscribers-to-publications ratio
+    /// (`S_ratio`) for *all-publishers* replication.
+    pub all_pubs_threshold: f64,
+    /// `Subscriber_threshold`: minimum subscriber count before
+    /// all-publishers replication is considered.
+    pub subscriber_threshold: f64,
+    /// Upper bound on `N_servers` for a replicated channel.
+    pub max_replication: usize,
+
+    // ---- System-level rebalancing (Algorithm 2 + low-load) ----
+    /// `LR_high`: a server above this load ratio triggers high-load
+    /// rebalancing.
+    pub lr_high: f64,
+    /// `LR_safe`: high-load rebalancing sheds channels until the
+    /// estimated load ratio falls below this value.
+    pub lr_safe: f64,
+    /// Global average load ratio below which low-load rebalancing tries
+    /// to drain and release servers.
+    pub lr_low: f64,
+    /// `T_wait`: minimum delay between two plan generations.
+    pub t_wait: SimDuration,
+    /// `T_i`: advertised maximum outgoing bandwidth of a pub/sub server,
+    /// bytes per second (the denominator of the load ratio).
+    pub server_capacity: f64,
+    /// Delay between renting a server from the cloud and it becoming
+    /// usable.
+    pub provisioning_delay: SimDuration,
+    /// Enables the CPU-aware load-ratio extension (the paper's future
+    /// work, §VII): the effective load ratio of a server becomes
+    /// `max(bandwidth LR, cpu utilization / cpu_capacity)`, so
+    /// CPU-bound fan-out workloads trigger rebalancing even when the
+    /// NIC has headroom. Off by default, like the paper's balancer.
+    pub cpu_aware: bool,
+    /// Maximum sustainable CPU utilization (the denominator of the CPU
+    /// term above).
+    pub cpu_capacity: f64,
+    /// Enables adaptive `LR_high`/`LR_safe` tuning (the paper's §III-B
+    /// future-work idea): an AIMD controller lowers the thresholds when
+    /// the busiest server approaches the failure point and relaxes them
+    /// after long calm stretches. Off by default.
+    pub adaptive_thresholds: bool,
+    /// Load ratio considered dangerously close to server failure (the
+    /// paper observed Redis failing past ≈ 1.15).
+    pub danger_lr: f64,
+    /// Enables the reliability extension (§VII future work): load
+    /// balancer failure detection with channel failover, and
+    /// client-side ping/blacklist recovery. Off by default — the
+    /// paper's system has no failure handling, and under saturation the
+    /// health signals themselves queue behind data, so enabling this
+    /// changes the post-overload dynamics of the experiments.
+    pub fault_tolerance: bool,
+    /// How long the load balancer waits without hearing from an active
+    /// server's LLA before declaring it failed and migrating its
+    /// channels to healthy servers. Healthy LLAs report every `tick`.
+    pub server_failure_timeout: SimDuration,
+    /// How often clients ping the servers they hold subscriptions on.
+    pub client_ping_interval: SimDuration,
+    /// Client-side failover threshold: a subscribed server silent for
+    /// this long is treated as dead and its subscriptions are recovered
+    /// through consistent hashing.
+    pub client_failover_timeout: SimDuration,
+    /// How long a client routes around a server it declared dead (its
+    /// hash-ring identifiers are skipped during fallback resolution).
+    pub dead_server_blacklist: SimDuration,
+    /// Emit `<switch>` notifications to affected subscribers immediately
+    /// when a plan is installed instead of piggybacking on the first
+    /// publication (§IV-A2). The paper argues for the lazy scheme; this
+    /// flag exists for the ablation study.
+    pub eager_switch: bool,
+    /// Number of LLA ticks averaged for load decisions.
+    pub metrics_window: usize,
+    /// Length of one metric time unit `t` (one second in the paper).
+    pub tick: SimDuration,
+
+    // ---- Client library / dispatcher ----
+    /// TTL of an unused local-plan entry and of dispatcher forwarding
+    /// state (§IV-A5).
+    pub plan_entry_ttl: SimDuration,
+    /// Number of recent message ids remembered for duplicate
+    /// suppression.
+    pub dedup_capacity: usize,
+    /// How long a client keeps its *old* subscription alive after moving
+    /// a subscription to a new server. Without this grace period a
+    /// publication delivered between the unsubscribe taking effect on
+    /// the old server and the subscribe taking effect on the new one
+    /// would be lost; with it, the overlap produces duplicates that the
+    /// id-based suppression removes (§IV-A3).
+    pub unsubscribe_grace: SimDuration,
+    /// How long a server newly *added* to a channel's (replicated)
+    /// mapping mirrors publications back to the previous members. This
+    /// covers subscribers whose subscriptions to the new member are
+    /// still in flight; the previous members still hold them. Departed
+    /// members are instead covered until they report no subscribers
+    /// (§IV-A5), bounded by `plan_entry_ttl`. Subscribers catch up
+    /// within roughly one switch delivery plus one subscribe (two WAN
+    /// one-way latencies); keep this window short — mirroring duplicates
+    /// the channel's full stream onto the previous members.
+    pub replication_mirror_window: SimDuration,
+}
+
+impl Default for DynamothConfig {
+    fn default() -> Self {
+        DynamothConfig {
+            all_subs_threshold: 600.0,
+            publication_threshold: 800.0,
+            all_pubs_threshold: 25.0,
+            subscriber_threshold: 200.0,
+            max_replication: 4,
+
+            lr_high: 0.9,
+            lr_safe: 0.7,
+            lr_low: 0.35,
+            t_wait: SimDuration::from_secs(10),
+            server_capacity: 8.0e6,
+            provisioning_delay: SimDuration::from_secs(5),
+            cpu_aware: false,
+            cpu_capacity: 0.85,
+            adaptive_thresholds: false,
+            danger_lr: 1.1,
+            fault_tolerance: false,
+            server_failure_timeout: SimDuration::from_secs(5),
+            client_ping_interval: SimDuration::from_secs(2),
+            client_failover_timeout: SimDuration::from_secs(6),
+            dead_server_blacklist: SimDuration::from_secs(30),
+            eager_switch: false,
+            metrics_window: 3,
+            tick: SimDuration::from_secs(1),
+
+            plan_entry_ttl: SimDuration::from_secs(60),
+            dedup_capacity: 1_024,
+            unsubscribe_grace: SimDuration::from_secs(1),
+            replication_mirror_window: SimDuration::from_millis(1_500),
+        }
+    }
+}
+
+impl DynamothConfig {
+    /// Capacity per metrics tick, in bytes (the denominator `T_i` of
+    /// eq. 1 expressed per tick).
+    pub fn capacity_per_tick(&self) -> f64 {
+        self.server_capacity * self.tick.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_internally_consistent() {
+        let cfg = DynamothConfig::default();
+        assert!(cfg.lr_safe < cfg.lr_high);
+        assert!(cfg.lr_low < cfg.lr_safe);
+        assert!(cfg.max_replication >= 2);
+        assert!(cfg.capacity_per_tick() > 0.0);
+    }
+
+    #[test]
+    fn capacity_per_tick_scales_with_tick() {
+        let cfg = DynamothConfig {
+            server_capacity: 1_000.0,
+            tick: SimDuration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((cfg.capacity_per_tick() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,805 @@
+//! The dispatcher (§II-A, §IV): the per-server component that makes
+//! reconfiguration transparent.
+//!
+//! Each pub/sub server node hosts a dispatcher holding the complete
+//! current global plan. The dispatcher:
+//!
+//! * detects publications and subscriptions that arrive at a server not
+//!   responsible for the channel — or from clients whose *plan version*
+//!   for the channel predates its last mapping change — corrects the
+//!   sender ([`Msg::WrongServer`](crate::Msg::WrongServer) /
+//!   [`Msg::SubscriptionMoved`](crate::Msg::SubscriptionMoved)) and
+//!   forwards the publication wherever needed so nothing is lost;
+//! * after a plan change, emits a `<switch>` notification to its local
+//!   subscribers together with the first publication on the changed
+//!   channel (§IV-A2), which also covers replication-mode changes where
+//!   this server stays a member;
+//! * forwards publications *new server → departed old server* while the
+//!   old server still has subscribers, stopping on
+//!   [`Msg::NoMoreSubscribers`](crate::Msg::NoMoreSubscribers) (§IV-A5);
+//! * tears all forwarding state down after the plan-entry TTL, mirroring
+//!   the client-side timers (§IV-A5).
+//!
+//! Plan-version hints: every client stamps its publications and
+//! subscriptions with the plan version under which it learned the
+//! channel's mapping (`PlanId(0)` for the consistent-hashing fallback).
+//! The dispatcher remembers, per channel, the plan version of its last
+//! mapping change; a hint older than that marks a client with an
+//! outdated local plan that must be informed even when the server it
+//! chose happens to be a valid replica — without this, clients falling
+//! back to consistent hashing would all pile onto the hash-home member
+//! of a replicated channel and replication would never spread load.
+//!
+//! Like the client library, the dispatcher is a pure state machine
+//! returning [`DispatchAction`]s for the server node to execute.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dynamoth_sim::{NodeId, SimRng, SimTime};
+
+use crate::hashing::Ring;
+use crate::message::Publication;
+use crate::plan::{ChannelMapping, Plan};
+use crate::types::{ChannelId, PlanId, ServerId};
+
+/// Maximum dispatcher-forwarding hops a publication may take; protects
+/// against routing loops while plans race.
+pub const MAX_FORWARD_HOPS: u8 = 4;
+
+/// Side effects the server node must carry out for the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchAction {
+    /// Tell the publisher it used a wrong or outdated server.
+    NotifyWrongServer {
+        /// The publisher to correct.
+        publisher: NodeId,
+        /// Affected channel.
+        channel: ChannelId,
+        /// Correct mapping.
+        mapping: ChannelMapping,
+        /// Plan version of the mapping.
+        plan: PlanId,
+    },
+    /// Publish a `<switch>` notification to all local subscribers of the
+    /// channel.
+    EmitSwitch {
+        /// Affected channel.
+        channel: ChannelId,
+        /// Mapping the subscribers should move to.
+        mapping: ChannelMapping,
+        /// Plan version of the mapping.
+        plan: PlanId,
+    },
+    /// Forward the publication to other servers' dispatchers (they
+    /// deliver it locally without re-forwarding).
+    ForwardTo {
+        /// Destination servers.
+        servers: Vec<ServerId>,
+        /// The publication, with its hop count already incremented.
+        publication: Publication,
+    },
+    /// Tell the listed servers that this (old) server has no subscribers
+    /// left on the channel.
+    NotifyNoMoreSubscribers {
+        /// Destination servers (the channel's new home).
+        servers: Vec<ServerId>,
+        /// Affected channel.
+        channel: ChannelId,
+    },
+}
+
+#[derive(Debug)]
+struct ForwardOld {
+    no_subs_notified: bool,
+    expires_at: SimTime,
+}
+
+#[derive(Debug)]
+struct ForwardNew {
+    /// Previous members to mirror publications to, each with its own
+    /// deadline: departed members last until they report no subscribers
+    /// (bounded by the TTL), members that merely stayed behind during a
+    /// mapping expansion only for the short mirror window.
+    old_servers: Vec<(ServerId, SimTime)>,
+}
+
+/// Counters describing dispatcher activity, used by tests and traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Publications from clients with wrong or outdated plans.
+    pub wrong_server_publications: u64,
+    /// Subscriptions from clients with wrong or outdated plans.
+    pub wrong_server_subscriptions: u64,
+    /// Publications forwarded to other servers.
+    pub forwarded: u64,
+    /// `<switch>` notifications emitted.
+    pub switches_emitted: u64,
+}
+
+/// Per-server dispatcher state machine.
+#[derive(Debug)]
+pub struct Dispatcher {
+    me: ServerId,
+    ring: Arc<Ring>,
+    plan: Arc<Plan>,
+    ttl: dynamoth_sim::SimDuration,
+    mirror_window: dynamoth_sim::SimDuration,
+    /// Plan version of each channel's last mapping change.
+    changed_at: HashMap<ChannelId, PlanId>,
+    /// Channels whose subscribers must be switched with the next
+    /// publication.
+    switch_pending: HashMap<ChannelId, SimTime>,
+    forward_old: HashMap<ChannelId, ForwardOld>,
+    forward_new: HashMap<ChannelId, ForwardNew>,
+    stats: DispatcherStats,
+}
+
+impl Dispatcher {
+    /// Creates the dispatcher for server `me` with the bootstrap plan.
+    /// `ttl` bounds all forwarding state (§IV-A5); `mirror_window` is
+    /// the shorter period during which a newly added member mirrors
+    /// publications back to members that stayed.
+    pub fn new(
+        me: ServerId,
+        ring: Arc<Ring>,
+        ttl: dynamoth_sim::SimDuration,
+        mirror_window: dynamoth_sim::SimDuration,
+    ) -> Self {
+        Dispatcher {
+            me,
+            ring,
+            plan: Arc::new(Plan::bootstrap()),
+            ttl,
+            mirror_window,
+            changed_at: HashMap::new(),
+            switch_pending: HashMap::new(),
+            forward_old: HashMap::new(),
+            forward_new: HashMap::new(),
+            stats: DispatcherStats::default(),
+        }
+    }
+
+    /// Dispatcher activity counters.
+    pub fn stats(&self) -> DispatcherStats {
+        self.stats
+    }
+
+    /// The plan currently installed.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// `true` if this server is responsible for `channel` under the
+    /// current plan.
+    pub fn is_responsible(&self, channel: ChannelId) -> bool {
+        self.plan.resolve(channel, &self.ring).contains(self.me)
+    }
+
+    fn version_of(&self, channel: ChannelId) -> PlanId {
+        self.changed_at
+            .get(&channel)
+            .copied()
+            .unwrap_or(PlanId(0))
+    }
+
+    /// Installs a new global plan (§IV-A1). Returns the channels whose
+    /// reconfiguration state was created, so the server node can arm
+    /// teardown timers at `now + ttl` and call [`Dispatcher::expire`]
+    /// when they fire.
+    pub fn install_plan(&mut self, now: SimTime, new_plan: Arc<Plan>) -> Vec<ChannelId> {
+        let changes = self.plan.diff(&new_plan, &self.ring);
+        let mut affected = Vec::new();
+        let expires_at = now + self.ttl;
+        for change in changes {
+            self.changed_at.insert(change.channel, new_plan.id());
+            let was = change.old.contains(self.me);
+            let is = change.new.contains(self.me);
+            if was {
+                // Local subscribers must be told about the new mapping
+                // with the first post-change publication — whether the
+                // channel left this server entirely or merely changed
+                // its replication shape.
+                self.switch_pending.insert(change.channel, expires_at);
+                affected.push(change.channel);
+            }
+            if was && !is {
+                self.forward_old.insert(
+                    change.channel,
+                    ForwardOld {
+                        no_subs_notified: false,
+                        expires_at,
+                    },
+                );
+            } else if is && !was {
+                // We are a *new* member: mirror publications back to
+                // every previous member. Departed members hold
+                // subscribers until they all switch (long deadline, cut
+                // short by NoMoreSubscribers); members that stayed still
+                // hold the subscribers whose subscription to us is in
+                // flight (short mirror window).
+                let mirror_until = now + self.mirror_window;
+                let old_servers: Vec<(ServerId, SimTime)> = change
+                    .old
+                    .servers()
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != self.me)
+                    .map(|s| {
+                        if change.new.contains(s) {
+                            (s, mirror_until)
+                        } else {
+                            (s, expires_at)
+                        }
+                    })
+                    .collect();
+                if !old_servers.is_empty() {
+                    self.forward_new
+                        .insert(change.channel, ForwardNew { old_servers });
+                    affected.push(change.channel);
+                }
+            }
+        }
+        self.plan = new_plan;
+        affected
+    }
+
+    /// Handles a publication arriving from a client (a `Publish` with
+    /// its plan-version hint). The server node always delivers to local
+    /// subscribers; this method returns the extra protocol actions.
+    pub fn on_client_publication(
+        &mut self,
+        now: SimTime,
+        rng: &mut SimRng,
+        p: &Publication,
+        plan_hint: PlanId,
+    ) -> Vec<DispatchAction> {
+        let mapping = self.plan.resolve(p.channel, &self.ring);
+        let version = self.version_of(p.channel);
+        let mut actions = Vec::new();
+
+        // First post-change publication: switch local subscribers.
+        if let Some(expires) = self.switch_pending.remove(&p.channel) {
+            if now < expires {
+                self.stats.switches_emitted += 1;
+                actions.push(DispatchAction::EmitSwitch {
+                    channel: p.channel,
+                    mapping: mapping.clone(),
+                    plan: version,
+                });
+            }
+        }
+
+        if mapping.contains(self.me) {
+            if plan_hint < version {
+                // Correct server, outdated client (e.g. it fell back to
+                // consistent hashing and does not know the channel is
+                // replicated).
+                self.stats.wrong_server_publications += 1;
+                actions.push(DispatchAction::NotifyWrongServer {
+                    publisher: p.publisher,
+                    channel: p.channel,
+                    mapping: mapping.clone(),
+                    plan: version,
+                });
+                // Under all-publishers replication the client should
+                // have published to every member; cover for it.
+                if let ChannelMapping::AllPublishers(members) = &mapping {
+                    if p.hops < MAX_FORWARD_HOPS {
+                        let others: Vec<ServerId> = members
+                            .iter()
+                            .copied()
+                            .filter(|&s| s != self.me)
+                            .collect();
+                        if !others.is_empty() {
+                            let mut copy = *p;
+                            copy.hops += 1;
+                            self.stats.forwarded += 1;
+                            actions.push(DispatchAction::ForwardTo {
+                                servers: others,
+                                publication: copy,
+                            });
+                        }
+                    }
+                }
+            }
+            // If we are a new home of a channel whose previous members
+            // may still hold subscribers, mirror the publication there
+            // (§IV-A3, Fig. 3b).
+            if let Some(fwd) = self.forward_new.get_mut(&p.channel) {
+                fwd.old_servers.retain(|&(_, deadline)| now < deadline);
+                let servers: Vec<ServerId> =
+                    fwd.old_servers.iter().map(|&(s, _)| s).collect();
+                if fwd.old_servers.is_empty() {
+                    self.forward_new.remove(&p.channel);
+                }
+                if !servers.is_empty() && p.hops < MAX_FORWARD_HOPS {
+                    let mut copy = *p;
+                    copy.hops += 1;
+                    self.stats.forwarded += 1;
+                    actions.push(DispatchAction::ForwardTo {
+                        servers,
+                        publication: copy,
+                    });
+                }
+            }
+        } else {
+            // Wrong server (stale client plan or consistent-hash
+            // fallback; §IV-A2, Fig. 3a).
+            self.stats.wrong_server_publications += 1;
+            actions.push(DispatchAction::NotifyWrongServer {
+                publisher: p.publisher,
+                channel: p.channel,
+                mapping: mapping.clone(),
+                plan: version,
+            });
+            if p.hops < MAX_FORWARD_HOPS {
+                let mut copy = *p;
+                copy.hops += 1;
+                self.stats.forwarded += 1;
+                actions.push(DispatchAction::ForwardTo {
+                    servers: mapping.publish_targets(rng),
+                    publication: copy,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Consumes the pending `<switch>` for `channel`, if any, returning
+    /// the emission action. Used by the eager-propagation ablation mode;
+    /// the paper's lazy scheme instead piggybacks on the first
+    /// publication via [`Dispatcher::on_client_publication`].
+    pub fn take_pending_switch(
+        &mut self,
+        now: SimTime,
+        channel: ChannelId,
+    ) -> Vec<DispatchAction> {
+        match self.switch_pending.remove(&channel) {
+            Some(expires) if now < expires => {
+                self.stats.switches_emitted += 1;
+                vec![DispatchAction::EmitSwitch {
+                    channel,
+                    mapping: self.plan.resolve(channel, &self.ring),
+                    plan: self.version_of(channel),
+                }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a subscription arriving from a client. Returns the
+    /// correct mapping (and its version) if the client chose a wrong
+    /// server or holds an outdated plan entry (§IV-A4).
+    pub fn on_subscribe(
+        &mut self,
+        channel: ChannelId,
+        plan_hint: PlanId,
+    ) -> Option<(ChannelMapping, PlanId)> {
+        let mapping = self.plan.resolve(channel, &self.ring);
+        let version = self.version_of(channel);
+        if mapping.contains(self.me) && plan_hint >= version {
+            None
+        } else {
+            self.stats.wrong_server_subscriptions += 1;
+            Some((mapping, version))
+        }
+    }
+
+    /// Called when the local subscriber count of `channel` reaches zero.
+    /// If this server is forwarding as the *old* home of the channel, it
+    /// notifies the new home so back-forwarding stops (§IV-A5).
+    pub fn on_no_local_subscribers(&mut self, channel: ChannelId) -> Vec<DispatchAction> {
+        let Some(state) = self.forward_old.get_mut(&channel) else {
+            return Vec::new();
+        };
+        if state.no_subs_notified {
+            return Vec::new();
+        }
+        state.no_subs_notified = true;
+        let servers: Vec<ServerId> = self
+            .plan
+            .resolve(channel, &self.ring)
+            .servers()
+            .iter()
+            .copied()
+            .filter(|&s| s != self.me)
+            .collect();
+        if servers.is_empty() {
+            return Vec::new();
+        }
+        vec![DispatchAction::NotifyNoMoreSubscribers { servers, channel }]
+    }
+
+    /// Handles a `NoMoreSubscribers` notification from the old server
+    /// `from`: stop forwarding publications of `channel` back to it.
+    pub fn on_no_more_subscribers(&mut self, from: ServerId, channel: ChannelId) {
+        if let Some(state) = self.forward_new.get_mut(&channel) {
+            state.old_servers.retain(|&(s, _)| s != from);
+            if state.old_servers.is_empty() {
+                self.forward_new.remove(&channel);
+            }
+        }
+    }
+
+    /// Tears down expired reconfiguration state for `channel`; called
+    /// from the timer armed after [`Dispatcher::install_plan`].
+    pub fn expire(&mut self, now: SimTime, channel: ChannelId) {
+        if self
+            .switch_pending
+            .get(&channel)
+            .is_some_and(|&at| now >= at)
+        {
+            self.switch_pending.remove(&channel);
+        }
+        if self
+            .forward_old
+            .get(&channel)
+            .is_some_and(|s| now >= s.expires_at)
+        {
+            self.forward_old.remove(&channel);
+        }
+        if let Some(state) = self.forward_new.get_mut(&channel) {
+            state.old_servers.retain(|&(_, deadline)| now < deadline);
+            if state.old_servers.is_empty() {
+                self.forward_new.remove(&channel);
+            }
+        }
+    }
+
+    /// `true` while this server, as a *new* member of `channel`'s
+    /// mapping, still mirrors publications back to previous members.
+    pub fn is_mirroring(&self, channel: ChannelId) -> bool {
+        self.forward_new.contains_key(&channel)
+    }
+
+    /// `true` while this server keeps reconfiguration state for
+    /// `channel`.
+    pub fn is_reconfiguring(&self, channel: ChannelId) -> bool {
+        self.switch_pending.contains_key(&channel)
+            || self.forward_old.contains_key(&channel)
+            || self.forward_new.contains_key(&channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamoth_sim::SimDuration;
+
+    use crate::types::MessageId;
+
+    fn sid(i: usize) -> ServerId {
+        ServerId(NodeId::from_index(i))
+    }
+
+    fn setup() -> (Dispatcher, Arc<Ring>, SimRng) {
+        let servers: Vec<ServerId> = (0..4).map(sid).collect();
+        let ring = Arc::new(Ring::new(&servers, 32));
+        let d = Dispatcher::new(
+            sid(0),
+            Arc::clone(&ring),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+        );
+        (d, ring, SimRng::new(3))
+    }
+
+    fn publication(ch: u64, hops: u8) -> Publication {
+        Publication {
+            channel: ChannelId(ch),
+            id: MessageId {
+                origin: NodeId::from_index(50),
+                seq: 0,
+            },
+            payload: 100,
+            sent_at: SimTime::ZERO,
+            publisher: NodeId::from_index(50),
+            hops,
+        }
+    }
+
+    /// A channel that hashes to server 0 on the test ring.
+    fn home_channel(ring: &Ring) -> ChannelId {
+        (0..)
+            .map(ChannelId)
+            .find(|&c| ring.server_for(c) == sid(0))
+            .unwrap()
+    }
+
+    /// A channel that does NOT hash to server 0.
+    fn foreign_channel(ring: &Ring) -> ChannelId {
+        (0..)
+            .map(ChannelId)
+            .find(|&c| ring.server_for(c) != sid(0))
+            .unwrap()
+    }
+
+    fn install(d: &mut Dispatcher, entries: &[(ChannelId, ChannelMapping)], id: u64) {
+        let mut plan = Plan::bootstrap();
+        for (c, m) in entries {
+            plan.set(*c, m.clone());
+        }
+        plan.set_id(PlanId(id));
+        d.install_plan(SimTime::ZERO, Arc::new(plan));
+    }
+
+    #[test]
+    fn correct_server_current_client_needs_no_action() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(0));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn wrong_server_publication_corrects_and_forwards() {
+        let (mut d, ring, mut rng) = setup();
+        let c = foreign_channel(&ring);
+        let correct = ring.server_for(c);
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(0));
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            &actions[0],
+            DispatchAction::NotifyWrongServer { mapping, .. }
+                if *mapping == ChannelMapping::Single(correct)
+        ));
+        match &actions[1] {
+            DispatchAction::ForwardTo {
+                servers,
+                publication,
+            } => {
+                assert_eq!(servers, &vec![correct]);
+                assert_eq!(publication.hops, 1);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outdated_hint_on_member_server_is_corrected() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        // The channel becomes all-subscribers over {me, s1} at plan 3.
+        install(
+            &mut d,
+            &[(c, ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]))],
+            3,
+        );
+        // A client publishing with hint 0 must be informed even though
+        // this server is a valid replica.
+        let actions =
+            d.on_client_publication(SimTime::from_secs(1), &mut rng, &publication(c.0, 0), PlanId(0));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DispatchAction::NotifyWrongServer { plan: PlanId(3), .. }
+        )));
+        // No forward needed for all-subscribers (one member suffices).
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::ForwardTo { .. })));
+        // A current client is left alone (after the pending switch fired).
+        let actions =
+            d.on_client_publication(SimTime::from_secs(1), &mut rng, &publication(c.0, 0), PlanId(3));
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn outdated_hint_on_all_publishers_member_forwards_to_other_members() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        install(
+            &mut d,
+            &[(c, ChannelMapping::AllPublishers(vec![sid(0), sid(1), sid(2)]))],
+            2,
+        );
+        // Drain the pending switch with one publication.
+        let _ = d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(2));
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(0));
+        let fwd = actions
+            .iter()
+            .find_map(|a| match a {
+                DispatchAction::ForwardTo { servers, .. } => Some(servers.clone()),
+                _ => None,
+            })
+            .expect("must forward to the other members");
+        assert_eq!(fwd, vec![sid(1), sid(2)]);
+    }
+
+    #[test]
+    fn switch_is_emitted_once_after_migration() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        install(&mut d, &[(c, ChannelMapping::Single(sid(1)))], 1);
+        assert!(d.is_reconfiguring(c));
+
+        let first =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(0));
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+        let second =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(0));
+        assert!(!second
+            .iter()
+            .any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+        assert_eq!(d.stats().switches_emitted, 1);
+    }
+
+    #[test]
+    fn take_pending_switch_consumes_the_obligation() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        install(&mut d, &[(c, ChannelMapping::Single(sid(1)))], 1);
+        // Eager mode: the switch can be taken immediately…
+        let actions = d.take_pending_switch(SimTime::ZERO, c);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            DispatchAction::EmitSwitch { mapping, plan, .. }
+                if *mapping == ChannelMapping::Single(sid(1)) && *plan == PlanId(1)
+        ));
+        // …and is then consumed: neither a second take nor the first
+        // publication re-emits it.
+        assert!(d.take_pending_switch(SimTime::ZERO, c).is_empty());
+        let on_pub = d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(!on_pub.iter().any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+        // Expired obligations are not emitted either.
+        install(&mut d, &[(c, ChannelMapping::Single(sid(2)))], 2);
+        assert!(d.take_pending_switch(SimTime::from_secs(120), c).is_empty());
+    }
+
+    #[test]
+    fn switch_fires_even_when_server_stays_member() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        // Replication change: Single(me) → AllSubscribers([me, s2]).
+        install(
+            &mut d,
+            &[(c, ChannelMapping::AllSubscribers(vec![sid(0), sid(2)]))],
+            1,
+        );
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+    }
+
+    #[test]
+    fn new_home_forwards_back_to_old_until_notified() {
+        let (mut d, ring, mut rng) = setup();
+        let c = foreign_channel(&ring);
+        let old_home = ring.server_for(c);
+        install(&mut d, &[(c, ChannelMapping::Single(sid(0)))], 1);
+
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            DispatchAction::ForwardTo { servers, .. } if servers == &vec![old_home]
+        ));
+
+        d.on_no_more_subscribers(old_home, c);
+        let after =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(after.is_empty());
+        assert!(!d.is_reconfiguring(c));
+    }
+
+    #[test]
+    fn old_home_notifies_when_subscribers_reach_zero() {
+        let (mut d, ring, _) = setup();
+        let c = home_channel(&ring);
+        install(&mut d, &[(c, ChannelMapping::Single(sid(2)))], 1);
+
+        let actions = d.on_no_local_subscribers(c);
+        assert_eq!(
+            actions,
+            vec![DispatchAction::NotifyNoMoreSubscribers {
+                servers: vec![sid(2)],
+                channel: c
+            }]
+        );
+        // Only notified once.
+        assert!(d.on_no_local_subscribers(c).is_empty());
+        // Channels without forwarding state produce nothing.
+        assert!(d.on_no_local_subscribers(ChannelId(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn wrong_subscription_returns_correct_mapping_and_version() {
+        let (mut d, ring, _) = setup();
+        let foreign = foreign_channel(&ring);
+        let home = home_channel(&ring);
+        assert_eq!(
+            d.on_subscribe(foreign, PlanId(0)),
+            Some((ChannelMapping::Single(ring.server_for(foreign)), PlanId(0)))
+        );
+        assert_eq!(d.on_subscribe(home, PlanId(0)), None);
+        // After a replication change the subscriber with an old hint is
+        // informed even on a member server.
+        install(
+            &mut d,
+            &[(home, ChannelMapping::AllPublishers(vec![sid(0), sid(1)]))],
+            5,
+        );
+        assert!(d.on_subscribe(home, PlanId(4)).is_some());
+        assert_eq!(d.on_subscribe(home, PlanId(5)), None);
+    }
+
+    #[test]
+    fn forwarding_state_expires_after_ttl() {
+        let (mut d, ring, mut rng) = setup();
+        let c = home_channel(&ring);
+        install(&mut d, &[(c, ChannelMapping::Single(sid(1)))], 1);
+        assert!(d.is_reconfiguring(c));
+
+        d.expire(SimTime::from_secs(30), c);
+        assert!(d.is_reconfiguring(c));
+        d.expire(SimTime::from_secs(61), c);
+        assert!(!d.is_reconfiguring(c));
+        // After expiry no more switches are produced (the stale entry is
+        // gone), but wrong-server redirection still works via the plan.
+        let actions =
+            d.on_client_publication(SimTime::from_secs(61), &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::NotifyWrongServer { .. })));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+    }
+
+    #[test]
+    fn hop_limit_stops_forwarding() {
+        let (mut d, ring, mut rng) = setup();
+        let c = foreign_channel(&ring);
+        let actions = d.on_client_publication(
+            SimTime::ZERO,
+            &mut rng,
+            &publication(c.0, MAX_FORWARD_HOPS),
+            PlanId(0),
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::NotifyWrongServer { .. })));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::ForwardTo { .. })));
+    }
+
+    #[test]
+    fn expansion_mirrors_to_staying_members_for_a_bounded_window() {
+        let (mut d, ring, mut rng) = setup();
+        let c = foreign_channel(&ring);
+        let old_home = ring.server_for(c);
+        // c becomes all-subscribers on {us, old_home}: old_home stays a
+        // member, but subscribers may not have subscribed to us yet —
+        // we must mirror publications back for the mirror window.
+        install(
+            &mut d,
+            &[(c, ChannelMapping::AllSubscribers(vec![sid(0), old_home]))],
+            1,
+        );
+        assert!(d.is_reconfiguring(c));
+        let actions =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DispatchAction::ForwardTo { servers, .. } if servers == &vec![old_home]
+        )));
+        // After the mirror window (5 s in the test setup) mirroring
+        // stops on its own.
+        let later = SimTime::from_secs(60);
+        let actions = d.on_client_publication(later, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, DispatchAction::ForwardTo { .. })));
+        assert!(!d.is_reconfiguring(c));
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation assembly: builds a complete Dynamoth cluster (pub/sub
+//! server nodes, load balancer, transport) inside a
+//! [`World`](dynamoth_sim::World), ready for workloads to attach client
+//! actors.
+
+use std::sync::Arc;
+
+use dynamoth_net::{CloudTransport, CloudTransportConfig};
+use dynamoth_pubsub::CpuModel;
+use dynamoth_sim::{Actor, NodeClass, NodeId, SimDuration, SimTime, World};
+
+use crate::balancer::{BalancerStrategy, LoadBalancer, TAG_EVAL};
+use crate::client::DynamothClient;
+use crate::config::DynamothConfig;
+use crate::hashing::{Ring, DEFAULT_VNODES};
+use crate::message::Msg;
+use crate::server_node::{ServerNode, TAG_TICK};
+use crate::trace::TraceHandle;
+use crate::types::ServerId;
+
+/// Everything needed to build a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// World RNG seed (same seed ⇒ identical run).
+    pub seed: u64,
+    /// Total servers available in the cloud pool.
+    pub pool_size: usize,
+    /// Servers rented at start ("plan 0" hashes over these).
+    pub initial_active: usize,
+    /// Load-balancing policy.
+    pub strategy: BalancerStrategy,
+    /// Middleware thresholds.
+    pub dynamoth: DynamothConfig,
+    /// Network model.
+    pub transport: CloudTransportConfig,
+    /// Broker CPU cost model.
+    pub cpu: CpuModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 42,
+            pool_size: 8,
+            initial_active: 1,
+            strategy: BalancerStrategy::Dynamoth,
+            dynamoth: DynamothConfig::default(),
+            transport: CloudTransportConfig::default(),
+            cpu: CpuModel::default(),
+        }
+    }
+}
+
+/// A running cluster: the simulated world plus handles to its parts.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_core::{Cluster, ClusterConfig};
+/// use dynamoth_sim::SimDuration;
+///
+/// let mut cluster = Cluster::build(ClusterConfig::default());
+/// cluster.run_for(SimDuration::from_secs(5));
+/// assert_eq!(cluster.active_server_count(), 1); // idle: nothing spawned
+/// ```
+pub struct Cluster {
+    /// The simulation world; attach client actors here.
+    pub world: World<Msg>,
+    /// The load balancer's node id.
+    pub lb: NodeId,
+    /// All pool servers (active or not).
+    pub servers: Vec<ServerId>,
+    /// The bootstrap consistent-hashing ring shared by all parties.
+    pub ring: Arc<Ring>,
+    /// The middleware configuration.
+    pub cfg: Arc<DynamothConfig>,
+    /// Shared experiment trace.
+    pub trace: TraceHandle,
+}
+
+impl Cluster {
+    /// Builds the cluster: `pool_size` server nodes, one load balancer,
+    /// LLA/eval timers armed at the first tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_active` is zero or exceeds `pool_size`.
+    pub fn build(config: ClusterConfig) -> Cluster {
+        assert!(
+            config.initial_active >= 1 && config.initial_active <= config.pool_size,
+            "initial_active must be within the pool"
+        );
+        let cfg = Arc::new(config.dynamoth);
+        let transport = CloudTransport::new(config.transport);
+        let mut world: World<Msg> = World::new(config.seed, Box::new(transport));
+
+        // Server nodes are created first so their NodeIds are 0..pool;
+        // the load balancer lands on index `pool_size`.
+        let lb_node = NodeId::from_index(config.pool_size);
+        let servers: Vec<ServerId> = (0..config.pool_size)
+            .map(|i| ServerId(NodeId::from_index(i)))
+            .collect();
+        let ring = Arc::new(Ring::new(
+            &servers[..config.initial_active],
+            DEFAULT_VNODES,
+        ));
+        for &sid in &servers {
+            let node = world.add_node(
+                NodeClass::Infra,
+                Box::new(ServerNode::with_cpu(
+                    sid,
+                    lb_node,
+                    Arc::clone(&ring),
+                    Arc::clone(&cfg),
+                    config.cpu.clone(),
+                )),
+            );
+            assert_eq!(node, sid.0, "server node ids must be dense from 0");
+        }
+
+        let trace = TraceHandle::new();
+        let lb_actor = LoadBalancer::new(
+            Arc::clone(&cfg),
+            config.strategy,
+            Arc::clone(&ring),
+            servers.clone(),
+            config.initial_active,
+            trace.clone(),
+        );
+        let lb = world.add_node(NodeClass::Infra, Box::new(lb_actor));
+        assert_eq!(lb, lb_node, "load balancer must follow the servers");
+
+        // Arm the periodic timers: LLAs tick first, the balancer
+        // evaluates just after the reports are in flight.
+        let tick = SimTime::ZERO + cfg.tick;
+        for &sid in &servers {
+            world.schedule_timer(sid.0, tick, TAG_TICK);
+        }
+        world.schedule_timer(lb, tick + SimDuration::from_millis(100), TAG_EVAL);
+
+        Cluster {
+            world,
+            lb,
+            servers,
+            ring,
+            cfg,
+            trace,
+        }
+    }
+
+    /// Registers a client actor and returns its node id.
+    pub fn add_client(&mut self, actor: Box<dyn Actor<Msg>>) -> NodeId {
+        self.world.add_node(NodeClass::Client, actor)
+    }
+
+    /// Creates a client-library instance for the node `node` (sharing
+    /// the cluster's ring and configuration).
+    pub fn client_library(&self, node: NodeId) -> DynamothClient {
+        DynamothClient::new(node, Arc::clone(&self.ring), Arc::clone(&self.cfg))
+    }
+
+    /// Installs a hand-written plan (Experiment 1 style: the paper fixes
+    /// the replication configuration manually for the micro-benchmarks)
+    /// and pushes it to every dispatcher. Clients still learn it lazily
+    /// through the normal wrong-server/switch machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load balancer actor cannot be found.
+    pub fn install_plan(&mut self, plan: crate::Plan) {
+        let stamped = self
+            .world
+            .actor_mut::<LoadBalancer>(self.lb)
+            .expect("load balancer present")
+            .install_manual_plan(plan);
+        let shared = std::sync::Arc::new(stamped);
+        let lb = self.lb;
+        for &s in &self.servers.clone() {
+            self.world.post(lb, s.0, Msg::PlanPush(std::sync::Arc::clone(&shared)));
+        }
+    }
+
+    /// Advances the simulation by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.world.now() + d;
+        self.world.run_until(deadline);
+    }
+
+    /// Number of servers the balancer currently rents.
+    pub fn active_server_count(&self) -> usize {
+        self.world
+            .actor::<LoadBalancer>(self.lb)
+            .map(|lb| lb.active_servers().len())
+            .unwrap_or(0)
+    }
+
+    /// Immutable access to a server node (inspection in tests).
+    pub fn server_node(&self, server: ServerId) -> Option<&ServerNode> {
+        self.world.actor::<ServerNode>(server.0)
+    }
+
+    /// Immutable access to the load balancer (inspection in tests).
+    pub fn load_balancer(&self) -> Option<&LoadBalancer> {
+        self.world.actor::<LoadBalancer>(self.lb)
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .field("now", &self.world.now())
+            .finish_non_exhaustive()
+    }
+}

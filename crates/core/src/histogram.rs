@@ -1,0 +1,194 @@
+//! A fixed-size logarithmic latency histogram for percentile reporting.
+//!
+//! Experiments produce tens of millions of response-time samples, far
+//! too many to retain; a log-scale histogram gives p50/p95/p99 with a
+//! bounded ~2.5 % relative error at constant memory, which is plenty for
+//! comparing against the paper's plotted curves.
+
+use dynamoth_sim::SimDuration;
+
+const BUCKETS: usize = 400;
+/// Smallest representable latency (one bucket boundary), microseconds.
+const MIN_US: f64 = 100.0;
+/// Largest representable latency; everything above lands in the last
+/// bucket.
+const MAX_US: f64 = 600e6;
+
+/// Log-scale latency histogram.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_core::LatencyHistogram;
+/// use dynamoth_sim::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in [10u64, 20, 30, 40, 1_000] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.len(), 5);
+/// let p50 = h.quantile(0.5).unwrap().as_millis_f64();
+/// assert!((25.0..36.0).contains(&p50), "{p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: f64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0.0,
+            max_us: 0,
+        }
+    }
+
+    fn bucket_of(us: f64) -> usize {
+        if us <= MIN_US {
+            return 0;
+        }
+        let ratio = (us / MIN_US).ln() / (MAX_US / MIN_US).ln();
+        ((ratio * (BUCKETS - 1) as f64).ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`, microseconds.
+    fn bucket_upper_us(i: usize) -> f64 {
+        MIN_US * (MAX_US / MIN_US).powf(i as f64 / (BUCKETS - 1) as f64)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let us = latency.as_micros();
+        self.counts[Self::bucket_of(us as f64)] += 1;
+        self.total += 1;
+        self.sum_us += us as f64;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean latency, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        (self.total > 0).then(|| SimDuration::from_micros((self.sum_us / self.total as f64) as u64))
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_us)
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` (bucket upper bound), or
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(SimDuration::from_micros(Self::bucket_upper_us(i) as u64));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(i * 100)); // 0.1 ms .. 1 s
+        }
+        for (q, expected_ms) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).unwrap().as_millis_f64();
+            let err = (got - expected_ms).abs() / expected_ms;
+            assert!(err < 0.05, "q{q}: got {got} ms, expected ≈{expected_ms} ms");
+        }
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(10));
+        h.record(SimDuration::from_millis(30));
+        assert_eq!(h.mean().unwrap(), SimDuration::from_millis(20));
+        assert_eq!(h.max(), SimDuration::from_millis(30));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(1));
+        h.record(SimDuration::from_secs(10_000));
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(0.01).unwrap() <= SimDuration::from_micros(200));
+        assert!(h.quantile(1.0).unwrap() >= SimDuration::from_secs(500));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(10));
+        b.record(SimDuration::from_millis(1_000));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.quantile(1.0).unwrap() >= SimDuration::from_millis(900));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! # dynamoth-core
+//!
+//! The Dynamoth middleware (Gascon-Samson et al., ICDCS 2015), rebuilt
+//! from scratch: a scalable, elastic, channel-based pub/sub layer over a
+//! fleet of unmodified pub/sub servers.
+//!
+//! The crate contains every component of the paper's architecture
+//! (Fig. 1):
+//!
+//! * [`Plan`] / [`ChannelMapping`] — the channel → server lookup
+//!   structure, including both replication schemes (§II-B);
+//! * [`Ring`] — consistent hashing with virtual identifiers, the
+//!   bootstrap mapping and the baseline load balancer;
+//! * [`DynamothClient`] — the client library with lazy local plans,
+//!   wrong-server recovery and duplicate suppression (§II-C, §IV);
+//! * [`Lla`] — per-server Local Load Analyzers (§III-A);
+//! * [`Dispatcher`] — reconfiguration forwarding (§IV);
+//! * [`LoadBalancer`] — hierarchical rebalancing: Algorithm 1
+//!   (channel-level replication), Algorithm 2 (high-load migration) and
+//!   the low-load drain (§III-B), plus the consistent-hashing baseline;
+//! * [`ServerNode`] — the composite broker + dispatcher + LLA node;
+//! * [`Cluster`] — harness assembling everything inside a simulation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynamoth_core::{Cluster, ClusterConfig, ChannelId};
+//! use dynamoth_sim::SimDuration;
+//!
+//! let mut cluster = Cluster::build(ClusterConfig::default());
+//! cluster.run_for(SimDuration::from_secs(2));
+//! assert!(cluster.active_server_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balancer;
+mod client;
+mod config;
+mod dispatcher;
+mod harness;
+mod hashing;
+mod histogram;
+mod lla;
+mod message;
+mod metrics;
+mod plan;
+mod server_node;
+mod trace;
+mod types;
+
+pub use balancer::{BalancerStrategy, LoadBalancer, TAG_EVAL};
+pub use client::{ClientEvent, ClientStats, DynamothClient};
+pub use config::DynamothConfig;
+pub use dispatcher::{DispatchAction, Dispatcher, DispatcherStats, MAX_FORWARD_HOPS};
+pub use harness::{Cluster, ClusterConfig};
+pub use hashing::{Ring, DEFAULT_VNODES};
+pub use histogram::LatencyHistogram;
+pub use lla::Lla;
+pub use message::{Msg, Publication, CTRL_SIZE, PUB_HEADER};
+pub use metrics::{ChannelAggregate, ChannelTick, LlaReport, MetricsStore};
+pub use plan::{ChannelMapping, Plan, PlanChange};
+pub use server_node::{ServerNode, TAG_TICK};
+pub use trace::{RebalanceKind, Trace, TraceHandle};
+pub use types::{ChannelId, ClientId, MessageId, PlanId, ServerId};
+
+// Substrate types that appear in this crate's public API.
+pub use dynamoth_pubsub::CpuModel;

@@ -1,0 +1,197 @@
+//! The Local Load Analyzer (§III-A).
+//!
+//! One [`Lla`] runs collocated with every pub/sub server. It observes
+//! every publication and delivery processed by the local server (the
+//! paper registers it as an "observer" on every channel; here the server
+//! node calls the `note_*` hooks, which is equivalent and free), and at
+//! every time unit `t` produces an [`LlaReport`] combining:
+//!
+//! * per-channel counters (publications, deliveries, bytes, distinct
+//!   publishers, current subscribers), and
+//! * the interface-level measured outgoing bytes, read from the
+//!   transport's NIC accounting — the `M_i` of the load-ratio formula.
+
+use std::collections::{HashMap, HashSet};
+
+use dynamoth_sim::NodeId;
+
+use crate::metrics::{ChannelTick, LlaReport};
+use crate::types::{ChannelId, ServerId};
+
+#[derive(Debug, Default)]
+struct Acc {
+    publications: u64,
+    deliveries: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    publishers: HashSet<NodeId>,
+}
+
+/// Per-server load analyzer accumulating one tick of metrics at a time.
+#[derive(Debug)]
+pub struct Lla {
+    server: ServerId,
+    capacity_bytes_per_tick: f64,
+    tick: u64,
+    acc: HashMap<ChannelId, Acc>,
+    last_egress_total: u64,
+    last_cpu_total_micros: u64,
+}
+
+impl Lla {
+    /// Creates an analyzer for `server` with advertised capacity `T_i`
+    /// (bytes per tick).
+    pub fn new(server: ServerId, capacity_bytes_per_tick: f64) -> Self {
+        Lla {
+            server,
+            capacity_bytes_per_tick,
+            tick: 0,
+            acc: HashMap::new(),
+            last_egress_total: 0,
+            last_cpu_total_micros: 0,
+        }
+    }
+
+    /// Records a publication received on `channel` from `publisher`.
+    pub fn note_publication(&mut self, channel: ChannelId, wire_size: u32, publisher: NodeId) {
+        let a = self.acc.entry(channel).or_default();
+        a.publications += 1;
+        a.bytes_in += wire_size as u64;
+        a.publishers.insert(publisher);
+    }
+
+    /// Records `count` outgoing deliveries of `wire_size` bytes each on
+    /// `channel`.
+    pub fn note_deliveries(&mut self, channel: ChannelId, wire_size: u32, count: u64) {
+        let a = self.acc.entry(channel).or_default();
+        a.deliveries += count;
+        a.bytes_out += wire_size as u64 * count;
+    }
+
+    /// Closes the current time unit and produces the aggregate report.
+    ///
+    /// * `egress_total` — the transport's cumulative NIC byte counter
+    ///   for this node; the report contains the delta from the previous
+    ///   tick.
+    /// * `subscriber_counts` — current per-channel subscriber counts
+    ///   from the local pub/sub server (channels with subscribers but no
+    ///   traffic this tick are still reported, so the balancer sees
+    ///   them).
+    /// * `cpu_total` — the server's cumulative CPU busy time; the report
+    ///   carries the delta from the previous tick.
+    pub fn end_tick(
+        &mut self,
+        egress_total: u64,
+        cpu_total: dynamoth_sim::SimDuration,
+        subscriber_counts: impl IntoIterator<Item = (ChannelId, u32)>,
+    ) -> LlaReport {
+        let mut channels: HashMap<ChannelId, ChannelTick> = self
+            .acc
+            .drain()
+            .map(|(c, a)| {
+                (
+                    c,
+                    ChannelTick {
+                        publications: a.publications,
+                        deliveries: a.deliveries,
+                        bytes_in: a.bytes_in,
+                        bytes_out: a.bytes_out,
+                        publishers: a.publishers.len() as u32,
+                        subscribers: 0,
+                    },
+                )
+            })
+            .collect();
+        for (c, subs) in subscriber_counts {
+            channels.entry(c).or_default().subscribers = subs;
+        }
+        let measured = egress_total.saturating_sub(self.last_egress_total);
+        self.last_egress_total = egress_total;
+        let cpu_total_micros = cpu_total.as_micros();
+        let cpu_busy_micros = cpu_total_micros.saturating_sub(self.last_cpu_total_micros);
+        self.last_cpu_total_micros = cpu_total_micros;
+        let tick = self.tick;
+        self.tick += 1;
+        let mut channels: Vec<(ChannelId, ChannelTick)> = channels.into_iter().collect();
+        channels.sort_by_key(|&(c, _)| c); // deterministic report order
+        LlaReport {
+            server: self.server,
+            tick,
+            measured_egress_bytes: measured,
+            capacity_bytes: self.capacity_bytes_per_tick,
+            cpu_busy_micros,
+            channels,
+        }
+    }
+
+    /// The server this analyzer monitors.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lla() -> Lla {
+        Lla::new(ServerId(NodeId::from_index(0)), 1_000.0)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn tick_report_contains_all_metrics() {
+        let mut lla = lla();
+        lla.note_publication(ChannelId(1), 100, n(1));
+        lla.note_publication(ChannelId(1), 100, n(2));
+        lla.note_publication(ChannelId(1), 100, n(1)); // repeat publisher
+        lla.note_deliveries(ChannelId(1), 100, 5);
+        let report = lla.end_tick(450, dynamoth_sim::SimDuration::from_micros(300), [(ChannelId(1), 5)]);
+        assert_eq!(report.tick, 0);
+        assert_eq!(report.measured_egress_bytes, 450);
+        assert_eq!(report.cpu_busy_micros, 300);
+        let (_, t) = report.channels[0];
+        assert_eq!(t.publications, 3);
+        assert_eq!(t.publishers, 2);
+        assert_eq!(t.deliveries, 5);
+        assert_eq!(t.bytes_out, 500);
+        assert_eq!(t.bytes_in, 300);
+        assert_eq!(t.subscribers, 5);
+    }
+
+    #[test]
+    fn counters_reset_between_ticks() {
+        let mut lla = lla();
+        lla.note_publication(ChannelId(1), 100, n(1));
+        let _ = lla.end_tick(100, dynamoth_sim::SimDuration::from_micros(100), []);
+        let report = lla.end_tick(250, dynamoth_sim::SimDuration::from_micros(180), []);
+        assert_eq!(report.tick, 1);
+        // Egress and CPU are deltas, publication counters reset.
+        assert_eq!(report.measured_egress_bytes, 150);
+        assert_eq!(report.cpu_busy_micros, 80);
+        assert!(report.channels.is_empty());
+    }
+
+    #[test]
+    fn idle_channels_with_subscribers_are_reported() {
+        let mut lla = lla();
+        let report = lla.end_tick(0, dynamoth_sim::SimDuration::ZERO, [(ChannelId(9), 3)]);
+        assert_eq!(report.channels.len(), 1);
+        assert_eq!(report.channels[0].1.subscribers, 3);
+        assert_eq!(report.channels[0].1.publications, 0);
+    }
+
+    #[test]
+    fn report_order_is_deterministic() {
+        let mut lla = lla();
+        lla.note_publication(ChannelId(5), 10, n(1));
+        lla.note_publication(ChannelId(2), 10, n(1));
+        lla.note_publication(ChannelId(9), 10, n(1));
+        let report = lla.end_tick(0, dynamoth_sim::SimDuration::ZERO, []);
+        let order: Vec<u64> = report.channels.iter().map(|(c, _)| c.0).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,236 @@
+//! The wire protocol of the Dynamoth middleware.
+//!
+//! Every message exchanged between clients, pub/sub server nodes and the
+//! load balancer is a [`Msg`]. Payloads are modelled by their size only —
+//! the simulation never materializes application bytes — but every
+//! message carries the metadata the protocol actually needs (channel,
+//! unique id, publish timestamp for latency accounting, hop count for
+//! forwarding-loop protection).
+
+use std::sync::Arc;
+
+use dynamoth_sim::{Message, NodeId, SimTime};
+
+use crate::metrics::LlaReport;
+use crate::plan::{ChannelMapping, Plan};
+use crate::types::{ChannelId, MessageId, PlanId};
+
+/// Wire size of small control messages (subscribe, redirects, …).
+pub const CTRL_SIZE: u32 = 64;
+/// Per-publication protocol overhead added to the payload size.
+pub const PUB_HEADER: u32 = 64;
+
+/// A publication flowing through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Publication {
+    /// The channel the message is published on.
+    pub channel: ChannelId,
+    /// Globally unique message id (for duplicate suppression).
+    pub id: MessageId,
+    /// Application payload size in bytes.
+    pub payload: u32,
+    /// Instant the publisher sent the message (drives response-time
+    /// measurements).
+    pub sent_at: SimTime,
+    /// The publishing node.
+    pub publisher: NodeId,
+    /// Dispatcher-forwarding hop count (loop protection).
+    pub hops: u8,
+}
+
+impl Publication {
+    /// Bytes this publication occupies on the wire.
+    pub fn wire_size(&self) -> u32 {
+        PUB_HEADER + self.payload
+    }
+}
+
+/// Every message of the Dynamoth protocol.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ---- Client → pub/sub server ----
+    /// Subscribe the sender to a channel. `plan_hint` is the plan
+    /// version under which the sender learned the channel's mapping
+    /// (`PlanId(0)` when falling back to consistent hashing); the
+    /// dispatcher uses it to detect clients with outdated plans.
+    Subscribe {
+        /// Channel to subscribe to.
+        channel: ChannelId,
+        /// Sender's plan version for this channel.
+        plan_hint: PlanId,
+    },
+    /// Remove the sender's subscription.
+    Unsubscribe {
+        /// Channel to unsubscribe from.
+        channel: ChannelId,
+    },
+    /// Publish a message on a channel. See [`Msg::Subscribe`] for
+    /// `plan_hint`.
+    Publish {
+        /// The publication.
+        publication: Publication,
+        /// Sender's plan version for this channel.
+        plan_hint: PlanId,
+    },
+
+    // ---- Pub/sub server → client ----
+    /// Fan-out delivery of a publication to a subscriber.
+    Deliver(Publication),
+    /// Tells a publisher it used the wrong (or an outdated) server for
+    /// `channel` and what the correct mapping is (§IV, "publishing on
+    /// old server").
+    WrongServer {
+        /// Affected channel.
+        channel: ChannelId,
+        /// The mapping the client should use from now on.
+        mapping: ChannelMapping,
+        /// Plan version the mapping comes from.
+        plan: PlanId,
+    },
+    /// Tells a subscriber it subscribed on the wrong (or an outdated)
+    /// server (§IV-A4).
+    SubscriptionMoved {
+        /// Affected channel.
+        channel: ChannelId,
+        /// The mapping the client should use from now on.
+        mapping: ChannelMapping,
+        /// Plan version the mapping comes from.
+        plan: PlanId,
+    },
+    /// `<switch to H1>` notification sent to all subscribers of a moved
+    /// channel with the first post-change publication (§IV-A2).
+    Switch {
+        /// Affected channel.
+        channel: ChannelId,
+        /// The mapping subscribers should move to.
+        mapping: ChannelMapping,
+        /// Plan version the mapping comes from.
+        plan: PlanId,
+    },
+    /// The server killed the sender's connection (output-buffer
+    /// overflow); lists the subscriptions that were lost. Modelled as a
+    /// transport-level connection-reset signal (zero wire size, not
+    /// carried in the congested data stream), like a TCP RST.
+    Disconnected {
+        /// Channels whose subscriptions were dropped.
+        channels: Vec<ChannelId>,
+    },
+
+    // ---- Dispatcher ↔ dispatcher ----
+    /// A publication forwarded between dispatchers during
+    /// reconfiguration. The receiver delivers it to local subscribers
+    /// only (it must not re-forward, §IV-A2/3).
+    Forward(Publication),
+    /// The old server has no subscribers left for `channel`; the new
+    /// server's dispatcher can stop back-forwarding (§IV-A5).
+    NoMoreSubscribers {
+        /// Affected channel.
+        channel: ChannelId,
+    },
+
+    /// Client-side liveness probe of a pub/sub server (the reliability
+    /// extension; §VII future work).
+    Ping,
+    /// Server response to [`Msg::Ping`].
+    Pong,
+
+    // ---- Infrastructure control plane ----
+    /// Aggregate metrics update from a Local Load Analyzer to the load
+    /// balancer (§III-A).
+    LlaReport(LlaReport),
+    /// A new global plan pushed reliably to every dispatcher (§IV-A1).
+    PlanPush(Arc<Plan>),
+}
+
+impl Message for Msg {
+    fn wire_size(&self) -> u32 {
+        match self {
+            Msg::Publish {
+                publication: p, ..
+            } => p.wire_size(),
+            Msg::Deliver(p) | Msg::Forward(p) => p.wire_size(),
+            Msg::Subscribe { .. }
+            | Msg::Unsubscribe { .. }
+            | Msg::Ping
+            | Msg::Pong
+            | Msg::NoMoreSubscribers { .. } => CTRL_SIZE,
+            Msg::WrongServer { mapping, .. }
+            | Msg::SubscriptionMoved { mapping, .. }
+            | Msg::Switch { mapping, .. } => CTRL_SIZE + 8 * mapping.servers().len() as u32,
+            // Connection resets are out-of-band (see the variant docs).
+            Msg::Disconnected { .. } => 0,
+            Msg::LlaReport(r) => r.wire_size(),
+            Msg::PlanPush(plan) => plan.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ServerId;
+
+    fn publication(payload: u32) -> Publication {
+        Publication {
+            channel: ChannelId(1),
+            id: MessageId {
+                origin: NodeId::from_index(0),
+                seq: 1,
+            },
+            payload,
+            sent_at: SimTime::ZERO,
+            publisher: NodeId::from_index(0),
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn publication_sizes_include_header() {
+        let p = publication(1_000);
+        assert_eq!(p.wire_size(), 1_000 + PUB_HEADER);
+        assert_eq!(
+            Msg::Publish {
+                publication: p,
+                plan_hint: PlanId(0)
+            }
+            .wire_size(),
+            p.wire_size()
+        );
+        assert_eq!(Msg::Deliver(p).wire_size(), p.wire_size());
+        assert_eq!(Msg::Forward(p).wire_size(), p.wire_size());
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert_eq!(
+            Msg::Subscribe {
+                channel: ChannelId(1),
+                plan_hint: PlanId(0)
+            }
+            .wire_size(),
+            CTRL_SIZE
+        );
+        let mapping = ChannelMapping::AllSubscribers(vec![
+            ServerId(NodeId::from_index(0)),
+            ServerId(NodeId::from_index(1)),
+        ]);
+        let switch = Msg::Switch {
+            channel: ChannelId(1),
+            mapping,
+            plan: PlanId(1),
+        };
+        assert_eq!(switch.wire_size(), CTRL_SIZE + 16);
+    }
+
+    #[test]
+    fn plan_push_size_scales_with_entries() {
+        let mut plan = Plan::bootstrap();
+        let base = Msg::PlanPush(Arc::new(plan.clone())).wire_size();
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::Single(ServerId(NodeId::from_index(0))),
+        );
+        let one = Msg::PlanPush(Arc::new(plan)).wire_size();
+        assert!(one > base);
+    }
+}

@@ -1,0 +1,309 @@
+//! The composite infrastructure node of Fig. 1: one standard pub/sub
+//! server plus its collocated dispatcher and Local Load Analyzer,
+//! exposed to the simulation as a single actor.
+
+use std::sync::Arc;
+
+use dynamoth_pubsub::{CpuModel, PubSubServer};
+use dynamoth_sim::{Actor, ActorContext, NodeId, SendOutcome, SimDuration};
+
+use crate::config::DynamothConfig;
+use crate::dispatcher::{DispatchAction, Dispatcher};
+use crate::hashing::Ring;
+use crate::lla::Lla;
+use crate::message::{Msg, Publication};
+use crate::types::{ChannelId, ServerId};
+
+/// Timer tag of the LLA metrics tick.
+pub const TAG_TICK: u64 = 1;
+/// High bit marking dispatcher-teardown timers; the low bits carry the
+/// channel id.
+const TEARDOWN_BIT: u64 = 1 << 63;
+
+/// A pub/sub server node: broker + dispatcher + LLA (Fig. 1).
+#[derive(Debug)]
+pub struct ServerNode {
+    id: ServerId,
+    lb: NodeId,
+    cfg: Arc<DynamothConfig>,
+    server: PubSubServer,
+    dispatcher: Dispatcher,
+    lla: Lla,
+    cpu: CpuModel,
+    /// Fault-injection flag: a crashed node drops every message and
+    /// stops reporting, like a killed process.
+    crashed: bool,
+}
+
+impl ServerNode {
+    /// Creates the node for server `id`, reporting to the load balancer
+    /// at `lb`.
+    pub fn new(id: ServerId, lb: NodeId, ring: Arc<Ring>, cfg: Arc<DynamothConfig>) -> Self {
+        Self::with_cpu(id, lb, ring, cfg, CpuModel::default())
+    }
+
+    /// [`ServerNode::new`] with an explicit broker CPU model (used by
+    /// the CPU-aware balancing experiments).
+    pub fn with_cpu(
+        id: ServerId,
+        lb: NodeId,
+        ring: Arc<Ring>,
+        cfg: Arc<DynamothConfig>,
+        cpu: CpuModel,
+    ) -> Self {
+        let lla = Lla::new(id, cfg.capacity_per_tick());
+        ServerNode {
+            id,
+            lb,
+            dispatcher: Dispatcher::new(id, ring, cfg.plan_entry_ttl, cfg.replication_mirror_window),
+            cfg,
+            server: PubSubServer::new(cpu.clone()),
+            lla,
+            cpu,
+            crashed: false,
+        }
+    }
+
+    /// Fault injection: kill the node. It drops all traffic and stops
+    /// reporting until [`ServerNode::recover`], and loses its broker
+    /// state (subscriptions) like a killed process.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.server = PubSubServer::new(self.cpu.clone());
+    }
+
+    /// Fault injection: restart a crashed node with empty broker state
+    /// (the dispatcher keeps the last plan, as if re-fetched on boot).
+    pub fn recover(&mut self) {
+        self.crashed = false;
+    }
+
+    /// `true` while fault injection keeps the node down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// This node's server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The underlying pub/sub server (inspection).
+    pub fn pubsub(&self) -> &PubSubServer {
+        &self.server
+    }
+
+    /// The collocated dispatcher (inspection).
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
+    }
+
+    /// Processes a publication; `plan_hint` is `Some` when it came
+    /// directly from a client (and must run the dispatcher protocol),
+    /// `None` for dispatcher forwards (deliver locally only).
+    fn handle_publication(
+        &mut self,
+        ctx: &mut dyn ActorContext<Msg>,
+        p: Publication,
+        plan_hint: Option<crate::types::PlanId>,
+    ) {
+        let now = ctx.now();
+        self.lla.note_publication(p.channel, p.wire_size(), p.publisher);
+        let outcome = self.server.publish(now, p.channel);
+        let cpu_delay = outcome.cpu_done.saturating_since(now);
+        let mut delivered = 0u64;
+        let mut killed: Vec<NodeId> = Vec::new();
+        for recipient in outcome.recipients {
+            match ctx.send_after(cpu_delay, recipient, Msg::Deliver(p)) {
+                SendOutcome::Sent => delivered += 1,
+                SendOutcome::Dropped => killed.push(recipient),
+            }
+        }
+        self.lla.note_deliveries(p.channel, p.wire_size(), delivered);
+        for client in killed {
+            self.kill_client(ctx, client);
+        }
+        if let Some(hint) = plan_hint {
+            let actions = self
+                .dispatcher
+                .on_client_publication(now, ctx.rng(), &p, hint);
+            self.execute(ctx, actions);
+        }
+    }
+
+    /// Disconnects a client whose output buffer overflowed, exactly like
+    /// Redis' `client-output-buffer-limit` enforcement.
+    fn kill_client(&mut self, ctx: &mut dyn ActorContext<Msg>, client: NodeId) {
+        let channels = self.server.disconnect(client);
+        if channels.is_empty() {
+            return;
+        }
+        // Best-effort notification; may itself be dropped (like a TCP
+        // RST racing a full socket).
+        let _ = ctx.send(
+            client,
+            Msg::Disconnected {
+                channels: channels.clone(),
+            },
+        );
+        for channel in channels {
+            if self.server.subscriber_count(channel) == 0 {
+                let actions = self.dispatcher.on_no_local_subscribers(channel);
+                self.execute(ctx, actions);
+            }
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut dyn ActorContext<Msg>, actions: Vec<DispatchAction>) {
+        for action in actions {
+            match action {
+                DispatchAction::NotifyWrongServer {
+                    publisher,
+                    channel,
+                    mapping,
+                    plan,
+                } => {
+                    let _ = ctx.send(
+                        publisher,
+                        Msg::WrongServer {
+                            channel,
+                            mapping,
+                            plan,
+                        },
+                    );
+                }
+                DispatchAction::EmitSwitch {
+                    channel,
+                    mapping,
+                    plan,
+                } => {
+                    let subscribers: Vec<NodeId> = self.server.subscribers(channel).collect();
+                    for s in subscribers {
+                        let _ = ctx.send(
+                            s,
+                            Msg::Switch {
+                                channel,
+                                mapping: mapping.clone(),
+                                plan,
+                            },
+                        );
+                    }
+                }
+                DispatchAction::ForwardTo {
+                    servers,
+                    publication,
+                } => {
+                    for s in servers {
+                        if s != self.id {
+                            let _ = ctx.send(s.node(), Msg::Forward(publication));
+                        }
+                    }
+                }
+                DispatchAction::NotifyNoMoreSubscribers { servers, channel } => {
+                    for s in servers {
+                        if s != self.id {
+                            let _ = ctx.send(s.node(), Msg::NoMoreSubscribers { channel });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for ServerNode {
+    fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        if self.crashed {
+            return; // a dead process answers nothing
+        }
+        let now = ctx.now();
+        match msg {
+            Msg::Ping => {
+                let _ = ctx.send(from, Msg::Pong);
+            }
+            Msg::Subscribe { channel, plan_hint } => {
+                self.server.subscribe(now, from, channel);
+                if let Some((mapping, plan)) = self.dispatcher.on_subscribe(channel, plan_hint) {
+                    let _ = ctx.send(
+                        from,
+                        Msg::SubscriptionMoved {
+                            channel,
+                            mapping,
+                            plan,
+                        },
+                    );
+                }
+            }
+            Msg::Unsubscribe { channel } => {
+                self.server.unsubscribe(now, from, channel);
+                if self.server.subscriber_count(channel) == 0 {
+                    let actions = self.dispatcher.on_no_local_subscribers(channel);
+                    self.execute(ctx, actions);
+                }
+            }
+            Msg::Publish {
+                publication,
+                plan_hint,
+            } => self.handle_publication(ctx, publication, Some(plan_hint)),
+            // Forwarded publications are delivered locally only — the
+            // sending dispatcher already handled redirection (§IV-A2/3).
+            Msg::Forward(p) => self.handle_publication(ctx, p, None),
+            Msg::NoMoreSubscribers { channel } => {
+                self.dispatcher
+                    .on_no_more_subscribers(ServerId(from), channel);
+            }
+            Msg::PlanPush(plan) => {
+                let affected = self.dispatcher.install_plan(now, plan);
+                for channel in affected {
+                    ctx.set_timer(
+                        self.cfg.plan_entry_ttl + SimDuration::from_millis(1),
+                        TEARDOWN_BIT | channel.0,
+                    );
+                    // Ablation mode: notify subscribers of the change
+                    // right away instead of waiting for the first
+                    // publication (the paper's lazy scheme, §IV-A2).
+                    if self.cfg.eager_switch {
+                        let actions = self.dispatcher.take_pending_switch(now, channel);
+                        self.execute(ctx, actions);
+                    }
+                }
+            }
+            // Server nodes ignore client-plane and LB-plane traffic not
+            // addressed to them.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
+        if self.crashed {
+            if tag == TAG_TICK {
+                // Keep the metronome alive so reporting resumes after a
+                // recovery, but stay silent while down.
+                ctx.set_timer(self.cfg.tick, TAG_TICK);
+            }
+            return;
+        }
+        if tag == TAG_TICK {
+            let counts: Vec<(ChannelId, u32)> = self
+                .server
+                .channels()
+                .map(|c| (c, self.server.subscriber_count(c) as u32))
+                .collect();
+            let egress = ctx.egress_bytes(ctx.node());
+            let report = self.lla.end_tick(egress, self.server.cpu_busy_total(), counts);
+            let _ = ctx.send(self.lb, Msg::LlaReport(report));
+            ctx.set_timer(self.cfg.tick, TAG_TICK);
+        } else if tag & TEARDOWN_BIT != 0 {
+            self.dispatcher
+                .expire(ctx.now(), ChannelId(tag & !TEARDOWN_BIT));
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,253 @@
+//! Experiment instrumentation: a shared sink collecting the time series
+//! plotted in the paper's figures (players, messages/s, response times,
+//! server counts, load ratios, rebalancing events).
+//!
+//! A [`TraceHandle`] is a cheaply cloneable reference handed to workload
+//! actors and the load balancer; the harness reads the aggregated series
+//! out at the end of a run.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynamoth_sim::{SimDuration, SimTime};
+
+use crate::histogram::LatencyHistogram;
+
+/// Which balancing action triggered a reconfiguration mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceKind {
+    /// Algorithm 2 (and/or channel-level changes) under high load.
+    HighLoad,
+    /// Low-load drain releasing a server.
+    LowLoad,
+    /// Channel-level replication change only.
+    ChannelLevel,
+    /// Consistent-hashing baseline ring growth.
+    ConsistentHash,
+    /// A failed server's channels were migrated to healthy servers.
+    Failover,
+}
+
+/// Aggregated per-second experiment series.
+#[derive(Debug, Default)]
+pub struct Trace {
+    resp: BTreeMap<u64, (f64, u64)>,
+    histogram: LatencyHistogram,
+    server_seconds: u64,
+    rebalances: Vec<(f64, RebalanceKind)>,
+    server_count: BTreeMap<u64, usize>,
+    load: BTreeMap<u64, (f64, f64)>,
+    deliveries: BTreeMap<u64, u64>,
+    players: BTreeMap<u64, usize>,
+    /// Subscriptions lost to output-buffer overflows.
+    pub lost_subscriptions: u64,
+    /// Total publications delivered to applications.
+    pub delivered_total: u64,
+}
+
+/// Shared, cloneable, thread-safe handle to a [`Trace`] (workload
+/// actors and the load balancer write; the harness reads).
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Arc<Mutex<Trace>>);
+
+impl TraceHandle {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response-time sample (publish → echo delivery).
+    pub fn record_response(&self, now: SimTime, latency: SimDuration) {
+        let mut t = self.0.lock();
+        let e = t.resp.entry(now.as_secs()).or_insert((0.0, 0));
+        e.0 += latency.as_millis_f64();
+        e.1 += 1;
+        t.histogram.record(latency);
+        t.delivered_total += 1;
+    }
+
+    /// Latency quantile over the whole run (log-histogram approximation).
+    pub fn response_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.0.lock().histogram.quantile(q).map(|d| d.as_millis_f64())
+    }
+
+    /// Adds one tick's worth of rented-server time (cloud-cost
+    /// accounting; the paper's future work asks for a cost model, this
+    /// is its measurement half).
+    pub fn add_server_seconds(&self, servers: usize) {
+        self.0.lock().server_seconds += servers as u64;
+    }
+
+    /// Total server-seconds rented over the run.
+    pub fn server_seconds(&self) -> u64 {
+        self.0.lock().server_seconds
+    }
+
+    /// Records a reconfiguration mark (the diamonds/circles in the
+    /// paper's figures).
+    pub fn record_rebalance(&self, now: SimTime, kind: RebalanceKind) {
+        self.0.lock().rebalances.push((now.as_secs_f64(), kind));
+    }
+
+    /// Records the number of active pub/sub servers at a tick.
+    pub fn record_server_count(&self, now: SimTime, n: usize) {
+        self.0.lock().server_count.insert(now.as_secs(), n);
+    }
+
+    /// Records average and maximum load ratio across active servers.
+    pub fn record_load(&self, now: SimTime, avg: f64, max: f64) {
+        self.0.lock().load.insert(now.as_secs(), (avg, max));
+    }
+
+    /// Adds outgoing-message deliveries reported by an LLA for a tick.
+    pub fn add_deliveries(&self, tick_second: u64, n: u64) {
+        *self
+            .0
+            .lock()
+            .deliveries
+            .entry(tick_second)
+            .or_insert(0) += n;
+    }
+
+    /// Records the active player/client count.
+    pub fn record_players(&self, now: SimTime, n: usize) {
+        self.0.lock().players.insert(now.as_secs(), n);
+    }
+
+    /// Counts a lost subscription (output-buffer overflow).
+    pub fn record_lost_subscription(&self) {
+        self.0.lock().lost_subscriptions += 1;
+    }
+
+    /// Mean response time (ms) per second of simulation.
+    pub fn response_series(&self) -> Vec<(u64, f64)> {
+        self.0
+            .lock()
+            .resp
+            .iter()
+            .map(|(&s, &(sum, n))| (s, sum / n as f64))
+            .collect()
+    }
+
+    /// Mean response time (ms) over the whole run, or `None` when no
+    /// deliveries happened.
+    pub fn mean_response_ms(&self) -> Option<f64> {
+        let t = self.0.lock();
+        let (sum, n) = t
+            .resp
+            .values()
+            .fold((0.0, 0u64), |(s, c), &(sum, n)| (s + sum, c + n));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Mean response time (ms) restricted to `[from, to)` seconds.
+    pub fn mean_response_ms_between(&self, from: u64, to: u64) -> Option<f64> {
+        let t = self.0.lock();
+        let (sum, n) = t
+            .resp
+            .range(from..to)
+            .fold((0.0, 0u64), |(s, c), (_, &(sum, n))| (s + sum, c + n));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Reconfiguration marks `(second, kind)`.
+    pub fn rebalance_series(&self) -> Vec<(f64, RebalanceKind)> {
+        self.0.lock().rebalances.clone()
+    }
+
+    /// Active server count per second.
+    pub fn server_series(&self) -> Vec<(u64, usize)> {
+        self.0.lock().server_count.iter().map(|(&s, &n)| (s, n)).collect()
+    }
+
+    /// `(second, avg LR, max LR)` per second.
+    pub fn load_series(&self) -> Vec<(u64, f64, f64)> {
+        self.0
+            .lock()
+            .load
+            .iter()
+            .map(|(&s, &(avg, max))| (s, avg, max))
+            .collect()
+    }
+
+    /// Outgoing messages per second (summed over servers).
+    pub fn delivery_series(&self) -> Vec<(u64, u64)> {
+        self.0.lock().deliveries.iter().map(|(&s, &n)| (s, n)).collect()
+    }
+
+    /// Active players per second.
+    pub fn player_series(&self) -> Vec<(u64, usize)> {
+        self.0.lock().players.iter().map(|(&s, &n)| (s, n)).collect()
+    }
+
+    /// Total subscriptions lost to buffer overflows.
+    pub fn lost_subscriptions(&self) -> u64 {
+        self.0.lock().lost_subscriptions
+    }
+
+    /// Total publications delivered to applications.
+    pub fn delivered_total(&self) -> u64 {
+        self.0.lock().delivered_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_samples_aggregate_per_second() {
+        let trace = TraceHandle::new();
+        trace.record_response(SimTime::from_millis(100), SimDuration::from_millis(50));
+        trace.record_response(SimTime::from_millis(900), SimDuration::from_millis(150));
+        trace.record_response(SimTime::from_millis(1_500), SimDuration::from_millis(80));
+        let series = trace.response_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (0, 100.0));
+        assert_eq!(series[1], (1, 80.0));
+        assert_eq!(trace.mean_response_ms(), Some((50.0 + 150.0 + 80.0) / 3.0));
+        assert_eq!(trace.delivered_total(), 3);
+    }
+
+    #[test]
+    fn windowed_mean_response() {
+        let trace = TraceHandle::new();
+        trace.record_response(SimTime::from_secs(1), SimDuration::from_millis(10));
+        trace.record_response(SimTime::from_secs(5), SimDuration::from_millis(100));
+        assert_eq!(trace.mean_response_ms_between(0, 2), Some(10.0));
+        assert_eq!(trace.mean_response_ms_between(4, 6), Some(100.0));
+        assert_eq!(trace.mean_response_ms_between(8, 9), None);
+    }
+
+    #[test]
+    fn series_are_sorted_by_second() {
+        let trace = TraceHandle::new();
+        trace.record_server_count(SimTime::from_secs(5), 3);
+        trace.record_server_count(SimTime::from_secs(2), 1);
+        assert_eq!(trace.server_series(), vec![(2, 1), (5, 3)]);
+        trace.add_deliveries(4, 10);
+        trace.add_deliveries(4, 5);
+        assert_eq!(trace.delivery_series(), vec![(4, 15)]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let trace = TraceHandle::new();
+        let clone = trace.clone();
+        clone.record_lost_subscription();
+        assert_eq!(trace.lost_subscriptions(), 1);
+        assert_eq!(trace.mean_response_ms(), None);
+    }
+
+    #[test]
+    fn rebalance_marks_are_kept_in_order() {
+        let trace = TraceHandle::new();
+        trace.record_rebalance(SimTime::from_secs(10), RebalanceKind::HighLoad);
+        trace.record_rebalance(SimTime::from_secs(20), RebalanceKind::LowLoad);
+        let marks = trace.rebalance_series();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].1, RebalanceKind::HighLoad);
+    }
+}

@@ -1,0 +1,230 @@
+//! Actor-level tests of the load balancer: synthetic LLA reports drive
+//! the evaluation loop and we observe plan pushes, provisioning and
+//! pacing — with recorder actors standing in for the pub/sub server
+//! nodes so no real traffic interferes.
+
+use std::sync::Arc;
+
+use dynamoth_core::balancer::TAG_EVAL;
+use dynamoth_core::{
+    BalancerStrategy, ChannelId, ChannelTick, DynamothConfig, LlaReport, LoadBalancer, Msg, Plan,
+    PlanId, Ring, ServerId, DEFAULT_VNODES,
+};
+use dynamoth_sim::{
+    Actor, ActorContext, InstantTransport, NodeClass, NodeId, SimDuration, SimTime, World,
+};
+
+/// Stands in for a pub/sub server node: records every plan pushed to it.
+#[derive(Default)]
+struct PlanRecorder {
+    plans: Vec<Plan>,
+}
+
+impl Actor<Msg> for PlanRecorder {
+    fn on_message(&mut self, _ctx: &mut dyn ActorContext<Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::PlanPush(plan) = msg {
+            self.plans.push((*plan).clone());
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Rig {
+    world: World<Msg>,
+    lb: NodeId,
+    servers: Vec<ServerId>,
+    cfg: Arc<DynamothConfig>,
+    trace: dynamoth_core::TraceHandle,
+}
+
+fn rig(strategy: BalancerStrategy, pool: usize, active: usize) -> Rig {
+    let cfg = Arc::new(DynamothConfig {
+        t_wait: SimDuration::from_secs(5),
+        provisioning_delay: SimDuration::from_secs(3),
+        ..Default::default()
+    });
+    let mut world: World<Msg> = World::new(9, Box::new(InstantTransport));
+    let servers: Vec<ServerId> = (0..pool)
+        .map(|_| ServerId(world.add_node(NodeClass::Infra, Box::new(PlanRecorder::default()))))
+        .collect();
+    let ring = Arc::new(Ring::new(&servers[..active], DEFAULT_VNODES));
+    let trace = dynamoth_core::TraceHandle::new();
+    let lb_actor = LoadBalancer::new(
+        Arc::clone(&cfg),
+        strategy,
+        ring,
+        servers.clone(),
+        active,
+        trace.clone(),
+    );
+    let lb = world.add_node(NodeClass::Infra, Box::new(lb_actor));
+    world.schedule_timer(lb, SimTime::from_millis(1_100), TAG_EVAL);
+    Rig {
+        world,
+        lb,
+        servers,
+        cfg,
+        trace,
+    }
+}
+
+impl Rig {
+    fn report(&mut self, server: ServerId, tick: u64, egress: u64) {
+        let per_channel = egress / 4;
+        let channels = (0..4)
+            .map(|i| {
+                (
+                    ChannelId(i),
+                    ChannelTick {
+                        publications: 10,
+                        deliveries: 100,
+                        bytes_in: 1_000,
+                        bytes_out: per_channel,
+                        publishers: 5,
+                        subscribers: 10,
+                    },
+                )
+            })
+            .collect();
+        let msg = Msg::LlaReport(LlaReport {
+            server,
+            tick,
+            measured_egress_bytes: egress,
+            capacity_bytes: self.cfg.capacity_per_tick(),
+            cpu_busy_micros: 0,
+            channels,
+        });
+        self.world.post(server.0, self.lb, msg);
+    }
+
+    /// Reports `egress` from every listed server for `ticks` seconds.
+    fn drive(&mut self, loads: &[(ServerId, u64)], ticks: u64, from_tick: u64) {
+        for tick in 0..ticks {
+            self.world
+                .run_until(SimTime::from_secs(self.world.now().as_secs() + 1));
+            for &(s, egress) in loads {
+                self.report(s, from_tick + tick, egress);
+            }
+        }
+        self.world
+            .run_until(SimTime::from_secs(self.world.now().as_secs() + 2));
+    }
+
+    fn lb(&self) -> &LoadBalancer {
+        self.world.actor(self.lb).unwrap()
+    }
+
+    fn plans_at(&self, server: ServerId) -> &[Plan] {
+        &self
+            .world
+            .actor::<PlanRecorder>(server.0)
+            .unwrap()
+            .plans
+    }
+
+    fn hot(&self) -> u64 {
+        (self.cfg.capacity_per_tick() * 1.2) as u64
+    }
+}
+
+#[test]
+fn overload_triggers_provisioning_then_migration() {
+    let mut rig = rig(BalancerStrategy::Dynamoth, 4, 1);
+    let first = rig.servers[0];
+    let hot = rig.hot();
+    rig.drive(&[(first, hot)], 2, 0);
+    // Overload detected: one server provisioning, none ready yet.
+    assert_eq!(rig.lb().active_servers().len(), 1);
+    assert_eq!(rig.lb().pending_count(), 1);
+    rig.drive(&[(first, hot)], 8, 2);
+    let lb = rig.lb();
+    assert_eq!(lb.active_servers().len(), 2);
+    assert!(lb.plan().id() > PlanId(0), "a rebalancing plan must exist");
+    assert!(!lb.plan().is_empty(), "channels must have been migrated");
+    // Every dispatcher in the pool received the plan (even inactive
+    // servers need it to redirect strays).
+    for &s in &rig.servers {
+        assert!(
+            rig.plans_at(s).iter().any(|p| p.id() == rig.lb().plan().id()),
+            "plan did not reach {s}"
+        );
+    }
+}
+
+#[test]
+fn t_wait_paces_plan_generation() {
+    let mut rig = rig(BalancerStrategy::Dynamoth, 4, 2);
+    let [a, b] = [rig.servers[0], rig.servers[1]];
+    let hot = rig.hot();
+    rig.drive(&[(a, hot), (b, hot)], 12, 0);
+    let marks = rig.trace.rebalance_series();
+    // ~14 seconds of overload with t_wait = 5 s allows at most 3 plans.
+    assert!(
+        (1..=3).contains(&marks.len()),
+        "T_wait not respected: {} plans",
+        marks.len()
+    );
+}
+
+#[test]
+fn idle_pool_is_drained_to_one_server() {
+    let mut rig = rig(BalancerStrategy::Dynamoth, 4, 2);
+    let [a, b] = [rig.servers[0], rig.servers[1]];
+    rig.drive(&[(a, 10), (b, 10)], 8, 0);
+    assert_eq!(rig.lb().active_servers().len(), 1);
+    // After the shrink no further plans appear.
+    let marks_before = rig.trace.rebalance_series().len();
+    rig.drive(&[(rig.servers[0], 10)], 8, 8);
+    assert_eq!(rig.trace.rebalance_series().len(), marks_before);
+}
+
+#[test]
+fn manual_strategy_never_rebalances() {
+    let mut rig = rig(BalancerStrategy::Manual, 4, 2);
+    let first = rig.servers[0];
+    let hot = rig.hot();
+    rig.drive(&[(first, hot)], 10, 0);
+    assert_eq!(rig.lb().plan().id(), PlanId(0));
+    assert!(rig.trace.rebalance_series().is_empty());
+    assert_eq!(rig.lb().active_servers().len(), 2);
+}
+
+#[test]
+fn consistent_hash_strategy_spawns_and_remaps_everything() {
+    let mut rig = rig(BalancerStrategy::ConsistentHash, 4, 1);
+    let first = rig.servers[0];
+    let hot = rig.hot();
+    rig.drive(&[(first, hot)], 10, 0);
+    let lb = rig.lb();
+    assert!(lb.active_servers().len() >= 2, "baseline must grow");
+    // The baseline plan maps every known channel via the grown ring,
+    // never replicated.
+    assert_eq!(lb.plan().len(), 4);
+    for (_, mapping) in lb.plan().iter() {
+        assert!(!mapping.is_replicated());
+    }
+    assert!(rig
+        .trace
+        .rebalance_series()
+        .iter()
+        .all(|&(_, k)| k == dynamoth_core::RebalanceKind::ConsistentHash));
+}
+
+#[test]
+fn load_trace_reflects_reports() {
+    let mut rig = rig(BalancerStrategy::Manual, 2, 2);
+    let [a, b] = [rig.servers[0], rig.servers[1]];
+    let cap = rig.cfg.capacity_per_tick();
+    rig.drive(&[(a, (cap * 0.8) as u64), (b, (cap * 0.4) as u64)], 5, 0);
+    let series = rig.trace.load_series();
+    assert!(!series.is_empty());
+    let (_, avg, max) = *series.last().unwrap();
+    assert!((avg - 0.6).abs() < 0.01, "avg {avg}");
+    assert!((max - 0.8).abs() < 0.01, "max {max}");
+    assert!(rig.trace.server_series().len() >= 5);
+}

@@ -1,0 +1,153 @@
+//! Property tests for the load-balancing algorithms: Algorithm 2's
+//! post-conditions and the estimator's conservation laws under arbitrary
+//! load distributions.
+
+use dynamoth_core::balancer::estimator::LoadView;
+use dynamoth_core::balancer::{high_load, low_load};
+use dynamoth_core::{ChannelId, ChannelTick, DynamothConfig, LlaReport, MetricsStore, Plan, ServerId};
+use dynamoth_sim::NodeId;
+use proptest::prelude::*;
+
+fn sid(i: usize) -> ServerId {
+    ServerId(NodeId::from_index(i))
+}
+
+/// Builds a store where server `i` hosts the given channels with the
+/// given per-tick byte loads.
+fn store_from(dist: &[Vec<(u64, u64)>]) -> (MetricsStore, Vec<ServerId>) {
+    let mut store = MetricsStore::new(1);
+    let servers: Vec<ServerId> = (0..dist.len()).map(sid).collect();
+    for (i, channels) in dist.iter().enumerate() {
+        let egress: u64 = channels.iter().map(|&(_, b)| b).sum();
+        store.record(LlaReport {
+            server: sid(i),
+            tick: 0,
+            measured_egress_bytes: egress,
+            capacity_bytes: 1_000.0,
+            cpu_busy_micros: 0,
+            channels: channels
+                .iter()
+                .map(|&(c, b)| {
+                    (
+                        ChannelId(c),
+                        ChannelTick {
+                            bytes_out: b,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
+        });
+    }
+    (store, servers)
+}
+
+/// A random per-server channel distribution with disjoint channel ids.
+fn arb_distribution() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    prop::collection::vec(prop::collection::vec(1u64..600, 0..6), 2..6).prop_map(|loads| {
+        let mut next_channel = 0u64;
+        loads
+            .into_iter()
+            .map(|server_loads| {
+                server_loads
+                    .into_iter()
+                    .map(|bytes| {
+                        next_channel += 1;
+                        (next_channel, bytes)
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn cfg() -> DynamothConfig {
+    DynamothConfig {
+        lr_high: 0.9,
+        lr_safe: 0.7,
+        lr_low: 0.35,
+        ..DynamothConfig::default()
+    }
+}
+
+proptest! {
+    /// Total estimated load is conserved by arbitrary migrations.
+    #[test]
+    fn estimator_conserves_load(dist in arb_distribution(), moves in prop::collection::vec((0usize..6, 0usize..6, 0u64..20), 0..20)) {
+        let (store, servers) = store_from(&dist);
+        let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+        let total_before: f64 = view.servers().map(|s| view.load_ratio(s)).sum();
+        for (from, to, ch) in moves {
+            let from = servers[from % servers.len()];
+            let to = servers[to % servers.len()];
+            if from != to {
+                view.migrate(ChannelId(ch), from, to);
+            }
+        }
+        let total_after: f64 = view.servers().map(|s| view.load_ratio(s)).sum();
+        prop_assert!((total_before - total_after).abs() < 1e-6,
+            "{total_before} vs {total_after}");
+    }
+
+    /// Algorithm 2 either brings every server's *estimated* load below
+    /// `LR_high` or asks for more servers; it never overloads a target
+    /// beyond `LR_safe` by its own migrations, and it always terminates.
+    #[test]
+    fn algorithm2_postconditions(dist in arb_distribution()) {
+        let (store, servers) = store_from(&dist);
+        let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+        let before: Vec<f64> = servers.iter().map(|&s| view.load_ratio(s)).collect();
+        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &cfg());
+        if out.servers_wanted == 0 {
+            for &s in &servers {
+                prop_assert!(
+                    view.load_ratio(s) < 0.9 + 1e-9,
+                    "server {s} still above LR_high with no growth requested"
+                );
+            }
+        }
+        // No server that was below LR_safe before may end above it
+        // (migrations must not create new hotspots).
+        for (i, &s) in servers.iter().enumerate() {
+            if before[i] <= 0.7 {
+                prop_assert!(view.load_ratio(s) <= 0.7 + 1e-9,
+                    "server {s} pushed past LR_safe: {} -> {}", before[i], view.load_ratio(s));
+            }
+        }
+    }
+
+    /// The low-load drain, when it fires, empties exactly one server and
+    /// never pushes a receiving server past `LR_safe` (servers that were
+    /// already above it are high-load rebalancing's problem, not the
+    /// drain's).
+    #[test]
+    fn low_load_drain_is_safe(dist in arb_distribution()) {
+        let (store, servers) = store_from(&dist);
+        let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+        let before: Vec<f64> = servers.iter().map(|&s| view.load_ratio(s)).collect();
+        if let Some(out) = low_load::rebalance(&Plan::bootstrap(), &mut view, &cfg()) {
+            prop_assert!(view.channels_on(out.release).is_empty());
+            for (i, &s) in servers.iter().enumerate() {
+                prop_assert!(view.load_ratio(s) <= before[i].max(0.7) + 1e-9);
+            }
+            // Every migrated channel is mapped somewhere else.
+            for (c, m) in out.plan.iter() {
+                prop_assert!(m.servers().iter().all(|&s| s != out.release),
+                    "channel {c} still mapped to the released server");
+            }
+        }
+    }
+
+    /// Algorithm 2 never *unmaps* a channel: everything it touches ends
+    /// with a concrete single-server mapping.
+    #[test]
+    fn algorithm2_only_migrates(dist in arb_distribution()) {
+        let (store, servers) = store_from(&dist);
+        let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &cfg());
+        for (_, mapping) in out.plan.iter() {
+            prop_assert_eq!(mapping.replication_factor(), 1);
+            prop_assert!(servers.contains(&mapping.servers()[0]));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the client library: duplicate suppression and
+//! subscription-state invariants under arbitrary protocol traffic.
+
+use std::sync::Arc;
+
+use dynamoth_core::{
+    ChannelId, ChannelMapping, ClientEvent, DynamothClient, DynamothConfig, MessageId, Msg,
+    PlanId, Publication, Ring, ServerId,
+};
+use dynamoth_sim::{NodeId, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn sid(i: usize) -> ServerId {
+    ServerId(NodeId::from_index(i))
+}
+
+fn client() -> DynamothClient {
+    let servers: Vec<ServerId> = (0..4).map(sid).collect();
+    let ring = Arc::new(Ring::new(&servers, 32));
+    DynamothClient::new(NodeId::from_index(99), ring, Arc::new(DynamothConfig::default()))
+}
+
+fn publication(seq: u64, origin: usize) -> Publication {
+    Publication {
+        channel: ChannelId(1),
+        id: MessageId {
+            origin: NodeId::from_index(origin),
+            seq,
+        },
+        payload: 64,
+        sent_at: SimTime::ZERO,
+        publisher: NodeId::from_index(origin),
+        hops: 0,
+    }
+}
+
+proptest! {
+    /// Whatever multiset of deliveries arrives (including arbitrary
+    /// duplication), the application sees each unique message id exactly
+    /// once.
+    #[test]
+    fn deliveries_collapse_to_the_unique_set(
+        ids in prop::collection::vec((0u64..64, 0usize..4), 1..300),
+    ) {
+        let mut c = client();
+        let mut rng = SimRng::new(7);
+        let mut delivered = std::collections::BTreeSet::new();
+        let mut app_seen = Vec::new();
+        for (seq, origin) in ids {
+            let p = publication(seq, origin);
+            delivered.insert(p.id);
+            let (events, _) =
+                c.on_message(SimTime::ZERO, &mut rng, sid(0).node(), Msg::Deliver(p));
+            for e in events {
+                if let ClientEvent::Delivery(p) = e {
+                    app_seen.push(p.id);
+                }
+            }
+        }
+        let unique: std::collections::BTreeSet<_> = app_seen.iter().copied().collect();
+        prop_assert_eq!(unique.len(), app_seen.len(), "application saw duplicates");
+        prop_assert_eq!(unique, delivered, "application missed messages");
+    }
+
+    /// Random interleavings of subscribe/unsubscribe/switch keep the
+    /// client's subscription state consistent: it holds server
+    /// subscriptions iff it wants the channel, and only on servers of
+    /// the learned mapping.
+    #[test]
+    fn subscription_state_stays_consistent(
+        ops in prop::collection::vec((0u8..4, 0u64..6, 0usize..4), 1..120),
+        seed in 0u64..1_000,
+    ) {
+        let mut c = client();
+        let mut rng = SimRng::new(seed);
+        let mut version = 1u64;
+        for (op, ch, srv) in ops {
+            let channel = ChannelId(ch);
+            let now = SimTime::from_secs(version);
+            match op {
+                0 => {
+                    let _ = c.subscribe(now, &mut rng, channel);
+                }
+                1 => {
+                    let _ = c.unsubscribe(now, channel);
+                }
+                2 => {
+                    version += 1;
+                    let mapping = ChannelMapping::Single(sid(srv));
+                    let _ = c.on_message(
+                        now,
+                        &mut rng,
+                        sid(srv).node(),
+                        Msg::Switch { channel, mapping, plan: PlanId(version) },
+                    );
+                }
+                _ => {
+                    version += 1;
+                    let mapping = ChannelMapping::AllSubscribers(vec![sid(0), sid(1 + srv % 3)]);
+                    let _ = c.on_message(
+                        now,
+                        &mut rng,
+                        sid(0).node(),
+                        Msg::SubscriptionMoved { channel, mapping, plan: PlanId(version) },
+                    );
+                }
+            }
+            // Invariants after every step:
+            for probe in 0..6u64 {
+                let channel = ChannelId(probe);
+                let servers = c.subscription_servers(channel);
+                prop_assert_eq!(c.is_subscribed(channel), !servers.is_empty());
+                // No duplicate servers in the set.
+                let set: std::collections::BTreeSet<_> = servers.iter().collect();
+                prop_assert_eq!(set.len(), servers.len());
+            }
+        }
+    }
+
+    /// Plan entries only exist for channels the client has actually
+    /// interacted with, and expiry never removes entries of live
+    /// subscriptions.
+    #[test]
+    fn plan_stays_minimal_and_expiry_is_safe(
+        channels in prop::collection::vec(0u64..16, 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let mut c = client();
+        let mut rng = SimRng::new(seed);
+        let mut used = std::collections::BTreeSet::new();
+        for (i, &ch) in channels.iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            used.insert(ch);
+            if i % 2 == 0 {
+                let _ = c.subscribe(now, &mut rng, ChannelId(ch));
+            } else {
+                let _ = c.publish(now, &mut rng, ChannelId(ch), 64);
+            }
+        }
+        prop_assert!(c.plan_len() <= used.len());
+        // Far-future expiry drops everything not subscribed.
+        let far = SimTime::from_secs(1_000_000);
+        c.expire_plan_entries(far);
+        let live: Vec<ChannelId> = c.subscriptions().collect();
+        prop_assert!(c.plan_len() <= live.len().max(used.len()));
+        for ch in live {
+            // Subscribed channels survive arbitrary expiry.
+            prop_assert!(c.is_subscribed(ch));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests of the dispatcher protocol: under arbitrary plan
+//! changes and publication streams, the redirection machinery keeps its
+//! structural invariants (no self-forwarding, bounded hop counts, at
+//! most one switch per change, version monotonicity).
+
+use std::sync::Arc;
+
+use dynamoth_core::{
+    ChannelId, ChannelMapping, DispatchAction, Dispatcher, MessageId, Plan, PlanId, Publication,
+    Ring, ServerId, MAX_FORWARD_HOPS,
+};
+use dynamoth_sim::{NodeId, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn sid(i: usize) -> ServerId {
+    ServerId(NodeId::from_index(i))
+}
+
+fn arb_mapping() -> impl Strategy<Value = ChannelMapping> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| ChannelMapping::Single(sid(i))),
+        prop::collection::btree_set(0usize..6, 2..4)
+            .prop_map(|s| ChannelMapping::AllSubscribers(s.into_iter().map(sid).collect())),
+        prop::collection::btree_set(0usize..6, 2..4)
+            .prop_map(|s| ChannelMapping::AllPublishers(s.into_iter().map(sid).collect())),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    InstallPlan(Vec<(u64, ChannelMapping)>),
+    Publish { channel: u64, hops: u8, hint: u64 },
+    NoLocalSubs(u64),
+    Expire(u64),
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        prop::collection::vec((0u64..8, arb_mapping()), 0..4).prop_map(Event::InstallPlan),
+        (0u64..8, 0u8..6, 0u64..10).prop_map(|(channel, hops, hint)| Event::Publish {
+            channel,
+            hops,
+            hint
+        }),
+        (0u64..8).prop_map(Event::NoLocalSubs),
+        (0u64..8).prop_map(Event::Expire),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dispatcher_invariants_hold_under_arbitrary_histories(
+        events in prop::collection::vec(arb_event(), 1..60),
+    ) {
+        let servers: Vec<ServerId> = (0..6).map(sid).collect();
+        let ring = Arc::new(Ring::new(&servers, 32));
+        let me = sid(0);
+        let mut d = Dispatcher::new(
+            me,
+            Arc::clone(&ring),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(2),
+        );
+        let mut now = SimTime::ZERO;
+        let mut rng = SimRng::new(5);
+        let mut plan_version = 0u64;
+        let mut switches_per_install = 0usize;
+        for event in events {
+            now += SimDuration::from_millis(250);
+            match event {
+                Event::InstallPlan(entries) => {
+                    plan_version += 1;
+                    let mut plan = Plan::bootstrap();
+                    for (c, m) in entries {
+                        plan.set(ChannelId(c), m);
+                    }
+                    plan.set_id(PlanId(plan_version));
+                    d.install_plan(now, Arc::new(plan));
+                    switches_per_install = 0;
+                }
+                Event::Publish { channel, hops, hint } => {
+                    let p = Publication {
+                        channel: ChannelId(channel),
+                        id: MessageId { origin: NodeId::from_index(99), seq: 0 },
+                        payload: 32,
+                        sent_at: now,
+                        publisher: NodeId::from_index(99),
+                        hops,
+                    };
+                    let actions = d.on_client_publication(now, &mut rng, &p, PlanId(hint));
+                    for action in &actions {
+                        match action {
+                            DispatchAction::ForwardTo { servers, publication } => {
+                                // Never forward to ourselves, never exceed
+                                // the hop bound, always increment hops.
+                                prop_assert!(hops < MAX_FORWARD_HOPS);
+                                prop_assert_eq!(publication.hops, hops + 1);
+                                prop_assert!(!servers.is_empty());
+                                for s in servers {
+                                    prop_assert!(*s != me || servers.len() > 1,
+                                        "self in forward targets: {servers:?}");
+                                }
+                            }
+                            DispatchAction::EmitSwitch { plan, .. } => {
+                                switches_per_install += 1;
+                                // At most one switch per channel per plan
+                                // install; plan versions never regress.
+                                prop_assert!(switches_per_install <= 8);
+                                prop_assert!(plan.0 <= plan_version);
+                            }
+                            DispatchAction::NotifyWrongServer { plan, mapping, .. } => {
+                                prop_assert!(plan.0 <= plan_version);
+                                prop_assert!(mapping.replication_factor() >= 1);
+                            }
+                            DispatchAction::NotifyNoMoreSubscribers { .. } => {}
+                        }
+                    }
+                    // A current-hint publication at a responsible server
+                    // yields no wrong-server notice.
+                    if hint >= plan_version && d.is_responsible(ChannelId(channel)) {
+                        let corrected = actions
+                            .iter()
+                            .any(|a| matches!(a, DispatchAction::NotifyWrongServer { .. }));
+                        prop_assert!(!corrected, "current client was corrected");
+                    }
+                }
+                Event::NoLocalSubs(c) => {
+                    let actions = d.on_no_local_subscribers(ChannelId(c));
+                    for action in actions {
+                        if let DispatchAction::NotifyNoMoreSubscribers { servers, .. } = action {
+                            prop_assert!(!servers.contains(&me));
+                        }
+                    }
+                    // Idempotent: a second call reports nothing.
+                    prop_assert!(d.on_no_local_subscribers(ChannelId(c)).is_empty());
+                }
+                Event::Expire(c) => {
+                    d.expire(now + SimDuration::from_secs(120), ChannelId(c));
+                    prop_assert!(!d.is_reconfiguring(ChannelId(c)));
+                }
+            }
+        }
+    }
+
+    /// After every channel's forwarding state expires, the dispatcher
+    /// holds no reconfiguration state at all.
+    #[test]
+    fn expiry_leaves_no_state(entries in prop::collection::vec((0u64..8, arb_mapping()), 0..8)) {
+        let servers: Vec<ServerId> = (0..6).map(sid).collect();
+        let ring = Arc::new(Ring::new(&servers, 32));
+        let mut d = Dispatcher::new(
+            sid(0),
+            Arc::clone(&ring),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(2),
+        );
+        let mut plan = Plan::bootstrap();
+        for (c, m) in entries {
+            plan.set(ChannelId(c), m);
+        }
+        plan.set_id(PlanId(1));
+        d.install_plan(SimTime::ZERO, Arc::new(plan));
+        let far = SimTime::from_secs(10_000);
+        for c in 0..8 {
+            d.expire(far, ChannelId(c));
+            prop_assert!(!d.is_reconfiguring(ChannelId(c)));
+            prop_assert!(!d.is_mirroring(ChannelId(c)));
+        }
+    }
+}

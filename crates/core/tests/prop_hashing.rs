@@ -1,0 +1,97 @@
+//! Property tests for the consistent-hashing ring: the structural
+//! guarantees the paper's bootstrap mapping (and the baseline balancer)
+//! rely on.
+
+use dynamoth_core::{ChannelId, Ring, ServerId, DEFAULT_VNODES};
+use dynamoth_sim::NodeId;
+use proptest::prelude::*;
+
+fn sid(i: usize) -> ServerId {
+    ServerId(NodeId::from_index(i))
+}
+
+fn servers(n: usize) -> Vec<ServerId> {
+    (0..n).map(sid).collect()
+}
+
+proptest! {
+    /// Lookups are pure functions of (ring, channel).
+    #[test]
+    fn lookup_is_deterministic(n in 1usize..10, channels in prop::collection::vec(0u64..10_000, 1..50)) {
+        let ring_a = Ring::new(&servers(n), DEFAULT_VNODES);
+        let ring_b = Ring::new(&servers(n), DEFAULT_VNODES);
+        for &c in &channels {
+            prop_assert_eq!(ring_a.server_for(ChannelId(c)), ring_b.server_for(ChannelId(c)));
+        }
+    }
+
+    /// Every channel maps to a server that is actually on the ring.
+    #[test]
+    fn lookup_targets_are_members(n in 1usize..10, c in 0u64..100_000) {
+        let ss = servers(n);
+        let ring = Ring::new(&ss, DEFAULT_VNODES);
+        prop_assert!(ss.contains(&ring.server_for(ChannelId(c))));
+    }
+
+    /// Adding a server only moves channels *to* the new server; every
+    /// other assignment is untouched (the defining consistent-hashing
+    /// property, §I of the paper).
+    #[test]
+    fn adding_moves_only_to_the_newcomer(
+        n in 1usize..8,
+        newcomer_offset in 0usize..4,
+        channels in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let ss = servers(n);
+        let mut ring = Ring::new(&ss, DEFAULT_VNODES);
+        let newcomer = sid(100 + newcomer_offset);
+        let before: Vec<ServerId> =
+            channels.iter().map(|&c| ring.server_for(ChannelId(c))).collect();
+        ring.add_server(newcomer);
+        for (i, &c) in channels.iter().enumerate() {
+            let after = ring.server_for(ChannelId(c));
+            prop_assert!(after == before[i] || after == newcomer);
+        }
+    }
+
+    /// Removing a server only relocates that server's channels.
+    #[test]
+    fn removal_touches_only_the_victims_channels(
+        n in 2usize..8,
+        victim_idx in 0usize..8,
+        channels in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let ss = servers(n);
+        let victim = ss[victim_idx % n];
+        let mut ring = Ring::new(&ss, DEFAULT_VNODES);
+        let before: Vec<ServerId> =
+            channels.iter().map(|&c| ring.server_for(ChannelId(c))).collect();
+        ring.remove_server(victim);
+        for (i, &c) in channels.iter().enumerate() {
+            let after = ring.server_for(ChannelId(c));
+            if before[i] == victim {
+                prop_assert!(after != victim);
+            } else {
+                prop_assert_eq!(after, before[i]);
+            }
+        }
+    }
+
+    /// Add followed by remove restores the original assignment.
+    #[test]
+    fn add_remove_round_trips(
+        n in 1usize..8,
+        channels in prop::collection::vec(0u64..100_000, 1..60),
+    ) {
+        let ss = servers(n);
+        let mut ring = Ring::new(&ss, DEFAULT_VNODES);
+        let before: Vec<ServerId> =
+            channels.iter().map(|&c| ring.server_for(ChannelId(c))).collect();
+        let newcomer = sid(500);
+        ring.add_server(newcomer);
+        ring.remove_server(newcomer);
+        for (i, &c) in channels.iter().enumerate() {
+            prop_assert_eq!(ring.server_for(ChannelId(c)), before[i]);
+        }
+    }
+}

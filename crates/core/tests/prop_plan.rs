@@ -1,0 +1,129 @@
+//! Property tests on plans and channel mappings: the routing invariants
+//! that make delivery possible under every replication mode.
+
+use dynamoth_core::{ChannelId, ChannelMapping, Plan, Ring, ServerId, DEFAULT_VNODES};
+use dynamoth_sim::{NodeId, SimRng};
+use proptest::prelude::*;
+
+fn sid(i: usize) -> ServerId {
+    ServerId(NodeId::from_index(i))
+}
+
+fn arb_mapping() -> impl Strategy<Value = ChannelMapping> {
+    prop_oneof![
+        (0usize..12).prop_map(|i| ChannelMapping::Single(sid(i))),
+        prop::collection::btree_set(0usize..12, 2..6).prop_map(|set| {
+            ChannelMapping::AllSubscribers(set.into_iter().map(sid).collect())
+        }),
+        prop::collection::btree_set(0usize..12, 2..6).prop_map(|set| {
+            ChannelMapping::AllPublishers(set.into_iter().map(sid).collect())
+        }),
+    ]
+}
+
+proptest! {
+    /// Whatever the mode and whatever random choices the two sides make,
+    /// a publisher's target set always intersects a subscriber's target
+    /// set — i.e. every publication can reach every subscriber.
+    #[test]
+    fn publisher_and_subscriber_targets_always_intersect(
+        mapping in arb_mapping(),
+        pub_seed in 0u64..1_000,
+        sub_seed in 0u64..1_000,
+    ) {
+        let mut pub_rng = SimRng::new(pub_seed);
+        let mut sub_rng = SimRng::new(sub_seed);
+        let pub_targets = mapping.publish_targets(&mut pub_rng);
+        let sub_targets = mapping.subscribe_targets(&mut sub_rng);
+        prop_assert!(!pub_targets.is_empty());
+        prop_assert!(!sub_targets.is_empty());
+        prop_assert!(
+            pub_targets.iter().any(|s| sub_targets.contains(s))
+                || sub_targets.iter().any(|s| pub_targets.contains(s)),
+            "no common server: {pub_targets:?} vs {sub_targets:?}"
+        );
+    }
+
+    /// Targets are always members of the mapping.
+    #[test]
+    fn targets_are_members(mapping in arb_mapping(), seed in 0u64..1_000) {
+        let mut rng = SimRng::new(seed);
+        for s in mapping.publish_targets(&mut rng) {
+            prop_assert!(mapping.contains(s));
+        }
+        for s in mapping.subscribe_targets(&mut rng) {
+            prop_assert!(mapping.contains(s));
+        }
+    }
+
+    /// Every channel resolves to at least one server under any plan.
+    #[test]
+    fn resolution_is_total(
+        entries in prop::collection::vec((0u64..64, arb_mapping()), 0..32),
+        probe in 0u64..128,
+    ) {
+        let ring = Ring::new(&[sid(0), sid(1), sid(2)], DEFAULT_VNODES);
+        let mut plan = Plan::bootstrap();
+        for (c, m) in entries {
+            plan.set(ChannelId(c), m);
+        }
+        let mapping = plan.resolve(ChannelId(probe), &ring);
+        prop_assert!(mapping.replication_factor() >= 1);
+    }
+
+    /// After migrating a channel away from `from`, the mapping no longer
+    /// contains `from` (unless `from == to`).
+    #[test]
+    fn migrate_removes_the_source(
+        mapping in arb_mapping(),
+        from_idx in 0usize..12,
+        to_idx in 0usize..12,
+    ) {
+        let from = sid(from_idx);
+        let to = sid(to_idx);
+        prop_assume!(from != to);
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), mapping);
+        plan.migrate(ChannelId(1), from, to);
+        let after = plan.mapping(ChannelId(1)).unwrap();
+        prop_assert!(!after.contains(from) || !after.is_replicated());
+        if !after.contains(from) || after.servers() == [to] {
+            // fine — the source left or collapsed onto the target
+        }
+    }
+
+    /// `diff` reports exactly the channels whose resolution changed.
+    #[test]
+    fn diff_is_sound_and_complete(
+        old_entries in prop::collection::vec((0u64..32, arb_mapping()), 0..16),
+        new_entries in prop::collection::vec((0u64..32, arb_mapping()), 0..16),
+    ) {
+        let ring = Ring::new(&[sid(0), sid(1), sid(2)], DEFAULT_VNODES);
+        let mut old = Plan::bootstrap();
+        for (c, m) in old_entries {
+            old.set(ChannelId(c), m);
+        }
+        let mut new = Plan::bootstrap();
+        for (c, m) in new_entries {
+            new.set(ChannelId(c), m);
+        }
+        let changes = old.diff(&new, &ring);
+        // Soundness: every reported change is a real difference.
+        for change in &changes {
+            prop_assert_eq!(&old.resolve(change.channel, &ring), &change.old);
+            prop_assert_eq!(&new.resolve(change.channel, &ring), &change.new);
+            prop_assert_ne!(&change.old, &change.new);
+        }
+        // Completeness over the mentioned universe.
+        let mentioned: std::collections::BTreeSet<ChannelId> = old
+            .iter()
+            .map(|(c, _)| c)
+            .chain(new.iter().map(|(c, _)| c))
+            .collect();
+        for c in mentioned {
+            let differs = old.resolve(c, &ring) != new.resolve(c, &ring);
+            let reported = changes.iter().any(|ch| ch.channel == c);
+            prop_assert_eq!(differs, reported, "channel {} mis-reported", c);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Direct actor-level tests of [`ServerNode`]: drive raw protocol
+//! messages into a single node inside a minimal world and inspect the
+//! replies — no client library involved, so the server side of the
+//! protocol is pinned down independently.
+
+use std::sync::Arc;
+
+use dynamoth_core::{
+    ChannelId, ChannelMapping, DynamothConfig, MessageId, Msg, Plan, PlanId, Publication, Ring,
+    ServerId, ServerNode, TAG_TICK,
+};
+use dynamoth_sim::{
+    Actor, ActorContext, InstantTransport, NodeClass, NodeId, SimTime, World,
+};
+
+/// Records everything a client or peer receives.
+#[derive(Default)]
+struct Sink {
+    got: Vec<(NodeId, Msg)>,
+}
+impl Actor<Msg> for Sink {
+    fn on_message(&mut self, _ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        self.got.push((from, msg));
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Rig {
+    world: World<Msg>,
+    server: NodeId,
+    lb: NodeId,
+    clients: Vec<NodeId>,
+    home: ChannelId,
+    foreign: ChannelId,
+    second: ServerId,
+}
+
+fn rig() -> Rig {
+    let mut world: World<Msg> = World::new(3, Box::new(InstantTransport));
+    let cfg = Arc::new(DynamothConfig::default());
+    let s0 = ServerId(NodeId::from_index(0));
+    let s1 = ServerId(NodeId::from_index(1));
+    let ring = Arc::new(Ring::new(&[s0, s1], 32));
+    let lb_placeholder = NodeId::from_index(2);
+    let server = world.add_node(
+        NodeClass::Infra,
+        Box::new(ServerNode::new(s0, lb_placeholder, Arc::clone(&ring), cfg.clone())),
+    );
+    // The second "server" and the LB are sinks: we only exercise node 0.
+    let peer = world.add_node(NodeClass::Infra, Box::new(Sink::default()));
+    let lb = world.add_node(NodeClass::Infra, Box::new(Sink::default()));
+    assert_eq!(peer, s1.0);
+    assert_eq!(lb, lb_placeholder);
+    let clients: Vec<NodeId> = (0..3)
+        .map(|_| world.add_node(NodeClass::Client, Box::new(Sink::default())))
+        .collect();
+    let home = (0..)
+        .map(ChannelId)
+        .find(|&c| ring.server_for(c) == s0)
+        .unwrap();
+    let foreign = (0..)
+        .map(ChannelId)
+        .find(|&c| ring.server_for(c) == s1)
+        .unwrap();
+    Rig {
+        world,
+        server,
+        lb,
+        clients,
+        home,
+        foreign,
+        second: s1,
+    }
+}
+
+fn publication(channel: ChannelId, publisher: NodeId, seq: u64) -> Publication {
+    Publication {
+        channel,
+        id: MessageId {
+            origin: publisher,
+            seq,
+        },
+        payload: 64,
+        sent_at: SimTime::ZERO,
+        publisher,
+        hops: 0,
+    }
+}
+
+fn received(world: &World<Msg>, node: NodeId) -> &[(NodeId, Msg)] {
+    &world.actor::<Sink>(node).unwrap().got
+}
+
+#[test]
+fn publish_fans_out_to_subscribers() {
+    let mut rig = rig();
+    let [a, b, publisher] = [rig.clients[0], rig.clients[1], rig.clients[2]];
+    for &c in &[a, b] {
+        rig.world.post(
+            c,
+            rig.server,
+            Msg::Subscribe {
+                channel: rig.home,
+                plan_hint: PlanId(0),
+            },
+        );
+    }
+    rig.world.run_to_quiescence();
+    rig.world.post(
+        publisher,
+        rig.server,
+        Msg::Publish {
+            publication: publication(rig.home, publisher, 0),
+            plan_hint: PlanId(0),
+        },
+    );
+    rig.world.run_to_quiescence();
+    for &c in &[a, b] {
+        assert!(
+            received(&rig.world, c)
+                .iter()
+                .any(|(_, m)| matches!(m, Msg::Deliver(_))),
+            "subscriber missed the fan-out"
+        );
+    }
+    assert!(!received(&rig.world, publisher)
+        .iter()
+        .any(|(_, m)| matches!(m, Msg::Deliver(_))));
+}
+
+#[test]
+fn wrong_channel_publication_is_redirected_and_forwarded() {
+    let mut rig = rig();
+    let publisher = rig.clients[0];
+    rig.world.post(
+        publisher,
+        rig.server,
+        Msg::Publish {
+            publication: publication(rig.foreign, publisher, 0),
+            plan_hint: PlanId(0),
+        },
+    );
+    rig.world.run_to_quiescence();
+    // The publisher was corrected…
+    assert!(received(&rig.world, publisher).iter().any(|(_, m)| matches!(
+        m,
+        Msg::WrongServer { mapping, .. } if mapping.contains(rig.second)
+    )));
+    // …and the publication was forwarded to the right server.
+    assert!(received(&rig.world, rig.second.0)
+        .iter()
+        .any(|(_, m)| matches!(m, Msg::Forward(_))));
+}
+
+#[test]
+fn plan_push_then_stale_subscription_is_moved() {
+    let mut rig = rig();
+    let subscriber = rig.clients[0];
+    let mut plan = Plan::bootstrap();
+    plan.set(rig.home, ChannelMapping::Single(rig.second));
+    plan.set_id(PlanId(1));
+    rig.world
+        .post(rig.lb, rig.server, Msg::PlanPush(Arc::new(plan)));
+    rig.world.run_to_quiescence();
+    rig.world.post(
+        subscriber,
+        rig.server,
+        Msg::Subscribe {
+            channel: rig.home,
+            plan_hint: PlanId(0),
+        },
+    );
+    rig.world.run_to_quiescence();
+    assert!(received(&rig.world, subscriber).iter().any(|(_, m)| matches!(
+        m,
+        Msg::SubscriptionMoved { mapping, plan, .. }
+            if mapping.contains(rig.second) && *plan == PlanId(1)
+    )));
+}
+
+#[test]
+fn ping_gets_pong_and_crashed_nodes_are_silent() {
+    let mut rig = rig();
+    let client = rig.clients[0];
+    rig.world.post(client, rig.server, Msg::Ping);
+    rig.world.run_to_quiescence();
+    assert!(received(&rig.world, client)
+        .iter()
+        .any(|(_, m)| matches!(m, Msg::Pong)));
+
+    rig.world
+        .actor_mut::<ServerNode>(rig.server)
+        .unwrap()
+        .crash();
+    rig.world.post(client, rig.server, Msg::Ping);
+    rig.world.run_to_quiescence();
+    let pongs = received(&rig.world, client)
+        .iter()
+        .filter(|(_, m)| matches!(m, Msg::Pong))
+        .count();
+    assert_eq!(pongs, 1, "a crashed node must not answer");
+}
+
+#[test]
+fn lla_tick_reports_to_the_balancer() {
+    let mut rig = rig();
+    let [subscriber, publisher] = [rig.clients[0], rig.clients[1]];
+    rig.world.post(
+        subscriber,
+        rig.server,
+        Msg::Subscribe {
+            channel: rig.home,
+            plan_hint: PlanId(0),
+        },
+    );
+    rig.world.run_to_quiescence();
+    rig.world.post(
+        publisher,
+        rig.server,
+        Msg::Publish {
+            publication: publication(rig.home, publisher, 0),
+            plan_hint: PlanId(0),
+        },
+    );
+    rig.world.run_to_quiescence();
+    rig.world.schedule_timer(rig.server, SimTime::from_secs(1), TAG_TICK);
+    rig.world.run_until(SimTime::from_secs(2));
+    let report = received(&rig.world, rig.lb)
+        .iter()
+        .find_map(|(_, m)| match m {
+            Msg::LlaReport(r) => Some(r.clone()),
+            _ => None,
+        })
+        .expect("no LLA report reached the balancer");
+    let (channel, tick) = &report.channels[0];
+    assert_eq!(*channel, rig.home);
+    assert_eq!(tick.publications, 1);
+    assert_eq!(tick.deliveries, 1);
+    assert_eq!(tick.subscribers, 1);
+    assert!(report.cpu_busy_micros > 0);
+}

@@ -1,0 +1,165 @@
+//! Bandwidth modelling primitives.
+//!
+//! A [`RateQueue`] models a FIFO pipe that drains at a fixed byte rate:
+//! the sending NIC of each node, and each server→client connection
+//! (Redis' per-client output buffer). Messages entering the pipe finish
+//! transmitting `size / rate` after the pipe becomes free, which yields
+//! the queueing delays that dominate response time as a pub/sub server
+//! approaches saturation — the central effect in the paper's
+//! experiments.
+
+use std::collections::VecDeque;
+
+use dynamoth_sim::{SimDuration, SimTime};
+
+/// A FIFO pipe draining at a fixed rate, with completion-time accounting
+/// for backlog and carried-byte queries.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_net::RateQueue;
+/// use dynamoth_sim::SimTime;
+///
+/// // 1 MB/s pipe: two back-to-back 500 KB messages take 0.5 s each.
+/// let mut q = RateQueue::new(1_000_000.0);
+/// let first = q.enqueue(SimTime::ZERO, 500_000);
+/// let second = q.enqueue(SimTime::ZERO, 500_000);
+/// assert_eq!(first.as_millis(), 500);
+/// assert_eq!(second.as_millis(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateQueue {
+    rate_bytes_per_sec: f64,
+    next_free: SimTime,
+    inflight: VecDeque<(SimTime, u32)>,
+    completed_bytes: u64,
+}
+
+impl RateQueue {
+    /// Creates a pipe draining at `rate_bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_bytes_per_sec: f64) -> Self {
+        assert!(
+            rate_bytes_per_sec.is_finite() && rate_bytes_per_sec > 0.0,
+            "rate must be positive"
+        );
+        RateQueue {
+            rate_bytes_per_sec,
+            next_free: SimTime::ZERO,
+            inflight: VecDeque::new(),
+            completed_bytes: 0,
+        }
+    }
+
+    /// Enqueues `size` bytes that may start transmitting no earlier than
+    /// `earliest_start`; returns the instant the last byte leaves the
+    /// pipe.
+    pub fn enqueue(&mut self, earliest_start: SimTime, size: u32) -> SimTime {
+        let start = earliest_start.max(self.next_free);
+        let tx = SimDuration::from_secs_f64(size as f64 / self.rate_bytes_per_sec);
+        let done = start + tx;
+        self.next_free = done;
+        self.inflight.push_back((done, size));
+        done
+    }
+
+    /// Bytes that have fully left the pipe by `now`.
+    pub fn completed_bytes(&mut self, now: SimTime) -> u64 {
+        self.prune(now);
+        self.completed_bytes
+    }
+
+    /// Bytes accepted but not yet fully transmitted at `now` (the
+    /// output-buffer occupancy).
+    pub fn backlog_bytes(&mut self, now: SimTime) -> u64 {
+        self.prune(now);
+        self.inflight.iter().map(|&(_, s)| s as u64).sum()
+    }
+
+    /// The instant the pipe next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// The configured drain rate in bytes per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_bytes_per_sec
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        while let Some(&(done, size)) = self.inflight.front() {
+            if done > now {
+                break;
+            }
+            self.completed_bytes += size as u64;
+            self.inflight.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_pipe_transmits_immediately() {
+        let mut q = RateQueue::new(1_000.0); // 1000 B/s
+        let done = q.enqueue(SimTime::from_secs(5), 100);
+        assert_eq!(done, SimTime::from_secs(5) + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn busy_pipe_queues_fifo() {
+        let mut q = RateQueue::new(1_000.0);
+        let a = q.enqueue(SimTime::ZERO, 1_000); // done at 1 s
+        let b = q.enqueue(SimTime::ZERO, 1_000); // done at 2 s
+        assert_eq!(a, SimTime::from_secs(1));
+        assert_eq!(b, SimTime::from_secs(2));
+        // A later arrival after the queue drains starts fresh.
+        let c = q.enqueue(SimTime::from_secs(10), 500);
+        assert_eq!(c, SimTime::from_secs(10) + SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn backlog_tracks_unfinished_bytes() {
+        let mut q = RateQueue::new(1_000.0);
+        q.enqueue(SimTime::ZERO, 1_000);
+        q.enqueue(SimTime::ZERO, 1_000);
+        assert_eq!(q.backlog_bytes(SimTime::ZERO), 2_000);
+        assert_eq!(q.backlog_bytes(SimTime::from_millis(1_500)), 1_000);
+        assert_eq!(q.backlog_bytes(SimTime::from_secs(3)), 0);
+    }
+
+    #[test]
+    fn completed_bytes_accumulate() {
+        let mut q = RateQueue::new(2_000.0);
+        q.enqueue(SimTime::ZERO, 1_000); // done 0.5 s
+        q.enqueue(SimTime::ZERO, 1_000); // done 1.0 s
+        assert_eq!(q.completed_bytes(SimTime::from_millis(400)), 0);
+        assert_eq!(q.completed_bytes(SimTime::from_millis(600)), 1_000);
+        assert_eq!(q.completed_bytes(SimTime::from_secs(2)), 2_000);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut q = RateQueue::new(5_000.0);
+        let mut total = 0u64;
+        for i in 0..100 {
+            let size = 100 + (i % 7) * 13;
+            q.enqueue(SimTime::from_millis(i as u64), size);
+            total += size as u64;
+        }
+        let far = SimTime::from_secs(1_000);
+        assert_eq!(q.completed_bytes(far) + q.backlog_bytes(far), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = RateQueue::new(0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Latency models for the simulated network.
+//!
+//! The Dynamoth paper emulates a cloud deployment by delaying messages
+//! with samples from the King dataset (measured RTTs between arbitrary
+//! Internet hosts, filtered to North America). The dataset itself is not
+//! redistributable, so [`EmpiricalLatency::king_north_america`] builds a
+//! synthetic table from a log-normal distribution fitted to the published
+//! King statistics: a one-way median around 35 ms with a long right tail.
+//! Experiments only consume the distribution, so any table with the same
+//! median/tail shape reproduces the paper's response-time floor.
+
+use dynamoth_sim::{SimDuration, SimRng};
+
+/// A one-way network delay distribution.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_net::LatencyModel;
+/// use dynamoth_sim::{SimDuration, SimRng};
+///
+/// let model = LatencyModel::Constant(SimDuration::from_millis(5));
+/// let mut rng = SimRng::new(1);
+/// assert_eq!(model.sample(&mut rng), SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Always the same delay (LAN links, unit tests).
+    Constant(SimDuration),
+    /// Uniformly distributed delay in `[lo, hi)`.
+    Uniform(SimDuration, SimDuration),
+    /// Sampled from an empirical table of delays.
+    Empirical(EmpiricalLatency),
+}
+
+impl LatencyModel {
+    /// Draws one delay sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform(lo, hi) => {
+                if hi <= lo {
+                    *lo
+                } else {
+                    SimDuration::from_micros(rng.range_u64(lo.as_micros(), hi.as_micros()))
+                }
+            }
+            LatencyModel::Empirical(table) => table.sample(rng),
+        }
+    }
+}
+
+/// An empirical latency table: a fixed collection of one-way delays that
+/// is sampled uniformly, mimicking how the paper replays the King
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct EmpiricalLatency {
+    samples_us: Vec<u64>,
+}
+
+impl EmpiricalLatency {
+    /// Builds a table from explicit one-way delays in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_us` is empty.
+    pub fn from_micros(samples_us: Vec<u64>) -> Self {
+        assert!(!samples_us.is_empty(), "latency table must not be empty");
+        EmpiricalLatency { samples_us }
+    }
+
+    /// Synthetic stand-in for the King dataset filtered to North
+    /// America: `n` one-way delays drawn from a log-normal distribution
+    /// with median ≈ 35 ms and σ = 0.5, clamped to `[5 ms, 400 ms]`.
+    ///
+    /// The construction is deterministic in `seed`.
+    pub fn king_north_america(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "latency table must not be empty");
+        let mut rng = SimRng::new(seed);
+        let mu = (35_000.0_f64).ln(); // microseconds
+        let sigma = 0.5;
+        let samples_us = (0..n)
+            .map(|_| (rng.log_normal(mu, sigma) as u64).clamp(5_000, 400_000))
+            .collect();
+        EmpiricalLatency { samples_us }
+    }
+
+    /// Draws one delay uniformly from the table.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let idx = rng.next_below(self.samples_us.len() as u64) as usize;
+        SimDuration::from_micros(self.samples_us[idx])
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// `true` if the table has no entries (never true for constructed
+    /// tables).
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The median of the table, useful for calibrating experiments.
+    pub fn median(&self) -> SimDuration {
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        SimDuration::from_micros(sorted[sorted.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(7));
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn uniform_model_stays_in_range() {
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        let m = LatencyModel::Uniform(lo, hi);
+        let mut rng = SimRng::new(2);
+        for _ in 0..1_000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d < hi, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_model_with_empty_range_returns_lo() {
+        let lo = SimDuration::from_millis(10);
+        let m = LatencyModel::Uniform(lo, lo);
+        assert_eq!(m.sample(&mut SimRng::new(3)), lo);
+    }
+
+    #[test]
+    fn king_table_median_is_about_35ms() {
+        let table = EmpiricalLatency::king_north_america(5_000, 42);
+        let median = table.median().as_millis_f64();
+        assert!((25.0..45.0).contains(&median), "median {median} ms");
+    }
+
+    #[test]
+    fn king_table_is_clamped() {
+        let table = EmpiricalLatency::king_north_america(5_000, 42);
+        let mut rng = SimRng::new(4);
+        for _ in 0..5_000 {
+            let d = table.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(5));
+            assert!(d <= SimDuration::from_millis(400));
+        }
+    }
+
+    #[test]
+    fn king_table_is_deterministic() {
+        let a = EmpiricalLatency::king_north_america(100, 9);
+        let b = EmpiricalLatency::king_north_america(100, 9);
+        assert_eq!(a.samples_us, b.samples_us);
+        let c = EmpiricalLatency::king_north_america(100, 10);
+        assert_ne!(a.samples_us, c.samples_us);
+    }
+
+    #[test]
+    fn empirical_sampling_covers_table() {
+        let table = EmpiricalLatency::from_micros(vec![1_000, 2_000, 3_000]);
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            let d = table.sample(&mut rng).as_micros();
+            seen[(d / 1_000 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_table_panics() {
+        let _ = EmpiricalLatency::from_micros(vec![]);
+    }
+}

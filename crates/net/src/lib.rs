@@ -1,0 +1,36 @@
+//! # dynamoth-net
+//!
+//! Simulated network substrate for the Dynamoth reproduction: WAN/LAN
+//! latency models (including a synthetic stand-in for the King dataset
+//! used by the paper) and bandwidth-constrained egress queues whose
+//! saturation behaviour drives every experiment in the evaluation.
+//!
+//! The crate provides [`CloudTransport`], a
+//! [`Transport`](dynamoth_sim::Transport) implementation plugged into a
+//! [`World`](dynamoth_sim::World):
+//!
+//! ```
+//! use dynamoth_net::{CloudTransport, CloudTransportConfig};
+//! use dynamoth_sim::{Message, NodeClass, World};
+//!
+//! #[derive(Debug)]
+//! struct Payload(u32);
+//! impl Message for Payload {
+//!     fn wire_size(&self) -> u32 { self.0 }
+//! }
+//!
+//! let transport = CloudTransport::new(CloudTransportConfig::default());
+//! let world: World<Payload> = World::new(7, Box::new(transport));
+//! assert_eq!(world.node_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod latency;
+mod network;
+
+pub use bandwidth::RateQueue;
+pub use latency::{EmpiricalLatency, LatencyModel};
+pub use network::{CloudTransport, CloudTransportConfig};

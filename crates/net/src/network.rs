@@ -1,0 +1,355 @@
+//! The cloud network model: a [`Transport`] combining per-node NIC
+//! queues, per-connection server→client pipes with bounded output
+//! buffers, LAN latency between infrastructure nodes and WAN latency
+//! between clients and the cloud.
+//!
+//! Latency rules follow the paper's experimental setup (§V-B): a message
+//! between an infrastructure node and a client (either direction) takes
+//! one WAN sample; infrastructure↔infrastructure traffic stays on the
+//! cloud LAN; and a client→client exchange necessarily crosses the cloud
+//! twice, accumulating two WAN samples — which in our architecture
+//! happens naturally because every publication is relayed by a pub/sub
+//! server.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use dynamoth_sim::{
+    NodeClass, NodeId, RouteOutcome, RouteRequest, SimDuration, SimRng, SimTime, Transport,
+};
+
+use crate::bandwidth::RateQueue;
+use crate::latency::{EmpiricalLatency, LatencyModel};
+
+/// Configuration of the [`CloudTransport`].
+///
+/// The defaults are calibrated so that the substrate reproduces the
+/// failure modes reported in the paper (see `DESIGN.md`): an
+/// infrastructure NIC carries at most 10 MB/s, a single server→client
+/// connection at most 4 MB/s with an 8 MB output buffer (the Redis
+/// `client-output-buffer-limit` analogue).
+#[derive(Debug, Clone)]
+pub struct CloudTransportConfig {
+    /// One-way latency between infrastructure nodes (cloud LAN).
+    pub lan_latency: SimDuration,
+    /// One-way latency model between clients and the cloud (WAN).
+    pub wan_latency: LatencyModel,
+    /// NIC line rate of an infrastructure node, bytes/second.
+    pub infra_nic_rate: f64,
+    /// NIC (uplink) rate of a client node, bytes/second.
+    pub client_nic_rate: f64,
+    /// Per server→client connection drain rate, bytes/second.
+    pub connection_rate: f64,
+    /// Output-buffer limit per server→client connection, bytes. When the
+    /// backlog would exceed this, the message is dropped and the sender
+    /// is notified (Redis kills such client connections).
+    pub connection_buffer_limit: u64,
+}
+
+impl Default for CloudTransportConfig {
+    fn default() -> Self {
+        CloudTransportConfig {
+            lan_latency: SimDuration::from_micros(500),
+            wan_latency: LatencyModel::Empirical(EmpiricalLatency::king_north_america(
+                4_096, 0xD15C0,
+            )),
+            infra_nic_rate: 10.0e6,
+            client_nic_rate: 2.5e6,
+            connection_rate: 4.0e6,
+            connection_buffer_limit: 8 * 1024 * 1024,
+        }
+    }
+}
+
+impl CloudTransportConfig {
+    /// A configuration with negligible latency and generous bandwidth,
+    /// useful for functional tests that should not be affected by the
+    /// network model.
+    pub fn fast_lan() -> Self {
+        CloudTransportConfig {
+            lan_latency: SimDuration::from_micros(100),
+            wan_latency: LatencyModel::Constant(SimDuration::from_micros(200)),
+            infra_nic_rate: 1.0e9,
+            client_nic_rate: 1.0e9,
+            connection_rate: 1.0e9,
+            connection_buffer_limit: u64::MAX,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Books {
+    nics: HashMap<NodeId, RateQueue>,
+    connections: HashMap<(NodeId, NodeId), RateQueue>,
+}
+
+/// The standard network model for Dynamoth experiments. See the module
+/// docs for the exact pipeline a message goes through.
+pub struct CloudTransport {
+    cfg: CloudTransportConfig,
+    books: RefCell<Books>,
+}
+
+impl CloudTransport {
+    /// Creates a transport with the given configuration.
+    pub fn new(cfg: CloudTransportConfig) -> Self {
+        CloudTransport {
+            cfg,
+            books: RefCell::new(Books::default()),
+        }
+    }
+
+    /// The configuration this transport was built with.
+    pub fn config(&self) -> &CloudTransportConfig {
+        &self.cfg
+    }
+
+    fn nic_rate(&self, class: NodeClass) -> f64 {
+        match class {
+            NodeClass::Infra => self.cfg.infra_nic_rate,
+            NodeClass::Client => self.cfg.client_nic_rate,
+        }
+    }
+}
+
+impl std::fmt::Debug for CloudTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudTransport")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for CloudTransport {
+    fn route(&mut self, req: RouteRequest, rng: &mut SimRng) -> RouteOutcome {
+        let earliest = req.earliest_departure.max(req.now);
+        if req.from == req.to {
+            // Collocated components; loopback delivery.
+            return RouteOutcome::Arrive(earliest + SimDuration::from_micros(1));
+        }
+
+        // Zero-size messages model out-of-band control signals (e.g. a
+        // TCP reset after an output-buffer kill): they bypass the
+        // bandwidth queues and only experience propagation delay.
+        if req.size == 0 {
+            let latency = match (req.from_class, req.to_class) {
+                (NodeClass::Infra, NodeClass::Infra) => self.cfg.lan_latency,
+                _ => self.cfg.wan_latency.sample(rng),
+            };
+            return RouteOutcome::Arrive(earliest + latency);
+        }
+
+        let nic_rate = self.nic_rate(req.from_class);
+        let books = self.books.get_mut();
+
+        // Output-buffer admission check for server→client connections
+        // (performed before any queue state is mutated so a dropped
+        // message leaves no trace).
+        if req.to_class == NodeClass::Client {
+            let conn = books
+                .connections
+                .entry((req.from, req.to))
+                .or_insert_with(|| RateQueue::new(self.cfg.connection_rate));
+            if conn.backlog_bytes(req.now) + req.size as u64 > self.cfg.connection_buffer_limit {
+                return RouteOutcome::Dropped;
+            }
+        }
+
+        // Stage 1: the sender's NIC.
+        let nic = books
+            .nics
+            .entry(req.from)
+            .or_insert_with(|| RateQueue::new(nic_rate));
+        let nic_done = nic.enqueue(earliest, req.size);
+
+        // Stage 2: the per-connection pipe (server→client only).
+        let pipe_done = if req.to_class == NodeClass::Client {
+            let conn = books
+                .connections
+                .get_mut(&(req.from, req.to))
+                .expect("created above");
+            conn.enqueue(nic_done, req.size)
+        } else {
+            nic_done
+        };
+
+        // Stage 3: propagation delay.
+        let latency = match (req.from_class, req.to_class) {
+            (NodeClass::Infra, NodeClass::Infra) => self.cfg.lan_latency,
+            (NodeClass::Client, NodeClass::Client) => {
+                // Never used by Dynamoth itself (all traffic is relayed
+                // through servers) but modelled per the paper: two WAN
+                // samples.
+                self.cfg.wan_latency.sample(rng) + self.cfg.wan_latency.sample(rng)
+            }
+            _ => self.cfg.wan_latency.sample(rng),
+        };
+
+        RouteOutcome::Arrive(pipe_done + latency)
+    }
+
+    fn egress_bytes(&self, node: NodeId, now: SimTime) -> u64 {
+        let mut books = self.books.borrow_mut();
+        books
+            .nics
+            .get_mut(&node)
+            .map_or(0, |nic| nic.completed_bytes(now))
+    }
+
+    fn connection_backlog(&self, from: NodeId, to: NodeId, now: SimTime) -> u64 {
+        let mut books = self.books.borrow_mut();
+        books
+            .connections
+            .get_mut(&(from, to))
+            .map_or(0, |c| c.backlog_bytes(now))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(
+        from: u32,
+        from_class: NodeClass,
+        to: u32,
+        to_class: NodeClass,
+        size: u32,
+        now_ms: u64,
+    ) -> RouteRequest {
+        RouteRequest {
+            from: NodeId::from_index(from as usize),
+            from_class,
+            to: NodeId::from_index(to as usize),
+            to_class,
+            size,
+            now: SimTime::from_millis(now_ms),
+            earliest_departure: SimTime::from_millis(now_ms),
+        }
+    }
+
+    fn lan_only() -> CloudTransport {
+        CloudTransport::new(CloudTransportConfig {
+            lan_latency: SimDuration::from_millis(1),
+            wan_latency: LatencyModel::Constant(SimDuration::from_millis(40)),
+            infra_nic_rate: 1_000_000.0,
+            client_nic_rate: 1_000_000.0,
+            connection_rate: 100_000.0,
+            connection_buffer_limit: 1_000,
+        })
+    }
+
+    #[test]
+    fn infra_to_infra_uses_lan_latency() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let out = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        // 1 ms transmission at 1 MB/s + 1 ms LAN.
+        assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn client_paths_use_wan_latency() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let out = t.route(req(0, NodeClass::Client, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(41)));
+    }
+
+    #[test]
+    fn client_to_client_takes_two_wan_samples() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        // 1 ms NIC transmission + 10 ms connection pipe (1000 B at
+        // 100 kB/s) + two 40 ms WAN samples.
+        let out = t.route(req(0, NodeClass::Client, 1, NodeClass::Client, 1_000, 0), &mut rng);
+        assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(91)));
+    }
+
+    #[test]
+    fn loopback_is_immediate() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let out = t.route(req(3, NodeClass::Infra, 3, NodeClass::Infra, 50_000, 7), &mut rng);
+        assert_eq!(
+            out,
+            RouteOutcome::Arrive(SimTime::from_millis(7) + SimDuration::from_micros(1))
+        );
+    }
+
+    #[test]
+    fn nic_saturation_delays_messages() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        // Two 1000-byte messages back to back on a 1 MB/s NIC: the second
+        // waits for the first.
+        let a = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        let b = t.route(req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0), &mut rng);
+        assert_eq!(a, RouteOutcome::Arrive(SimTime::from_millis(2)));
+        assert_eq!(b, RouteOutcome::Arrive(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn connection_buffer_overflow_drops() {
+        let mut t = lan_only(); // buffer limit 1000 bytes
+        let mut rng = SimRng::new(1);
+        // Connection drains at 100 kB/s, so an 800-byte message lingers.
+        let a = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        assert!(matches!(a, RouteOutcome::Arrive(_)));
+        // 800 backlog + 800 > 1000 → dropped.
+        let b = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        assert_eq!(b, RouteOutcome::Dropped);
+        // A different client connection is unaffected.
+        let c = t.route(req(0, NodeClass::Infra, 10, NodeClass::Client, 800, 0), &mut rng);
+        assert!(matches!(c, RouteOutcome::Arrive(_)));
+    }
+
+    #[test]
+    fn buffer_drains_over_time() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let _ = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        // After the connection drains (800 B at 100 kB/s = 8 ms) a new
+        // message is accepted again.
+        let b = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 20), &mut rng);
+        assert!(matches!(b, RouteOutcome::Arrive(_)));
+    }
+
+    #[test]
+    fn egress_accounting_tracks_carried_bytes() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let from = NodeId::from_index(0);
+        let _ = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        let _ = t.route(req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0), &mut rng);
+        assert_eq!(t.egress_bytes(from, SimTime::from_millis(0)), 0);
+        assert_eq!(t.egress_bytes(from, SimTime::from_millis(1)), 1_000);
+        assert_eq!(t.egress_bytes(from, SimTime::from_secs(1)), 2_000);
+        // Unknown nodes have no egress.
+        assert_eq!(t.egress_bytes(NodeId::from_index(99), SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn dropped_message_leaves_no_nic_trace() {
+        let mut t = lan_only();
+        let mut rng = SimRng::new(1);
+        let from = NodeId::from_index(0);
+        let _ = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0), &mut rng);
+        let dropped = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0), &mut rng);
+        assert_eq!(dropped, RouteOutcome::Dropped);
+        // Only the first message's bytes ever cross the NIC.
+        assert_eq!(t.egress_bytes(from, SimTime::from_secs(10)), 900);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = CloudTransportConfig::default();
+        assert!(cfg.infra_nic_rate > cfg.connection_rate);
+        assert!(cfg.connection_buffer_limit > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the bandwidth model: conservation, FIFO order and
+//! rate limits of [`RateQueue`], plus transport-level sanity.
+
+use dynamoth_net::{CloudTransport, CloudTransportConfig, LatencyModel, RateQueue};
+use dynamoth_sim::{
+    NodeClass, NodeId, RouteOutcome, RouteRequest, SimDuration, SimRng, SimTime, Transport,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bytes in = bytes completed + bytes backlogged, at every instant.
+    #[test]
+    fn rate_queue_conserves_bytes(
+        rate in 100.0f64..1e6,
+        msgs in prop::collection::vec((0u64..10_000, 1u32..10_000), 1..100),
+        probe_ms in 0u64..60_000,
+    ) {
+        let mut q = RateQueue::new(rate);
+        let mut sorted = msgs.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut total = 0u64;
+        for (t_ms, size) in sorted {
+            q.enqueue(SimTime::from_millis(t_ms), size);
+            total += size as u64;
+        }
+        let probe = SimTime::from_millis(probe_ms);
+        prop_assert_eq!(q.completed_bytes(probe) + q.backlog_bytes(probe), total);
+        // Far in the future everything has drained.
+        let far = SimTime::from_secs(10_000_000);
+        prop_assert_eq!(q.completed_bytes(far), total);
+        prop_assert_eq!(q.backlog_bytes(far), 0);
+    }
+
+    /// Completion times are FIFO: monotonically non-decreasing in
+    /// enqueue order, and never earlier than physically possible.
+    #[test]
+    fn rate_queue_is_fifo_and_rate_limited(
+        rate in 100.0f64..1e6,
+        msgs in prop::collection::vec((0u64..10_000, 1u32..10_000), 1..100),
+    ) {
+        let mut q = RateQueue::new(rate);
+        let mut sorted = msgs.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut last_done = SimTime::ZERO;
+        for (t_ms, size) in sorted {
+            let start = SimTime::from_millis(t_ms);
+            let done = q.enqueue(start, size);
+            prop_assert!(done >= last_done, "FIFO violated");
+            let min_tx = SimDuration::from_secs_f64(size as f64 / rate);
+            // Allow a microsecond of rounding slack.
+            prop_assert!(done + SimDuration::from_micros(1) >= start + min_tx,
+                "transmitted faster than the line rate");
+            last_done = done;
+        }
+    }
+
+    /// The transport never delivers into the past and always accounts
+    /// carried bytes on the sender's NIC.
+    #[test]
+    fn transport_arrivals_are_causal(
+        msgs in prop::collection::vec((0u64..5_000, 64u32..5_000, 0usize..3, 0usize..3), 1..60),
+        seed in 0u64..500,
+    ) {
+        let mut t = CloudTransport::new(CloudTransportConfig {
+            lan_latency: SimDuration::from_millis(1),
+            wan_latency: LatencyModel::Uniform(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(100),
+            ),
+            infra_nic_rate: 1e6,
+            client_nic_rate: 1e6,
+            connection_rate: 5e5,
+            connection_buffer_limit: 1 << 20,
+        });
+        let mut rng = SimRng::new(seed);
+        let mut sorted = msgs.clone();
+        sorted.sort_by_key(|&(t, _, _, _)| t);
+        let mut sent_bytes = 0u64;
+        for (t_ms, size, from, to) in sorted {
+            let now = SimTime::from_millis(t_ms);
+            let req = RouteRequest {
+                from: NodeId::from_index(from),
+                from_class: NodeClass::Infra,
+                to: NodeId::from_index(10 + to),
+                to_class: if to == 0 { NodeClass::Infra } else { NodeClass::Client },
+                size,
+                now,
+                earliest_departure: now,
+            };
+            match t.route(req, &mut rng) {
+                RouteOutcome::Arrive(at) => {
+                    prop_assert!(at > now, "delivery into the past");
+                    sent_bytes += size as u64;
+                }
+                RouteOutcome::Dropped => {}
+            }
+        }
+        let far = SimTime::from_secs(1_000_000);
+        let carried: u64 = (0..3)
+            .map(|i| t.egress_bytes(NodeId::from_index(i), far))
+            .sum();
+        prop_assert_eq!(carried, sent_bytes);
+    }
+
+    /// Latency models stay within their declared support.
+    #[test]
+    fn latency_models_respect_bounds(seed in 0u64..10_000, lo_ms in 1u64..50, width in 1u64..200) {
+        let lo = SimDuration::from_millis(lo_ms);
+        let hi = SimDuration::from_millis(lo_ms + width);
+        let model = LatencyModel::Uniform(lo, hi);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let d = model.sample(&mut rng);
+            prop_assert!(d >= lo && d < hi);
+        }
+    }
+}

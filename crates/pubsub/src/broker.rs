@@ -1,0 +1,311 @@
+//! A runnable TCP pub/sub broker speaking the Redis protocol.
+//!
+//! This is the "deploy it for real" face of the substrate: the same
+//! [`PubSubServer`] state machine the simulation uses, behind a
+//! [`TcpBroker`] that accepts RESP connections (`SUBSCRIBE`,
+//! `UNSUBSCRIBE`, `PUBLISH`, `PING`) — enough protocol for any Redis
+//! pub/sub client. One OS thread reads each connection; deliveries go
+//! through a per-connection outbox thread so a slow subscriber never
+//! blocks a publisher, and an outbox overflowing its bound disconnects
+//! the subscriber exactly like Redis' `client-output-buffer-limit`
+//! (and the simulation's transport model).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dynamoth_sim::{NodeId, SimTime};
+use parking_lot::Mutex;
+
+use crate::resp::{self, Command, Value};
+use crate::server::{CpuModel, PubSubServer};
+
+/// Maximum frames queued per subscriber connection before it is dropped
+/// (the Redis `client-output-buffer-limit` analogue).
+const OUTBOX_LIMIT: usize = 4_096;
+
+struct Registry {
+    server: PubSubServer,
+    outboxes: HashMap<u64, SyncSender<Vec<u8>>>,
+}
+
+struct BrokerShared {
+    registry: Mutex<Registry>,
+    running: AtomicBool,
+    next_conn: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+/// A TCP broker serving the Redis pub/sub protocol.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dynamoth_pubsub::TcpBroker;
+///
+/// let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+/// println!("pub/sub broker on {}", broker.local_addr());
+/// // … connect with any Redis client …
+/// broker.shutdown();
+/// ```
+pub struct TcpBroker {
+    shared: Arc<BrokerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpBroker {
+    /// Binds the broker and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding the listener.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpBroker> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(BrokerShared {
+            registry: Mutex::new(Registry {
+                server: PubSubServer::new(CpuModel::default()),
+                outboxes: HashMap::new(),
+            }),
+            running: AtomicBool::new(true),
+            next_conn: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(TcpBroker {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the broker listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections accepted since startup.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Current number of live subscriber registrations.
+    pub fn subscription_count(&self) -> usize {
+        self.shared.registry.lock().server.subscription_count()
+    }
+
+    /// Stops accepting connections and disconnects every client.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        // Dropping the outboxes ends the writer threads; readers notice
+        // on their next poll.
+        self.shared.registry.lock().outboxes.clear();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpBroker {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBroker")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<BrokerShared>) {
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || connection_loop(conn, stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn send_value(out: &SyncSender<Vec<u8>>, value: &Value) -> bool {
+    let mut buf = Vec::new();
+    resp::encode(value, &mut buf);
+    match out.try_send(buf) {
+        Ok(()) => true,
+        // A full outbox means the subscriber cannot keep up: kill it,
+        // like Redis does.
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
+    let node = NodeId::from_index(conn as usize);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = sync_channel::<Vec<u8>>(OUTBOX_LIMIT);
+    shared.registry.lock().outboxes.insert(conn, tx.clone());
+    let writer = std::thread::spawn(move || writer_loop(write_half, rx));
+
+    let mut read_stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: while shared.running.load(Ordering::SeqCst) {
+        match read_stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Check whether our outbox was dropped (kill signal).
+                if !shared.registry.lock().outboxes.contains_key(&conn) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        // Process every complete frame in the buffer.
+        loop {
+            match resp::decode(&buf) {
+                Ok(Some((value, used))) => {
+                    buf.drain(..used);
+                    if !handle_command(conn, node, &value, &tx, &shared) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    let _ = send_value(&tx, &Value::Error("ERR protocol error".into()));
+                    break 'conn;
+                }
+            }
+        }
+    }
+
+    // Tear down: unregister and let the writer drain.
+    {
+        let mut reg = shared.registry.lock();
+        reg.outboxes.remove(&conn);
+        reg.server.disconnect(node);
+    }
+    drop(tx);
+    let _ = read_stream.shutdown(Shutdown::Both);
+    let _ = writer.join();
+}
+
+/// Executes one client command; returns `false` to close the connection.
+fn handle_command(
+    conn: u64,
+    node: NodeId,
+    value: &Value,
+    tx: &SyncSender<Vec<u8>>,
+    shared: &BrokerShared,
+) -> bool {
+    let now = SimTime::ZERO; // wall-clock CPU modelling is not needed here
+    let command = match resp::parse_command(value) {
+        Ok(c) => c,
+        Err(msg) => return send_value(tx, &Value::Error(msg)),
+    };
+    match command {
+        Command::Ping => send_value(tx, &Value::Simple("PONG".into())),
+        Command::Subscribe(channels) => {
+            let mut reg = shared.registry.lock();
+            for name in channels {
+                let channel = intern(&name);
+                reg.server.subscribe(now, node, channel);
+                let count = reg.server.channels_of(node).count() as i64;
+                if !send_value(tx, &resp::subscription_push("subscribe", &name, count)) {
+                    return false;
+                }
+            }
+            true
+        }
+        Command::Unsubscribe(channels) => {
+            let mut reg = shared.registry.lock();
+            for name in channels {
+                let channel = intern(&name);
+                reg.server.unsubscribe(now, node, channel);
+                let count = reg.server.channels_of(node).count() as i64;
+                if !send_value(tx, &resp::subscription_push("unsubscribe", &name, count)) {
+                    return false;
+                }
+            }
+            true
+        }
+        Command::Publish(name, payload) => {
+            let channel = intern(&name);
+            let mut reg = shared.registry.lock();
+            let outcome = reg.server.publish(now, channel);
+            let push = resp::message_push(&name, &payload);
+            let mut delivered = 0i64;
+            let mut dead: Vec<NodeId> = Vec::new();
+            for recipient in outcome.recipients {
+                let rc = recipient.index() as u64;
+                let alive = reg
+                    .outboxes
+                    .get(&rc)
+                    .is_some_and(|out| send_value(out, &push));
+                if alive {
+                    delivered += 1;
+                } else {
+                    dead.push(recipient);
+                }
+            }
+            for client in dead {
+                reg.outboxes.remove(&(client.index() as u64));
+                reg.server.disconnect(client);
+            }
+            drop(reg);
+            let _ = conn;
+            send_value(tx, &Value::Integer(delivered))
+        }
+    }
+}
+
+/// Stable channel interning: the broker maps names to ids by hashing, so
+/// no shared registry lock is needed on the hot path.
+fn intern(name: &str) -> crate::Channel {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    crate::Channel(h)
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    while let Ok(frame) = rx.recv() {
+        if stream.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+}

@@ -1,0 +1,32 @@
+//! # dynamoth-pubsub
+//!
+//! A from-scratch, Redis-like channel-based pub/sub server used as the
+//! broker substrate of the Dynamoth reproduction. The paper deploys
+//! *unmodified* Redis instances and implements all middleware logic
+//! around them; correspondingly, this crate knows nothing about plans,
+//! load balancing or reconfiguration — it only implements the standard
+//! pub/sub primitives plus the two resource-exhaustion behaviours the
+//! evaluation depends on (CPU fan-out cost and cooperation with bounded
+//! per-subscriber output buffers).
+//!
+//! ```
+//! use dynamoth_pubsub::{Channel, CpuModel, PubSubServer};
+//! use dynamoth_sim::{NodeId, SimTime};
+//!
+//! let mut srv = PubSubServer::new(CpuModel::default());
+//! let sub = NodeId::from_index(3);
+//! srv.subscribe(SimTime::ZERO, sub, Channel(1));
+//! assert_eq!(srv.publish(SimTime::ZERO, Channel(1)).recipients, vec![sub]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod channel;
+pub mod resp;
+mod server;
+
+pub use broker::TcpBroker;
+pub use channel::{Channel, ChannelRegistry};
+pub use server::{CpuModel, PublishOutcome, PubSubServer};

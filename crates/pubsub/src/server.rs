@@ -1,0 +1,379 @@
+//! The channel-based pub/sub server: the Redis stand-in.
+//!
+//! [`PubSubServer`] implements exactly the behaviour Dynamoth relies on
+//! from an off-the-shelf broker:
+//!
+//! 1. `SUBSCRIBE` / `UNSUBSCRIBE` / `PUBLISH` with fan-out delivery to
+//!    every subscriber of a channel;
+//! 2. a CPU cost model — each command and each outgoing delivery takes a
+//!    configurable amount of processing time, so very large fan-outs
+//!    saturate the server (the failure mode of Fig. 4a);
+//! 3. cooperation with the transport's per-connection output buffers:
+//!    when a delivery is refused because the subscriber's buffer
+//!    overflowed, the server disconnects that subscriber, like Redis'
+//!    `client-output-buffer-limit` (the failure mode of Fig. 4b).
+//!
+//! The struct is a passive state machine: it computes *what* to deliver
+//! and *when* the CPU is done; the embedding actor (in `dynamoth-core`)
+//! performs the actual sends. This keeps the server independently
+//! testable and independent of any particular transport.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dynamoth_sim::{NodeId, SimDuration, SimTime};
+
+use crate::channel::Channel;
+
+/// CPU cost model of a pub/sub server node.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    /// Fixed cost to parse/process any command.
+    pub per_command: SimDuration,
+    /// Cost to enqueue one outgoing delivery during fan-out.
+    pub per_delivery: SimDuration,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            per_command: SimDuration::from_micros(5),
+            per_delivery: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// Result of processing a `PUBLISH`: who receives the message and when
+/// the server CPU finished processing it (deliveries leave no earlier
+/// than `cpu_done`).
+#[derive(Debug, Clone)]
+pub struct PublishOutcome {
+    /// Subscribers to deliver to (excludes the publisher unless it is
+    /// itself subscribed).
+    pub recipients: Vec<NodeId>,
+    /// Instant the server finished processing the command.
+    pub cpu_done: SimTime,
+}
+
+/// A channel-based pub/sub server state machine.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_pubsub::{Channel, PubSubServer};
+/// use dynamoth_sim::{NodeId, SimTime};
+///
+/// let mut srv = PubSubServer::new(Default::default());
+/// let alice = NodeId::from_index(1);
+/// let ch = Channel(7);
+/// srv.subscribe(SimTime::ZERO, alice, ch);
+/// let out = srv.publish(SimTime::ZERO, ch);
+/// assert_eq!(out.recipients, vec![alice]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PubSubServer {
+    cpu: CpuModel,
+    busy_until: SimTime,
+    busy_total: SimDuration,
+    // BTreeSet gives deterministic fan-out order (simulation
+    // reproducibility) and O(log n) unsubscribe.
+    subscribers: HashMap<Channel, BTreeSet<NodeId>>,
+    channels_of: HashMap<NodeId, BTreeSet<Channel>>,
+    commands_processed: u64,
+}
+
+impl PubSubServer {
+    /// Creates an idle server with the given CPU model.
+    pub fn new(cpu: CpuModel) -> Self {
+        PubSubServer {
+            cpu,
+            busy_until: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+            subscribers: HashMap::new(),
+            channels_of: HashMap::new(),
+            commands_processed: 0,
+        }
+    }
+
+    /// Registers `client` as a subscriber of `channel`. Returns `true`
+    /// if this is a new subscription, `false` if it already existed.
+    pub fn subscribe(&mut self, now: SimTime, client: NodeId, channel: Channel) -> bool {
+        self.charge(now, SimDuration::ZERO);
+        let inserted = self.subscribers.entry(channel).or_default().insert(client);
+        if inserted {
+            self.channels_of.entry(client).or_default().insert(channel);
+        }
+        inserted
+    }
+
+    /// Removes `client`'s subscription to `channel`. Returns `true` if a
+    /// subscription was removed.
+    pub fn unsubscribe(&mut self, now: SimTime, client: NodeId, channel: Channel) -> bool {
+        self.charge(now, SimDuration::ZERO);
+        let removed = match self.subscribers.get_mut(&channel) {
+            Some(set) => {
+                let removed = set.remove(&client);
+                if set.is_empty() {
+                    self.subscribers.remove(&channel);
+                }
+                removed
+            }
+            None => false,
+        };
+        if removed {
+            if let Some(chs) = self.channels_of.get_mut(&client) {
+                chs.remove(&channel);
+                if chs.is_empty() {
+                    self.channels_of.remove(&client);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Processes a `PUBLISH` on `channel`: computes the recipient set and
+    /// charges the CPU for the command plus one delivery per recipient.
+    pub fn publish(&mut self, now: SimTime, channel: Channel) -> PublishOutcome {
+        let recipients: Vec<NodeId> = self
+            .subscribers
+            .get(&channel)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let fanout_cost = self.cpu.per_delivery * recipients.len() as u64;
+        let cpu_done = self.charge(now, fanout_cost);
+        PublishOutcome {
+            recipients,
+            cpu_done,
+        }
+    }
+
+    /// Forcibly removes a client from every channel (connection kill
+    /// after an output-buffer overflow). Returns the channels it was
+    /// subscribed to.
+    pub fn disconnect(&mut self, client: NodeId) -> Vec<Channel> {
+        let channels: Vec<Channel> = self
+            .channels_of
+            .remove(&client)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for &ch in &channels {
+            if let Some(set) = self.subscribers.get_mut(&ch) {
+                set.remove(&client);
+                if set.is_empty() {
+                    self.subscribers.remove(&ch);
+                }
+            }
+        }
+        channels
+    }
+
+    /// Number of subscribers of `channel`.
+    pub fn subscriber_count(&self, channel: Channel) -> usize {
+        self.subscribers.get(&channel).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterates over the subscribers of `channel` in deterministic
+    /// order.
+    pub fn subscribers(&self, channel: Channel) -> impl Iterator<Item = NodeId> + '_ {
+        self.subscribers
+            .get(&channel)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// `true` if `client` is subscribed to `channel`.
+    pub fn is_subscribed(&self, client: NodeId, channel: Channel) -> bool {
+        self.subscribers
+            .get(&channel)
+            .is_some_and(|s| s.contains(&client))
+    }
+
+    /// Iterates over every channel with at least one subscriber.
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.subscribers.keys().copied()
+    }
+
+    /// Channels `client` is currently subscribed to.
+    pub fn channels_of(&self, client: NodeId) -> impl Iterator<Item = Channel> + '_ {
+        self.channels_of
+            .get(&client)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Total number of active (channel, subscriber) pairs.
+    pub fn subscription_count(&self) -> usize {
+        self.subscribers.values().map(BTreeSet::len).sum()
+    }
+
+    /// Number of distinct connected subscribers.
+    pub fn client_count(&self) -> usize {
+        self.channels_of.len()
+    }
+
+    /// Commands processed since creation.
+    pub fn commands_processed(&self) -> u64 {
+        self.commands_processed
+    }
+
+    /// Instant the CPU becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total CPU time consumed since creation (drives the CPU-aware
+    /// load-balancing extension).
+    pub fn cpu_busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    fn charge(&mut self, now: SimTime, extra: SimDuration) -> SimTime {
+        self.commands_processed += 1;
+        let cost = self.cpu.per_command + extra;
+        let start = now.max(self.busy_until);
+        self.busy_until = start + cost;
+        self.busy_total = self.busy_total + cost;
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn server() -> PubSubServer {
+        PubSubServer::new(CpuModel::default())
+    }
+
+    #[test]
+    fn subscribe_publish_delivers_to_all_subscribers() {
+        let mut s = server();
+        let ch = Channel(1);
+        s.subscribe(SimTime::ZERO, n(1), ch);
+        s.subscribe(SimTime::ZERO, n(2), ch);
+        s.subscribe(SimTime::ZERO, n(3), Channel(2));
+        let out = s.publish(SimTime::ZERO, ch);
+        assert_eq!(out.recipients, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn duplicate_subscriptions_are_idempotent() {
+        let mut s = server();
+        let ch = Channel(1);
+        assert!(s.subscribe(SimTime::ZERO, n(1), ch));
+        assert!(!s.subscribe(SimTime::ZERO, n(1), ch));
+        assert_eq!(s.subscriber_count(ch), 1);
+    }
+
+    #[test]
+    fn unsubscribe_removes_only_that_client() {
+        let mut s = server();
+        let ch = Channel(1);
+        s.subscribe(SimTime::ZERO, n(1), ch);
+        s.subscribe(SimTime::ZERO, n(2), ch);
+        assert!(s.unsubscribe(SimTime::ZERO, n(1), ch));
+        assert!(!s.unsubscribe(SimTime::ZERO, n(1), ch));
+        assert_eq!(s.subscriber_count(ch), 1);
+        assert!(s.is_subscribed(n(2), ch));
+    }
+
+    #[test]
+    fn publish_to_empty_channel_has_no_recipients() {
+        let mut s = server();
+        let out = s.publish(SimTime::ZERO, Channel(9));
+        assert!(out.recipients.is_empty());
+    }
+
+    #[test]
+    fn cpu_cost_scales_with_fanout() {
+        let cpu = CpuModel {
+            per_command: SimDuration::from_micros(10),
+            per_delivery: SimDuration::from_micros(5),
+        };
+        let mut s = PubSubServer::new(cpu);
+        let ch = Channel(1);
+        for i in 0..4 {
+            s.subscribe(SimTime::ZERO, n(i), ch);
+        }
+        // Four subscribe commands consumed CPU already; publish starts
+        // when they are done.
+        let subs_done = s.busy_until();
+        let out = s.publish(SimTime::ZERO, ch);
+        assert_eq!(
+            out.cpu_done,
+            subs_done + SimDuration::from_micros(10 + 4 * 5)
+        );
+    }
+
+    #[test]
+    fn cpu_queue_backs_up_under_load() {
+        let cpu = CpuModel {
+            per_command: SimDuration::from_millis(1),
+            per_delivery: SimDuration::ZERO,
+        };
+        let mut s = PubSubServer::new(cpu);
+        let a = s.publish(SimTime::ZERO, Channel(1));
+        let b = s.publish(SimTime::ZERO, Channel(1));
+        assert_eq!(a.cpu_done, SimTime::from_millis(1));
+        assert_eq!(b.cpu_done, SimTime::from_millis(2));
+        // After an idle period the queue resets.
+        let c = s.publish(SimTime::from_secs(1), Channel(1));
+        assert_eq!(c.cpu_done, SimTime::from_secs(1) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn cpu_busy_total_accumulates_costs() {
+        let cpu = CpuModel {
+            per_command: SimDuration::from_micros(10),
+            per_delivery: SimDuration::from_micros(5),
+        };
+        let mut s = PubSubServer::new(cpu);
+        s.subscribe(SimTime::ZERO, n(1), Channel(1)); // 10 µs
+        s.publish(SimTime::ZERO, Channel(1)); // 10 + 5 µs
+        assert_eq!(s.cpu_busy_total(), SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn disconnect_removes_all_subscriptions() {
+        let mut s = server();
+        s.subscribe(SimTime::ZERO, n(1), Channel(1));
+        s.subscribe(SimTime::ZERO, n(1), Channel(2));
+        s.subscribe(SimTime::ZERO, n(2), Channel(1));
+        let mut removed = s.disconnect(n(1));
+        removed.sort();
+        assert_eq!(removed, vec![Channel(1), Channel(2)]);
+        assert_eq!(s.subscriber_count(Channel(1)), 1);
+        assert_eq!(s.subscriber_count(Channel(2)), 0);
+        assert_eq!(s.client_count(), 1);
+        assert!(s.disconnect(n(99)).is_empty());
+    }
+
+    #[test]
+    fn accounting_queries_are_consistent() {
+        let mut s = server();
+        s.subscribe(SimTime::ZERO, n(1), Channel(1));
+        s.subscribe(SimTime::ZERO, n(1), Channel(2));
+        s.subscribe(SimTime::ZERO, n(2), Channel(1));
+        assert_eq!(s.subscription_count(), 3);
+        assert_eq!(s.client_count(), 2);
+        let mut chs: Vec<Channel> = s.channels_of(n(1)).collect();
+        chs.sort();
+        assert_eq!(chs, vec![Channel(1), Channel(2)]);
+        assert_eq!(s.channels().count(), 2);
+        assert_eq!(s.commands_processed(), 3);
+    }
+
+    #[test]
+    fn fanout_order_is_deterministic() {
+        let mut s = server();
+        let ch = Channel(1);
+        for i in [5, 3, 9, 1] {
+            s.subscribe(SimTime::ZERO, n(i), ch);
+        }
+        let out = s.publish(SimTime::ZERO, ch);
+        assert_eq!(out.recipients, vec![n(1), n(3), n(5), n(9)]);
+    }
+}

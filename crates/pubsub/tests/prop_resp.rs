@@ -1,0 +1,75 @@
+//! Property tests for the RESP codec: arbitrary values round-trip,
+//! arbitrary prefixes never decode spuriously, and arbitrary garbage
+//! never panics.
+
+use dynamoth_pubsub::resp::{decode, encode, parse_command, Command, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Simple),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Error),
+        any::<i64>().prop_map(Value::Integer),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|v| Value::Bulk(Some(v))),
+        Just(Value::Bulk(None)),
+        Just(Value::Array(None)),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(|items| Value::Array(Some(items)))
+    })
+}
+
+proptest! {
+    /// encode → decode is the identity and consumes exactly the frame.
+    #[test]
+    fn roundtrip(value in arb_value()) {
+        let mut buf = Vec::new();
+        encode(&value, &mut buf);
+        let (decoded, used) = decode(&buf).expect("valid").expect("complete");
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    /// No strict prefix of a frame ever decodes to a full value, and
+    /// appending unrelated bytes after a frame does not change what the
+    /// first decode returns.
+    #[test]
+    fn framing_is_exact(value in arb_value(), suffix in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut buf = Vec::new();
+        encode(&value, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert_eq!(decode(&buf[..cut]).expect("prefix is not an error"), None);
+        }
+        let mut extended = buf.clone();
+        extended.extend_from_slice(&suffix);
+        let (decoded, used) = decode(&extended).expect("valid").expect("complete");
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+
+    /// PUBLISH commands round-trip through the codec and the parser.
+    #[test]
+    fn publish_commands_parse(
+        channel in "[a-zA-Z0-9_]{1,16}",
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let cmd = Value::array(vec![
+            Value::bulk("PUBLISH"),
+            Value::bulk(channel.as_bytes().to_vec()),
+            Value::Bulk(Some(payload.clone())),
+        ]);
+        let mut buf = Vec::new();
+        encode(&cmd, &mut buf);
+        let (decoded, _) = decode(&buf).unwrap().unwrap();
+        prop_assert_eq!(
+            parse_command(&decoded).unwrap(),
+            Command::Publish(channel, payload)
+        );
+    }
+}

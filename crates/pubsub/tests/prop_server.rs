@@ -1,0 +1,106 @@
+//! Property tests for the pub/sub server: its subscription bookkeeping
+//! stays internally consistent and delivery matches the live
+//! subscription table under arbitrary operation sequences.
+
+use dynamoth_pubsub::{Channel, CpuModel, PubSubServer};
+use dynamoth_sim::{NodeId, SimTime};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(usize, u64),
+    Unsubscribe(usize, u64),
+    Publish(u64),
+    Disconnect(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0u64..6).prop_map(|(c, ch)| Op::Subscribe(c, ch)),
+        (0usize..8, 0u64..6).prop_map(|(c, ch)| Op::Unsubscribe(c, ch)),
+        (0u64..6).prop_map(Op::Publish),
+        (0usize..8).prop_map(Op::Disconnect),
+    ]
+}
+
+proptest! {
+    /// The server's bookkeeping mirrors a straightforward reference
+    /// model under arbitrary op sequences, and publish fan-out always
+    /// equals the reference subscriber set.
+    #[test]
+    fn server_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut server = PubSubServer::new(CpuModel::default());
+        let mut model: BTreeMap<Channel, BTreeSet<NodeId>> = BTreeMap::new();
+        let now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Subscribe(c, ch) => {
+                    let client = NodeId::from_index(c);
+                    let channel = Channel(ch);
+                    let was_new = model.entry(channel).or_default().insert(client);
+                    prop_assert_eq!(server.subscribe(now, client, channel), was_new);
+                }
+                Op::Unsubscribe(c, ch) => {
+                    let client = NodeId::from_index(c);
+                    let channel = Channel(ch);
+                    let had = model.get_mut(&channel).is_some_and(|s| s.remove(&client));
+                    if model.get(&channel).is_some_and(BTreeSet::is_empty) {
+                        model.remove(&channel);
+                    }
+                    prop_assert_eq!(server.unsubscribe(now, client, channel), had);
+                }
+                Op::Publish(ch) => {
+                    let channel = Channel(ch);
+                    let out = server.publish(now, channel);
+                    let expected: Vec<NodeId> = model
+                        .get(&channel)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    prop_assert_eq!(out.recipients, expected);
+                }
+                Op::Disconnect(c) => {
+                    let client = NodeId::from_index(c);
+                    let mut expected: Vec<Channel> = Vec::new();
+                    model.retain(|&ch, subs| {
+                        if subs.remove(&client) {
+                            expected.push(ch);
+                        }
+                        !subs.is_empty()
+                    });
+                    let mut got = server.disconnect(client);
+                    got.sort();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            // Global invariants after every step.
+            let model_total: usize = model.values().map(BTreeSet::len).sum();
+            prop_assert_eq!(server.subscription_count(), model_total);
+            let model_clients: BTreeSet<NodeId> =
+                model.values().flatten().copied().collect();
+            prop_assert_eq!(server.client_count(), model_clients.len());
+            for (&ch, subs) in &model {
+                prop_assert_eq!(server.subscriber_count(ch), subs.len());
+                for &client in subs {
+                    prop_assert!(server.is_subscribed(client, ch));
+                }
+            }
+        }
+    }
+
+    /// CPU accounting is monotonic: `busy_until` never moves backwards,
+    /// and each command pushes it forward by at least the base cost.
+    #[test]
+    fn cpu_time_is_monotonic(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut server = PubSubServer::new(CpuModel::default());
+        let mut sorted = times.clone();
+        sorted.sort();
+        let mut last = SimTime::ZERO;
+        for t in sorted {
+            let out = server.publish(SimTime::from_millis(t), Channel(1));
+            prop_assert!(out.cpu_done >= last);
+            prop_assert!(out.cpu_done > SimTime::from_millis(t));
+            last = out.cpu_done;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests of the RESP TCP broker over real sockets: a
+//! hand-rolled Redis client subscribes, another publishes, and the
+//! message push comes back exactly as Redis would send it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use dynamoth_pubsub::resp::{self, Value};
+use dynamoth_pubsub::TcpBroker;
+
+struct RespClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RespClient {
+    fn connect(addr: std::net::SocketAddr) -> RespClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        RespClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, words: &[&str]) {
+        let value = Value::array(words.iter().map(|w| Value::bulk(*w)).collect());
+        let mut out = Vec::new();
+        resp::encode(&value, &mut out);
+        self.stream.write_all(&out).expect("write");
+    }
+
+    /// Reads until one full RESP value is available (or panics after 2 s).
+    fn recv(&mut self) -> Value {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some((value, used)) = resp::decode(&self.buf).expect("valid resp") {
+                self.buf.drain(..used);
+                return value;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for a frame");
+            let mut chunk = [0u8; 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("connection closed"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn subscribe_publish_roundtrip_over_tcp() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let addr = broker.local_addr();
+
+    let mut subscriber = RespClient::connect(addr);
+    subscriber.send(&["SUBSCRIBE", "tile_1"]);
+    assert_eq!(
+        subscriber.recv(),
+        Value::array(vec![
+            Value::bulk("subscribe"),
+            Value::bulk("tile_1"),
+            Value::Integer(1)
+        ])
+    );
+
+    let mut publisher = RespClient::connect(addr);
+    publisher.send(&["PUBLISH", "tile_1", "hello world"]);
+    // Redis replies with the number of receivers.
+    assert_eq!(publisher.recv(), Value::Integer(1));
+
+    // The subscriber receives the standard message push.
+    assert_eq!(
+        subscriber.recv(),
+        Value::array(vec![
+            Value::bulk("message"),
+            Value::bulk("tile_1"),
+            Value::bulk("hello world"),
+        ])
+    );
+    broker.shutdown();
+}
+
+#[test]
+fn publish_without_subscribers_returns_zero() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let mut client = RespClient::connect(broker.local_addr());
+    client.send(&["PUBLISH", "nowhere", "x"]);
+    assert_eq!(client.recv(), Value::Integer(0));
+    client.send(&["PING"]);
+    assert_eq!(client.recv(), Value::Simple("PONG".into()));
+    broker.shutdown();
+}
+
+#[test]
+fn unsubscribe_stops_deliveries() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let addr = broker.local_addr();
+    let mut subscriber = RespClient::connect(addr);
+    subscriber.send(&["SUBSCRIBE", "a", "b"]);
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("subscribe", "a", 1)
+    );
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("subscribe", "b", 2)
+    );
+    subscriber.send(&["UNSUBSCRIBE", "a"]);
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("unsubscribe", "a", 1)
+    );
+
+    let mut publisher = RespClient::connect(addr);
+    publisher.send(&["PUBLISH", "a", "gone"]);
+    assert_eq!(publisher.recv(), Value::Integer(0));
+    publisher.send(&["PUBLISH", "b", "still here"]);
+    assert_eq!(publisher.recv(), Value::Integer(1));
+    assert_eq!(
+        subscriber.recv(),
+        resp::message_push("b", b"still here")
+    );
+    broker.shutdown();
+}
+
+#[test]
+fn fanout_reaches_every_subscriber() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let addr = broker.local_addr();
+    let mut subs: Vec<RespClient> = (0..5)
+        .map(|_| {
+            let mut c = RespClient::connect(addr);
+            c.send(&["SUBSCRIBE", "room"]);
+            assert_eq!(c.recv(), resp::subscription_push("subscribe", "room", 1));
+            c
+        })
+        .collect();
+    let mut publisher = RespClient::connect(addr);
+    publisher.send(&["PUBLISH", "room", "broadcast"]);
+    assert_eq!(publisher.recv(), Value::Integer(5));
+    for sub in &mut subs {
+        assert_eq!(sub.recv(), resp::message_push("room", b"broadcast"));
+    }
+    assert_eq!(broker.connections_accepted(), 6);
+    broker.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_reported() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let mut client = RespClient::connect(broker.local_addr());
+    client.send(&["GET", "key"]);
+    match client.recv() {
+        Value::Error(msg) => assert!(msg.contains("unknown command"), "{msg}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    broker.shutdown();
+}
+
+#[test]
+fn disconnect_cleans_up_subscriptions() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    let addr = broker.local_addr();
+    {
+        let mut subscriber = RespClient::connect(addr);
+        subscriber.send(&["SUBSCRIBE", "temp"]);
+        assert_eq!(
+            subscriber.recv(),
+            resp::subscription_push("subscribe", "temp", 1)
+        );
+        assert_eq!(broker.subscription_count(), 1);
+        // Dropped here: the TCP connection closes.
+    }
+    // The broker notices the close and removes the registration.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while broker.subscription_count() > 0 {
+        assert!(Instant::now() < deadline, "stale subscription never cleaned");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut publisher = RespClient::connect(addr);
+    publisher.send(&["PUBLISH", "temp", "x"]);
+    assert_eq!(publisher.recv(), Value::Integer(0));
+    broker.shutdown();
+}

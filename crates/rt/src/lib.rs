@@ -1,0 +1,391 @@
+//! # dynamoth-rt
+//!
+//! A real-time engine for the Dynamoth actors: the same
+//! [`Actor`]/[`ActorContext`] contract as the discrete-event
+//! [`World`](dynamoth_sim::World), but backed by OS threads, crossbeam
+//! channels and the wall clock. Every middleware component (server
+//! nodes, load balancer, clients) runs unchanged in either engine —
+//! the simulation exists to reproduce the paper's testbed exactly;
+//! this engine demonstrates that the middleware is a real, runnable
+//! system and not a simulation artifact.
+//!
+//! Each node gets its own thread with a message channel and a local
+//! timer heap. Time is the wall clock, reported as
+//! `SimTime` microseconds since
+//! [`RtEngineBuilder::start`]. Per-node egress bytes are accounted at
+//! send time so the Local Load Analyzers keep working.
+//!
+//! ## Example
+//!
+//! ```
+//! use dynamoth_rt::RtEngineBuilder;
+//! use dynamoth_sim::{Actor, ActorContext, Message, NodeId};
+//!
+//! #[derive(Debug)]
+//! struct Ping(u32);
+//! impl Message for Ping {
+//!     fn wire_size(&self) -> u32 { 8 }
+//! }
+//!
+//! struct Echo { seen: u32 }
+//! impl Actor<Ping> for Echo {
+//!     fn on_message(&mut self, ctx: &mut dyn ActorContext<Ping>, from: NodeId, msg: Ping) {
+//!         self.seen += 1;
+//!         if msg.0 > 0 {
+//!             ctx.send(from, Ping(msg.0 - 1));
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut builder = RtEngineBuilder::new(7);
+//! let a = builder.add_node(Box::new(Echo { seen: 0 }));
+//! let b = builder.add_node(Box::new(Echo { seen: 0 }));
+//! let engine = builder.start();
+//! engine.post(a, b, Ping(5));
+//! std::thread::sleep(std::time::Duration::from_millis(100));
+//! let actors = engine.stop();
+//! let total: u32 = actors
+//!     .iter()
+//!     .map(|a| a.as_any().downcast_ref::<Echo>().unwrap().seen)
+//!     .sum();
+//! assert_eq!(total, 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dynamoth_sim::{Actor, ActorContext, Message, NodeId, SendOutcome, SimDuration, SimRng, SimTime, TimerId};
+
+enum Envelope<M> {
+    Msg { from: NodeId, msg: M },
+    ArmTimer { at: SimTime, tag: u64 },
+    Stop,
+}
+
+enum Pending<M> {
+    Timer { id: TimerId, tag: u64 },
+    DeferredSend { to: NodeId, msg: M },
+}
+
+struct TimerEntry<M> {
+    at: SimTime,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for TimerEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<M> Eq for TimerEntry<M> {}
+impl<M> PartialOrd for TimerEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for TimerEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Shared<M> {
+    senders: Vec<Sender<Envelope<M>>>,
+    egress: Vec<AtomicU64>,
+    epoch: Instant,
+}
+
+impl<M: Message> Shared<M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, msg: M) -> SendOutcome {
+        let size = msg.wire_size() as u64;
+        match self.senders.get(to.index()) {
+            Some(tx) if tx.send(Envelope::Msg { from, msg }).is_ok() => {
+                self.egress[from.index()].fetch_add(size, Ordering::Relaxed);
+                SendOutcome::Sent
+            }
+            _ => SendOutcome::Dropped,
+        }
+    }
+}
+
+/// The per-thread [`ActorContext`] implementation.
+struct RtContext<'a, M: Message> {
+    shared: &'a Shared<M>,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    timers: &'a mut BinaryHeap<Reverse<TimerEntry<M>>>,
+    cancelled: &'a mut HashSet<u64>,
+    next_timer: &'a mut u64,
+    timer_seq: &'a mut u64,
+}
+
+impl<'a, M: Message> RtContext<'a, M> {
+    fn push(&mut self, at: SimTime, pending: Pending<M>) {
+        let seq = *self.timer_seq;
+        *self.timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry { at, seq, pending }));
+    }
+}
+
+impl<'a, M: Message> ActorContext<M> for RtContext<'a, M> {
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M) -> SendOutcome {
+        if delay.is_zero() {
+            self.shared.send(self.node, to, msg)
+        } else {
+            let at = self.shared.now() + delay;
+            self.push(at, Pending::DeferredSend { to, msg });
+            SendOutcome::Sent
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        self.set_timer_at(self.shared.now() + delay, tag)
+    }
+
+    fn set_timer_at(&mut self, at: SimTime, tag: u64) -> TimerId {
+        let id = TimerId::from_raw(*self.next_timer);
+        *self.next_timer += 1;
+        self.push(at, Pending::Timer { id, tag });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.into_raw());
+    }
+
+    fn egress_bytes(&self, node: NodeId) -> u64 {
+        self.shared
+            .egress
+            .get(node.index())
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Builder collecting the actors before the engine starts.
+pub struct RtEngineBuilder<M: Message> {
+    actors: Vec<Box<dyn Actor<M> + Send>>,
+    seed: u64,
+}
+
+impl<M: Message + Send> RtEngineBuilder<M> {
+    /// Creates a builder; `seed` derives each node's RNG stream.
+    pub fn new(seed: u64) -> Self {
+        RtEngineBuilder {
+            actors: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Registers a node; ids are dense from zero in registration order,
+    /// compatible with the simulation's
+    /// [`World::add_node`](dynamoth_sim::World::add_node) numbering.
+    pub fn add_node(&mut self, actor: Box<dyn Actor<M> + Send>) -> NodeId {
+        let id = NodeId::from_index(self.actors.len());
+        self.actors.push(actor);
+        id
+    }
+
+    /// Number of registered nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Spawns one thread per node and starts the clock.
+    pub fn start(self) -> RtEngine<M> {
+        let n = self.actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            egress: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+        });
+        let mut seed_rng = SimRng::new(self.seed);
+        let handles = self
+            .actors
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(i, (actor, rx))| {
+                let shared = Arc::clone(&shared);
+                let rng = seed_rng.fork();
+                std::thread::spawn(move || {
+                    node_loop(NodeId::from_index(i), actor, rx, shared, rng)
+                })
+            })
+            .collect();
+        RtEngine { shared, handles }
+    }
+}
+
+impl<M: Message> std::fmt::Debug for RtEngineBuilder<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtEngineBuilder")
+            .field("nodes", &self.actors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn node_loop<M: Message + Send>(
+    node: NodeId,
+    mut actor: Box<dyn Actor<M> + Send>,
+    rx: Receiver<Envelope<M>>,
+    shared: Arc<Shared<M>>,
+    mut rng: SimRng,
+) -> Box<dyn Actor<M> + Send> {
+    let mut timers: BinaryHeap<Reverse<TimerEntry<M>>> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut next_timer = 0u64;
+    let mut timer_seq = 0u64;
+    loop {
+        // Fire every due timer first.
+        let now = shared.now();
+        while timers.peek().is_some_and(|Reverse(t)| t.at <= now) {
+            let Reverse(entry) = timers.pop().expect("peeked");
+            match entry.pending {
+                Pending::Timer { id, tag } => {
+                    if cancelled.remove(&id.into_raw()) {
+                        continue;
+                    }
+                    let mut ctx = RtContext {
+                        shared: &shared,
+                        node,
+                        rng: &mut rng,
+                        timers: &mut timers,
+                        cancelled: &mut cancelled,
+                        next_timer: &mut next_timer,
+                        timer_seq: &mut timer_seq,
+                    };
+                    actor.on_timer(&mut ctx, tag);
+                }
+                Pending::DeferredSend { to, msg } => {
+                    let _ = shared.send(node, to, msg);
+                }
+            }
+        }
+        // Wait for the next message or the next timer deadline.
+        let timeout = timers
+            .peek()
+            .map(|Reverse(t)| {
+                Duration::from_micros(t.at.as_micros().saturating_sub(shared.now().as_micros()))
+            })
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Envelope::Msg { from, msg }) => {
+                let mut ctx = RtContext {
+                    shared: &shared,
+                    node,
+                    rng: &mut rng,
+                    timers: &mut timers,
+                    cancelled: &mut cancelled,
+                    next_timer: &mut next_timer,
+                    timer_seq: &mut timer_seq,
+                };
+                actor.on_message(&mut ctx, from, msg);
+            }
+            Ok(Envelope::ArmTimer { at, tag }) => {
+                let seq = timer_seq;
+                timer_seq += 1;
+                let id = TimerId::from_raw(next_timer);
+                next_timer += 1;
+                timers.push(Reverse(TimerEntry {
+                    at,
+                    seq,
+                    pending: Pending::Timer { id, tag },
+                }));
+            }
+            Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => return actor,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+/// A running real-time engine.
+pub struct RtEngine<M: Message> {
+    shared: Arc<Shared<M>>,
+    handles: Vec<JoinHandle<Box<dyn Actor<M> + Send>>>,
+}
+
+impl<M: Message + Send> RtEngine<M> {
+    /// Wall-clock time since the engine started.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Injects a message as if `from` had sent it.
+    pub fn post(&self, from: NodeId, to: NodeId, msg: M) -> SendOutcome {
+        self.shared.send(from, to, msg)
+    }
+
+    /// Arms a timer on `node` at absolute engine time `at`.
+    pub fn schedule_timer(&self, node: NodeId, at: SimTime, tag: u64) {
+        if let Some(tx) = self.shared.senders.get(node.index()) {
+            let _ = tx.send(Envelope::ArmTimer { at, tag });
+        }
+    }
+
+    /// Cumulative bytes sent by `node`.
+    pub fn egress_bytes(&self, node: NodeId) -> u64 {
+        self.shared
+            .egress
+            .get(node.index())
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Stops every node thread and returns the actors for inspection,
+    /// in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node thread panicked.
+    pub fn stop(self) -> Vec<Box<dyn Actor<M> + Send>> {
+        for tx in &self.shared.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+impl<M: Message> std::fmt::Debug for RtEngine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtEngine")
+            .field("nodes", &self.handles.len())
+            .field("now", &self.shared.now())
+            .finish()
+    }
+}

@@ -1,0 +1,55 @@
+//! # dynamoth-sim
+//!
+//! Deterministic discrete-event simulation kernel underlying the
+//! [Dynamoth](https://doi.org/10.1109/ICDCS.2015.56) reproduction.
+//!
+//! The kernel is intentionally small and generic: a [`World`] owns a set
+//! of [`Actor`]s identified by [`NodeId`]s, an event queue ordered by
+//! [`SimTime`], and a pluggable [`Transport`] that decides when messages
+//! arrive (the bandwidth/latency models live in the `dynamoth-net`
+//! crate). Everything is driven from a single seed through [`SimRng`],
+//! so identical configurations replay identical histories.
+//!
+//! ## Example
+//!
+//! ```
+//! use dynamoth_sim::*;
+//!
+//! #[derive(Debug)]
+//! struct Tick;
+//! impl Message for Tick {
+//!     fn wire_size(&self) -> u32 { 8 }
+//! }
+//!
+//! struct Clock { ticks: u32 }
+//! impl Actor<Tick> for Clock {
+//!     fn on_message(&mut self, _: &mut dyn ActorContext<Tick>, _: NodeId, _: Tick) {}
+//!     fn on_timer(&mut self, ctx: &mut dyn ActorContext<Tick>, tag: u64) {
+//!         self.ticks += 1;
+//!         if self.ticks < 5 {
+//!             ctx.set_timer(SimDuration::from_secs(1), tag);
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut world = World::new(1, Box::new(InstantTransport));
+//! let node = world.add_node(NodeClass::Infra, Box::new(Clock { ticks: 0 }));
+//! world.schedule_timer(node, SimTime::from_secs(1), 0);
+//! world.run_until(SimTime::from_secs(10));
+//! assert_eq!(world.actor::<Clock>(node).unwrap().ticks, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod clock;
+mod rng;
+mod world;
+
+pub use actor::{Actor, ActorContext, Message, NodeClass, NodeId, RouteRequest, TimerId};
+pub use clock::{SimDuration, SimTime};
+pub use rng::{SimRng, Zipf};
+pub use world::{Context, InstantTransport, RouteOutcome, SendOutcome, Transport, World, WorldStats};

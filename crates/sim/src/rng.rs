@@ -1,0 +1,301 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulation must be fully reproducible from a seed, so it carries
+//! its own small PRNG instead of depending on an external crate whose
+//! stream might change between versions. [`SimRng`] is a SplitMix64
+//! generator (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent
+//! statistical quality for simulation purposes, and trivially portable.
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_sim::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point by mixing in a constant.
+        SimRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each actor
+    /// its own stream so event-processing order does not perturb other
+    /// actors' randomness.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny bias
+        // for non-power-of-two bounds is irrelevant for simulation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns a uniformly distributed float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Samples a standard normal variate (Box–Muller transform).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a log-normal variate with the given parameters of the
+    /// underlying normal distribution.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+}
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`: rank `k` is drawn
+/// with probability proportional to `1 / (k+1)^s`. Used for skewed
+/// channel-popularity workloads (chat rooms, topics).
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_sim::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = SimRng::new(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler has no ranks (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(3);
+        let mut parent2 = SimRng::new(3);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_ne!(c1.next_u64(), parent1.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SimRng::new(13);
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let x = rng.next_below(10);
+            assert!(x < 10);
+            seen_high |= x == 9;
+        }
+        assert!(seen_high, "upper values should be reachable");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SimRng::new(17);
+        let n = 50_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_close_to_exp_mu() {
+        let mut rng = SimRng::new(19);
+        let mu = 3.0_f64;
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.log_normal(mu, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median / mu.exp() - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SimRng::new(23);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let &x = rng.choose(&items).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(rng.choose::<u8>(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SimRng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = SimRng::new(31);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2 * counts[50].max(1));
+        // Every rank remains reachable in principle; the tail is small
+        // but the head dominates.
+        let head: u32 = counts[..10].iter().sum();
+        assert!(head > 10_000, "head too light: {head}");
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform_ish() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SimRng::new(33);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,600 @@
+//! The simulation world: event queue, scheduler and actor registry.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::actor::{Actor, ActorContext, Message, NodeClass, NodeId, RouteRequest, TimerId};
+use crate::clock::{SimDuration, SimTime};
+use crate::rng::SimRng;
+
+/// Result of routing a message through a [`Transport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The message will arrive at the given instant.
+    Arrive(SimTime),
+    /// The message was dropped (e.g. the destination's output buffer
+    /// overflowed); the sender is told so it can react the way a real
+    /// broker would (drop the connection).
+    Dropped,
+}
+
+/// Result of a [`Context::send`], surfaced to the sending actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message is in flight.
+    Sent,
+    /// The transport refused the message (buffer overflow).
+    Dropped,
+}
+
+/// The network model plugged into a [`World`]. Given a routing request it
+/// decides when (or whether) the message arrives, and keeps whatever
+/// accounting it needs (bandwidth queues, per-connection buffers).
+pub trait Transport {
+    /// Computes the arrival time of a message, updating internal queue
+    /// state.
+    fn route(&mut self, req: RouteRequest, rng: &mut SimRng) -> RouteOutcome;
+
+    /// Cumulative bytes that have *departed* `node` by `now` (drives the
+    /// measured-outgoing-bandwidth metric). Transports without
+    /// accounting may return 0.
+    fn egress_bytes(&self, node: NodeId, now: SimTime) -> u64 {
+        let _ = (node, now);
+        0
+    }
+
+    /// Bytes currently queued on the connection `from → to`, if the
+    /// transport models per-connection buffers.
+    fn connection_backlog(&self, from: NodeId, to: NodeId, now: SimTime) -> u64 {
+        let _ = (from, to, now);
+        0
+    }
+
+    /// Upcast for harness inspection.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A zero-latency, infinite-bandwidth transport. Messages arrive in the
+/// same instant they are sent (still strictly after the current handler
+/// returns). Useful for unit-testing protocol logic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InstantTransport;
+
+impl Transport for InstantTransport {
+    fn route(&mut self, req: RouteRequest, _rng: &mut SimRng) -> RouteOutcome {
+        RouteOutcome::Arrive(req.earliest_departure.max(req.now))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+enum EvKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+}
+
+struct Ev<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind<M>,
+}
+
+impl<M> PartialEq for Ev<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Ev<M> {}
+impl<M> PartialOrd for Ev<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Ev<M> {
+    // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Slot<M: Message> {
+    actor: Option<Box<dyn Actor<M>>>,
+    rng: SimRng,
+    class: NodeClass,
+}
+
+/// Counters describing how much work a [`World`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Events (deliveries + timers) processed so far.
+    pub events_processed: u64,
+    /// Messages accepted by the transport.
+    pub messages_sent: u64,
+    /// Messages refused by the transport (buffer overflow).
+    pub messages_dropped: u64,
+}
+
+/// A deterministic discrete-event simulation world.
+///
+/// Nodes are added with [`World::add_node`]; time advances only through
+/// [`World::run_until`] / [`World::step`]. Two worlds built with the same
+/// seed, nodes and schedule produce byte-identical histories.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_sim::*;
+///
+/// struct Echo;
+/// #[derive(Debug)]
+/// struct Ping(u32);
+/// impl Message for Ping {
+///     fn wire_size(&self) -> u32 { 16 }
+/// }
+/// impl Actor<Ping> for Echo {
+///     fn on_message(&mut self, ctx: &mut dyn ActorContext<Ping>, from: NodeId, msg: Ping) {
+///         if msg.0 > 0 {
+///             ctx.send(from, Ping(msg.0 - 1));
+///         }
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut world = World::new(42, Box::new(InstantTransport));
+/// let a = world.add_node(NodeClass::Infra, Box::new(Echo));
+/// let b = world.add_node(NodeClass::Infra, Box::new(Echo));
+/// world.post(a, b, Ping(3));
+/// world.run_until(SimTime::from_secs(1));
+/// assert_eq!(world.stats().events_processed, 4); // 3, 2, 1, 0
+/// ```
+pub struct World<M: Message> {
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Ev<M>>,
+    slots: Vec<Slot<M>>,
+    pending_timers: HashSet<u64>,
+    next_timer: u64,
+    transport: Box<dyn Transport>,
+    seed_rng: SimRng,
+    stats: WorldStats,
+}
+
+impl<M: Message> World<M> {
+    /// Creates an empty world with the given RNG seed and network model.
+    pub fn new(seed: u64, transport: Box<dyn Transport>) -> Self {
+        World {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            pending_timers: HashSet::new(),
+            next_timer: 0,
+            transport,
+            seed_rng: SimRng::new(seed),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Registers a node and returns its id. Each node receives its own
+    /// deterministic RNG stream forked from the world seed.
+    pub fn add_node(&mut self, class: NodeClass, actor: Box<dyn Actor<M>>) -> NodeId {
+        let id = NodeId(self.slots.len() as u32);
+        let rng = self.seed_rng.fork();
+        self.slots.push(Slot {
+            actor: Some(actor),
+            rng,
+            class,
+        });
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// The class a node was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not created by this world.
+    pub fn node_class(&self, node: NodeId) -> NodeClass {
+        self.slots[node.index()].class
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Injects a message from `from` to `to` through the transport, as
+    /// if `from` had sent it at the current time. Used by harnesses to
+    /// bootstrap traffic.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) -> SendOutcome {
+        let req = RouteRequest {
+            from,
+            from_class: self.slots[from.index()].class,
+            to,
+            to_class: self.slots[to.index()].class,
+            size: msg.wire_size(),
+            now: self.time,
+            earliest_departure: self.time,
+        };
+        // Route with a dedicated fork so harness posts do not perturb
+        // actor RNG streams.
+        let mut rng = self.seed_rng.fork();
+        match self.transport.route(req, &mut rng) {
+            RouteOutcome::Arrive(at) => {
+                self.stats.messages_sent += 1;
+                self.push(at, EvKind::Deliver { from, to, msg });
+                SendOutcome::Sent
+            }
+            RouteOutcome::Dropped => {
+                self.stats.messages_dropped += 1;
+                SendOutcome::Dropped
+            }
+        }
+    }
+
+    /// Schedules a timer for `node` at absolute time `at`. Used by
+    /// harnesses to kick off periodic behaviour.
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.pending_timers.insert(id.0);
+        self.push(at, EvKind::Timer { node, id, tag });
+        id
+    }
+
+    /// Cancels a timer created with [`World::schedule_timer`] (or by an
+    /// actor). Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.pending_timers.remove(&id.0);
+    }
+
+    /// Immutable access to the transport (for reading network counters).
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Downcasts the actor at `node` to a concrete type for inspection.
+    pub fn actor<A: Actor<M>>(&self, node: NodeId) -> Option<&A> {
+        self.slots
+            .get(node.index())
+            .and_then(|s| s.actor.as_deref())
+            .and_then(|a| a.as_any().downcast_ref::<A>())
+    }
+
+    /// Mutable variant of [`World::actor`].
+    pub fn actor_mut<A: Actor<M>>(&mut self, node: NodeId) -> Option<&mut A> {
+        self.slots
+            .get_mut(node.index())
+            .and_then(|s| s.actor.as_deref_mut())
+            .and_then(|a| a.as_any_mut().downcast_mut::<A>())
+    }
+
+    /// Processes a single event, if any remains. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "time must be monotonic");
+        self.time = ev.at;
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.time = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Runs until the event queue is completely drained.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    fn push(&mut self, at: SimTime, kind: EvKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Ev { at, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EvKind<M>) {
+        match kind {
+            EvKind::Deliver { from, to, msg } => {
+                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EvKind::Timer { node, id, tag } => {
+                if !self.pending_timers.remove(&id.0) {
+                    return; // cancelled
+                }
+                self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+            }
+        }
+    }
+
+    fn with_actor(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    ) {
+        self.stats.events_processed += 1;
+        let slot = &mut self.slots[node.index()];
+        let Some(mut actor) = slot.actor.take() else {
+            return;
+        };
+        let mut rng = std::mem::replace(&mut slot.rng, SimRng::new(0));
+        {
+            let mut ctx = Context {
+                world: self,
+                node,
+                rng: &mut rng,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        let slot = &mut self.slots[node.index()];
+        slot.actor = Some(actor);
+        slot.rng = rng;
+    }
+}
+
+impl<M: Message> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("nodes", &self.slots.len())
+            .field("queued_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// The discrete-event implementation of [`ActorContext`]: a handle
+/// through which an actor interacts with the [`World`] while handling an
+/// event.
+pub struct Context<'w, M: Message> {
+    world: &'w mut World<M>,
+    node: NodeId,
+    rng: &'w mut SimRng,
+}
+
+impl<'w, M: Message> ActorContext<M> for Context<'w, M> {
+    fn now(&self) -> SimTime {
+        self.world.time
+    }
+
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M) -> SendOutcome {
+        let now = self.world.time;
+        let req = RouteRequest {
+            from: self.node,
+            from_class: self.world.slots[self.node.index()].class,
+            to,
+            to_class: self.world.slots[to.index()].class,
+            size: msg.wire_size(),
+            now,
+            earliest_departure: now + delay,
+        };
+        match self.world.transport.route(req, self.rng) {
+            RouteOutcome::Arrive(at) => {
+                self.world.stats.messages_sent += 1;
+                let from = self.node;
+                self.world.push(at, EvKind::Deliver { from, to, msg });
+                SendOutcome::Sent
+            }
+            RouteOutcome::Dropped => {
+                self.world.stats.messages_dropped += 1;
+                SendOutcome::Dropped
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let at = self.world.time + delay;
+        self.set_timer_at(at, tag)
+    }
+
+    fn set_timer_at(&mut self, at: SimTime, tag: u64) -> TimerId {
+        let id = TimerId(self.world.next_timer);
+        self.world.next_timer += 1;
+        self.world.pending_timers.insert(id.0);
+        let node = self.node;
+        self.world.push(at, EvKind::Timer { node, id, tag });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.world.pending_timers.remove(&id.0);
+    }
+
+    fn egress_bytes(&self, node: NodeId) -> u64 {
+        self.world.transport.egress_bytes(node, self.world.time)
+    }
+
+    fn connection_backlog(&self, from: NodeId, to: NodeId) -> u64 {
+        self.world
+            .transport
+            .connection_backlog(from, to, self.world.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u32),
+        Note(&'static str),
+    }
+    impl Message for TestMsg {
+        fn wire_size(&self) -> u32 {
+            32
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<(SimTime, TestMsg)>,
+        timer_tags: Vec<u64>,
+    }
+    impl Actor<TestMsg> for Recorder {
+        fn on_message(&mut self, ctx: &mut dyn ActorContext<TestMsg>, _from: NodeId, msg: TestMsg) {
+            self.got.push((ctx.now(), msg));
+        }
+        fn on_timer(&mut self, ctx: &mut dyn ActorContext<TestMsg>, tag: u64) {
+            self.timer_tags.push(tag);
+            let _ = ctx;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct PingPong {
+        bounces: u32,
+    }
+    impl Actor<TestMsg> for PingPong {
+        fn on_message(&mut self, ctx: &mut dyn ActorContext<TestMsg>, from: NodeId, msg: TestMsg) {
+            if let TestMsg::Ping(n) = msg {
+                self.bounces += 1;
+                if n > 0 {
+                    ctx.send(from, TestMsg::Ping(n - 1));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn world() -> World<TestMsg> {
+        World::new(1, Box::new(InstantTransport))
+    }
+
+    #[test]
+    fn messages_are_delivered() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        let b = w.add_node(NodeClass::Client, Box::new(Recorder::default()));
+        w.post(b, a, TestMsg::Note("hello"));
+        w.run_to_quiescence();
+        let rec: &Recorder = w.actor(a).unwrap();
+        assert_eq!(rec.got.len(), 1);
+        assert_eq!(rec.got[0].1, TestMsg::Note("hello"));
+        let other: &Recorder = w.actor(b).unwrap();
+        assert!(other.got.is_empty());
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_correct_bounce_count() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(PingPong { bounces: 0 }));
+        let b = w.add_node(NodeClass::Infra, Box::new(PingPong { bounces: 0 }));
+        w.post(a, b, TestMsg::Ping(9));
+        w.run_to_quiescence();
+        let ta: &PingPong = w.actor(a).unwrap();
+        let tb: &PingPong = w.actor(b).unwrap();
+        assert_eq!(ta.bounces + tb.bounces, 10);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_can_be_cancelled() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        w.schedule_timer(a, SimTime::from_millis(20), 2);
+        w.schedule_timer(a, SimTime::from_millis(10), 1);
+        let t3 = w.schedule_timer(a, SimTime::from_millis(30), 3);
+        w.cancel_timer(t3);
+        w.run_until(SimTime::from_secs(1));
+        let rec: &Recorder = w.actor(a).unwrap();
+        assert_eq!(rec.timer_tags, vec![1, 2]);
+        assert_eq!(w.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        w.schedule_timer(a, SimTime::from_millis(10), 1);
+        w.schedule_timer(a, SimTime::from_millis(500), 2);
+        w.run_until(SimTime::from_millis(100));
+        let rec: &Recorder = w.actor(a).unwrap();
+        assert_eq!(rec.timer_tags, vec![1]);
+        w.run_until(SimTime::from_secs(1));
+        let rec: &Recorder = w.actor(a).unwrap();
+        assert_eq!(rec.timer_tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        let b = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        w.post(b, a, TestMsg::Note("first"));
+        w.post(b, a, TestMsg::Note("second"));
+        w.run_to_quiescence();
+        let rec: &Recorder = w.actor(a).unwrap();
+        assert_eq!(rec.got[0].1, TestMsg::Note("first"));
+        assert_eq!(rec.got[1].1, TestMsg::Note("second"));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed| {
+            let mut w = World::new(seed, Box::new(InstantTransport));
+            let a = w.add_node(NodeClass::Infra, Box::new(PingPong { bounces: 0 }));
+            let b = w.add_node(NodeClass::Infra, Box::new(PingPong { bounces: 0 }));
+            w.post(a, b, TestMsg::Ping(50));
+            w.run_to_quiescence();
+            (w.stats(), w.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        let b = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        w.post(a, b, TestMsg::Note("x"));
+        w.schedule_timer(a, SimTime::from_millis(1), 0);
+        w.run_to_quiescence();
+        assert_eq!(w.stats().events_processed, 2);
+        assert_eq!(w.stats().messages_sent, 1);
+        assert_eq!(w.stats().messages_dropped, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! A chat / instant-messaging workload — one of the application domains
+//! the paper's introduction motivates (chat systems, Twitter-style
+//! feeds).
+//!
+//! Users are members of a few rooms drawn from a Zipf popularity
+//! distribution (a handful of huge rooms, a long tail of small ones),
+//! chat at a modest rate in a random joined room, and occasionally churn
+//! their membership. Compared to RGame this exercises *multi-channel
+//! clients* (several concurrent subscriptions per client) and a heavier
+//! popularity skew.
+
+use std::sync::Arc;
+
+use dynamoth_core::{ChannelId, ClientEvent, DynamothClient, Msg, TraceHandle};
+use dynamoth_sim::{ActorContext, Actor, NodeId, SimDuration, SimRng, Zipf};
+
+/// Timer tag: the user comes online.
+pub const TAG_JOIN: u64 = 1;
+/// Timer tag: the user sends a chat message.
+pub const TAG_CHAT: u64 = 2;
+/// Timer tag: the user changes one room membership.
+pub const TAG_CHURN: u64 = 3;
+
+/// Channel-id namespace offset for chat rooms, so chat channels never
+/// collide with other workloads sharing a cluster.
+pub const ROOM_BASE: u64 = 1_000_000;
+
+/// Parameters of the chat workload.
+#[derive(Debug, Clone)]
+pub struct ChatConfig {
+    /// Total number of rooms.
+    pub rooms: usize,
+    /// Zipf exponent of room popularity (≈1 for chat-like skew).
+    pub zipf_exponent: f64,
+    /// Rooms each user is a member of.
+    pub rooms_per_user: usize,
+    /// Chat messages per second per user.
+    pub message_hz: f64,
+    /// Payload bytes per message.
+    pub payload: u32,
+    /// Mean time between membership changes per user.
+    pub churn_interval: SimDuration,
+}
+
+impl Default for ChatConfig {
+    fn default() -> Self {
+        ChatConfig {
+            rooms: 200,
+            zipf_exponent: 1.0,
+            rooms_per_user: 3,
+            message_hz: 0.5,
+            payload: 256,
+            churn_interval: SimDuration::from_secs(45),
+        }
+    }
+}
+
+impl ChatConfig {
+    /// The channel of room `rank`.
+    pub fn room_channel(&self, rank: usize) -> ChannelId {
+        ChannelId(ROOM_BASE + rank as u64)
+    }
+}
+
+/// A chat user actor.
+#[derive(Debug)]
+pub struct ChatUser {
+    client: DynamothClient,
+    cfg: Arc<ChatConfig>,
+    zipf: Arc<Zipf>,
+    trace: TraceHandle,
+    rooms: Vec<usize>,
+    online: bool,
+    sent: u64,
+    received: u64,
+}
+
+impl ChatUser {
+    /// Creates an offline user; arm a [`TAG_JOIN`] timer to bring it
+    /// online.
+    pub fn new(
+        client: DynamothClient,
+        cfg: Arc<ChatConfig>,
+        zipf: Arc<Zipf>,
+        trace: TraceHandle,
+    ) -> Self {
+        ChatUser {
+            client,
+            cfg,
+            zipf,
+            trace,
+            rooms: Vec::new(),
+            online: false,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Messages this user sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages this user received (all rooms, without own echoes
+    /// removed).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Rooms the user is currently a member of (by rank).
+    pub fn rooms(&self) -> &[usize] {
+        &self.rooms
+    }
+
+    /// The underlying client library (inspection).
+    pub fn client(&self) -> &DynamothClient {
+        &self.client
+    }
+
+    fn pick_new_room(&self, rng: &mut SimRng) -> usize {
+        // Re-draw until we find a room we are not already in (bounded
+        // attempts keep this deterministic-ish and cheap).
+        for _ in 0..16 {
+            let room = self.zipf.sample(rng);
+            if !self.rooms.contains(&room) {
+                return room;
+            }
+        }
+        (self.rooms.last().copied().unwrap_or(0) + 1) % self.cfg.rooms
+    }
+
+    fn join(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if self.online {
+            return;
+        }
+        self.online = true;
+        let now = ctx.now();
+        while self.rooms.len() < self.cfg.rooms_per_user.min(self.cfg.rooms) {
+            let room = {
+                let mut rng = ctx.rng().fork();
+                self.pick_new_room(&mut rng)
+            };
+            self.rooms.push(room);
+            let channel = self.cfg.room_channel(room);
+            let out = {
+                let mut rng = ctx.rng().fork();
+                self.client.subscribe(now, &mut rng, channel)
+            };
+            send_all(ctx, out);
+        }
+        let chat_interval = SimDuration::from_secs_f64(1.0 / self.cfg.message_hz);
+        ctx.set_timer(chat_interval, TAG_CHAT);
+        ctx.set_timer(self.cfg.churn_interval, TAG_CHURN);
+    }
+
+    fn chat(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if !self.online {
+            return;
+        }
+        let now = ctx.now();
+        let deferred = self.client.poll_deferred(now);
+        send_all(ctx, deferred);
+        if let Some(&room) = {
+            let mut rng = ctx.rng().fork();
+            rng.choose(&self.rooms)
+        } {
+            let channel = self.cfg.room_channel(room);
+            let (_, out) = {
+                let mut rng = ctx.rng().fork();
+                self.client.publish(now, &mut rng, channel, self.cfg.payload)
+            };
+            send_all(ctx, out);
+            self.sent += 1;
+        }
+        let chat_interval = SimDuration::from_secs_f64(1.0 / self.cfg.message_hz);
+        ctx.set_timer(chat_interval, TAG_CHAT);
+    }
+
+    fn churn(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if !self.online {
+            return;
+        }
+        let now = ctx.now();
+        if !self.rooms.is_empty() {
+            let (leave_idx, join_room) = {
+                let mut rng = ctx.rng().fork();
+                (
+                    rng.next_below(self.rooms.len() as u64) as usize,
+                    self.pick_new_room(&mut rng),
+                )
+            };
+            let leave_room = self.rooms.swap_remove(leave_idx);
+            let out = self
+                .client
+                .unsubscribe(now, self.cfg.room_channel(leave_room));
+            send_all(ctx, out);
+            self.rooms.push(join_room);
+            let out = {
+                let mut rng = ctx.rng().fork();
+                self.client
+                    .subscribe(now, &mut rng, self.cfg.room_channel(join_room))
+            };
+            send_all(ctx, out);
+        }
+        self.client.expire_plan_entries(now);
+        let out = {
+            let mut rng = ctx.rng().fork();
+            self.client.liveness_actions(now, &mut rng)
+        };
+        send_all(ctx, out);
+        ctx.set_timer(self.cfg.churn_interval, TAG_CHURN);
+    }
+}
+
+fn send_all(ctx: &mut dyn ActorContext<Msg>, out: Vec<(NodeId, Msg)>) {
+    for (to, msg) in out {
+        let _ = ctx.send(to, msg);
+    }
+}
+
+impl Actor<Msg> for ChatUser {
+    fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let (events, out) = {
+            let mut rng = ctx.rng().fork();
+            self.client.on_message(now, &mut rng, from, msg)
+        };
+        send_all(ctx, out);
+        for event in events {
+            match event {
+                ClientEvent::Delivery(p) => {
+                    self.received += 1;
+                    if p.publisher == self.client.node() {
+                        self.trace.record_response(now, now.saturating_since(p.sent_at));
+                    }
+                }
+                ClientEvent::SubscriptionsLost { channels, .. } => {
+                    for ch in channels {
+                        self.trace.record_lost_subscription();
+                        // Still a member: rejoin the room.
+                        let rank = ch.0.wrapping_sub(ROOM_BASE) as usize;
+                        if self.online && self.rooms.contains(&rank) {
+                            let out = {
+                                let mut rng = ctx.rng().fork();
+                                self.client.subscribe(now, &mut rng, ch)
+                            };
+                            send_all(ctx, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
+        match tag {
+            TAG_JOIN => self.join(ctx),
+            TAG_CHAT => self.chat(ctx),
+            TAG_CHURN => self.churn(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_channels_are_namespaced() {
+        let cfg = ChatConfig::default();
+        assert_eq!(cfg.room_channel(0), ChannelId(ROOM_BASE));
+        assert_eq!(cfg.room_channel(7), ChannelId(ROOM_BASE + 7));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ChatConfig::default();
+        assert!(cfg.rooms_per_user <= cfg.rooms);
+        assert!(cfg.message_hz > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dynamoth-workloads
+//!
+//! Workload generators driving the Dynamoth reproduction experiments:
+//!
+//! * [`rgame`] — the multiplayer-game workload (tile world, AI players)
+//!   used by the paper's Experiments 2 and 3;
+//! * [`chat`] — a chat/instant-messaging workload with Zipf room
+//!   popularity (multi-channel clients, heavy skew);
+//! * [`micro`] — the single-hot-channel micro-benchmarks of
+//!   Experiment 1;
+//! * [`schedule`] — player arrival/departure schedules (ramps, steps);
+//! * [`setup`] — glue spawning workload actors into a
+//!   [`Cluster`](dynamoth_core::Cluster).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chat;
+pub mod micro;
+pub mod rgame;
+pub mod schedule;
+pub mod setup;
+
+pub use chat::{ChatConfig, ChatUser};
+pub use micro::{Publisher, Subscriber};
+pub use rgame::{Player, PlayerCounter, RGameConfig};
+pub use schedule::{PlayerSchedule, Schedule};
+pub use setup::{spawn_chat_users, spawn_hot_channel, spawn_players};

@@ -1,0 +1,216 @@
+//! Micro-benchmark actors for Experiment 1 (§V-C): a single hot channel
+//! exercised by many publishers and/or subscribers, with replication
+//! configured manually, as in the paper.
+
+use dynamoth_core::{ChannelId, ClientEvent, DynamothClient, Msg, TraceHandle};
+use dynamoth_sim::{Actor, ActorContext, NodeId, SimDuration};
+
+/// Timer tag: start the actor's activity.
+pub const TAG_START: u64 = 1;
+/// Timer tag: publish the next message.
+pub const TAG_PUBLISH: u64 = 2;
+/// Timer tag: stop publishing (used by tests that need quiescence).
+pub const TAG_STOP: u64 = 3;
+/// Timer tag: periodic client liveness maintenance (pings / failover).
+pub const TAG_LIVENESS: u64 = 4;
+
+fn send_all(ctx: &mut dyn ActorContext<Msg>, out: Vec<(NodeId, Msg)>) {
+    for (to, msg) in out {
+        let _ = ctx.send(to, msg);
+    }
+}
+
+/// A client publishing on one channel at a fixed rate.
+#[derive(Debug)]
+pub struct Publisher {
+    client: DynamothClient,
+    channel: ChannelId,
+    rate_hz: f64,
+    payload: u32,
+    running: bool,
+}
+
+impl Publisher {
+    /// Creates a publisher of `payload`-byte messages at `rate_hz` on
+    /// `channel`. Arm a [`TAG_START`] timer to start it.
+    pub fn new(client: DynamothClient, channel: ChannelId, rate_hz: f64, payload: u32) -> Self {
+        Publisher {
+            client,
+            channel,
+            rate_hz,
+            payload,
+            running: false,
+        }
+    }
+
+    /// The underlying client library (inspection).
+    pub fn client(&self) -> &DynamothClient {
+        &self.client
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.rate_hz)
+    }
+}
+
+impl Actor<Msg> for Publisher {
+    fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let (_, out) = {
+            let mut rng = ctx.rng().fork();
+            self.client.on_message(now, &mut rng, from, msg)
+        };
+        send_all(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
+        match (tag, self.running) {
+            (TAG_START, false) => {
+                self.running = true;
+                ctx.set_timer(self.interval(), TAG_PUBLISH);
+                ctx.set_timer(self.client.config().client_ping_interval, TAG_LIVENESS);
+            }
+            (TAG_LIVENESS, _) => {
+                let now = ctx.now();
+                let out = {
+                    let mut rng = ctx.rng().fork();
+                    self.client.liveness_actions(now, &mut rng)
+                };
+                send_all(ctx, out);
+                ctx.set_timer(self.client.config().client_ping_interval, TAG_LIVENESS);
+            }
+            (TAG_STOP, _) => self.running = false,
+            (TAG_PUBLISH, true) => {
+                let now = ctx.now();
+                let (_, out) = {
+                    let mut rng = ctx.rng().fork();
+                    self.client.publish(now, &mut rng, self.channel, self.payload)
+                };
+                send_all(ctx, out);
+                ctx.set_timer(self.interval(), TAG_PUBLISH);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A client subscribed to one channel, recording the delivery latency of
+/// every (non-duplicate) message into the trace.
+#[derive(Debug)]
+pub struct Subscriber {
+    client: DynamothClient,
+    channel: ChannelId,
+    trace: TraceHandle,
+    received: u64,
+}
+
+impl Subscriber {
+    /// Creates a subscriber of `channel`. Arm a [`TAG_START`] timer to
+    /// make it subscribe.
+    pub fn new(client: DynamothClient, channel: ChannelId, trace: TraceHandle) -> Self {
+        Subscriber {
+            client,
+            channel,
+            trace,
+            received: 0,
+        }
+    }
+
+    /// Messages received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// The underlying client library (inspection).
+    pub fn client(&self) -> &DynamothClient {
+        &self.client
+    }
+}
+
+impl Actor<Msg> for Subscriber {
+    fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let (events, out) = {
+            let mut rng = ctx.rng().fork();
+            self.client.on_message(now, &mut rng, from, msg)
+        };
+        send_all(ctx, out);
+        for event in events {
+            match event {
+                ClientEvent::Delivery(p) => {
+                    self.received += 1;
+                    self.trace.record_response(now, now.saturating_since(p.sent_at));
+                }
+                ClientEvent::SubscriptionsLost { .. } => {
+                    self.trace.record_lost_subscription();
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
+        let now = ctx.now();
+        match tag {
+            TAG_START => {
+                let out = {
+                    let mut rng = ctx.rng().fork();
+                    self.client.subscribe(now, &mut rng, self.channel)
+                };
+                send_all(ctx, out);
+                ctx.set_timer(self.client.config().client_ping_interval, TAG_LIVENESS);
+            }
+            TAG_LIVENESS => {
+                let out = {
+                    let mut rng = ctx.rng().fork();
+                    self.client.liveness_actions(now, &mut rng)
+                };
+                send_all(ctx, out);
+                ctx.set_timer(self.client.config().client_ping_interval, TAG_LIVENESS);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::Arc;
+
+    use dynamoth_core::{DynamothConfig, Ring, ServerId};
+
+    fn client() -> DynamothClient {
+        let ring = Arc::new(Ring::new(&[ServerId(NodeId::from_index(0))], 8));
+        DynamothClient::new(NodeId::from_index(10), ring, Arc::new(DynamothConfig::default()))
+    }
+
+    #[test]
+    fn publisher_interval_matches_rate() {
+        let p = Publisher::new(client(), ChannelId(1), 10.0, 100);
+        assert_eq!(p.interval(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn subscriber_starts_with_zero_received() {
+        let trace = TraceHandle::new();
+        let s = Subscriber::new(client(), ChannelId(1), trace);
+        assert_eq!(s.received(), 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! RGame: the multiplayer-game workload of the paper's Experiments 2
+//! and 3 (§V-A).
+//!
+//! The world is a square grid of tiles. Each player is driven by a
+//! simple AI that repeatedly picks a random waypoint, walks towards it
+//! and pauses briefly. A player subscribes to the channel of the tile it
+//! stands on and publishes its position updates on that same channel, so
+//! everyone in a tile sees everyone else. Movement between tiles
+//! produces a steady stream of subscriptions/unsubscriptions, and
+//! waypoint selection is biased towards a handful of points of interest,
+//! producing the skewed, time-varying channel popularity that separates
+//! Dynamoth from consistent hashing.
+//!
+//! Response time is measured exactly as in the paper: the time between a
+//! player publishing a state update and receiving its own copy back from
+//! the pub/sub layer (players are subscribed to their own tile).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dynamoth_core::{ChannelId, ClientEvent, DynamothClient, Msg, TraceHandle};
+use dynamoth_sim::{Actor, ActorContext, NodeId, SimDuration, SimRng, SimTime};
+
+/// Timer tag: the player joins the game.
+pub const TAG_JOIN: u64 = 1;
+/// Timer tag: periodic movement + state-update publication.
+pub const TAG_UPDATE: u64 = 2;
+/// Timer tag: the player leaves the game.
+pub const TAG_LEAVE: u64 = 3;
+/// Timer tag: periodic local-plan maintenance.
+pub const TAG_MAINT: u64 = 4;
+
+/// Parameters of the RGame world.
+#[derive(Debug, Clone)]
+pub struct RGameConfig {
+    /// The world is `grid × grid` tiles.
+    pub grid: usize,
+    /// Movement speed in tiles per second.
+    pub speed: f64,
+    /// State updates published per second (3 in the paper).
+    pub update_hz: f64,
+    /// Application payload of one state update, bytes.
+    pub payload: u32,
+    /// Pause after reaching a waypoint.
+    pub pause: SimDuration,
+    /// Number of points of interest.
+    pub poi_count: usize,
+    /// Probability that a new waypoint is near a point of interest
+    /// (hotspot skew).
+    pub poi_bias: f64,
+    /// Waypoint scatter around a point of interest, in tiles. Small
+    /// values keep hotspot visitors inside the POI tile, producing the
+    /// skewed channel popularity that separates Dynamoth from
+    /// consistent hashing.
+    pub poi_jitter: f64,
+}
+
+impl Default for RGameConfig {
+    fn default() -> Self {
+        RGameConfig {
+            grid: 5,
+            speed: 1.0,
+            update_hz: 3.0,
+            payload: 600, // 664 bytes on the wire with the header
+            pause: SimDuration::from_secs(30),
+            poi_count: 5,
+            poi_bias: 0.25,
+            poi_jitter: 0.35,
+        }
+    }
+}
+
+impl RGameConfig {
+    /// The tile channel for world position `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the position is outside the world.
+    pub fn tile_channel(&self, x: f64, y: f64) -> ChannelId {
+        let gx = (x.floor() as usize).min(self.grid - 1);
+        let gy = (y.floor() as usize).min(self.grid - 1);
+        ChannelId((gy * self.grid + gx) as u64)
+    }
+
+    /// Center position of the `k`-th point of interest (deterministic).
+    pub fn poi(&self, k: usize) -> (f64, f64) {
+        let g = self.grid as f64;
+        let x = ((k * 7 + 3) % self.grid) as f64 + 0.5;
+        let y = ((k * 3 + 5) % self.grid) as f64 + 0.5;
+        (x.min(g - 0.5), y.min(g - 0.5))
+    }
+
+    /// Seconds between two update steps.
+    pub fn update_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.update_hz)
+    }
+}
+
+/// Shared, thread-safe live-player counter, used to plot the paper's
+/// player series.
+#[derive(Debug, Clone, Default)]
+pub struct PlayerCounter(Arc<AtomicUsize>);
+
+impl PlayerCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current number of active players.
+    pub fn count(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn add(&self, delta: isize) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (current as isize + delta).max(0) as usize;
+            match self.0.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Motion {
+    Walking { target: (f64, f64) },
+    Paused { until: SimTime },
+}
+
+/// A simulated player: AI movement plus the Dynamoth client library.
+#[derive(Debug)]
+pub struct Player {
+    client: DynamothClient,
+    cfg: Arc<RGameConfig>,
+    trace: TraceHandle,
+    counter: PlayerCounter,
+    pos: (f64, f64),
+    motion: Motion,
+    tile: Option<ChannelId>,
+    active: bool,
+}
+
+impl Player {
+    /// Creates an (inactive) player. Arm a [`TAG_JOIN`] timer to bring
+    /// it into the game.
+    pub fn new(
+        client: DynamothClient,
+        cfg: Arc<RGameConfig>,
+        trace: TraceHandle,
+        counter: PlayerCounter,
+    ) -> Self {
+        Player {
+            client,
+            cfg,
+            trace,
+            counter,
+            pos: (0.0, 0.0),
+            motion: Motion::Paused {
+                until: SimTime::ZERO,
+            },
+            tile: None,
+            active: false,
+        }
+    }
+
+    /// `true` while the player is in the game.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The player's client library (inspection).
+    pub fn client(&self) -> &DynamothClient {
+        &self.client
+    }
+
+    fn random_position(cfg: &RGameConfig, rng: &mut SimRng) -> (f64, f64) {
+        let g = cfg.grid as f64;
+        (rng.range_f64(0.0, g), rng.range_f64(0.0, g))
+    }
+
+    fn pick_waypoint(&self, rng: &mut SimRng) -> (f64, f64) {
+        let g = self.cfg.grid as f64;
+        if self.cfg.poi_count > 0 && rng.chance(self.cfg.poi_bias) {
+            let (px, py) = self.cfg.poi(rng.next_below(self.cfg.poi_count as u64) as usize);
+            let j = self.cfg.poi_jitter;
+            (
+                (px + rng.range_f64(-j, j)).clamp(0.0, g - 1e-9),
+                (py + rng.range_f64(-j, j)).clamp(0.0, g - 1e-9),
+            )
+        } else {
+            Self::random_position(&self.cfg, rng)
+        }
+    }
+
+    fn join(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if self.active {
+            return;
+        }
+        self.active = true;
+        self.counter.add(1);
+        self.trace.record_players(ctx.now(), self.counter.count());
+        self.pos = Self::random_position(&self.cfg, ctx.rng());
+        let target = self.pick_waypoint(ctx.rng());
+        self.motion = Motion::Walking { target };
+        self.enter_tile(ctx);
+        ctx.set_timer(self.cfg.update_interval(), TAG_UPDATE);
+        ctx.set_timer(SimDuration::from_secs(10), TAG_MAINT);
+    }
+
+    fn leave(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        self.counter.add(-1);
+        self.trace.record_players(ctx.now(), self.counter.count());
+        if let Some(tile) = self.tile.take() {
+            let out = self.client.unsubscribe(ctx.now(), tile);
+            send_all(ctx, out);
+        }
+    }
+
+    fn enter_tile(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        let tile = self.cfg.tile_channel(self.pos.0, self.pos.1);
+        if self.tile == Some(tile) {
+            return;
+        }
+        let now = ctx.now();
+        if let Some(old) = self.tile.take() {
+            let out = self.client.unsubscribe(now, old);
+            send_all(ctx, out);
+        }
+        let out = {
+            let rng = ctx.rng();
+            // Split borrows: rng comes from ctx, messages go out after.
+            let mut tmp_rng = rng.fork();
+            self.client.subscribe(now, &mut tmp_rng, tile)
+        };
+        send_all(ctx, out);
+        self.tile = Some(tile);
+    }
+
+    fn step(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        if !self.active {
+            return;
+        }
+        let now = ctx.now();
+        let deferred = self.client.poll_deferred(now);
+        send_all(ctx, deferred);
+        let dt = 1.0 / self.cfg.update_hz;
+        match self.motion {
+            Motion::Paused { until } => {
+                if now >= until {
+                    let target = self.pick_waypoint(ctx.rng());
+                    self.motion = Motion::Walking { target };
+                }
+            }
+            Motion::Walking { target } => {
+                let (dx, dy) = (target.0 - self.pos.0, target.1 - self.pos.1);
+                let dist = (dx * dx + dy * dy).sqrt();
+                let step = self.cfg.speed * dt;
+                if dist <= step {
+                    self.pos = target;
+                    self.motion = Motion::Paused {
+                        until: now + self.cfg.pause,
+                    };
+                } else {
+                    self.pos.0 += dx / dist * step;
+                    self.pos.1 += dy / dist * step;
+                }
+                self.enter_tile(ctx);
+            }
+        }
+        // Publish a state update on the current tile regardless of
+        // motion state (the paper's players publish continuously while
+        // in the game).
+        if let Some(tile) = self.tile {
+            let (_, out) = {
+                let mut tmp_rng = ctx.rng().fork();
+                self.client.publish(now, &mut tmp_rng, tile, self.cfg.payload)
+            };
+            send_all(ctx, out);
+        }
+        ctx.set_timer(self.cfg.update_interval(), TAG_UPDATE);
+    }
+}
+
+fn send_all(ctx: &mut dyn ActorContext<Msg>, out: Vec<(NodeId, Msg)>) {
+    for (to, msg) in out {
+        let _ = ctx.send(to, msg);
+    }
+}
+
+impl Actor<Msg> for Player {
+    fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let (events, out) = {
+            let mut tmp_rng = ctx.rng().fork();
+            self.client.on_message(now, &mut tmp_rng, from, msg)
+        };
+        send_all(ctx, out);
+        for event in events {
+            match event {
+                ClientEvent::Delivery(p) => {
+                    if p.publisher == self.client.node() {
+                        // Echo of our own state update: the paper's
+                        // response-time metric.
+                        self.trace.record_response(now, now.saturating_since(p.sent_at));
+                    }
+                }
+                ClientEvent::SubscriptionsLost { channels, .. } => {
+                    for ch in channels {
+                        self.trace.record_lost_subscription();
+                        // The player is still in the game: re-subscribe
+                        // to its current tile.
+                        if self.active && self.tile == Some(ch) {
+                            let out = {
+                                let mut tmp_rng = ctx.rng().fork();
+                                self.client.subscribe(now, &mut tmp_rng, ch)
+                            };
+                            send_all(ctx, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
+        match tag {
+            TAG_JOIN => self.join(ctx),
+            TAG_UPDATE => self.step(ctx),
+            TAG_LEAVE => self.leave(ctx),
+            TAG_MAINT => {
+                let now = ctx.now();
+                self.client.expire_plan_entries(now);
+                let out = {
+                    let mut rng = ctx.rng().fork();
+                    self.client.liveness_actions(now, &mut rng)
+                };
+                send_all(ctx, out);
+                if self.active {
+                    ctx.set_timer(SimDuration::from_secs(10), TAG_MAINT);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_channels_partition_the_world() {
+        let cfg = RGameConfig {
+            grid: 10,
+            ..Default::default()
+        };
+        assert_eq!(cfg.tile_channel(0.0, 0.0), ChannelId(0));
+        assert_eq!(cfg.tile_channel(9.9, 0.0), ChannelId(9));
+        assert_eq!(cfg.tile_channel(0.0, 1.0), ChannelId(10));
+        assert_eq!(cfg.tile_channel(9.9, 9.9), ChannelId(99));
+        // Out-of-range positions clamp to the border tile.
+        assert_eq!(cfg.tile_channel(10.3, 10.3), ChannelId(99));
+        // The default world is 5×5.
+        let d = RGameConfig::default();
+        assert_eq!(d.tile_channel(4.9, 4.9), ChannelId(24));
+    }
+
+    #[test]
+    fn pois_are_inside_the_world() {
+        let cfg = RGameConfig::default();
+        for k in 0..cfg.poi_count {
+            let (x, y) = cfg.poi(k);
+            assert!(x >= 0.0 && x < cfg.grid as f64);
+            assert!(y >= 0.0 && y < cfg.grid as f64);
+        }
+    }
+
+    #[test]
+    fn player_counter_tracks_adds_and_removes() {
+        let c = PlayerCounter::new();
+        let c2 = c.clone();
+        c.add(1);
+        c.add(1);
+        c2.add(-1);
+        assert_eq!(c.count(), 1);
+        c.add(-5);
+        assert_eq!(c.count(), 0); // saturates at zero
+    }
+
+    #[test]
+    fn update_interval_matches_rate() {
+        let cfg = RGameConfig {
+            update_hz: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.update_interval(), SimDuration::from_millis(250));
+    }
+}

@@ -1,0 +1,194 @@
+//! Client arrival/departure schedules for the scalability and elasticity
+//! experiments.
+//!
+//! A [`Schedule`] is a list of per-player join (and optional leave)
+//! times. Helpers build the two shapes used in the paper: a slow ramp
+//! (Experiment 2: 120 → 1200 players) and a step pattern (Experiment 3:
+//! up to 800, down to 200, back up to ~600).
+
+use dynamoth_sim::SimTime;
+
+/// One player's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlayerSchedule {
+    /// When the player joins the game.
+    pub join: SimTime,
+    /// When the player leaves, if ever.
+    pub leave: Option<SimTime>,
+}
+
+/// A full experiment schedule: one entry per player.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<PlayerSchedule>);
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of players in the schedule.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no players are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Experiment 2 shape: `initial` players join at `start`, then the
+    /// remaining `total - initial` join at a uniform rate until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < initial` or `end <= start`.
+    pub fn ramp(initial: usize, total: usize, start: SimTime, end: SimTime) -> Self {
+        assert!(total >= initial, "total must include the initial players");
+        assert!(end > start, "ramp must have positive duration");
+        let mut players = Vec::with_capacity(total);
+        for _ in 0..initial {
+            players.push(PlayerSchedule {
+                join: start,
+                leave: None,
+            });
+        }
+        let joining = total - initial;
+        let span = end.saturating_since(start).as_micros();
+        for i in 0..joining {
+            let offset = span * (i as u64 + 1) / joining.max(1) as u64;
+            players.push(PlayerSchedule {
+                join: SimTime::from_micros(start.as_micros() + offset),
+                leave: None,
+            });
+        }
+        Schedule(players)
+    }
+
+    /// Experiment 3 shape: ramp `up1` players in over `[t0, t1]`; at
+    /// `t2` remove all but `keep`; ramp `up2` extra players in over
+    /// `[t3, t4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phases are not ordered or `keep > up1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn steps(
+        up1: usize,
+        keep: usize,
+        up2: usize,
+        t0: SimTime,
+        t1: SimTime,
+        t2: SimTime,
+        t3: SimTime,
+        t4: SimTime,
+    ) -> Self {
+        assert!(keep <= up1, "cannot keep more players than joined");
+        assert!(t0 < t1 && t1 <= t2 && t2 <= t3 && t3 < t4, "phases must be ordered");
+        let mut players = Vec::with_capacity(up1 + up2);
+        // Phase 1: ramp up1 players in between t0 and t1; the first
+        // `keep` stay forever, the rest leave at t2 (staggered slightly
+        // so departures do not all land in one instant).
+        let span1 = t1.saturating_since(t0).as_micros();
+        for i in 0..up1 {
+            let join = SimTime::from_micros(t0.as_micros() + span1 * i as u64 / up1.max(1) as u64);
+            let leave = if i < keep {
+                None
+            } else {
+                Some(SimTime::from_micros(
+                    t2.as_micros() + (i as u64 % 32) * 250_000,
+                ))
+            };
+            players.push(PlayerSchedule { join, leave });
+        }
+        // Phase 2: ramp up2 fresh players in between t3 and t4.
+        let span2 = t4.saturating_since(t3).as_micros();
+        for i in 0..up2 {
+            let join = SimTime::from_micros(t3.as_micros() + span2 * i as u64 / up2.max(1) as u64);
+            players.push(PlayerSchedule { join, leave: None });
+        }
+        Schedule(players)
+    }
+
+    /// The maximum number of simultaneously active players, evaluated at
+    /// every join/leave boundary.
+    pub fn peak(&self) -> usize {
+        let mut events: Vec<(u64, isize)> = Vec::new();
+        for p in &self.0 {
+            events.push((p.join.as_micros(), 1));
+            if let Some(leave) = p.leave {
+                events.push((leave.as_micros(), -1));
+            }
+        }
+        events.sort();
+        let (mut current, mut peak) = (0isize, 0isize);
+        for (_, delta) in events {
+            current += delta;
+            peak = peak.max(current);
+        }
+        peak as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_has_initial_burst_then_uniform_joins() {
+        let s = Schedule::ramp(120, 1_200, SimTime::ZERO, SimTime::from_secs(300));
+        assert_eq!(s.len(), 1_200);
+        assert_eq!(s.0.iter().filter(|p| p.join == SimTime::ZERO).count(), 120);
+        assert!(s.0.iter().all(|p| p.leave.is_none()));
+        assert!(s.0.iter().all(|p| p.join <= SimTime::from_secs(300)));
+        assert_eq!(s.peak(), 1_200);
+    }
+
+    #[test]
+    fn steps_shape_matches_experiment_3() {
+        let s = Schedule::steps(
+            800,
+            200,
+            380,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            SimTime::from_secs(150),
+            SimTime::from_secs(200),
+            SimTime::from_secs(280),
+        );
+        assert_eq!(s.len(), 800 + 380);
+        // 600 players leave around t2.
+        assert_eq!(s.0.iter().filter(|p| p.leave.is_some()).count(), 600);
+        assert_eq!(s.peak(), 800);
+    }
+
+    #[test]
+    fn ramp_join_times_are_monotone_after_initial() {
+        let s = Schedule::ramp(0, 10, SimTime::ZERO, SimTime::from_secs(10));
+        let joins: Vec<u64> = s.0.iter().map(|p| p.join.as_micros()).collect();
+        let mut sorted = joins.clone();
+        sorted.sort();
+        assert_eq!(joins, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "total must include")]
+    fn ramp_validates_counts() {
+        let _ = Schedule::ramp(10, 5, SimTime::ZERO, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must be ordered")]
+    fn steps_validates_ordering() {
+        let _ = Schedule::steps(
+            10,
+            5,
+            5,
+            SimTime::from_secs(10),
+            SimTime::from_secs(5),
+            SimTime::from_secs(20),
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+        );
+    }
+}

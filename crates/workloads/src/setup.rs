@@ -1,0 +1,184 @@
+//! Glue between workloads and the cluster harness: spawning scheduled
+//! players and micro-benchmark clients into a [`Cluster`].
+
+use std::sync::Arc;
+
+use dynamoth_core::{ChannelId, Cluster};
+use dynamoth_sim::{NodeId, SimDuration, SimTime};
+
+use dynamoth_sim::Zipf;
+
+use crate::chat::{ChatConfig, ChatUser};
+use crate::micro::{Publisher, Subscriber, TAG_START};
+use crate::rgame::{Player, PlayerCounter, RGameConfig, TAG_JOIN, TAG_LEAVE};
+use crate::schedule::Schedule;
+
+/// Spawns one [`Player`] per schedule entry and arms its join/leave
+/// timers. Returns the player node ids and the shared live-player
+/// counter.
+pub fn spawn_players(
+    cluster: &mut Cluster,
+    game: &Arc<RGameConfig>,
+    schedule: &Schedule,
+) -> (Vec<NodeId>, PlayerCounter) {
+    let counter = PlayerCounter::new();
+    let mut nodes = Vec::with_capacity(schedule.len());
+    for ps in &schedule.0 {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let player = Player::new(
+            client,
+            Arc::clone(game),
+            cluster.trace.clone(),
+            counter.clone(),
+        );
+        let actual = cluster.add_client(Box::new(player));
+        debug_assert_eq!(actual, node);
+        cluster.world.schedule_timer(node, ps.join, TAG_JOIN);
+        if let Some(leave) = ps.leave {
+            cluster.world.schedule_timer(node, leave, TAG_LEAVE);
+        }
+        nodes.push(node);
+    }
+    (nodes, counter)
+}
+
+/// Spawns the Experiment-1 micro workload: `n_publishers` publishers at
+/// `rate_hz` each and `n_subscribers` subscribers, all on `channel`.
+/// Subscribers subscribe at `start`; publishers begin one second later
+/// (staggered by a few milliseconds each so they do not fire in
+/// lock-step). Returns `(publisher_nodes, subscriber_nodes)`.
+pub fn spawn_hot_channel(
+    cluster: &mut Cluster,
+    channel: ChannelId,
+    n_publishers: usize,
+    rate_hz: f64,
+    payload: u32,
+    n_subscribers: usize,
+    start: SimTime,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut subscribers = Vec::with_capacity(n_subscribers);
+    for _ in 0..n_subscribers {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let actor = Subscriber::new(client, channel, cluster.trace.clone());
+        cluster.add_client(Box::new(actor));
+        cluster.world.schedule_timer(node, start, TAG_START);
+        subscribers.push(node);
+    }
+    let mut publishers = Vec::with_capacity(n_publishers);
+    let pub_start = start + SimDuration::from_secs(1);
+    for i in 0..n_publishers {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let actor = Publisher::new(client, channel, rate_hz, payload);
+        cluster.add_client(Box::new(actor));
+        let stagger = SimDuration::from_millis((i as u64 * 7) % 1_000);
+        cluster.world.schedule_timer(node, pub_start + stagger, TAG_START);
+        publishers.push(node);
+    }
+    (publishers, subscribers)
+}
+
+/// Spawns `n_users` chat users whose joins are spread uniformly over
+/// `[start, start + spread]`, giving the load balancer time to react as
+/// the service fills up. Returns the user node ids.
+pub fn spawn_chat_users(
+    cluster: &mut Cluster,
+    cfg: &Arc<ChatConfig>,
+    n_users: usize,
+    start: SimTime,
+    spread: SimDuration,
+) -> Vec<NodeId> {
+    let zipf = Arc::new(Zipf::new(cfg.rooms, cfg.zipf_exponent));
+    let mut nodes = Vec::with_capacity(n_users);
+    for i in 0..n_users {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let user = ChatUser::new(
+            client,
+            Arc::clone(cfg),
+            Arc::clone(&zipf),
+            cluster.trace.clone(),
+        );
+        cluster.add_client(Box::new(user));
+        let stagger =
+            SimDuration::from_micros(spread.as_micros() * i as u64 / n_users.max(1) as u64);
+        cluster
+            .world
+            .schedule_timer(node, start + stagger, crate::chat::TAG_JOIN);
+        nodes.push(node);
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamoth_core::ClusterConfig;
+    use dynamoth_net::CloudTransportConfig;
+
+    #[test]
+    fn spawn_players_registers_schedule() {
+        let mut cluster = Cluster::build(ClusterConfig {
+            transport: CloudTransportConfig::fast_lan(),
+            ..Default::default()
+        });
+        let game = Arc::new(RGameConfig::default());
+        let schedule = Schedule::ramp(2, 5, SimTime::from_secs(1), SimTime::from_secs(10));
+        let (nodes, counter) = spawn_players(&mut cluster, &game, &schedule);
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(counter.count(), 0);
+        cluster.run_for(SimDuration::from_secs(2));
+        assert_eq!(counter.count(), 2); // the initial burst joined
+        cluster.run_for(SimDuration::from_secs(10));
+        assert_eq!(counter.count(), 5);
+    }
+
+    #[test]
+    fn spawn_chat_users_go_online_and_chat() {
+        let mut cluster = Cluster::build(ClusterConfig {
+            transport: CloudTransportConfig::fast_lan(),
+            pool_size: 4,
+            initial_active: 4,
+            ..Default::default()
+        });
+        let cfg = Arc::new(ChatConfig {
+            rooms: 20,
+            message_hz: 2.0,
+            ..Default::default()
+        });
+        let users = spawn_chat_users(&mut cluster, &cfg, 10, SimTime::from_secs(1), SimDuration::from_secs(2));
+        cluster.run_for(SimDuration::from_secs(20));
+        let mut total_sent = 0;
+        for &u in &users {
+            let user: &ChatUser = cluster.world.actor(u).unwrap();
+            assert_eq!(user.rooms().len(), cfg.rooms_per_user);
+            total_sent += user.sent();
+        }
+        assert!(total_sent > 100, "users barely chatted: {total_sent}");
+        assert!(cluster.trace.delivered_total() > 0);
+    }
+
+    #[test]
+    fn spawn_hot_channel_counts() {
+        let mut cluster = Cluster::build(ClusterConfig {
+            transport: CloudTransportConfig::fast_lan(),
+            ..Default::default()
+        });
+        let (pubs, subs) = spawn_hot_channel(
+            &mut cluster,
+            ChannelId(7),
+            3,
+            10.0,
+            100,
+            2,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(pubs.len(), 3);
+        assert_eq!(subs.len(), 2);
+        cluster.run_for(SimDuration::from_secs(5));
+        // Each subscriber received messages from all three publishers.
+        assert!(cluster.trace.delivered_total() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Elasticity (the paper's Experiment 3): the player population surges,
+//! collapses and recovers; the Dynamoth load balancer rents servers as
+//! the load grows and releases them — with lower priority, so after a
+//! visible delay — when it falls.
+//!
+//! Run with: `cargo run --release --example elastic_workload`
+
+use std::sync::Arc;
+
+use dynamoth::core::{Cluster, ClusterConfig, RebalanceKind};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_players;
+use dynamoth::workloads::{RGameConfig, Schedule};
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        pool_size: 8,
+        initial_active: 1,
+        ..Default::default()
+    });
+    let game = Arc::new(RGameConfig::default());
+    // Surge to 500 players, drop to 120, recover to ~380.
+    let schedule = Schedule::steps(
+        500,
+        120,
+        260,
+        SimTime::from_secs(2),
+        SimTime::from_secs(80),
+        SimTime::from_secs(120),
+        SimTime::from_secs(160),
+        SimTime::from_secs(220),
+    );
+    let (_, counter) = spawn_players(&mut cluster, &game, &schedule);
+
+    println!("time   players  servers  response   phase");
+    let phases = [
+        (80, "surge"),
+        (120, "plateau"),
+        (160, "collapse"),
+        (220, "recovery"),
+        (300, "steady"),
+    ];
+    for step in 1..=30 {
+        cluster.run_for(SimDuration::from_secs(10));
+        let sec = step * 10;
+        let phase = phases
+            .iter()
+            .find(|&&(end, _)| sec <= end)
+            .map(|&(_, name)| name)
+            .unwrap_or("steady");
+        println!(
+            "t={sec:3}s  {:5}    {:2}     {:7.1} ms  {phase}",
+            counter.count(),
+            cluster.active_server_count(),
+            cluster
+                .trace
+                .mean_response_ms_between(sec - 10, sec)
+                .unwrap_or(f64::NAN),
+        );
+    }
+
+    let marks = cluster.trace.rebalance_series();
+    let ups = marks
+        .iter()
+        .filter(|(_, k)| *k == RebalanceKind::HighLoad)
+        .count();
+    let downs = marks
+        .iter()
+        .filter(|(_, k)| *k == RebalanceKind::LowLoad)
+        .count();
+    println!();
+    println!(
+        "{} high-load rebalances (scale up / spread), {} low-load drains (scale down)",
+        ups, downs
+    );
+    println!(
+        "messages delivered: {}, lost subscriptions: {}",
+        cluster.trace.delivered_total(),
+        cluster.trace.lost_subscriptions()
+    );
+}

@@ -1,0 +1,76 @@
+//! Channel-level (micro) load balancing on a single hot channel —
+//! Experiment 1 territory, but letting **Algorithm 1 decide on its own**
+//! instead of configuring replication manually: a publication storm on
+//! one channel trips the all-subscribers rule, the balancer replicates
+//! the channel across servers, and the publishers/subscribers are
+//! re-routed lazily through the wrong-server machinery.
+//!
+//! Run with: `cargo run --release --example hot_channel`
+
+use dynamoth::core::{
+    BalancerStrategy, ChannelId, ChannelMapping, Cluster, ClusterConfig, DynamothConfig,
+};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_hot_channel;
+
+fn main() {
+    // Lower thresholds than the defaults so the demo trips Algorithm 1
+    // with a few hundred publishers (the defaults are calibrated for the
+    // full-scale experiments).
+    let dynamoth = DynamothConfig {
+        all_subs_threshold: 300.0,
+        publication_threshold: 400.0,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::build(ClusterConfig {
+        pool_size: 4,
+        initial_active: 4,
+        strategy: BalancerStrategy::Dynamoth,
+        dynamoth,
+        ..Default::default()
+    });
+
+    // 120 publishers at 10 msg/s on one channel, one subscriber: a
+    // publication-heavy channel (P_ratio = 1200).
+    let channel = ChannelId(7);
+    spawn_hot_channel(&mut cluster, channel, 120, 10.0, 600, 1, SimTime::from_secs(1));
+
+    for step in 1..=6 {
+        cluster.run_for(SimDuration::from_secs(10));
+        let mapping = cluster
+            .load_balancer()
+            .expect("balancer present")
+            .plan()
+            .mapping(channel)
+            .cloned();
+        let describe = match &mapping {
+            None => "single server (consistent hashing)".to_string(),
+            Some(ChannelMapping::Single(s)) => format!("single server ({s})"),
+            Some(ChannelMapping::AllSubscribers(v)) => {
+                format!("ALL-SUBSCRIBERS over {} servers", v.len())
+            }
+            Some(ChannelMapping::AllPublishers(v)) => {
+                format!("ALL-PUBLISHERS over {} servers", v.len())
+            }
+        };
+        println!(
+            "t={:3}s  mapping: {describe}  (mean response {:.1} ms)",
+            step * 10,
+            cluster
+                .trace
+                .mean_response_ms_between(step * 10 - 10, step * 10)
+                .unwrap_or(f64::NAN),
+        );
+    }
+
+    println!();
+    println!(
+        "deliveries: {}  lost subscriptions: {}",
+        cluster.trace.delivered_total(),
+        cluster.trace.lost_subscriptions()
+    );
+    println!("reconfigurations:");
+    for (t, kind) in cluster.trace.rebalance_series() {
+        println!("  t={t:.0}s {kind:?}");
+    }
+}

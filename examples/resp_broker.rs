@@ -1,0 +1,71 @@
+//! Runs the substrate's TCP pub/sub broker and talks to it over a real
+//! socket with the Redis wire protocol (RESP) — demonstrating that the
+//! broker the experiments model is also a runnable server any Redis
+//! client can use.
+//!
+//! Run with: `cargo run --release --example resp_broker`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dynamoth::pubsub::resp::{self, Value};
+use dynamoth::pubsub::TcpBroker;
+
+fn send(stream: &mut TcpStream, words: &[&str]) {
+    let value = Value::array(words.iter().map(|w| Value::bulk(*w)).collect());
+    let mut out = Vec::new();
+    resp::encode(&value, &mut out);
+    stream.write_all(&out).expect("write");
+}
+
+fn recv(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Value {
+    loop {
+        if let Some((value, used)) = resp::decode(buf).expect("valid resp") {
+            buf.drain(..used);
+            return value;
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("closed"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+fn main() {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+    println!("RESP pub/sub broker listening on {}", broker.local_addr());
+
+    let mut subscriber = TcpStream::connect(broker.local_addr()).unwrap();
+    subscriber
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let mut sub_buf = Vec::new();
+    send(&mut subscriber, &["SUBSCRIBE", "news"]);
+    println!("subscriber <- {:?}", recv(&mut subscriber, &mut sub_buf));
+
+    let mut publisher = TcpStream::connect(broker.local_addr()).unwrap();
+    publisher
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let mut pub_buf = Vec::new();
+    for text in ["hello", "from", "a real socket"] {
+        send(&mut publisher, &["PUBLISH", "news", text]);
+        let receivers = recv(&mut publisher, &mut pub_buf);
+        let push = recv(&mut subscriber, &mut sub_buf);
+        println!("publish {text:?} -> receivers {receivers:?}, push {push:?}");
+    }
+
+    send(&mut publisher, &["PING"]);
+    println!("ping -> {:?}", recv(&mut publisher, &mut pub_buf));
+    println!(
+        "{} connections served; shutting down.",
+        broker.connections_accepted()
+    );
+    broker.shutdown();
+}

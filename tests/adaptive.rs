@@ -1,0 +1,75 @@
+//! Tests for the adaptive-threshold extension (§III-B future work): a
+//! near-failure episode tightens the trigger thresholds so the next
+//! overload is handled earlier.
+
+use std::sync::Arc;
+
+use dynamoth::core::{Cluster, ClusterConfig, DynamothConfig};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_players;
+use dynamoth::workloads::{RGameConfig, Schedule};
+
+fn run(adaptive: bool) -> (f64, f64) {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 80,
+        pool_size: 8,
+        initial_active: 1,
+        dynamoth: DynamothConfig {
+            adaptive_thresholds: adaptive,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let game = Arc::new(RGameConfig::default());
+    // A fast ramp that briefly drives servers into the danger zone,
+    // then a long steady phase to recover and drain the backlog.
+    let schedule = Schedule::ramp(100, 420, SimTime::from_secs(2), SimTime::from_secs(30));
+    spawn_players(&mut cluster, &game, &schedule);
+    cluster.run_for(SimDuration::from_secs(120));
+    let (high, safe) = cluster
+        .load_balancer()
+        .unwrap()
+        .effective_thresholds();
+    let _ = safe;
+    (
+        high,
+        cluster.trace.mean_response_ms_between(90, 120).unwrap_or(f64::NAN),
+    )
+}
+
+#[test]
+fn danger_episodes_tighten_the_thresholds() {
+    let (static_high, _) = run(false);
+    let (adaptive_high, adaptive_latency) = run(true);
+    let default_high = DynamothConfig::default().lr_high;
+    assert_eq!(static_high, default_high, "static config must not drift");
+    assert!(
+        adaptive_high < default_high,
+        "a near-failure ramp should have lowered LR_high, still at {adaptive_high}"
+    );
+    // And the system still works afterwards.
+    assert!(adaptive_latency < 150.0, "late latency {adaptive_latency} ms");
+}
+
+#[test]
+fn thresholds_do_not_drift_without_danger() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 81,
+        pool_size: 4,
+        initial_active: 1,
+        dynamoth: DynamothConfig {
+            adaptive_thresholds: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let game = Arc::new(RGameConfig::default());
+    // A light load that never approaches the danger zone.
+    let schedule = Schedule::ramp(20, 100, SimTime::from_secs(2), SimTime::from_secs(20));
+    spawn_players(&mut cluster, &game, &schedule);
+    cluster.run_for(SimDuration::from_secs(60));
+    let (high, safe) = cluster.load_balancer().unwrap().effective_thresholds();
+    let cfg = DynamothConfig::default();
+    assert_eq!(high, cfg.lr_high);
+    assert_eq!(safe, cfg.lr_safe);
+}

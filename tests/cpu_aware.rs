@@ -1,0 +1,103 @@
+//! Tests for the CPU-aware load-balancing extension (the paper's §VII
+//! future work): a CPU-bound fan-out workload that the
+//! bandwidth-only balancer cannot see, but the CPU-aware one spreads.
+
+use dynamoth::core::{ChannelId, Cluster, ClusterConfig, CpuModel, DynamothConfig};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_hot_channel;
+
+/// A broker whose fan-out is expensive: ~5 000 deliveries/s saturate
+/// one server, while the resulting byte rate is negligible against the
+/// NIC.
+fn expensive_cpu() -> CpuModel {
+    CpuModel {
+        per_command: SimDuration::from_micros(20),
+        per_delivery: SimDuration::from_micros(200),
+    }
+}
+
+/// Four channels, each ~1750 deliveries/s of tiny messages: ~7 000
+/// deliveries/s total ⇒ 140 % CPU on one server, but < 2 % bandwidth.
+fn spawn_cpu_bound_load(cluster: &mut Cluster) {
+    for ch in 0..4u64 {
+        spawn_hot_channel(
+            cluster,
+            ChannelId(ch),
+            7,    // publishers
+            5.0,  // msg/s each → 35 publications/s
+            56,   // tiny payload (120 B on the wire)
+            50,   // subscribers → 1 750 deliveries/s
+            SimTime::from_secs(1),
+        );
+    }
+}
+
+fn run(cpu_aware: bool) -> (f64, usize) {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 60,
+        pool_size: 4,
+        initial_active: 1,
+        dynamoth: DynamothConfig {
+            cpu_aware,
+            ..Default::default()
+        },
+        cpu: expensive_cpu(),
+        ..Default::default()
+    });
+    spawn_cpu_bound_load(&mut cluster);
+    // Detection, provisioning waves and draining the CPU backlog built
+    // up before the spread take a while; measure the steady state.
+    cluster.run_for(SimDuration::from_secs(75));
+    let late = cluster.trace.mean_response_ms_between(55, 75).unwrap_or(f64::MAX);
+    (late, cluster.active_server_count())
+}
+
+#[test]
+fn bandwidth_only_balancer_misses_cpu_saturation() {
+    let (latency, servers) = run(false);
+    // The NIC has plenty of headroom, so the paper's balancer sees no
+    // overload: it never grows the pool, and the CPU queue melts down.
+    assert_eq!(servers, 1, "bandwidth-only balancer should not react");
+    assert!(
+        latency > 1_000.0,
+        "CPU saturation should have destroyed latency, got {latency} ms"
+    );
+}
+
+#[test]
+fn cpu_aware_balancer_spreads_the_fanout() {
+    let (latency, servers) = run(true);
+    assert!(
+        servers >= 2,
+        "CPU-aware balancer should have rented servers, used {servers}"
+    );
+    assert!(
+        latency < 200.0,
+        "latency should recover once the fan-out is spread, got {latency} ms"
+    );
+}
+
+#[test]
+fn cpu_aware_is_a_noop_for_bandwidth_bound_loads() {
+    // With the default (cheap) CPU model the two configurations behave
+    // identically on a bandwidth-bound workload.
+    let run = |cpu_aware: bool| {
+        let mut cluster = Cluster::build(ClusterConfig {
+            seed: 61,
+            pool_size: 3,
+            initial_active: 1,
+            dynamoth: DynamothConfig {
+                cpu_aware,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        spawn_hot_channel(&mut cluster, ChannelId(0), 5, 10.0, 1_936, 30, SimTime::from_secs(1));
+        cluster.run_for(SimDuration::from_secs(30));
+        (
+            cluster.active_server_count(),
+            cluster.trace.rebalance_series().len(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,140 @@
+//! System-level elasticity integration tests (§III-B): the load
+//! balancer rents servers under load, releases them when idle, and the
+//! consistent-hashing baseline behaves as the paper describes.
+
+use std::sync::Arc;
+
+use dynamoth::core::{BalancerStrategy, Cluster, ClusterConfig, RebalanceKind};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_players;
+use dynamoth::workloads::{RGameConfig, Schedule};
+
+fn game_cluster(seed: u64, strategy: BalancerStrategy) -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed,
+        pool_size: 8,
+        initial_active: 1,
+        strategy,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn servers_are_rented_as_load_grows() {
+    let mut cluster = game_cluster(30, BalancerStrategy::Dynamoth);
+    let game = Arc::new(RGameConfig::default());
+    let schedule = Schedule::ramp(50, 400, SimTime::from_secs(2), SimTime::from_secs(60));
+    spawn_players(&mut cluster, &game, &schedule);
+    assert_eq!(cluster.active_server_count(), 1);
+    cluster.run_for(SimDuration::from_secs(90));
+    assert!(
+        cluster.active_server_count() >= 3,
+        "load balancer should have rented servers, has {}",
+        cluster.active_server_count()
+    );
+    // Response time stayed playable throughout.
+    let mean = cluster.trace.mean_response_ms_between(60, 90).unwrap();
+    assert!(mean < 150.0, "mean response {mean} ms");
+}
+
+#[test]
+fn servers_are_released_when_load_drops() {
+    let mut cluster = game_cluster(31, BalancerStrategy::Dynamoth);
+    let game = Arc::new(RGameConfig::default());
+    // 400 players for a while, then all but 40 leave.
+    let schedule = Schedule::steps(
+        400,
+        40,
+        0,
+        SimTime::from_secs(2),
+        SimTime::from_secs(40),
+        SimTime::from_secs(80),
+        SimTime::from_secs(200),
+        SimTime::from_secs(201),
+    );
+    spawn_players(&mut cluster, &game, &schedule);
+    cluster.run_for(SimDuration::from_secs(80));
+    let at_peak = cluster.active_server_count();
+    assert!(at_peak >= 3, "peak should use several servers, used {at_peak}");
+    cluster.run_for(SimDuration::from_secs(110));
+    let after_drop = cluster.active_server_count();
+    assert!(
+        after_drop < at_peak,
+        "servers not released: {at_peak} -> {after_drop}"
+    );
+    // The releases were low-load rebalances.
+    assert!(cluster
+        .trace
+        .rebalance_series()
+        .iter()
+        .any(|&(_, k)| k == RebalanceKind::LowLoad));
+    // Scale-down must not hurt latency (paper: no spikes on release).
+    let mean = cluster.trace.mean_response_ms_between(120, 190).unwrap();
+    assert!(mean < 150.0, "scale-down caused latency: {mean} ms");
+}
+
+#[test]
+fn consistent_hash_baseline_grows_but_never_shrinks() {
+    let mut cluster = game_cluster(32, BalancerStrategy::ConsistentHash);
+    let game = Arc::new(RGameConfig::default());
+    let schedule = Schedule::steps(
+        400,
+        40,
+        0,
+        SimTime::from_secs(2),
+        SimTime::from_secs(40),
+        SimTime::from_secs(80),
+        SimTime::from_secs(200),
+        SimTime::from_secs(201),
+    );
+    spawn_players(&mut cluster, &game, &schedule);
+    cluster.run_for(SimDuration::from_secs(80));
+    let at_peak = cluster.active_server_count();
+    assert!(at_peak >= 2, "baseline should also grow, used {at_peak}");
+    cluster.run_for(SimDuration::from_secs(110));
+    // The baseline has no low-load mechanism: servers stay rented.
+    assert_eq!(cluster.active_server_count(), at_peak);
+    assert!(cluster
+        .trace
+        .rebalance_series()
+        .iter()
+        .all(|&(_, k)| k == RebalanceKind::ConsistentHash));
+}
+
+#[test]
+fn pool_limit_is_respected() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 33,
+        pool_size: 2,
+        initial_active: 1,
+        strategy: BalancerStrategy::Dynamoth,
+        ..Default::default()
+    });
+    let game = Arc::new(RGameConfig::default());
+    let schedule = Schedule::ramp(100, 500, SimTime::from_secs(2), SimTime::from_secs(40));
+    spawn_players(&mut cluster, &game, &schedule);
+    cluster.run_for(SimDuration::from_secs(60));
+    assert!(cluster.active_server_count() <= 2);
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_history() {
+    let run = |seed: u64| {
+        let mut cluster = game_cluster(seed, BalancerStrategy::Dynamoth);
+        let game = Arc::new(RGameConfig::default());
+        let schedule = Schedule::ramp(30, 150, SimTime::from_secs(2), SimTime::from_secs(30));
+        spawn_players(&mut cluster, &game, &schedule);
+        cluster.run_for(SimDuration::from_secs(45));
+        (
+            cluster.world.stats(),
+            cluster.trace.delivered_total(),
+            cluster.trace.mean_response_ms(),
+            cluster.active_server_count(),
+        )
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a, b, "same seed must replay identically");
+    let c = run(78);
+    assert_ne!(a.0, c.0, "different seeds should diverge");
+}

@@ -1,0 +1,184 @@
+//! End-to-end integration tests: messages flow from publishers through
+//! the middleware to subscribers with exactly-once application-level
+//! delivery and WAN-floor response times.
+
+use dynamoth::core::{ChannelId, Cluster, ClusterConfig};
+use dynamoth::net::CloudTransportConfig;
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_hot_channel;
+use dynamoth::workloads::{micro, Publisher, Subscriber};
+
+fn cluster(seed: u64) -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed,
+        pool_size: 4,
+        initial_active: 2,
+        ..Default::default()
+    })
+}
+
+/// Runs publishers for a fixed window, stops them, drains the network,
+/// and returns (published, per-subscriber received) totals.
+fn run_and_drain(
+    cluster: &mut Cluster,
+    publishers: &[dynamoth::sim::NodeId],
+    subscribers: &[dynamoth::sim::NodeId],
+    run_secs: u64,
+) -> (u64, Vec<u64>) {
+    for &p in publishers {
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(run_secs), micro::TAG_STOP);
+    }
+    cluster.run_for(SimDuration::from_secs(run_secs + 10));
+    let published: u64 = publishers
+        .iter()
+        .map(|&p| {
+            cluster
+                .world
+                .actor::<Publisher>(p)
+                .expect("publisher")
+                .client()
+                .stats()
+                .publishes
+        })
+        .sum();
+    let received: Vec<u64> = subscribers
+        .iter()
+        .map(|&s| cluster.world.actor::<Subscriber>(s).expect("subscriber").received())
+        .collect();
+    (published, received)
+}
+
+#[test]
+fn every_subscriber_receives_every_message_exactly_once() {
+    let mut cluster = cluster(1);
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        ChannelId(3),
+        2,
+        10.0,
+        400,
+        5,
+        SimTime::from_secs(1),
+    );
+    let (published, received) = run_and_drain(&mut cluster, &pubs, &subs, 20);
+    assert!(published > 100, "publishers must have produced traffic");
+    for (i, &r) in received.iter().enumerate() {
+        assert_eq!(r, published, "subscriber {i} missed or duplicated messages");
+    }
+}
+
+#[test]
+fn response_time_sits_on_the_wan_floor() {
+    let mut cluster = cluster(2);
+    spawn_hot_channel(&mut cluster, ChannelId(1), 1, 5.0, 400, 3, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(20));
+    let mean = cluster.trace.mean_response_ms().expect("deliveries happened");
+    // Two one-way WAN samples with median ≈ 35 ms each, log-normal tail.
+    assert!(
+        (60.0..140.0).contains(&mean),
+        "mean response {mean} ms should be near the ~80 ms WAN floor"
+    );
+}
+
+#[test]
+fn subscribers_on_different_channels_are_isolated() {
+    let mut cluster = cluster(3);
+    let (pubs_a, subs_a) =
+        spawn_hot_channel(&mut cluster, ChannelId(1), 1, 10.0, 200, 2, SimTime::from_secs(1));
+    let (_pubs_b, subs_b) =
+        spawn_hot_channel(&mut cluster, ChannelId(2), 1, 2.0, 200, 2, SimTime::from_secs(1));
+    let (published_a, received_a) = run_and_drain(&mut cluster, &pubs_a, &subs_a, 15);
+    // Channel-2 subscribers must have received only channel-2 traffic,
+    // which is published at 1/5th the rate.
+    for &s in &subs_b {
+        let got = cluster.world.actor::<Subscriber>(s).expect("subscriber").received();
+        assert!(got < published_a / 2, "channel isolation violated: {got}");
+    }
+    for &r in &received_a {
+        assert_eq!(r, published_a);
+    }
+}
+
+#[test]
+fn unsubscribed_clients_stop_receiving() {
+    use dynamoth::core::Msg;
+    use dynamoth::sim::{Actor, ActorContext, NodeId};
+
+    // A subscriber that unsubscribes after its first delivery.
+    struct OneShot {
+        client: dynamoth::core::DynamothClient,
+        channel: ChannelId,
+        received: u64,
+    }
+    impl Actor<Msg> for OneShot {
+        fn on_message(&mut self, ctx: &mut dyn ActorContext<Msg>, from: NodeId, msg: Msg) {
+            let now = ctx.now();
+            let (events, out) = {
+                let mut rng = ctx.rng().fork();
+                self.client.on_message(now, &mut rng, from, msg)
+            };
+            for (to, m) in out {
+                let _ = ctx.send(to, m);
+            }
+            for event in events {
+                if matches!(event, dynamoth::core::ClientEvent::Delivery(_)) {
+                    self.received += 1;
+                    if self.received == 1 {
+                        for (to, m) in self.client.unsubscribe(now, self.channel) {
+                            let _ = ctx.send(to, m);
+                        }
+                    }
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, _tag: u64) {
+            let now = ctx.now();
+            let out = {
+                let mut rng = ctx.rng().fork();
+                self.client.subscribe(now, &mut rng, self.channel)
+            };
+            for (to, m) in out {
+                let _ = ctx.send(to, m);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 4,
+        pool_size: 2,
+        initial_active: 2,
+        transport: CloudTransportConfig::fast_lan(),
+        ..Default::default()
+    });
+    let channel = ChannelId(5);
+    let node = dynamoth::sim::NodeId::from_index(cluster.world.node_count());
+    let client = cluster.client_library(node);
+    cluster.add_client(Box::new(OneShot {
+        client,
+        channel,
+        received: 0,
+    }));
+    cluster.world.schedule_timer(node, SimTime::from_millis(100), 0);
+    let (pubs, _) = spawn_hot_channel(&mut cluster, channel, 1, 10.0, 100, 0, SimTime::ZERO);
+    cluster
+        .world
+        .schedule_timer(pubs[0], SimTime::from_secs(10), micro::TAG_STOP);
+    cluster.run_for(SimDuration::from_secs(15));
+    let one_shot: &OneShot = cluster.world.actor(node).expect("one-shot");
+    // It received the first message plus at most the few already in
+    // flight before the unsubscribe took effect.
+    assert!(one_shot.received >= 1);
+    assert!(
+        one_shot.received <= 3,
+        "kept receiving after unsubscribe: {}",
+        one_shot.received
+    );
+}

@@ -1,0 +1,138 @@
+//! Fault-tolerance integration tests (the reliability extension, §VII
+//! future work): a pub/sub server crashes mid-run; the load balancer
+//! notices the silent LLA and migrates its channels, and clients detect
+//! the dead server through missed pings and recover their subscriptions
+//! through the consistent-hash fallback.
+
+use dynamoth::core::{
+    ChannelId, Cluster, ClusterConfig, DynamothConfig, RebalanceKind, ServerNode,
+};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_hot_channel;
+use dynamoth::workloads::Subscriber;
+
+const CHANNEL: ChannelId = ChannelId(0);
+
+fn cluster(seed: u64) -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed,
+        pool_size: 4,
+        initial_active: 3,
+        dynamoth: DynamothConfig {
+            fault_tolerance: true,
+            server_failure_timeout: SimDuration::from_secs(3),
+            client_ping_interval: SimDuration::from_secs(1),
+            client_failover_timeout: SimDuration::from_secs(4),
+            t_wait: SimDuration::from_secs(5),
+            // Keep all three servers rented (the micro workload is far
+            // too light to justify them) so the crash has healthy
+            // fail-over targets.
+            lr_low: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+#[test]
+fn crash_triggers_failover_and_deliveries_resume() {
+    let mut cluster = cluster(100);
+    let (_, subs) =
+        spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(10));
+    let victim = cluster.ring.server_for(CHANNEL);
+
+    // Verify traffic flows through the hash home, then kill it.
+    let received_before: u64 = subs
+        .iter()
+        .map(|&s| cluster.world.actor::<Subscriber>(s).unwrap().received())
+        .sum();
+    assert!(received_before > 200, "no steady traffic before the crash");
+    cluster
+        .world
+        .actor_mut::<ServerNode>(victim.0)
+        .unwrap()
+        .crash();
+
+    cluster.run_for(SimDuration::from_secs(30));
+
+    // The balancer declared the server failed and produced a failover
+    // plan.
+    assert!(
+        cluster
+            .trace
+            .rebalance_series()
+            .iter()
+            .any(|&(_, k)| k == RebalanceKind::Failover),
+        "no failover recorded: {:?}",
+        cluster.trace.rebalance_series()
+    );
+    let lb = cluster.load_balancer().unwrap();
+    assert!(!lb.active_servers().contains(&victim));
+
+    // Subscribers failed over and deliveries resumed: compare the last
+    // 10 seconds against the publishing rate (2 pubs × 10 msg/s × 10 s
+    // per subscriber).
+    let now = cluster.world.now().as_secs();
+    let late = cluster
+        .trace
+        .mean_response_ms_between(now - 10, now)
+        .expect("deliveries resumed");
+    assert!(late < 200.0, "late response {late} ms");
+    for &s in &subs {
+        let sub: &Subscriber = cluster.world.actor(s).unwrap();
+        let servers = sub.client().subscription_servers(CHANNEL);
+        assert!(
+            !servers.contains(&victim),
+            "subscriber still pinned to the dead server"
+        );
+    }
+}
+
+#[test]
+fn recovered_server_can_be_rented_again() {
+    let mut cluster = cluster(101);
+    let (_, _) =
+        spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(8));
+    let victim = cluster.ring.server_for(CHANNEL);
+    cluster
+        .world
+        .actor_mut::<ServerNode>(victim.0)
+        .unwrap()
+        .crash();
+    cluster.run_for(SimDuration::from_secs(15));
+    assert!(!cluster
+        .load_balancer()
+        .unwrap()
+        .active_servers()
+        .contains(&victim));
+
+    // The node restarts; its broker state is empty but its LLA resumes
+    // reporting, making it a spawn candidate again.
+    cluster
+        .world
+        .actor_mut::<ServerNode>(victim.0)
+        .unwrap()
+        .recover();
+    cluster.run_for(SimDuration::from_secs(10));
+    let node = cluster.server_node(victim).unwrap();
+    assert!(!node.is_crashed());
+    assert_eq!(node.pubsub().subscription_count(), 0, "state survived a crash");
+}
+
+#[test]
+fn healthy_clusters_never_fail_over() {
+    let mut cluster = cluster(102);
+    spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(30));
+    assert!(cluster
+        .trace
+        .rebalance_series()
+        .iter()
+        .all(|&(_, k)| k != RebalanceKind::Failover));
+    // Liveness pings flowed without triggering anything.
+    for s in &cluster.servers {
+        assert!(!cluster.server_node(*s).unwrap().is_crashed());
+    }
+}

@@ -1,0 +1,88 @@
+//! Multi-tenancy: §II-C argues that keeping client plans minimal "also
+//! enables the middleware to support multiple applications
+//! concurrently". Here three independent applications — an RGame world,
+//! a chat service and a notification feed — share one Dynamoth cluster,
+//! and every client's local plan stays bounded by the handful of
+//! channels it actually touches.
+
+use std::sync::Arc;
+
+use dynamoth::core::{ChannelId, Cluster, ClusterConfig};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::{spawn_chat_users, spawn_hot_channel, spawn_players};
+use dynamoth::workloads::{ChatConfig, ChatUser, Player, RGameConfig, Schedule, Subscriber};
+
+/// A channel id far away from both the tile and the room namespaces.
+const FEED: ChannelId = ChannelId(9_000_000);
+
+#[test]
+fn three_applications_share_one_cluster() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 110,
+        pool_size: 8,
+        initial_active: 2,
+        ..Default::default()
+    });
+
+    // Application 1: a game world.
+    let game = Arc::new(RGameConfig::default());
+    let schedule = Schedule::ramp(50, 150, SimTime::from_secs(2), SimTime::from_secs(30));
+    let (players, counter) = spawn_players(&mut cluster, &game, &schedule);
+
+    // Application 2: chat rooms.
+    let chat = Arc::new(ChatConfig {
+        rooms: 60,
+        ..Default::default()
+    });
+    let chatters = spawn_chat_users(
+        &mut cluster,
+        &chat,
+        80,
+        SimTime::from_secs(2),
+        SimDuration::from_secs(20),
+    );
+
+    // Application 3: a notification feed (1 publisher, many readers).
+    let (_, readers) =
+        spawn_hot_channel(&mut cluster, FEED, 1, 2.0, 300, 40, SimTime::from_secs(2));
+
+    cluster.run_for(SimDuration::from_secs(60));
+
+    // Everyone is live and got traffic.
+    assert_eq!(counter.count(), 150);
+    let chat_received: u64 = chatters
+        .iter()
+        .map(|&u| cluster.world.actor::<ChatUser>(u).unwrap().received())
+        .sum();
+    assert!(chat_received > 1_000, "chat app starved: {chat_received}");
+    for &r in &readers {
+        let sub: &Subscriber = cluster.world.actor(r).unwrap();
+        assert!(sub.received() > 50, "feed reader starved: {}", sub.received());
+    }
+    let mean = cluster.trace.mean_response_ms_between(30, 60).unwrap();
+    assert!(mean < 150.0, "shared cluster degraded: {mean} ms");
+
+    // The paper's point: each client's plan holds only the channels it
+    // uses, not the union of all applications (≥ 85 tile channels + 60
+    // rooms + the feed exist cluster-wide).
+    for &p in players.iter().take(20) {
+        let player: &Player = cluster.world.actor(p).unwrap();
+        assert!(
+            player.client().plan_len() <= 12,
+            "player plan grew to {}",
+            player.client().plan_len()
+        );
+    }
+    for &u in chatters.iter().take(20) {
+        let user: &ChatUser = cluster.world.actor(u).unwrap();
+        assert!(
+            user.client().plan_len() <= 4 + chat.rooms_per_user,
+            "chat plan grew to {}",
+            user.client().plan_len()
+        );
+    }
+
+    // Channel namespaces never collided: tile ids < rooms < feed.
+    assert!(game.grid * game.grid < 1_000_000);
+    assert!(chat.room_channel(chat.rooms - 1) < FEED);
+}

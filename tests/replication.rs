@@ -1,0 +1,211 @@
+//! Channel-replication integration tests (§II-B): both schemes deliver
+//! every message exactly once while actually spreading load over the
+//! replica set, and Algorithm 1 enables replication on its own when a
+//! channel's metrics call for it.
+
+use dynamoth::core::{
+    BalancerStrategy, ChannelId, ChannelMapping, Cluster, ClusterConfig, DynamothConfig, Plan,
+};
+use dynamoth::sim::{SimDuration, SimTime};
+use dynamoth::workloads::setup::spawn_hot_channel;
+use dynamoth::workloads::{micro, Publisher, Subscriber};
+
+const CHANNEL: ChannelId = ChannelId(0);
+
+fn manual_cluster(seed: u64) -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed,
+        pool_size: 3,
+        initial_active: 3,
+        strategy: BalancerStrategy::Manual,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn all_subscribers_spreads_publishers_and_delivers_once() {
+    let mut cluster = manual_cluster(20);
+    let servers = cluster.servers.clone();
+    let mut plan = Plan::bootstrap();
+    plan.set(CHANNEL, ChannelMapping::AllSubscribers(servers.clone()));
+    cluster.install_plan(plan);
+
+    let (pubs, subs) =
+        spawn_hot_channel(&mut cluster, CHANNEL, 30, 10.0, 300, 2, SimTime::from_secs(1));
+    for &p in &pubs {
+        cluster.world.schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
+    }
+    cluster.run_for(SimDuration::from_secs(25));
+
+    let published: u64 = pubs
+        .iter()
+        .map(|&p| cluster.world.actor::<Publisher>(p).unwrap().client().stats().publishes)
+        .sum();
+    for &s in &subs {
+        let sub: &Subscriber = cluster.world.actor(s).unwrap();
+        assert_eq!(sub.received(), published, "exactly-once under all-subscribers");
+        // The subscriber holds a subscription on EVERY replica.
+        assert_eq!(sub.client().subscription_servers(CHANNEL).len(), 3);
+    }
+    // Every replica carried publications (publishers spread out): check
+    // that each server processed a nontrivial share of commands.
+    for &server in &servers {
+        let node = cluster.server_node(server).unwrap();
+        assert!(
+            node.pubsub().commands_processed() > published / 10,
+            "server {server} barely used: {}",
+            node.pubsub().commands_processed()
+        );
+    }
+}
+
+#[test]
+fn all_publishers_spreads_subscribers_and_delivers_once() {
+    let mut cluster = manual_cluster(21);
+    let servers = cluster.servers.clone();
+    let mut plan = Plan::bootstrap();
+    plan.set(CHANNEL, ChannelMapping::AllPublishers(servers.clone()));
+    cluster.install_plan(plan);
+
+    let (pubs, subs) =
+        spawn_hot_channel(&mut cluster, CHANNEL, 1, 10.0, 300, 60, SimTime::from_secs(1));
+    for &p in &pubs {
+        cluster.world.schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
+    }
+    cluster.run_for(SimDuration::from_secs(25));
+
+    let published = cluster
+        .world
+        .actor::<Publisher>(pubs[0])
+        .unwrap()
+        .client()
+        .stats()
+        .publishes;
+    for &s in &subs {
+        let sub: &Subscriber = cluster.world.actor(s).unwrap();
+        assert_eq!(sub.received(), published, "exactly-once under all-publishers");
+        assert_eq!(sub.client().subscription_servers(CHANNEL).len(), 1);
+    }
+    // The 60 subscribers spread over the three replicas: every server
+    // must hold a meaningful share (a fair split would be 20 each).
+    for &server in &servers {
+        let count = cluster
+            .server_node(server)
+            .unwrap()
+            .pubsub()
+            .subscriber_count(CHANNEL);
+        assert!(
+            (8..=40).contains(&count),
+            "server {server} holds {count} subscribers; distribution failed"
+        );
+    }
+}
+
+#[test]
+fn algorithm_1_replicates_a_publication_storm_automatically() {
+    // Thresholds low enough that 60 publishers at 10 msg/s trip the
+    // all-subscribers rule.
+    let dynamoth = DynamothConfig {
+        all_subs_threshold: 150.0,
+        publication_threshold: 200.0,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 22,
+        pool_size: 3,
+        initial_active: 3,
+        strategy: BalancerStrategy::Dynamoth,
+        dynamoth,
+        ..Default::default()
+    });
+    spawn_hot_channel(&mut cluster, CHANNEL, 60, 10.0, 300, 1, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let mapping = cluster
+        .load_balancer()
+        .unwrap()
+        .plan()
+        .mapping(CHANNEL)
+        .cloned();
+    match mapping {
+        Some(ChannelMapping::AllSubscribers(v)) => assert!(v.len() >= 2),
+        other => panic!("expected automatic all-subscribers replication, got {other:?}"),
+    }
+}
+
+#[test]
+fn algorithm_1_replicates_a_subscriber_storm_automatically() {
+    let dynamoth = DynamothConfig {
+        all_pubs_threshold: 4.0,
+        subscriber_threshold: 30.0,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 23,
+        pool_size: 3,
+        initial_active: 3,
+        strategy: BalancerStrategy::Dynamoth,
+        dynamoth,
+        ..Default::default()
+    });
+    // 2 publishers at 5 msg/s, 80 subscribers: S_ratio = 8.
+    spawn_hot_channel(&mut cluster, CHANNEL, 2, 5.0, 300, 80, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let mapping = cluster
+        .load_balancer()
+        .unwrap()
+        .plan()
+        .mapping(CHANNEL)
+        .cloned();
+    match mapping {
+        Some(ChannelMapping::AllPublishers(v)) => assert!(v.len() >= 2),
+        other => panic!("expected automatic all-publishers replication, got {other:?}"),
+    }
+}
+
+#[test]
+fn replication_is_cancelled_when_the_storm_passes() {
+    let dynamoth = DynamothConfig {
+        all_subs_threshold: 150.0,
+        publication_threshold: 200.0,
+        t_wait: SimDuration::from_secs(5),
+        ..Default::default()
+    };
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 24,
+        pool_size: 3,
+        initial_active: 3,
+        strategy: BalancerStrategy::Dynamoth,
+        dynamoth,
+        ..Default::default()
+    });
+    let (pubs, _) =
+        spawn_hot_channel(&mut cluster, CHANNEL, 60, 10.0, 300, 1, SimTime::from_secs(1));
+    cluster.run_for(SimDuration::from_secs(25));
+    assert!(
+        cluster
+            .load_balancer()
+            .unwrap()
+            .plan()
+            .mapping(CHANNEL)
+            .is_some_and(|m| m.is_replicated()),
+        "replication should be active during the storm"
+    );
+    // Storm ends; the balancer must eventually collapse the channel back
+    // to a single server.
+    for &p in &pubs {
+        cluster.world.schedule_timer(p, SimTime::from_secs(26), micro::TAG_STOP);
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+    let mapping = cluster
+        .load_balancer()
+        .unwrap()
+        .plan()
+        .mapping(CHANNEL)
+        .cloned();
+    assert!(
+        matches!(mapping, Some(ChannelMapping::Single(_))),
+        "replication not cancelled: {mapping:?}"
+    );
+}

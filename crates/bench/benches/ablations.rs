@@ -30,7 +30,12 @@ fn small_game(dynamoth: DynamothConfig, players: usize, secs: u64, seed: u64) ->
         ..Default::default()
     });
     let game = Arc::new(RGameConfig::default());
-    let schedule = Schedule::ramp(50, players, SimTime::from_secs(2), SimTime::from_secs(secs / 2));
+    let schedule = Schedule::ramp(
+        50,
+        players,
+        SimTime::from_secs(2),
+        SimTime::from_secs(secs / 2),
+    );
     spawn_players(&mut cluster, &game, &schedule);
     cluster.run_for(SimDuration::from_secs(secs));
     cluster
@@ -76,7 +81,15 @@ fn migration_loss(dynamoth: DynamothConfig, target: ChannelMapping, seed: u64) -
     let mut plan = Plan::bootstrap();
     plan.set(channel, ChannelMapping::Single(first));
     cluster.install_plan(plan);
-    let (pubs, subs) = spawn_hot_channel(&mut cluster, channel, 4, 10.0, 400, 6, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        channel,
+        4,
+        10.0,
+        400,
+        6,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(8));
     let mut plan = Plan::bootstrap();
     plan.set(channel, target);
@@ -139,7 +152,9 @@ fn a2_unsubscribe_grace() {
 }
 
 fn a3_mirror_window() {
-    println!("# A3 — expansion mirror window: overlap cost vs safety margin enabling all-subscribers");
+    println!(
+        "# A3 — expansion mirror window: overlap cost vs safety margin enabling all-subscribers"
+    );
     println!("# (plan-version hints correct publishers and subscribers within the same WAN");
     println!("#  round-trip, so losses need latency-tail outliers; duplicates price the mirror)");
     println!("mirror_ms,published,min_received,lost,duplicates_suppressed");
@@ -180,7 +195,9 @@ fn a4_t_wait() {
 }
 
 fn a5_vnodes() {
-    println!("# A5 — virtual identifiers per server vs CH channel balance (8 servers, 10k channels)");
+    println!(
+        "# A5 — virtual identifiers per server vs CH channel balance (8 servers, 10k channels)"
+    );
     println!("vnodes,max_share,min_share,stddev_share");
     let servers: Vec<ServerId> = (0..8).map(|i| ServerId(NodeId::from_index(i))).collect();
     for vnodes in [1u32, 4, 16, 64, 100, 256] {
@@ -193,8 +210,7 @@ fn a5_vnodes() {
         }
         let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
         let mean = 1.0 / servers.len() as f64;
-        let var =
-            shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shares.len() as f64;
+        let var = shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shares.len() as f64;
         println!(
             "{vnodes},{:.4},{:.4},{:.4}",
             shares.iter().cloned().fold(0.0, f64::max),

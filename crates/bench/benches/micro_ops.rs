@@ -41,7 +41,10 @@ fn bench_plan_resolve(c: &mut Criterion) {
     let ring = Ring::new(&servers(8), 100);
     let mut plan = Plan::bootstrap();
     for ch in 0..100 {
-        plan.set(ChannelId(ch), ChannelMapping::Single(sid((ch % 8) as usize)));
+        plan.set(
+            ChannelId(ch),
+            ChannelMapping::Single(sid((ch % 8) as usize)),
+        );
     }
     let mut i = 0u64;
     c.bench_function("plan_resolve_mapped", |b| {
@@ -78,7 +81,11 @@ fn bench_dedup(c: &mut Criterion) {
         b.iter_batched(
             || {
                 (
-                    DynamothClient::new(NodeId::from_index(99), Arc::clone(&ring), Arc::clone(&cfg)),
+                    DynamothClient::new(
+                        NodeId::from_index(99),
+                        Arc::clone(&ring),
+                        Arc::clone(&cfg),
+                    ),
                     SimRng::new(1),
                 )
             },
@@ -158,7 +165,13 @@ fn bench_algorithms(c: &mut Criterion) {
     let store = synthetic_store(8, 100);
     let active = servers(8);
     c.bench_function("load_view_build_8s_100c", |b| {
-        b.iter(|| black_box(LoadView::from_store(&store, &active, cfg.capacity_per_tick())))
+        b.iter(|| {
+            black_box(LoadView::from_store(
+                &store,
+                &active,
+                cfg.capacity_per_tick(),
+            ))
+        })
     });
 
     c.bench_function("algorithm2_rebalance_8s_100c", |b| {
@@ -168,6 +181,97 @@ fn bench_algorithms(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+}
+
+/// One channel, `n_subs` subscribers, 8 publishers firing in lock-step
+/// (so same-instant bursts reach the server and the batch path forms
+/// real multi-entry batches). Returns the cluster plus the subscriber
+/// nodes for delivery accounting.
+fn fanout_cluster(n_subs: usize, batching: bool) -> (dynamoth_core::Cluster, Vec<NodeId>) {
+    use dynamoth_core::{BalancerStrategy, Cluster, ClusterConfig};
+    use dynamoth_net::CloudTransportConfig;
+    use dynamoth_sim::SimDuration;
+    use dynamoth_workloads::{micro, Publisher, Subscriber};
+
+    let mut cluster = Cluster::build(ClusterConfig {
+        pool_size: 1,
+        initial_active: 1,
+        strategy: BalancerStrategy::Manual,
+        transport: CloudTransportConfig::fast_lan(),
+        dynamoth: DynamothConfig {
+            delivery_batching: batching,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut subs = Vec::with_capacity(n_subs);
+    for _ in 0..n_subs {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let actor = Subscriber::new(client, ChannelId(0), cluster.trace.clone());
+        cluster.add_client(Box::new(actor));
+        cluster
+            .world
+            .schedule_timer(node, SimTime::ZERO, micro::TAG_START);
+        subs.push(node);
+    }
+    for _ in 0..8 {
+        let node = NodeId::from_index(cluster.world.node_count());
+        let client = cluster.client_library(node);
+        let actor = Publisher::new(client, ChannelId(0), 10.0, 200);
+        cluster.add_client(Box::new(actor));
+        // No stagger: all eight publish at the very same instants.
+        cluster
+            .world
+            .schedule_timer(node, SimTime::from_secs(1), micro::TAG_START);
+    }
+    cluster.run_for(SimDuration::from_secs(2)); // subscribe + warm up
+    (cluster, subs)
+}
+
+/// The fan-out fast path: one simulated second of a 1-channel burst
+/// workload, per-message vs batched delivery, at increasing fan-out.
+/// Throughput is simulated-work per wall second, so the batched path's
+/// advantage is the event/allocation volume it avoids.
+fn bench_fanout(c: &mut Criterion) {
+    use dynamoth_sim::SimDuration;
+    use dynamoth_workloads::Subscriber;
+
+    for &n_subs in &[10usize, 100, 1_000] {
+        for (label, batching) in [("per_message", false), ("batched", true)] {
+            c.bench_function(&format!("fanout_1ch_{n_subs}subs_{label}"), |b| {
+                b.iter_batched(
+                    || fanout_cluster(n_subs, batching).0,
+                    |mut cluster| {
+                        cluster.run_for(SimDuration::from_secs(1));
+                        black_box(cluster.world.stats())
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+
+    // Ablation sanity check (the knob must not change outcomes): same
+    // workload, both knob positions, identical delivery counts and
+    // duplicate-suppression statistics.
+    let totals = |batching: bool| {
+        let (mut cluster, subs) = fanout_cluster(100, batching);
+        cluster.run_for(SimDuration::from_secs(3));
+        let mut delivered = 0u64;
+        let mut duplicates = 0u64;
+        for &s in &subs {
+            let sub: &Subscriber = cluster.world.actor(s).unwrap();
+            delivered += sub.received();
+            duplicates += sub.client().stats().duplicates_suppressed;
+        }
+        (delivered, duplicates)
+    };
+    assert_eq!(
+        totals(true),
+        totals(false),
+        "delivery batching changed observable outcomes"
+    );
 }
 
 fn bench_simulation_throughput(c: &mut Criterion) {
@@ -205,6 +309,7 @@ criterion_group!(
     bench_client_publish,
     bench_dedup,
     bench_algorithms,
+    bench_fanout,
     bench_simulation_throughput
 );
 criterion_main!(benches);

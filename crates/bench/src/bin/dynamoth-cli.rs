@@ -27,10 +27,7 @@ impl Args {
         while i < raw.len() {
             let arg = &raw[i];
             if let Some(name) = arg.strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -67,7 +64,11 @@ fn out_writer(args: &Args) -> Box<dyn Write> {
 }
 
 fn write_game_series(mut w: impl Write, series: &GameSeries) {
-    writeln!(w, "second,players,servers,messages_per_s,response_ms,avg_lr,max_lr").unwrap();
+    writeln!(
+        w,
+        "second,players,servers,messages_per_s,response_ms,avg_lr,max_lr"
+    )
+    .unwrap();
     let at = |v: &[(u64, usize)], sec: u64| {
         v.iter()
             .take_while(|&&(s, _)| s <= sec)
@@ -105,7 +106,9 @@ fn write_game_series(mut w: impl Write, series: &GameSeries) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
-        eprintln!("usage: dynamoth-cli <fig4a|fig4b|fig5|fig7|chat> [flags]  (see the source header)");
+        eprintln!(
+            "usage: dynamoth-cli <fig4a|fig4b|fig5|fig7|chat> [flags]  (see the source header)"
+        );
         std::process::exit(2);
     };
     let args = Args::parse(&raw[1..]);
@@ -118,7 +121,9 @@ fn main() {
             println!("subscribers,response_ms,delivery_ratio,lost_subscriptions");
             println!(
                 "{subs},{},{:.3},{}",
-                row.response_ms.map(|r| format!("{r:.1}")).unwrap_or_default(),
+                row.response_ms
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_default(),
                 row.delivery_ratio,
                 row.lost_subscriptions
             );
@@ -129,7 +134,9 @@ fn main() {
             println!("publishers,response_ms,delivery_ratio,lost_subscriptions");
             println!(
                 "{pubs},{},{:.3},{}",
-                row.response_ms.map(|r| format!("{r:.1}")).unwrap_or_default(),
+                row.response_ms
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_default(),
                 row.delivery_ratio,
                 row.lost_subscriptions
             );

@@ -100,7 +100,9 @@ fn run_micro(
     );
     cluster.run_for(SimDuration::from_secs(warmup + measure + 2));
     let expected = rate * n_publishers as f64 * n_subscribers as f64 * measure as f64;
-    let response = cluster.trace.mean_response_ms_between(warmup, warmup + measure);
+    let response = cluster
+        .trace
+        .mean_response_ms_between(warmup, warmup + measure);
     let ratio = (cluster.trace.delivered_total() as f64 / expected).min(1.0);
     (response, ratio, cluster.trace.lost_subscriptions())
 }
@@ -117,7 +119,8 @@ pub fn fig4a(subscribers: usize, replicated: bool, seed: u64) -> MicroRow {
         ChannelMapping::Single(servers[0])
     };
     replicate_hot(&mut cluster, mapping);
-    let (response_ms, delivery_ratio, lost_subscriptions) = run_micro(cluster, 1, subscribers, 10.0);
+    let (response_ms, delivery_ratio, lost_subscriptions) =
+        run_micro(cluster, 1, subscribers, 10.0);
     MicroRow {
         clients: subscribers,
         response_ms,

@@ -296,13 +296,19 @@ mod tests {
         let active = vec![sid(0), sid(1)];
         let ring = Ring::new(&active, 16);
         let mut plan = Plan::bootstrap();
-        plan.set(ChannelId(9), ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]));
+        plan.set(
+            ChannelId(9),
+            ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]),
+        );
         let mut view = view_with_loads(&[(0, 900), (1, 100)]);
         let aggregates = vec![(ChannelId(9), agg(1.0, 1.0))];
         let changed = apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg());
         assert!(changed);
         // Collapsed onto the least loaded member.
-        assert_eq!(plan.mapping(ChannelId(9)), Some(&ChannelMapping::Single(sid(1))));
+        assert_eq!(
+            plan.mapping(ChannelId(9)),
+            Some(&ChannelMapping::Single(sid(1)))
+        );
     }
 
     #[test]
@@ -312,7 +318,14 @@ mod tests {
         let mut plan = Plan::bootstrap();
         let mut view = view_with_loads(&[(0, 500), (1, 500)]);
         let aggregates = vec![(ChannelId(9), agg(2.0, 3.0))];
-        assert!(!apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg()));
+        assert!(!apply(
+            &mut plan,
+            &ring,
+            &aggregates,
+            &mut view,
+            &active,
+            &cfg()
+        ));
         assert!(plan.is_empty());
     }
 
@@ -334,6 +347,13 @@ mod tests {
         let mut plan = Plan::bootstrap();
         let mut view = view_with_loads(&[(0, 500)]);
         let aggregates = vec![(ChannelId(9), agg(100_000.0, 1.0))];
-        assert!(!apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg()));
+        assert!(!apply(
+            &mut plan,
+            &ring,
+            &aggregates,
+            &mut view,
+            &active,
+            &cfg()
+        ));
     }
 }

@@ -74,8 +74,7 @@ impl LoadView {
             for &report_channel in &all_channels {
                 let bytes = store.channel_bytes_on(s, report_channel);
                 let contribution = if cpu_dominated && total_deliveries > 0.0 {
-                    let share =
-                        store.channel_deliveries_on(s, report_channel) / total_deliveries;
+                    let share = store.channel_deliveries_on(s, report_channel) / total_deliveries;
                     bytes.max(share * base)
                 } else {
                     bytes
@@ -130,7 +129,11 @@ impl LoadView {
 
     /// The busiest channel on `server` (by estimated bytes/tick),
     /// ignoring channels in `skip`. Ties broken by channel id.
-    pub fn busiest_channel(&self, server: ServerId, skip: &[ChannelId]) -> Option<(ChannelId, f64)> {
+    pub fn busiest_channel(
+        &self,
+        server: ServerId,
+        skip: &[ChannelId],
+    ) -> Option<(ChannelId, f64)> {
         self.channels_on.get(&server).and_then(|per_channel| {
             per_channel
                 .iter()
@@ -248,10 +251,7 @@ mod tests {
 
     #[test]
     fn view_reflects_measured_load() {
-        let store = store_with(&[
-            (0, 900, vec![(1, 600), (2, 300)]),
-            (1, 100, vec![(3, 100)]),
-        ]);
+        let store = store_with(&[(0, 900, vec![(1, 600), (2, 300)]), (1, 100, vec![(3, 100)])]);
         let view = LoadView::from_store(&store, &[sid(0), sid(1)], 1_000.0);
         assert!((view.load_ratio(sid(0)) - 0.9).abs() < 1e-9);
         assert!((view.load_ratio(sid(1)) - 0.1).abs() < 1e-9);

@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn overloaded_server_sheds_busiest_channels() {
         // Server 0 at 1.2, server 1 at 0.1.
-        let mut v = view(&[
-            (0, vec![(1, 500), (2, 400), (3, 300)]),
-            (1, vec![(4, 100)]),
-        ]);
+        let mut v = view(&[(0, vec![(1, 500), (2, 400), (3, 300)]), (1, vec![(4, 100)])]);
         let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
         assert!(out.changed);
         assert_eq!(out.servers_wanted, 0);
@@ -164,17 +161,19 @@ mod tests {
         // Post-condition: estimated loads are at or below LR_safe
         // everywhere (the source can land exactly on the threshold).
         for s in [sid(0), sid(1)] {
-            assert!(v.load_ratio(s) <= 0.7 + 1e-9, "{} at {}", s, v.load_ratio(s));
+            assert!(
+                v.load_ratio(s) <= 0.7 + 1e-9,
+                "{} at {}",
+                s,
+                v.load_ratio(s)
+            );
         }
     }
 
     #[test]
     fn requests_servers_when_pool_exhausted() {
         // Both servers hot: no migration target can absorb anything.
-        let mut v = view(&[
-            (0, vec![(1, 600), (2, 600)]),
-            (1, vec![(3, 600), (4, 600)]),
-        ]);
+        let mut v = view(&[(0, vec![(1, 600), (2, 600)]), (1, vec![(3, 600), (4, 600)])]);
         let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
         assert!(out.servers_wanted >= 1, "wanted {}", out.servers_wanted);
     }
@@ -191,10 +190,7 @@ mod tests {
     fn does_not_overload_the_target() {
         // One giant channel (950) that would blow past LR_safe on the
         // idle server, plus small ones that fit.
-        let mut v = view(&[
-            (0, vec![(1, 950), (2, 100), (3, 100)]),
-            (1, vec![]),
-        ]);
+        let mut v = view(&[(0, vec![(1, 950), (2, 100), (3, 100)]), (1, vec![])]);
         let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
         // The giant channel must NOT have been migrated.
         assert!(
@@ -210,7 +206,10 @@ mod tests {
     fn replicated_channels_are_left_to_channel_level() {
         use crate::plan::ChannelMapping;
         let mut plan = Plan::bootstrap();
-        plan.set(ChannelId(1), ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]));
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]),
+        );
         let mut v = view(&[(0, vec![(1, 1_200)]), (1, vec![])]);
         let out = rebalance(&plan, &mut v, &cfg());
         // Mapping unchanged for the replicated channel.

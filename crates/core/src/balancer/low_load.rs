@@ -34,24 +34,26 @@ pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> Opti
     }
     let (victim, _) = view.min_loaded(None)?;
 
+    // Stage the drain on a scratch copy: an abort part-way through must
+    // leave the caller's estimates exactly as they were, or later
+    // decisions in the same evaluation run against phantom migrations.
+    let mut staged = view.clone();
     let mut p_star = plan.clone();
-    let channels = view.channels_on(victim);
+    let channels = staged.channels_on(victim);
     for (channel, bytes) in channels {
         // Replicated channels must first be collapsed by channel-level
         // rebalancing; draining a replica member here would fight it.
-        if p_star
-            .mapping(channel)
-            .is_some_and(|m| m.is_replicated())
-        {
+        if p_star.mapping(channel).is_some_and(|m| m.is_replicated()) {
             return None;
         }
-        let (target, lr) = view.min_loaded(Some(victim))?;
-        if lr + view.ratio_of(bytes) > cfg.lr_safe {
+        let (target, lr) = staged.min_loaded(Some(victim))?;
+        if lr + staged.ratio_of(bytes) > cfg.lr_safe {
             return None; // pool cannot absorb; abort the drain
         }
         p_star.migrate(channel, victim, target);
-        view.migrate(channel, victim, target);
+        staged.migrate(channel, victim, target);
     }
+    *view = staged;
     Some(LowLoadOutcome {
         plan: p_star,
         release: victim,
@@ -107,10 +109,7 @@ mod tests {
 
     #[test]
     fn drains_least_loaded_server_when_global_load_is_low() {
-        let mut v = view(&[
-            (0, vec![(1, 300)]),
-            (1, vec![(2, 100), (3, 50)]),
-        ]);
+        let mut v = view(&[(0, vec![(1, 300)]), (1, vec![(2, 100), (3, 50)])]);
         let out = rebalance(&Plan::bootstrap(), &mut v, &cfg()).expect("drain");
         assert_eq!(out.release, sid(1));
         // Both channels moved to server 0.
@@ -142,10 +141,29 @@ mod tests {
     }
 
     #[test]
+    fn aborted_drain_leaves_estimates_intact() {
+        // The first channel fits under LR_safe, the second does not: the
+        // drain must abort AND roll the staged migration of the first
+        // channel back out of the estimator, or the caller's view shows
+        // a migration that never produced a plan.
+        let mut v = view(&[(0, vec![(1, 600)]), (1, vec![(2, 80), (3, 50)])]);
+        let mut c = cfg();
+        c.lr_low = 0.5;
+        let before: Vec<f64> = [0, 1].map(|i| v.load_ratio(sid(i))).to_vec();
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &c).is_none());
+        let after: Vec<f64> = [0, 1].map(|i| v.load_ratio(sid(i))).to_vec();
+        assert_eq!(before, after, "aborted drain corrupted the load view");
+        assert_eq!(v.channels_on(sid(1)).len(), 2);
+    }
+
+    #[test]
     fn aborts_on_replicated_channels() {
         use crate::plan::ChannelMapping;
         let mut plan = Plan::bootstrap();
-        plan.set(ChannelId(2), ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]));
+        plan.set(
+            ChannelId(2),
+            ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]),
+        );
         let mut v = view(&[(0, vec![(1, 200)]), (1, vec![(2, 50)])]);
         assert!(rebalance(&plan, &mut v, &cfg()).is_none());
     }

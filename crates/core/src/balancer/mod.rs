@@ -229,7 +229,10 @@ impl LoadBalancer {
             // the weakness the paper demonstrates.
             let mut plan = Plan::bootstrap();
             for channel in self.store.channels() {
-                plan.set(channel, ChannelMapping::Single(self.ch_ring.server_for(channel)));
+                plan.set(
+                    channel,
+                    ChannelMapping::Single(self.ch_ring.server_for(channel)),
+                );
             }
             self.push_plan(ctx, now, plan, RebalanceKind::ConsistentHash);
         }

@@ -23,9 +23,9 @@
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use dynamoth_sim::{NodeId, SimRng, SimTime};
 #[cfg(test)]
 use dynamoth_sim::SimDuration;
+use dynamoth_sim::{NodeId, SimRng, SimTime};
 
 use crate::config::DynamothConfig;
 use crate::hashing::Ring;
@@ -54,6 +54,9 @@ pub enum ClientEvent {
 pub struct ClientStats {
     /// Publications delivered to the application.
     pub deliveries: u64,
+    /// `DeliverBatch` wire messages unpacked (each carries ≥ 2
+    /// publications; singletons arrive as plain `Deliver`).
+    pub batches_received: u64,
     /// Duplicate deliveries suppressed.
     pub duplicates_suppressed: u64,
     /// `WrongServer` notices received.
@@ -298,8 +301,7 @@ impl DynamothClient {
     /// subscription, including servers still in their post-move grace
     /// period.
     pub fn unsubscribe(&mut self, _now: SimTime, channel: ChannelId) -> Vec<(NodeId, Msg)> {
-        let mut servers: BTreeSet<ServerId> =
-            self.subs.remove(&channel).unwrap_or_default();
+        let mut servers: BTreeSet<ServerId> = self.subs.remove(&channel).unwrap_or_default();
         self.deferred_unsubs.retain(|&(_, s, c)| {
             if c == channel {
                 servers.insert(s);
@@ -321,10 +323,7 @@ impl DynamothClient {
         let mut out = Vec::new();
         let subs = &self.subs;
         self.deferred_unsubs.retain(|&(due, server, channel)| {
-            if subs
-                .get(&channel)
-                .is_some_and(|set| set.contains(&server))
-            {
+            if subs.get(&channel).is_some_and(|set| set.contains(&server)) {
                 return false; // re-desired in the meantime: keep it
             }
             if due <= now {
@@ -405,6 +404,23 @@ impl DynamothClient {
                     events.push(ClientEvent::Delivery(p));
                 } else {
                     self.stats.duplicates_suppressed += 1;
+                }
+            }
+            // A batch is unpacked entry by entry through the same dedup
+            // window as single deliveries, so duplicate suppression
+            // during reconfiguration behaves identically whether the
+            // server batched or not. Each entry keeps its own `sent_at`,
+            // so per-publication latency accounting is unaffected.
+            Msg::DeliverBatch(batch) => {
+                self.stats.batches_received += 1;
+                for p in batch {
+                    self.touch(now, p.channel);
+                    if self.dedup.insert(p.id, self.cfg.dedup_capacity) {
+                        self.stats.deliveries += 1;
+                        events.push(ClientEvent::Delivery(p));
+                    } else {
+                        self.stats.duplicates_suppressed += 1;
+                    }
                 }
             }
             Msg::WrongServer {
@@ -511,7 +527,11 @@ impl DynamothClient {
         // deliveries in the overlap are suppressed by message ids.
         let due = _now + self.cfg.unsubscribe_grace;
         for &s in current.difference(&desired) {
-            if !self.deferred_unsubs.iter().any(|&(_, ds, dc)| ds == s && dc == channel) {
+            if !self
+                .deferred_unsubs
+                .iter()
+                .any(|&(_, ds, dc)| ds == s && dc == channel)
+            {
                 self.deferred_unsubs.push((due, s, channel));
             }
         }
@@ -530,16 +550,14 @@ impl DynamothClient {
         if !self.cfg.fault_tolerance {
             return out;
         }
-        self.dead_servers
-            .retain(|_, &mut until| now < until);
+        self.dead_servers.retain(|_, &mut until| now < until);
         // Monitor servers holding our subscriptions plus servers we
         // published to recently (fire-and-forget publishers otherwise
         // never notice a dead broker).
         let publish_window = self.cfg.client_failover_timeout * 2;
         self.last_published
             .retain(|_, &mut at| now.saturating_since(at) <= publish_window);
-        let mut subscribed: BTreeSet<ServerId> =
-            self.subs.values().flatten().copied().collect();
+        let mut subscribed: BTreeSet<ServerId> = self.subs.values().flatten().copied().collect();
         subscribed.extend(self.last_published.keys().copied());
         let mut dead: Vec<ServerId> = Vec::new();
         for &server in &subscribed {
@@ -567,8 +585,7 @@ impl DynamothClient {
                 .insert(server, now + self.cfg.dead_server_blacklist);
             // Forget every plan entry involving the dead server so the
             // next use re-resolves around it.
-            self.plan
-                .retain(|_, e| !e.mapping.contains(server));
+            self.plan.retain(|_, e| !e.mapping.contains(server));
             let affected: Vec<ChannelId> = self
                 .subs
                 .iter()
@@ -644,7 +661,13 @@ mod tests {
         let out = client.subscribe(SimTime::ZERO, &mut rng, ChannelId(3));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, ring.server_for(ChannelId(3)).node());
-        assert!(matches!(out[0].1, Msg::Subscribe { channel: ChannelId(3), .. }));
+        assert!(matches!(
+            out[0].1,
+            Msg::Subscribe {
+                channel: ChannelId(3),
+                ..
+            }
+        ));
         assert!(client.is_subscribed(ChannelId(3)));
     }
 
@@ -735,6 +758,63 @@ mod tests {
     }
 
     #[test]
+    fn batch_unpacks_through_the_dedup_window() {
+        let (mut client, mut rng, _) = setup(2);
+        let a = publication(1, 0);
+        let b = publication(1, 1);
+        let c = publication(1, 2);
+        // `a` already arrived singly (say, from the old server before a
+        // migration); the batch re-delivers it plus two fresh entries.
+        client.on_message(SimTime::ZERO, &mut rng, sid(0).node(), Msg::Deliver(a));
+        let (events, _) = client.on_message(
+            SimTime::ZERO,
+            &mut rng,
+            sid(1).node(),
+            Msg::DeliverBatch(vec![a, b, c]),
+        );
+        assert_eq!(
+            events,
+            vec![ClientEvent::Delivery(b), ClientEvent::Delivery(c)]
+        );
+        assert_eq!(client.stats().duplicates_suppressed, 1);
+        assert_eq!(client.stats().batches_received, 1);
+        assert_eq!(client.stats().deliveries, 3);
+        // A second copy of the whole batch is fully suppressed.
+        let (events, _) = client.on_message(
+            SimTime::ZERO,
+            &mut rng,
+            sid(0).node(),
+            Msg::DeliverBatch(vec![a, b, c]),
+        );
+        assert!(events.is_empty());
+        assert_eq!(client.stats().duplicates_suppressed, 4);
+    }
+
+    #[test]
+    fn batch_entries_keep_their_own_sent_at() {
+        let (mut client, mut rng, _) = setup(1);
+        let mut early = publication(1, 0);
+        early.sent_at = SimTime::from_millis(10);
+        let mut late = publication(1, 1);
+        late.sent_at = SimTime::from_millis(25);
+        let (events, _) = client.on_message(
+            SimTime::from_millis(40),
+            &mut rng,
+            sid(0).node(),
+            Msg::DeliverBatch(vec![early, late]),
+        );
+        // Latency accounting reads `sent_at` per publication; batching
+        // must not collapse entries onto the batch's arrival metadata.
+        match &events[..] {
+            [ClientEvent::Delivery(p0), ClientEvent::Delivery(p1)] => {
+                assert_eq!(p0.sent_at, SimTime::from_millis(10));
+                assert_eq!(p1.sent_at, SimTime::from_millis(25));
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
     fn switch_moves_subscription() {
         let (mut client, mut rng, ring) = setup(4);
         client.subscribe(SimTime::ZERO, &mut rng, ChannelId(2));
@@ -758,7 +838,10 @@ mod tests {
             .iter()
             .any(|(n, m)| *n == new_mapping.servers()[0].node()
                 && matches!(m, Msg::Subscribe { .. })));
-        assert_eq!(client.subscription_servers(ChannelId(2)), new_mapping.servers());
+        assert_eq!(
+            client.subscription_servers(ChannelId(2)),
+            new_mapping.servers()
+        );
         // Before the grace period: nothing. After: the unsubscribe.
         assert!(client.poll_deferred(SimTime::from_secs(1)).is_empty());
         let grace = DynamothConfig::default().unsubscribe_grace;
@@ -793,7 +876,12 @@ mod tests {
     #[test]
     fn all_publishers_switch_rerolls_but_duplicates_are_idempotent() {
         let (mut client, mut rng, _) = setup(4);
-        client.learn(SimTime::ZERO, ChannelId(1), ChannelMapping::Single(sid(0)), PlanId(1));
+        client.learn(
+            SimTime::ZERO,
+            ChannelId(1),
+            ChannelMapping::Single(sid(0)),
+            PlanId(1),
+        );
         client.subscribe(SimTime::ZERO, &mut rng, ChannelId(1));
         // Channel becomes all-publishers over {s0, s1}: the subscriber
         // re-draws its target among the members (spreading the
@@ -853,8 +941,18 @@ mod tests {
     #[test]
     fn plan_entries_expire_when_unused_and_unsubscribed() {
         let (mut client, mut rng, _) = setup(2);
-        client.learn(SimTime::ZERO, ChannelId(1), ChannelMapping::Single(sid(1)), PlanId(1));
-        client.learn(SimTime::ZERO, ChannelId(2), ChannelMapping::Single(sid(1)), PlanId(1));
+        client.learn(
+            SimTime::ZERO,
+            ChannelId(1),
+            ChannelMapping::Single(sid(1)),
+            PlanId(1),
+        );
+        client.learn(
+            SimTime::ZERO,
+            ChannelId(2),
+            ChannelMapping::Single(sid(1)),
+            PlanId(1),
+        );
         client.subscribe(SimTime::ZERO, &mut rng, ChannelId(2));
         let late = SimTime::ZERO + DynamothConfig::default().plan_entry_ttl * 2;
         client.expire_plan_entries(late);
@@ -900,7 +998,12 @@ mod tests {
         expected.dedup();
         assert_eq!(pinged, expected);
         // A pong resets the clock: no more pings right away.
-        client.on_message(SimTime::ZERO + interval, &mut rng, sub_server.node(), Msg::Pong);
+        client.on_message(
+            SimTime::ZERO + interval,
+            &mut rng,
+            sub_server.node(),
+            Msg::Pong,
+        );
         let out = client.liveness_actions(SimTime::ZERO + interval, &mut rng);
         assert!(!out
             .iter()
@@ -967,10 +1070,9 @@ mod tests {
         // Publish once so s1 is monitored… actually mark s1 dead directly
         // through silence: only s1's subscription goes quiet is not
         // distinguishable per-server here, so drive the blacklist path:
-        client.dead_servers.insert(
-            sid(1),
-            SimTime::from_secs(1_000),
-        );
+        client
+            .dead_servers
+            .insert(sid(1), SimTime::from_secs(1_000));
         let (mapping, _) = client.resolve(ChannelId(1));
         assert_eq!(
             mapping,
@@ -986,5 +1088,60 @@ mod tests {
         assert_ne!(id1, id2);
         assert!(id2.seq > id1.seq);
         assert_eq!(id1.origin, client.node());
+    }
+
+    #[test]
+    fn dedup_eviction_is_strictly_fifo() {
+        // Over-fill the window far past capacity and assert the oldest
+        // ids — and only the oldest — have been forgotten. If eviction
+        // ever discards an arbitrary entry instead of the oldest, a
+        // reconfiguration duplicate of a recent message would slip
+        // through as a fresh delivery.
+        let mid = |seq| MessageId {
+            origin: NodeId::from_index(99),
+            seq,
+        };
+        let cap = 8;
+        let mut dedup = Dedup::default();
+        for seq in 0..3 * cap as u64 {
+            assert!(dedup.insert(mid(seq), cap), "id {seq} is new");
+        }
+        // Exactly the `cap` most recent ids are remembered, in order.
+        assert_eq!(dedup.order.len(), cap);
+        assert_eq!(
+            dedup.order.iter().map(|id| id.seq).collect::<Vec<_>>(),
+            (2 * cap as u64..3 * cap as u64).collect::<Vec<_>>()
+        );
+        for seq in 2 * cap as u64..3 * cap as u64 {
+            assert!(
+                !dedup.insert(mid(seq), cap),
+                "recent id {seq} must still dedup"
+            );
+        }
+        // Evicted (oldest) ids are treated as new again — the window is
+        // a bounded memory, not a permanent filter.
+        assert!(dedup.insert(mid(0), cap));
+    }
+
+    #[test]
+    fn dedup_reinserting_a_seen_id_does_not_grow_the_window() {
+        // A duplicate insert must not push a second FIFO entry for the
+        // same id: that would make the window evict fresh ids early.
+        let mid = |seq| MessageId {
+            origin: NodeId::from_index(7),
+            seq,
+        };
+        let mut dedup = Dedup::default();
+        for seq in 0..4 {
+            assert!(dedup.insert(mid(seq), 4));
+        }
+        for seq in 0..4 {
+            assert!(!dedup.insert(mid(seq), 4));
+        }
+        assert_eq!(dedup.order.len(), 4);
+        // One more fresh id evicts exactly the oldest.
+        assert!(dedup.insert(mid(10), 4));
+        assert!(!dedup.seen.contains(&mid(0)));
+        assert!(dedup.seen.contains(&mid(1)));
     }
 }

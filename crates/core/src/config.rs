@@ -95,6 +95,14 @@ pub struct DynamothConfig {
     pub tick: SimDuration,
 
     // ---- Client library / dispatcher ----
+    /// Batched publication fan-out: within one delivery tick a server
+    /// coalesces every publication bound for the same subscriber node
+    /// into a single [`Msg::DeliverBatch`](crate::Msg::DeliverBatch),
+    /// paying the protocol header once per batch instead of once per
+    /// publication. Duplicate suppression, per-publication latency
+    /// accounting and reconfiguration semantics are identical on both
+    /// paths; the flag exists for the ablation study. On by default.
+    pub delivery_batching: bool,
     /// TTL of an unused local-plan entry and of dispatcher forwarding
     /// state (§IV-A5).
     pub plan_entry_ttl: SimDuration,
@@ -148,6 +156,7 @@ impl Default for DynamothConfig {
             metrics_window: 3,
             tick: SimDuration::from_secs(1),
 
+            delivery_batching: true,
             plan_entry_ttl: SimDuration::from_secs(60),
             dedup_capacity: 1_024,
             unsubscribe_grace: SimDuration::from_secs(1),

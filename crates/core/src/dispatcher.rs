@@ -30,6 +30,17 @@
 //! back to consistent hashing would all pile onto the hash-home member
 //! of a replicated channel and replication would never spread load.
 //!
+//! Batched fan-out: the dispatcher itself is agnostic to
+//! [`delivery_batching`](crate::DynamothConfig::delivery_batching) —
+//! it reasons about individual publications. Forwarded publications
+//! ([`Msg::Forward`](crate::Msg::Forward)) re-enter the receiving
+//! server's publication path, so they join that node's per-recipient
+//! batch buffers exactly like client publications, and `<switch>`
+//! notifications stay un-batched control traffic. Duplicate
+//! suppression during reconfiguration therefore works identically on
+//! both delivery paths (the client unpacks batches through the same
+//! dedup window).
+//!
 //! Like the client library, the dispatcher is a pure state machine
 //! returning [`DispatchAction`]s for the server node to execute.
 
@@ -177,10 +188,7 @@ impl Dispatcher {
     }
 
     fn version_of(&self, channel: ChannelId) -> PlanId {
-        self.changed_at
-            .get(&channel)
-            .copied()
-            .unwrap_or(PlanId(0))
+        self.changed_at.get(&channel).copied().unwrap_or(PlanId(0))
     }
 
     /// Installs a new global plan (§IV-A1). Returns the channels whose
@@ -286,11 +294,8 @@ impl Dispatcher {
                 // have published to every member; cover for it.
                 if let ChannelMapping::AllPublishers(members) = &mapping {
                     if p.hops < MAX_FORWARD_HOPS {
-                        let others: Vec<ServerId> = members
-                            .iter()
-                            .copied()
-                            .filter(|&s| s != self.me)
-                            .collect();
+                        let others: Vec<ServerId> =
+                            members.iter().copied().filter(|&s| s != self.me).collect();
                         if !others.is_empty() {
                             let mut copy = *p;
                             copy.hops += 1;
@@ -308,8 +313,7 @@ impl Dispatcher {
             // (§IV-A3, Fig. 3b).
             if let Some(fwd) = self.forward_new.get_mut(&p.channel) {
                 fwd.old_servers.retain(|&(_, deadline)| now < deadline);
-                let servers: Vec<ServerId> =
-                    fwd.old_servers.iter().map(|&(s, _)| s).collect();
+                let servers: Vec<ServerId> = fwd.old_servers.iter().map(|&(s, _)| s).collect();
                 if fwd.old_servers.is_empty() {
                     self.forward_new.remove(&p.channel);
                 }
@@ -350,11 +354,7 @@ impl Dispatcher {
     /// the emission action. Used by the eager-propagation ablation mode;
     /// the paper's lazy scheme instead piggybacks on the first
     /// publication via [`Dispatcher::on_client_publication`].
-    pub fn take_pending_switch(
-        &mut self,
-        now: SimTime,
-        channel: ChannelId,
-    ) -> Vec<DispatchAction> {
+    pub fn take_pending_switch(&mut self, now: SimTime, channel: ChannelId) -> Vec<DispatchAction> {
         match self.switch_pending.remove(&channel) {
             Some(expires) if now < expires => {
                 self.stats.switches_emitted += 1;
@@ -570,19 +570,30 @@ mod tests {
         );
         // A client publishing with hint 0 must be informed even though
         // this server is a valid replica.
-        let actions =
-            d.on_client_publication(SimTime::from_secs(1), &mut rng, &publication(c.0, 0), PlanId(0));
+        let actions = d.on_client_publication(
+            SimTime::from_secs(1),
+            &mut rng,
+            &publication(c.0, 0),
+            PlanId(0),
+        );
         assert!(actions.iter().any(|a| matches!(
             a,
-            DispatchAction::NotifyWrongServer { plan: PlanId(3), .. }
+            DispatchAction::NotifyWrongServer {
+                plan: PlanId(3),
+                ..
+            }
         )));
         // No forward needed for all-subscribers (one member suffices).
         assert!(!actions
             .iter()
             .any(|a| matches!(a, DispatchAction::ForwardTo { .. })));
         // A current client is left alone (after the pending switch fired).
-        let actions =
-            d.on_client_publication(SimTime::from_secs(1), &mut rng, &publication(c.0, 0), PlanId(3));
+        let actions = d.on_client_publication(
+            SimTime::from_secs(1),
+            &mut rng,
+            &publication(c.0, 0),
+            PlanId(3),
+        );
         assert!(actions.is_empty(), "{actions:?}");
     }
 
@@ -592,7 +603,10 @@ mod tests {
         let c = home_channel(&ring);
         install(
             &mut d,
-            &[(c, ChannelMapping::AllPublishers(vec![sid(0), sid(1), sid(2)]))],
+            &[(
+                c,
+                ChannelMapping::AllPublishers(vec![sid(0), sid(1), sid(2)]),
+            )],
             2,
         );
         // Drain the pending switch with one publication.
@@ -645,8 +659,11 @@ mod tests {
         // …and is then consumed: neither a second take nor the first
         // publication re-emits it.
         assert!(d.take_pending_switch(SimTime::ZERO, c).is_empty());
-        let on_pub = d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
-        assert!(!on_pub.iter().any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
+        let on_pub =
+            d.on_client_publication(SimTime::ZERO, &mut rng, &publication(c.0, 0), PlanId(1));
+        assert!(!on_pub
+            .iter()
+            .any(|a| matches!(a, DispatchAction::EmitSwitch { .. })));
         // Expired obligations are not emitted either.
         install(&mut d, &[(c, ChannelMapping::Single(sid(2)))], 2);
         assert!(d.take_pending_switch(SimTime::from_secs(120), c).is_empty());
@@ -745,8 +762,12 @@ mod tests {
         assert!(!d.is_reconfiguring(c));
         // After expiry no more switches are produced (the stale entry is
         // gone), but wrong-server redirection still works via the plan.
-        let actions =
-            d.on_client_publication(SimTime::from_secs(61), &mut rng, &publication(c.0, 0), PlanId(1));
+        let actions = d.on_client_publication(
+            SimTime::from_secs(61),
+            &mut rng,
+            &publication(c.0, 0),
+            PlanId(1),
+        );
         assert!(actions
             .iter()
             .any(|a| matches!(a, DispatchAction::NotifyWrongServer { .. })));

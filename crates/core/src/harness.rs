@@ -100,10 +100,7 @@ impl Cluster {
         let servers: Vec<ServerId> = (0..config.pool_size)
             .map(|i| ServerId(NodeId::from_index(i)))
             .collect();
-        let ring = Arc::new(Ring::new(
-            &servers[..config.initial_active],
-            DEFAULT_VNODES,
-        ));
+        let ring = Arc::new(Ring::new(&servers[..config.initial_active], DEFAULT_VNODES));
         for &sid in &servers {
             let node = world.add_node(
                 NodeClass::Infra,
@@ -176,7 +173,8 @@ impl Cluster {
         let shared = std::sync::Arc::new(stamped);
         let lb = self.lb;
         for &s in &self.servers.clone() {
-            self.world.post(lb, s.0, Msg::PlanPush(std::sync::Arc::clone(&shared)));
+            self.world
+                .post(lb, s.0, Msg::PlanPush(std::sync::Arc::clone(&shared)));
         }
     }
 

@@ -241,10 +241,7 @@ mod tests {
             // Unaffected channels keep their home.
             let other = ss.iter().copied().find(|&s| s != home).unwrap();
             if home != other {
-                assert_eq!(
-                    ring.server_for_excluding(channel, &[other]),
-                    Some(home)
-                );
+                assert_eq!(ring.server_for_excluding(channel, &[other]), Some(home));
             }
         }
         assert_eq!(ring.server_for_excluding(ChannelId(1), &ss), None);

@@ -149,7 +149,11 @@ mod tests {
         lla.note_publication(ChannelId(1), 100, n(2));
         lla.note_publication(ChannelId(1), 100, n(1)); // repeat publisher
         lla.note_deliveries(ChannelId(1), 100, 5);
-        let report = lla.end_tick(450, dynamoth_sim::SimDuration::from_micros(300), [(ChannelId(1), 5)]);
+        let report = lla.end_tick(
+            450,
+            dynamoth_sim::SimDuration::from_micros(300),
+            [(ChannelId(1), 5)],
+        );
         assert_eq!(report.tick, 0);
         assert_eq!(report.measured_egress_bytes, 450);
         assert_eq!(report.cpu_busy_micros, 300);

@@ -19,6 +19,9 @@ use crate::types::{ChannelId, MessageId, PlanId};
 pub const CTRL_SIZE: u32 = 64;
 /// Per-publication protocol overhead added to the payload size.
 pub const PUB_HEADER: u32 = 64;
+/// Per-entry framing cost inside a [`Msg::DeliverBatch`] (length prefix
+/// + message id); the full [`PUB_HEADER`] is paid once per batch.
+pub const BATCH_ENTRY_HEADER: u32 = 8;
 
 /// A publication flowing through the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +79,14 @@ pub enum Msg {
     // ---- Pub/sub server → client ----
     /// Fan-out delivery of a publication to a subscriber.
     Deliver(Publication),
+    /// Batched fan-out: every publication destined to one subscriber
+    /// node within a delivery tick, coalesced into a single wire
+    /// message. The protocol header is paid once for the whole batch;
+    /// each entry adds only its payload plus a small per-entry framing
+    /// cost. Receivers unpack the batch through the same dedup window
+    /// as [`Msg::Deliver`], so reconfiguration-duplicate semantics are
+    /// identical on both paths.
+    DeliverBatch(Vec<Publication>),
     /// Tells a publisher it used the wrong (or an outdated) server for
     /// `channel` and what the correct mapping is (§IV, "publishing on
     /// old server").
@@ -145,10 +156,15 @@ pub enum Msg {
 impl Message for Msg {
     fn wire_size(&self) -> u32 {
         match self {
-            Msg::Publish {
-                publication: p, ..
-            } => p.wire_size(),
+            Msg::Publish { publication: p, .. } => p.wire_size(),
             Msg::Deliver(p) | Msg::Forward(p) => p.wire_size(),
+            Msg::DeliverBatch(batch) => {
+                PUB_HEADER
+                    + batch
+                        .iter()
+                        .map(|p| BATCH_ENTRY_HEADER + p.payload)
+                        .sum::<u32>()
+            }
             Msg::Subscribe { .. }
             | Msg::Unsubscribe { .. }
             | Msg::Ping
@@ -198,6 +214,25 @@ mod tests {
         );
         assert_eq!(Msg::Deliver(p).wire_size(), p.wire_size());
         assert_eq!(Msg::Forward(p).wire_size(), p.wire_size());
+    }
+
+    #[test]
+    fn batch_amortizes_the_header() {
+        let p = publication(1_000);
+        // A singleton batch pays the entry framing on top of the plain
+        // delivery (which is why senders use `Deliver` for singletons)…
+        assert_eq!(
+            Msg::DeliverBatch(vec![p]).wire_size(),
+            Msg::Deliver(p).wire_size() + BATCH_ENTRY_HEADER
+        );
+        // …and a full batch pays PUB_HEADER exactly once.
+        let n = 100u32;
+        let batch = Msg::DeliverBatch(vec![p; n as usize]);
+        assert_eq!(
+            batch.wire_size(),
+            PUB_HEADER + n * (BATCH_ENTRY_HEADER + 1_000)
+        );
+        assert!(batch.wire_size() < n * Msg::Deliver(p).wire_size());
     }
 
     #[test]

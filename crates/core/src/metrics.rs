@@ -161,7 +161,12 @@ impl MetricsStore {
         if q.is_empty() {
             return None;
         }
-        Some(q.iter().map(|r| r.measured_egress_bytes as f64).sum::<f64>() / q.len() as f64)
+        Some(
+            q.iter()
+                .map(|r| r.measured_egress_bytes as f64)
+                .sum::<f64>()
+                / q.len() as f64,
+        )
     }
 
     /// Windowed mean outgoing bytes per tick of `channel` on `server`.
@@ -243,10 +248,8 @@ impl MetricsStore {
             .map(|(c, rows)| {
                 let mapping = resolve(c);
                 type ServerMeans = (f64, f64, f64, f64, f64);
-                let sum =
-                    |f: fn(&ServerMeans) -> f64| rows.iter().map(f).sum::<f64>();
-                let max =
-                    |f: fn(&ServerMeans) -> f64| rows.iter().map(f).fold(0.0_f64, f64::max);
+                let sum = |f: fn(&ServerMeans) -> f64| rows.iter().map(f).sum::<f64>();
+                let max = |f: fn(&ServerMeans) -> f64| rows.iter().map(f).fold(0.0_f64, f64::max);
                 let agg = match mapping {
                     // Publications mirrored to every member; subscribers
                     // spread across members.
@@ -303,7 +306,12 @@ mod tests {
         ServerId(NodeId::from_index(i))
     }
 
-    fn report(server: usize, tick: u64, egress: u64, channels: Vec<(u64, ChannelTick)>) -> LlaReport {
+    fn report(
+        server: usize,
+        tick: u64,
+        egress: u64,
+        channels: Vec<(u64, ChannelTick)>,
+    ) -> LlaReport {
         LlaReport {
             server: sid(server),
             tick,
@@ -372,9 +380,8 @@ mod tests {
         store.record(report(1, 0, 0, vec![(1, t1)]));
         // Treated as all-subscribers: publications spread (sum), the
         // subscriber set is mirrored (max).
-        let all_subs = |_c: ChannelId| {
-            crate::plan::ChannelMapping::AllSubscribers(vec![sid(0), sid(1)])
-        };
+        let all_subs =
+            |_c: ChannelId| crate::plan::ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]);
         let a = store.channel_aggregates(all_subs)[&ChannelId(1)];
         assert!((a.publications_per_tick - 30.0).abs() < 1e-9);
         assert!((a.subscribers - 5.0).abs() < 1e-9);
@@ -382,9 +389,8 @@ mod tests {
         assert!((a.bytes_out_per_tick - 3_000.0).abs() < 1e-9);
         // Treated as all-publishers: publications are mirrored (max),
         // subscribers spread (sum).
-        let all_pubs = |_c: ChannelId| {
-            crate::plan::ChannelMapping::AllPublishers(vec![sid(0), sid(1)])
-        };
+        let all_pubs =
+            |_c: ChannelId| crate::plan::ChannelMapping::AllPublishers(vec![sid(0), sid(1)]);
         let b = store.channel_aggregates(all_pubs)[&ChannelId(1)];
         assert!((b.publications_per_tick - 20.0).abs() < 1e-9);
         assert!((b.subscribers - 10.0).abs() < 1e-9);

@@ -304,7 +304,10 @@ mod tests {
     fn set_and_unset() {
         let mut plan = Plan::bootstrap();
         plan.set(ChannelId(1), ChannelMapping::Single(s(3)));
-        assert_eq!(plan.mapping(ChannelId(1)), Some(&ChannelMapping::Single(s(3))));
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::Single(s(3)))
+        );
         assert_eq!(plan.len(), 1);
         plan.unset(ChannelId(1));
         assert!(plan.is_empty());
@@ -315,16 +318,25 @@ mod tests {
         let mut plan = Plan::bootstrap();
         plan.set(ChannelId(1), ChannelMapping::Single(s(0)));
         plan.migrate(ChannelId(1), s(0), s(1));
-        assert_eq!(plan.mapping(ChannelId(1)), Some(&ChannelMapping::Single(s(1))));
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::Single(s(1)))
+        );
         // Migrating an unmapped channel pins it to the target.
         plan.migrate(ChannelId(2), s(0), s(3));
-        assert_eq!(plan.mapping(ChannelId(2)), Some(&ChannelMapping::Single(s(3))));
+        assert_eq!(
+            plan.mapping(ChannelId(2)),
+            Some(&ChannelMapping::Single(s(3)))
+        );
     }
 
     #[test]
     fn migrate_replicated_replaces_member() {
         let mut plan = Plan::bootstrap();
-        plan.set(ChannelId(1), ChannelMapping::AllSubscribers(vec![s(0), s(1)]));
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllSubscribers(vec![s(0), s(1)]),
+        );
         plan.migrate(ChannelId(1), s(0), s(2));
         assert_eq!(
             plan.mapping(ChannelId(1)),
@@ -363,7 +375,10 @@ mod tests {
     fn diff_of_identical_plans_is_empty() {
         let r = ring();
         let mut plan = Plan::bootstrap();
-        plan.set(ChannelId(1), ChannelMapping::AllPublishers(vec![s(0), s(1)]));
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllPublishers(vec![s(0), s(1)]),
+        );
         assert!(plan.diff(&plan.clone(), &r).is_empty());
     }
 

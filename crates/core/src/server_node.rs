@@ -2,10 +2,11 @@
 //! server plus its collocated dispatcher and Local Load Analyzer,
 //! exposed to the simulation as a single actor.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dynamoth_pubsub::{CpuModel, PubSubServer};
-use dynamoth_sim::{Actor, ActorContext, NodeId, SendOutcome, SimDuration};
+use dynamoth_sim::{Actor, ActorContext, NodeId, SendOutcome, SimDuration, SimTime};
 
 use crate::config::DynamothConfig;
 use crate::dispatcher::{DispatchAction, Dispatcher};
@@ -20,6 +21,17 @@ pub const TAG_TICK: u64 = 1;
 /// channel id.
 const TEARDOWN_BIT: u64 = 1 << 63;
 
+/// Publications buffered for one subscriber node during the current
+/// batching window (see [`DynamothConfig::delivery_batching`]).
+#[derive(Debug, Default)]
+struct PendingBatch {
+    /// Latest broker CPU completion time across the buffered
+    /// publications; the batch leaves the node once all of its entries
+    /// have been processed.
+    cpu_done: SimTime,
+    pubs: Vec<Publication>,
+}
+
 /// A pub/sub server node: broker + dispatcher + LLA (Fig. 1).
 #[derive(Debug)]
 pub struct ServerNode {
@@ -30,6 +42,9 @@ pub struct ServerNode {
     dispatcher: Dispatcher,
     lla: Lla,
     cpu: CpuModel,
+    /// Per-recipient fan-out buffers of the current batching window
+    /// (ordered map so flush emission order is deterministic).
+    pending: BTreeMap<NodeId, PendingBatch>,
     /// Fault-injection flag: a crashed node drops every message and
     /// stops reporting, like a killed process.
     crashed: bool,
@@ -55,11 +70,17 @@ impl ServerNode {
         ServerNode {
             id,
             lb,
-            dispatcher: Dispatcher::new(id, ring, cfg.plan_entry_ttl, cfg.replication_mirror_window),
+            dispatcher: Dispatcher::new(
+                id,
+                ring,
+                cfg.plan_entry_ttl,
+                cfg.replication_mirror_window,
+            ),
             cfg,
             server: PubSubServer::new(cpu.clone()),
             lla,
             cpu,
+            pending: BTreeMap::new(),
             crashed: false,
         }
     }
@@ -70,6 +91,8 @@ impl ServerNode {
     pub fn crash(&mut self) {
         self.crashed = true;
         self.server = PubSubServer::new(self.cpu.clone());
+        // Output buffered but not yet flushed dies with the process.
+        self.pending.clear();
     }
 
     /// Fault injection: restart a crashed node with empty broker state
@@ -108,20 +131,37 @@ impl ServerNode {
         plan_hint: Option<crate::types::PlanId>,
     ) {
         let now = ctx.now();
-        self.lla.note_publication(p.channel, p.wire_size(), p.publisher);
+        self.lla
+            .note_publication(p.channel, p.wire_size(), p.publisher);
         let outcome = self.server.publish(now, p.channel);
-        let cpu_delay = outcome.cpu_done.saturating_since(now);
-        let mut delivered = 0u64;
-        let mut killed: Vec<NodeId> = Vec::new();
-        for recipient in outcome.recipients {
-            match ctx.send_after(cpu_delay, recipient, Msg::Deliver(p)) {
-                SendOutcome::Sent => delivered += 1,
-                SendOutcome::Dropped => killed.push(recipient),
+        if self.cfg.delivery_batching {
+            // Fast path: buffer per recipient and flush once at the end
+            // of the batching window, so every publication bound for
+            // the same subscriber node in this window shares one wire
+            // message (header amortized across the batch).
+            for recipient in outcome.recipients {
+                let batch = self.pending.entry(recipient).or_default();
+                batch.cpu_done = batch.cpu_done.max(outcome.cpu_done);
+                batch.pubs.push(p);
             }
-        }
-        self.lla.note_deliveries(p.channel, p.wire_size(), delivered);
-        for client in killed {
-            self.kill_client(ctx, client);
+            if !self.pending.is_empty() {
+                ctx.request_flush();
+            }
+        } else {
+            let cpu_delay = outcome.cpu_done.saturating_since(now);
+            let mut delivered = 0u64;
+            let mut killed: Vec<NodeId> = Vec::new();
+            for recipient in outcome.recipients {
+                match ctx.send_after(cpu_delay, recipient, Msg::Deliver(p)) {
+                    SendOutcome::Sent => delivered += 1,
+                    SendOutcome::Dropped => killed.push(recipient),
+                }
+            }
+            self.lla
+                .note_deliveries(p.channel, p.wire_size(), delivered);
+            for client in killed {
+                self.kill_client(ctx, client);
+            }
         }
         if let Some(hint) = plan_hint {
             let actions = self
@@ -274,6 +314,39 @@ impl Actor<Msg> for ServerNode {
         }
     }
 
+    fn on_flush(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+        let pending = std::mem::take(&mut self.pending);
+        if self.crashed {
+            return; // buffered output died with the process
+        }
+        let now = ctx.now();
+        let mut killed: Vec<NodeId> = Vec::new();
+        for (recipient, batch) in pending {
+            let cpu_delay = batch.cpu_done.saturating_since(now);
+            // Singletons gain nothing from batch framing; send them
+            // plain so the wire cost matches the unbatched path.
+            let msg = if batch.pubs.len() == 1 {
+                Msg::Deliver(batch.pubs[0])
+            } else {
+                Msg::DeliverBatch(batch.pubs.clone())
+            };
+            match ctx.send_after(cpu_delay, recipient, msg) {
+                SendOutcome::Sent => {
+                    // The LLA keeps per-publication accounting (its
+                    // estimates feed the balancer's per-channel ratios,
+                    // which must not depend on the batching knob).
+                    for p in &batch.pubs {
+                        self.lla.note_deliveries(p.channel, p.wire_size(), 1);
+                    }
+                }
+                SendOutcome::Dropped => killed.push(recipient),
+            }
+        }
+        for client in killed {
+            self.kill_client(ctx, client);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut dyn ActorContext<Msg>, tag: u64) {
         if self.crashed {
             if tag == TAG_TICK {
@@ -290,7 +363,9 @@ impl Actor<Msg> for ServerNode {
                 .map(|c| (c, self.server.subscriber_count(c) as u32))
                 .collect();
             let egress = ctx.egress_bytes(ctx.node());
-            let report = self.lla.end_tick(egress, self.server.cpu_busy_total(), counts);
+            let report = self
+                .lla
+                .end_tick(egress, self.server.cpu_busy_total(), counts);
             let _ = ctx.send(self.lb, Msg::LlaReport(report));
             ctx.set_timer(self.cfg.tick, TAG_TICK);
         } else if tag & TEARDOWN_BIT != 0 {

@@ -70,7 +70,11 @@ impl TraceHandle {
 
     /// Latency quantile over the whole run (log-histogram approximation).
     pub fn response_quantile_ms(&self, q: f64) -> Option<f64> {
-        self.0.lock().histogram.quantile(q).map(|d| d.as_millis_f64())
+        self.0
+            .lock()
+            .histogram
+            .quantile(q)
+            .map(|d| d.as_millis_f64())
     }
 
     /// Adds one tick's worth of rented-server time (cloud-cost
@@ -103,12 +107,7 @@ impl TraceHandle {
 
     /// Adds outgoing-message deliveries reported by an LLA for a tick.
     pub fn add_deliveries(&self, tick_second: u64, n: u64) {
-        *self
-            .0
-            .lock()
-            .deliveries
-            .entry(tick_second)
-            .or_insert(0) += n;
+        *self.0.lock().deliveries.entry(tick_second).or_insert(0) += n;
     }
 
     /// Records the active player/client count.
@@ -159,7 +158,12 @@ impl TraceHandle {
 
     /// Active server count per second.
     pub fn server_series(&self) -> Vec<(u64, usize)> {
-        self.0.lock().server_count.iter().map(|(&s, &n)| (s, n)).collect()
+        self.0
+            .lock()
+            .server_count
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect()
     }
 
     /// `(second, avg LR, max LR)` per second.
@@ -174,12 +178,22 @@ impl TraceHandle {
 
     /// Outgoing messages per second (summed over servers).
     pub fn delivery_series(&self) -> Vec<(u64, u64)> {
-        self.0.lock().deliveries.iter().map(|(&s, &n)| (s, n)).collect()
+        self.0
+            .lock()
+            .deliveries
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect()
     }
 
     /// Active players per second.
     pub fn player_series(&self) -> Vec<(u64, usize)> {
-        self.0.lock().players.iter().map(|(&s, &n)| (s, n)).collect()
+        self.0
+            .lock()
+            .players
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect()
     }
 
     /// Total subscriptions lost to buffer overflows.

@@ -120,11 +120,7 @@ impl Rig {
     }
 
     fn plans_at(&self, server: ServerId) -> &[Plan] {
-        &self
-            .world
-            .actor::<PlanRecorder>(server.0)
-            .unwrap()
-            .plans
+        &self.world.actor::<PlanRecorder>(server.0).unwrap().plans
     }
 
     fn hot(&self) -> u64 {
@@ -150,7 +146,9 @@ fn overload_triggers_provisioning_then_migration() {
     // servers need it to redirect strays).
     for &s in &rig.servers {
         assert!(
-            rig.plans_at(s).iter().any(|p| p.id() == rig.lb().plan().id()),
+            rig.plans_at(s)
+                .iter()
+                .any(|p| p.id() == rig.lb().plan().id()),
             "plan did not reach {s}"
         );
     }

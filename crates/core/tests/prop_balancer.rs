@@ -4,7 +4,9 @@
 
 use dynamoth_core::balancer::estimator::LoadView;
 use dynamoth_core::balancer::{high_load, low_load};
-use dynamoth_core::{ChannelId, ChannelTick, DynamothConfig, LlaReport, MetricsStore, Plan, ServerId};
+use dynamoth_core::{
+    ChannelId, ChannelTick, DynamothConfig, LlaReport, MetricsStore, Plan, ServerId,
+};
 use dynamoth_sim::NodeId;
 use proptest::prelude::*;
 
@@ -138,6 +140,30 @@ proptest! {
         }
     }
 
+    /// When the low-load drain aborts (returns `None`), the shared load
+    /// view must be byte-for-byte what it was before the call: a partial
+    /// drain that was rolled back may not leave phantom migrations in
+    /// the estimator. Run with `lr_low = 0.5` because with the other
+    /// properties' `lr_low = lr_safe / 2` an abort after a successful
+    /// staged migration is arithmetically unreachable.
+    #[test]
+    fn low_load_abort_leaves_estimates_intact(dist in arb_distribution()) {
+        let (store, servers) = store_from(&dist);
+        let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+        let reference = LoadView::from_store(&store, &servers, 1_000.0);
+        let cfg = DynamothConfig { lr_low: 0.5, ..cfg() };
+        if low_load::rebalance(&Plan::bootstrap(), &mut view, &cfg).is_none() {
+            for &s in &servers {
+                prop_assert!(
+                    (view.load_ratio(s) - reference.load_ratio(s)).abs() < 1e-12,
+                    "aborted drain corrupted {s}: {} -> {}",
+                    reference.load_ratio(s), view.load_ratio(s)
+                );
+                prop_assert_eq!(view.channels_on(s), reference.channels_on(s));
+            }
+        }
+    }
+
     /// Algorithm 2 never *unmaps* a channel: everything it touches ends
     /// with a concrete single-server mapping.
     #[test]
@@ -150,4 +176,35 @@ proptest! {
             prop_assert!(servers.contains(&mapping.servers()[0]));
         }
     }
+}
+
+/// Deterministic replay of the counterexample recorded in
+/// `prop_balancer.proptest-regressions` (`dist = [[(1, 546), (2, 155)],
+/// [], []]`): one server sits just above `LR_safe` while the global
+/// average is below `LR_low`, so the drain fires and must release an
+/// idle server without touching the loaded one. Pinned as a plain test
+/// so the case runs on every `cargo test` regardless of the proptest
+/// implementation's regression-file handling.
+#[test]
+fn saved_regression_boundary_drain_is_safe() {
+    let dist: Vec<Vec<(u64, u64)>> = vec![vec![(1, 546), (2, 155)], vec![], vec![]];
+    let (store, servers) = store_from(&dist);
+
+    // Algorithm 2: LR_0 = 0.701 is below LR_high, so no migration and
+    // no growth request.
+    let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+    let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &cfg());
+    assert!(!out.changed);
+    assert_eq!(out.servers_wanted, 0);
+    assert!(out.plan.is_empty());
+
+    // Low-load drain: average 0.2337 is below LR_low, so one of the two
+    // idle servers is released; the loaded server's estimate must be
+    // exactly untouched even though it sits above LR_safe.
+    let mut view = LoadView::from_store(&store, &servers, 1_000.0);
+    let out = low_load::rebalance(&Plan::bootstrap(), &mut view, &cfg()).expect("drain fires");
+    assert!(out.release == servers[1] || out.release == servers[2]);
+    assert!(view.channels_on(out.release).is_empty());
+    assert!(out.plan.is_empty(), "an idle server needs no migrations");
+    assert!((view.load_ratio(servers[0]) - 0.701).abs() < 1e-12);
 }

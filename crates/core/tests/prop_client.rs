@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use dynamoth_core::{
-    ChannelId, ChannelMapping, ClientEvent, DynamothClient, DynamothConfig, MessageId, Msg,
-    PlanId, Publication, Ring, ServerId,
+    ChannelId, ChannelMapping, ClientEvent, DynamothClient, DynamothConfig, MessageId, Msg, PlanId,
+    Publication, Ring, ServerId,
 };
 use dynamoth_sim::{NodeId, SimRng, SimTime};
 use proptest::prelude::*;
@@ -17,7 +17,11 @@ fn sid(i: usize) -> ServerId {
 fn client() -> DynamothClient {
     let servers: Vec<ServerId> = (0..4).map(sid).collect();
     let ring = Arc::new(Ring::new(&servers, 32));
-    DynamothClient::new(NodeId::from_index(99), ring, Arc::new(DynamothConfig::default()))
+    DynamothClient::new(
+        NodeId::from_index(99),
+        ring,
+        Arc::new(DynamothConfig::default()),
+    )
 }
 
 fn publication(seq: u64, origin: usize) -> Publication {

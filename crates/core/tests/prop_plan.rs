@@ -12,12 +12,10 @@ fn sid(i: usize) -> ServerId {
 fn arb_mapping() -> impl Strategy<Value = ChannelMapping> {
     prop_oneof![
         (0usize..12).prop_map(|i| ChannelMapping::Single(sid(i))),
-        prop::collection::btree_set(0usize..12, 2..6).prop_map(|set| {
-            ChannelMapping::AllSubscribers(set.into_iter().map(sid).collect())
-        }),
-        prop::collection::btree_set(0usize..12, 2..6).prop_map(|set| {
-            ChannelMapping::AllPublishers(set.into_iter().map(sid).collect())
-        }),
+        prop::collection::btree_set(0usize..12, 2..6)
+            .prop_map(|set| { ChannelMapping::AllSubscribers(set.into_iter().map(sid).collect()) }),
+        prop::collection::btree_set(0usize..12, 2..6)
+            .prop_map(|set| { ChannelMapping::AllPublishers(set.into_iter().map(sid).collect()) }),
     ]
 }
 

@@ -9,9 +9,7 @@ use dynamoth_core::{
     ChannelId, ChannelMapping, DynamothConfig, MessageId, Msg, Plan, PlanId, Publication, Ring,
     ServerId, ServerNode, TAG_TICK,
 };
-use dynamoth_sim::{
-    Actor, ActorContext, InstantTransport, NodeClass, NodeId, SimTime, World,
-};
+use dynamoth_sim::{Actor, ActorContext, InstantTransport, NodeClass, NodeId, SimTime, World};
 
 /// Records everything a client or peer receives.
 #[derive(Default)]
@@ -49,7 +47,12 @@ fn rig() -> Rig {
     let lb_placeholder = NodeId::from_index(2);
     let server = world.add_node(
         NodeClass::Infra,
-        Box::new(ServerNode::new(s0, lb_placeholder, Arc::clone(&ring), cfg.clone())),
+        Box::new(ServerNode::new(
+            s0,
+            lb_placeholder,
+            Arc::clone(&ring),
+            cfg.clone(),
+        )),
     );
     // The second "server" and the LB are sinks: we only exercise node 0.
     let peer = world.add_node(NodeClass::Infra, Box::new(Sink::default()));
@@ -147,10 +150,12 @@ fn wrong_channel_publication_is_redirected_and_forwarded() {
     );
     rig.world.run_to_quiescence();
     // The publisher was corrected…
-    assert!(received(&rig.world, publisher).iter().any(|(_, m)| matches!(
-        m,
-        Msg::WrongServer { mapping, .. } if mapping.contains(rig.second)
-    )));
+    assert!(received(&rig.world, publisher)
+        .iter()
+        .any(|(_, m)| matches!(
+            m,
+            Msg::WrongServer { mapping, .. } if mapping.contains(rig.second)
+        )));
     // …and the publication was forwarded to the right server.
     assert!(received(&rig.world, rig.second.0)
         .iter()
@@ -176,11 +181,13 @@ fn plan_push_then_stale_subscription_is_moved() {
         },
     );
     rig.world.run_to_quiescence();
-    assert!(received(&rig.world, subscriber).iter().any(|(_, m)| matches!(
-        m,
-        Msg::SubscriptionMoved { mapping, plan, .. }
-            if mapping.contains(rig.second) && *plan == PlanId(1)
-    )));
+    assert!(received(&rig.world, subscriber)
+        .iter()
+        .any(|(_, m)| matches!(
+            m,
+            Msg::SubscriptionMoved { mapping, plan, .. }
+                if mapping.contains(rig.second) && *plan == PlanId(1)
+        )));
 }
 
 #[test]
@@ -228,7 +235,8 @@ fn lla_tick_reports_to_the_balancer() {
         },
     );
     rig.world.run_to_quiescence();
-    rig.world.schedule_timer(rig.server, SimTime::from_secs(1), TAG_TICK);
+    rig.world
+        .schedule_timer(rig.server, SimTime::from_secs(1), TAG_TICK);
     rig.world.run_until(SimTime::from_secs(2));
     let report = received(&rig.world, rig.lb)
         .iter()

@@ -248,7 +248,10 @@ mod tests {
     fn infra_to_infra_uses_lan_latency() {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
-        let out = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        let out = t.route(
+            req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
         // 1 ms transmission at 1 MB/s + 1 ms LAN.
         assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(2)));
     }
@@ -257,7 +260,10 @@ mod tests {
     fn client_paths_use_wan_latency() {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
-        let out = t.route(req(0, NodeClass::Client, 1, NodeClass::Infra, 1_000, 0), &mut rng);
+        let out = t.route(
+            req(0, NodeClass::Client, 1, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
         assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(41)));
     }
 
@@ -267,7 +273,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         // 1 ms NIC transmission + 10 ms connection pipe (1000 B at
         // 100 kB/s) + two 40 ms WAN samples.
-        let out = t.route(req(0, NodeClass::Client, 1, NodeClass::Client, 1_000, 0), &mut rng);
+        let out = t.route(
+            req(0, NodeClass::Client, 1, NodeClass::Client, 1_000, 0),
+            &mut rng,
+        );
         assert_eq!(out, RouteOutcome::Arrive(SimTime::from_millis(91)));
     }
 
@@ -275,7 +284,10 @@ mod tests {
     fn loopback_is_immediate() {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
-        let out = t.route(req(3, NodeClass::Infra, 3, NodeClass::Infra, 50_000, 7), &mut rng);
+        let out = t.route(
+            req(3, NodeClass::Infra, 3, NodeClass::Infra, 50_000, 7),
+            &mut rng,
+        );
         assert_eq!(
             out,
             RouteOutcome::Arrive(SimTime::from_millis(7) + SimDuration::from_micros(1))
@@ -288,8 +300,14 @@ mod tests {
         let mut rng = SimRng::new(1);
         // Two 1000-byte messages back to back on a 1 MB/s NIC: the second
         // waits for the first.
-        let a = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
-        let b = t.route(req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0), &mut rng);
+        let a = t.route(
+            req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
+        let b = t.route(
+            req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
         assert_eq!(a, RouteOutcome::Arrive(SimTime::from_millis(2)));
         assert_eq!(b, RouteOutcome::Arrive(SimTime::from_millis(3)));
     }
@@ -299,13 +317,22 @@ mod tests {
         let mut t = lan_only(); // buffer limit 1000 bytes
         let mut rng = SimRng::new(1);
         // Connection drains at 100 kB/s, so an 800-byte message lingers.
-        let a = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        let a = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0),
+            &mut rng,
+        );
         assert!(matches!(a, RouteOutcome::Arrive(_)));
         // 800 backlog + 800 > 1000 → dropped.
-        let b = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        let b = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0),
+            &mut rng,
+        );
         assert_eq!(b, RouteOutcome::Dropped);
         // A different client connection is unaffected.
-        let c = t.route(req(0, NodeClass::Infra, 10, NodeClass::Client, 800, 0), &mut rng);
+        let c = t.route(
+            req(0, NodeClass::Infra, 10, NodeClass::Client, 800, 0),
+            &mut rng,
+        );
         assert!(matches!(c, RouteOutcome::Arrive(_)));
     }
 
@@ -313,10 +340,16 @@ mod tests {
     fn buffer_drains_over_time() {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
-        let _ = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0), &mut rng);
+        let _ = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 0),
+            &mut rng,
+        );
         // After the connection drains (800 B at 100 kB/s = 8 ms) a new
         // message is accepted again.
-        let b = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 20), &mut rng);
+        let b = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 800, 20),
+            &mut rng,
+        );
         assert!(matches!(b, RouteOutcome::Arrive(_)));
     }
 
@@ -325,13 +358,22 @@ mod tests {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
         let from = NodeId::from_index(0);
-        let _ = t.route(req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0), &mut rng);
-        let _ = t.route(req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0), &mut rng);
+        let _ = t.route(
+            req(0, NodeClass::Infra, 1, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
+        let _ = t.route(
+            req(0, NodeClass::Infra, 2, NodeClass::Infra, 1_000, 0),
+            &mut rng,
+        );
         assert_eq!(t.egress_bytes(from, SimTime::from_millis(0)), 0);
         assert_eq!(t.egress_bytes(from, SimTime::from_millis(1)), 1_000);
         assert_eq!(t.egress_bytes(from, SimTime::from_secs(1)), 2_000);
         // Unknown nodes have no egress.
-        assert_eq!(t.egress_bytes(NodeId::from_index(99), SimTime::from_secs(1)), 0);
+        assert_eq!(
+            t.egress_bytes(NodeId::from_index(99), SimTime::from_secs(1)),
+            0
+        );
     }
 
     #[test]
@@ -339,8 +381,14 @@ mod tests {
         let mut t = lan_only();
         let mut rng = SimRng::new(1);
         let from = NodeId::from_index(0);
-        let _ = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0), &mut rng);
-        let dropped = t.route(req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0), &mut rng);
+        let _ = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0),
+            &mut rng,
+        );
+        let dropped = t.route(
+            req(0, NodeClass::Infra, 9, NodeClass::Client, 900, 0),
+            &mut rng,
+        );
         assert_eq!(dropped, RouteOutcome::Dropped);
         // Only the first message's bytes ever cross the NIC.
         assert_eq!(t.egress_bytes(from, SimTime::from_secs(10)), 900);

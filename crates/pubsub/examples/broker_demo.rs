@@ -1,0 +1,27 @@
+//! Stands up a [`TcpBroker`] on a local port and keeps it running so
+//! any Redis client can exercise SUBSCRIBE / PUBLISH against it:
+//!
+//! ```text
+//! cargo run -p dynamoth-pubsub --example broker_demo -- [port] [seconds]
+//! ```
+//!
+//! Prints the bound address on the first line, then a summary when the
+//! run window closes.
+
+use dynamoth_pubsub::TcpBroker;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let port: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let seconds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    let broker = TcpBroker::bind(("127.0.0.1", port)).expect("bind broker");
+    println!("listening on {}", broker.local_addr());
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+    println!(
+        "accepted {} connections, {} live subscriptions",
+        broker.connections_accepted(),
+        broker.subscription_count()
+    );
+    broker.shutdown();
+}

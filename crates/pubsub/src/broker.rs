@@ -9,6 +9,13 @@
 //! blocks a publisher, and an outbox overflowing its bound disconnects
 //! the subscriber exactly like Redis' `client-output-buffer-limit`
 //! (and the simulation's transport model).
+//!
+//! Fan-out fast path: a `PUBLISH` encodes its RESP push frame exactly
+//! once and hands every subscriber outbox the same [`Frame`]
+//! (`Arc<[u8]>`) — fan-out cost per subscriber is a reference-count
+//! bump and a bounded-queue push, not an encode or a buffer copy. A
+//! per-channel subscriber index resolves the outboxes up front so the
+//! hot path never walks the connection registry.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -29,9 +36,49 @@ use crate::server::{CpuModel, PubSubServer};
 /// (the Redis `client-output-buffer-limit` analogue).
 const OUTBOX_LIMIT: usize = 4_096;
 
+/// An encoded RESP frame shared by every outbox it is queued on: a
+/// publish encodes its push frame once and fans the same allocation out
+/// to all subscribers (reference-count bump per connection instead of a
+/// buffer copy).
+type Frame = Arc<[u8]>;
+
+/// One subscriber's entry in the per-channel fan-out index.
+struct Subscriber {
+    conn: u64,
+    node: NodeId,
+    outbox: SyncSender<Frame>,
+}
+
 struct Registry {
     server: PubSubServer,
-    outboxes: HashMap<u64, SyncSender<Vec<u8>>>,
+    outboxes: HashMap<u64, SyncSender<Frame>>,
+    /// Per-channel fan-out index: `PUBLISH` walks the channel's entry
+    /// directly instead of resolving each recipient through
+    /// `outboxes`. Kept in lockstep with `server`'s subscription state
+    /// (both only change under the registry lock).
+    index: HashMap<crate::Channel, Vec<Subscriber>>,
+}
+
+impl Registry {
+    /// Removes `client` everywhere: subscription state, fan-out index
+    /// and connection registry. Used for both orderly teardown and
+    /// output-buffer-overflow kills.
+    fn drop_client(&mut self, conn: u64, node: NodeId) {
+        self.outboxes.remove(&conn);
+        for channel in self.server.disconnect(node) {
+            self.unindex(channel, conn);
+        }
+    }
+
+    /// Removes `conn` from `channel`'s fan-out entry.
+    fn unindex(&mut self, channel: crate::Channel, conn: u64) {
+        if let Some(subs) = self.index.get_mut(&channel) {
+            subs.retain(|s| s.conn != conn);
+            if subs.is_empty() {
+                self.index.remove(&channel);
+            }
+        }
+    }
 }
 
 struct BrokerShared {
@@ -73,6 +120,7 @@ impl TcpBroker {
             registry: Mutex::new(Registry {
                 server: PubSubServer::new(CpuModel::default()),
                 outboxes: HashMap::new(),
+                index: HashMap::new(),
             }),
             running: AtomicBool::new(true),
             next_conn: AtomicU64::new(0),
@@ -109,9 +157,14 @@ impl TcpBroker {
 
     fn stop(&mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
-        // Dropping the outboxes ends the writer threads; readers notice
-        // on their next poll.
-        self.shared.registry.lock().outboxes.clear();
+        // Dropping the outboxes (and the index, which holds sender
+        // clones) ends the writer threads; readers notice on their next
+        // poll.
+        {
+            let mut reg = self.shared.registry.lock();
+            reg.outboxes.clear();
+            reg.index.clear();
+        }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -151,15 +204,24 @@ fn accept_loop(listener: TcpListener, shared: Arc<BrokerShared>) {
     }
 }
 
-fn send_value(out: &SyncSender<Vec<u8>>, value: &Value) -> bool {
+/// Encodes `value` into a shareable frame.
+fn encode_frame(value: &Value) -> Frame {
     let mut buf = Vec::new();
     resp::encode(value, &mut buf);
-    match out.try_send(buf) {
+    buf.into()
+}
+
+fn send_frame(out: &SyncSender<Frame>, frame: Frame) -> bool {
+    match out.try_send(frame) {
         Ok(()) => true,
         // A full outbox means the subscriber cannot keep up: kill it,
         // like Redis does.
         Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
     }
+}
+
+fn send_value(out: &SyncSender<Frame>, value: &Value) -> bool {
+    send_frame(out, encode_frame(value))
 }
 
 fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
@@ -169,7 +231,7 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = sync_channel::<Vec<u8>>(OUTBOX_LIMIT);
+    let (tx, rx) = sync_channel::<Frame>(OUTBOX_LIMIT);
     shared.registry.lock().outboxes.insert(conn, tx.clone());
     let writer = std::thread::spawn(move || writer_loop(write_half, rx));
 
@@ -211,11 +273,7 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
     }
 
     // Tear down: unregister and let the writer drain.
-    {
-        let mut reg = shared.registry.lock();
-        reg.outboxes.remove(&conn);
-        reg.server.disconnect(node);
-    }
+    shared.registry.lock().drop_client(conn, node);
     drop(tx);
     let _ = read_stream.shutdown(Shutdown::Both);
     let _ = writer.join();
@@ -226,7 +284,7 @@ fn handle_command(
     conn: u64,
     node: NodeId,
     value: &Value,
-    tx: &SyncSender<Vec<u8>>,
+    tx: &SyncSender<Frame>,
     shared: &BrokerShared,
 ) -> bool {
     let now = SimTime::ZERO; // wall-clock CPU modelling is not needed here
@@ -240,7 +298,13 @@ fn handle_command(
             let mut reg = shared.registry.lock();
             for name in channels {
                 let channel = intern(&name);
-                reg.server.subscribe(now, node, channel);
+                if reg.server.subscribe(now, node, channel) {
+                    reg.index.entry(channel).or_default().push(Subscriber {
+                        conn,
+                        node,
+                        outbox: tx.clone(),
+                    });
+                }
                 let count = reg.server.channels_of(node).count() as i64;
                 if !send_value(tx, &resp::subscription_push("subscribe", &name, count)) {
                     return false;
@@ -252,7 +316,9 @@ fn handle_command(
             let mut reg = shared.registry.lock();
             for name in channels {
                 let channel = intern(&name);
-                reg.server.unsubscribe(now, node, channel);
+                if reg.server.unsubscribe(now, node, channel) {
+                    reg.unindex(channel, conn);
+                }
                 let count = reg.server.channels_of(node).count() as i64;
                 if !send_value(tx, &resp::subscription_push("unsubscribe", &name, count)) {
                     return false;
@@ -263,28 +329,24 @@ fn handle_command(
         Command::Publish(name, payload) => {
             let channel = intern(&name);
             let mut reg = shared.registry.lock();
-            let outcome = reg.server.publish(now, channel);
-            let push = resp::message_push(&name, &payload);
+            // CPU accounting; the recipient set comes from the fan-out
+            // index below (same subscribers, resolved outboxes).
+            let _ = reg.server.publish(now, channel);
+            // Encode the push once; every outbox shares the allocation.
+            let frame = encode_frame(&resp::message_push(&name, &payload));
             let mut delivered = 0i64;
-            let mut dead: Vec<NodeId> = Vec::new();
-            for recipient in outcome.recipients {
-                let rc = recipient.index() as u64;
-                let alive = reg
-                    .outboxes
-                    .get(&rc)
-                    .is_some_and(|out| send_value(out, &push));
-                if alive {
+            let mut dead: Vec<(u64, NodeId)> = Vec::new();
+            for sub in reg.index.get(&channel).into_iter().flatten() {
+                if send_frame(&sub.outbox, Arc::clone(&frame)) {
                     delivered += 1;
                 } else {
-                    dead.push(recipient);
+                    dead.push((sub.conn, sub.node));
                 }
             }
-            for client in dead {
-                reg.outboxes.remove(&(client.index() as u64));
-                reg.server.disconnect(client);
+            for (dead_conn, dead_node) in dead {
+                reg.drop_client(dead_conn, dead_node);
             }
             drop(reg);
-            let _ = conn;
             send_value(tx, &Value::Integer(delivered))
         }
     }
@@ -301,7 +363,7 @@ fn intern(name: &str) -> crate::Channel {
     crate::Channel(h)
 }
 
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Frame>) {
     while let Ok(frame) = rx.recv() {
         if stream.write_all(&frame).is_err() {
             break;

@@ -29,4 +29,4 @@ mod server;
 
 pub use broker::TcpBroker;
 pub use channel::{Channel, ChannelRegistry};
-pub use server::{CpuModel, PublishOutcome, PubSubServer};
+pub use server::{CpuModel, PubSubServer, PublishOutcome};

@@ -216,9 +216,7 @@ pub fn parse_command(value: &Value) -> Result<Command, String> {
     let text = |arg: &Vec<u8>| String::from_utf8_lossy(arg).into_owned();
     match name.as_str() {
         "PING" => Ok(Command::Ping),
-        "SUBSCRIBE" if !args.is_empty() => {
-            Ok(Command::Subscribe(args.iter().map(text).collect()))
-        }
+        "SUBSCRIBE" if !args.is_empty() => Ok(Command::Subscribe(args.iter().map(text).collect())),
         "UNSUBSCRIBE" if !args.is_empty() => {
             Ok(Command::Unsubscribe(args.iter().map(text).collect()))
         }
@@ -353,10 +351,7 @@ mod tests {
     fn pushes_have_redis_shape() {
         let mut buf = Vec::new();
         encode(&message_push("tile_1", b"hi"), &mut buf);
-        assert_eq!(
-            buf,
-            b"*3\r\n$7\r\nmessage\r\n$6\r\ntile_1\r\n$2\r\nhi\r\n"
-        );
+        assert_eq!(buf, b"*3\r\n$7\r\nmessage\r\n$6\r\ntile_1\r\n$2\r\nhi\r\n");
         let mut buf = Vec::new();
         encode(&subscription_push("subscribe", "tile_1", 1), &mut buf);
         assert_eq!(buf, b"*3\r\n$9\r\nsubscribe\r\n$6\r\ntile_1\r\n:1\r\n");

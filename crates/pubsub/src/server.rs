@@ -321,7 +321,10 @@ mod tests {
         assert_eq!(b.cpu_done, SimTime::from_millis(2));
         // After an idle period the queue resets.
         let c = s.publish(SimTime::from_secs(1), Channel(1));
-        assert_eq!(c.cpu_done, SimTime::from_secs(1) + SimDuration::from_millis(1));
+        assert_eq!(
+            c.cpu_done,
+            SimTime::from_secs(1) + SimDuration::from_millis(1)
+        );
     }
 
     #[test]

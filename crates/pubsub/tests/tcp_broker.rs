@@ -124,10 +124,7 @@ fn unsubscribe_stops_deliveries() {
     assert_eq!(publisher.recv(), Value::Integer(0));
     publisher.send(&["PUBLISH", "b", "still here"]);
     assert_eq!(publisher.recv(), Value::Integer(1));
-    assert_eq!(
-        subscriber.recv(),
-        resp::message_push("b", b"still here")
-    );
+    assert_eq!(subscriber.recv(), resp::message_push("b", b"still here"));
     broker.shutdown();
 }
 
@@ -182,7 +179,10 @@ fn disconnect_cleans_up_subscriptions() {
     // The broker notices the close and removes the registration.
     let deadline = Instant::now() + Duration::from_secs(2);
     while broker.subscription_count() > 0 {
-        assert!(Instant::now() < deadline, "stale subscription never cleaned");
+        assert!(
+            Instant::now() < deadline,
+            "stale subscription never cleaned"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     let mut publisher = RespClient::connect(addr);

@@ -63,8 +63,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use dynamoth_sim::{Actor, ActorContext, Message, NodeId, SendOutcome, SimDuration, SimRng, SimTime, TimerId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use dynamoth_sim::{
+    Actor, ActorContext, Message, NodeId, SendOutcome, SimDuration, SimRng, SimTime, TimerId,
+};
 
 enum Envelope<M> {
     Msg { from: NodeId, msg: M },
@@ -132,6 +134,7 @@ struct RtContext<'a, M: Message> {
     cancelled: &'a mut HashSet<u64>,
     next_timer: &'a mut u64,
     timer_seq: &'a mut u64,
+    flush_requested: &'a mut bool,
 }
 
 impl<'a, M: Message> RtContext<'a, M> {
@@ -185,6 +188,10 @@ impl<'a, M: Message> ActorContext<M> for RtContext<'a, M> {
             .egress
             .get(node.index())
             .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    fn request_flush(&mut self) {
+        *self.flush_requested = true;
     }
 }
 
@@ -241,9 +248,7 @@ impl<M: Message + Send> RtEngineBuilder<M> {
             .map(|(i, (actor, rx))| {
                 let shared = Arc::clone(&shared);
                 let rng = seed_rng.fork();
-                std::thread::spawn(move || {
-                    node_loop(NodeId::from_index(i), actor, rx, shared, rng)
-                })
+                std::thread::spawn(move || node_loop(NodeId::from_index(i), actor, rx, shared, rng))
             })
             .collect();
         RtEngine { shared, handles }
@@ -269,6 +274,7 @@ fn node_loop<M: Message + Send>(
     let mut cancelled: HashSet<u64> = HashSet::new();
     let mut next_timer = 0u64;
     let mut timer_seq = 0u64;
+    let mut flush_requested = false;
     loop {
         // Fire every due timer first.
         let now = shared.now();
@@ -287,6 +293,7 @@ fn node_loop<M: Message + Send>(
                         cancelled: &mut cancelled,
                         next_timer: &mut next_timer,
                         timer_seq: &mut timer_seq,
+                        flush_requested: &mut flush_requested,
                     };
                     actor.on_timer(&mut ctx, tag);
                 }
@@ -295,15 +302,45 @@ fn node_loop<M: Message + Send>(
                 }
             }
         }
-        // Wait for the next message or the next timer deadline.
-        let timeout = timers
-            .peek()
-            .map(|Reverse(t)| {
-                Duration::from_micros(t.at.as_micros().saturating_sub(shared.now().as_micros()))
-            })
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(timeout) {
-            Ok(Envelope::Msg { from, msg }) => {
+        // A pending flush marks the end of a batching window: it runs
+        // as soon as the message queue is empty, so a burst of queued
+        // messages coalesces but a lone message flushes immediately.
+        let next = if flush_requested {
+            match rx.try_recv() {
+                Ok(env) => Some(env),
+                Err(TryRecvError::Empty) => {
+                    flush_requested = false;
+                    let mut ctx = RtContext {
+                        shared: &shared,
+                        node,
+                        rng: &mut rng,
+                        timers: &mut timers,
+                        cancelled: &mut cancelled,
+                        next_timer: &mut next_timer,
+                        timer_seq: &mut timer_seq,
+                        flush_requested: &mut flush_requested,
+                    };
+                    actor.on_flush(&mut ctx);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => return actor,
+            }
+        } else {
+            // Wait for the next message or the next timer deadline.
+            let timeout = timers
+                .peek()
+                .map(|Reverse(t)| {
+                    Duration::from_micros(t.at.as_micros().saturating_sub(shared.now().as_micros()))
+                })
+                .unwrap_or(Duration::from_millis(50));
+            match rx.recv_timeout(timeout) {
+                Ok(env) => Some(env),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => return actor,
+            }
+        };
+        match next {
+            Some(Envelope::Msg { from, msg }) => {
                 let mut ctx = RtContext {
                     shared: &shared,
                     node,
@@ -312,10 +349,11 @@ fn node_loop<M: Message + Send>(
                     cancelled: &mut cancelled,
                     next_timer: &mut next_timer,
                     timer_seq: &mut timer_seq,
+                    flush_requested: &mut flush_requested,
                 };
                 actor.on_message(&mut ctx, from, msg);
             }
-            Ok(Envelope::ArmTimer { at, tag }) => {
+            Some(Envelope::ArmTimer { at, tag }) => {
                 let seq = timer_seq;
                 timer_seq += 1;
                 let id = TimerId::from_raw(next_timer);
@@ -326,8 +364,8 @@ fn node_loop<M: Message + Send>(
                     pending: Pending::Timer { id, tag },
                 }));
             }
-            Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => return actor,
-            Err(RecvTimeoutError::Timeout) => {}
+            Some(Envelope::Stop) => return actor,
+            None => {}
         }
     }
 }

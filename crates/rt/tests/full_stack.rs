@@ -12,7 +12,7 @@ use std::time::Duration;
 use dynamoth_core::balancer::TAG_EVAL;
 use dynamoth_core::{
     BalancerStrategy, ChannelId, ChannelMapping, DynamothConfig, LoadBalancer, Msg, Plan, Ring,
-    ServerId, TraceHandle, ServerNode, TAG_TICK,
+    ServerId, ServerNode, TraceHandle, TAG_TICK,
 };
 use dynamoth_rt::RtEngineBuilder;
 use dynamoth_sim::{NodeId, SimDuration, SimTime};
@@ -124,9 +124,12 @@ fn pubsub_round_trip_over_real_threads() {
 fn live_migration_over_real_threads() {
     let mut stack = stack(3, BalancerStrategy::Manual);
     let pub_node = NodeId::from_index(stack.builder.node_count());
-    stack
-        .builder
-        .add_node(Box::new(Publisher::new(client(&stack, pub_node), CHANNEL, 50.0, 128)));
+    stack.builder.add_node(Box::new(Publisher::new(
+        client(&stack, pub_node),
+        CHANNEL,
+        50.0,
+        128,
+    )));
     let sub_node = NodeId::from_index(stack.builder.node_count());
     stack.builder.add_node(Box::new(Subscriber::new(
         client(&stack, sub_node),
@@ -190,9 +193,12 @@ fn live_migration_over_real_threads() {
 fn lla_reports_flow_in_real_time() {
     let mut stack = stack(2, BalancerStrategy::Dynamoth);
     let pub_node = NodeId::from_index(stack.builder.node_count());
-    stack
-        .builder
-        .add_node(Box::new(Publisher::new(client(&stack, pub_node), CHANNEL, 50.0, 256)));
+    stack.builder.add_node(Box::new(Publisher::new(
+        client(&stack, pub_node),
+        CHANNEL,
+        50.0,
+        256,
+    )));
     let sub_node = NodeId::from_index(stack.builder.node_count());
     stack.builder.add_node(Box::new(Subscriber::new(
         client(&stack, sub_node),
@@ -219,5 +225,8 @@ fn lla_reports_flow_in_real_time() {
         stack.trace.server_series()
     );
     let deliveries: u64 = stack.trace.delivery_series().iter().map(|&(_, n)| n).sum();
-    assert!(deliveries > 20, "LLA deliveries never reached the LB: {deliveries}");
+    assert!(
+        deliveries > 20,
+        "LLA deliveries never reached the LB: {deliveries}"
+    );
 }

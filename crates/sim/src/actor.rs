@@ -105,6 +105,15 @@ pub trait ActorContext<M: Message> {
         let _ = (from, to);
         0
     }
+
+    /// Requests an [`Actor::on_flush`] callback once the engine has
+    /// handed this node every event of the current batching window: in
+    /// the discrete-event world, after all events already queued for
+    /// the current instant; in the real-time engine, when the node's
+    /// message queue drains. Multiple requests within one window
+    /// coalesce into a single callback. Actors use this to buffer
+    /// per-recipient output during a burst and emit it batched.
+    fn request_flush(&mut self);
 }
 
 /// A simulated node. Implementations react to incoming messages and
@@ -122,6 +131,13 @@ pub trait Actor<M: Message>: 'static {
     /// ignores timers.
     fn on_timer(&mut self, ctx: &mut dyn ActorContext<M>, tag: u64) {
         let _ = (ctx, tag);
+    }
+
+    /// Called at the end of the batching window in which this actor
+    /// called [`ActorContext::request_flush`]: buffered batches are
+    /// drained here. The default implementation does nothing.
+    fn on_flush(&mut self, ctx: &mut dyn ActorContext<M>) {
+        let _ = ctx;
     }
 
     /// Upcast for inspection.

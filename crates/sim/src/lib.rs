@@ -52,4 +52,6 @@ mod world;
 pub use actor::{Actor, ActorContext, Message, NodeClass, NodeId, RouteRequest, TimerId};
 pub use clock::{SimDuration, SimTime};
 pub use rng::{SimRng, Zipf};
-pub use world::{Context, InstantTransport, RouteOutcome, SendOutcome, Transport, World, WorldStats};
+pub use world::{
+    Context, InstantTransport, RouteOutcome, SendOutcome, Transport, World, WorldStats,
+};

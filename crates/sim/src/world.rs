@@ -74,6 +74,7 @@ impl Transport for InstantTransport {
 enum EvKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, id: TimerId, tag: u64 },
+    Flush { node: NodeId },
 }
 
 struct Ev<M> {
@@ -156,6 +157,7 @@ pub struct World<M: Message> {
     seq: u64,
     queue: BinaryHeap<Ev<M>>,
     slots: Vec<Slot<M>>,
+    pending_flushes: HashSet<NodeId>,
     pending_timers: HashSet<u64>,
     next_timer: u64,
     transport: Box<dyn Transport>,
@@ -171,6 +173,7 @@ impl<M: Message> World<M> {
             seq: 0,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
+            pending_flushes: HashSet::new(),
             pending_timers: HashSet::new(),
             next_timer: 0,
             transport,
@@ -330,14 +333,14 @@ impl<M: Message> World<M> {
                 }
                 self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
             }
+            EvKind::Flush { node } => {
+                self.pending_flushes.remove(&node);
+                self.with_actor(node, |actor, ctx| actor.on_flush(ctx));
+            }
         }
     }
 
-    fn with_actor(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
-    ) {
+    fn with_actor(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>)) {
         self.stats.events_processed += 1;
         let slot = &mut self.slots[node.index()];
         let Some(mut actor) = slot.actor.take() else {
@@ -442,6 +445,19 @@ impl<'w, M: Message> ActorContext<M> for Context<'w, M> {
         self.world
             .transport
             .connection_backlog(from, to, self.world.time)
+    }
+
+    fn request_flush(&mut self) {
+        // One flush event per node per instant: the event is pushed at
+        // the current time, and monotonic sequence numbers order it
+        // after every event already queued for this instant — so the
+        // callback runs once the whole same-instant burst has been
+        // delivered, which is exactly the batching window.
+        if self.world.pending_flushes.insert(self.node) {
+            let node = self.node;
+            let at = self.world.time;
+            self.world.push(at, EvKind::Flush { node });
+        }
     }
 }
 
@@ -583,6 +599,62 @@ mod tests {
             (w.stats(), w.now())
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[derive(Default)]
+    struct Batcher {
+        buffered: u32,
+        flush_sizes: Vec<u32>,
+    }
+    impl Actor<TestMsg> for Batcher {
+        fn on_message(
+            &mut self,
+            ctx: &mut dyn ActorContext<TestMsg>,
+            _from: NodeId,
+            _msg: TestMsg,
+        ) {
+            self.buffered += 1;
+            ctx.request_flush();
+        }
+        fn on_flush(&mut self, _ctx: &mut dyn ActorContext<TestMsg>) {
+            self.flush_sizes.push(self.buffered);
+            self.buffered = 0;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn flush_coalesces_a_same_instant_burst_into_one_callback() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Batcher::default()));
+        let b = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        // Three messages in the same instant: the flush must run once,
+        // after all three, even though each delivery requests it.
+        w.post(b, a, TestMsg::Note("1"));
+        w.post(b, a, TestMsg::Note("2"));
+        w.post(b, a, TestMsg::Note("3"));
+        w.run_to_quiescence();
+        let batcher: &Batcher = w.actor(a).unwrap();
+        assert_eq!(batcher.flush_sizes, vec![3]);
+    }
+
+    #[test]
+    fn flush_windows_do_not_span_instants() {
+        let mut w = world();
+        let a = w.add_node(NodeClass::Infra, Box::new(Batcher::default()));
+        let b = w.add_node(NodeClass::Infra, Box::new(Recorder::default()));
+        w.post(b, a, TestMsg::Note("now"));
+        w.run_to_quiescence();
+        w.post(b, a, TestMsg::Note("later-1"));
+        w.post(b, a, TestMsg::Note("later-2"));
+        w.run_to_quiescence();
+        let batcher: &Batcher = w.actor(a).unwrap();
+        assert_eq!(batcher.flush_sizes, vec![1, 2]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use dynamoth_core::{ChannelId, ClientEvent, DynamothClient, Msg, TraceHandle};
-use dynamoth_sim::{ActorContext, Actor, NodeId, SimDuration, SimRng, Zipf};
+use dynamoth_sim::{Actor, ActorContext, NodeId, SimDuration, SimRng, Zipf};
 
 /// Timer tag: the user comes online.
 pub const TAG_JOIN: u64 = 1;
@@ -167,7 +167,8 @@ impl ChatUser {
             let channel = self.cfg.room_channel(room);
             let (_, out) = {
                 let mut rng = ctx.rng().fork();
-                self.client.publish(now, &mut rng, channel, self.cfg.payload)
+                self.client
+                    .publish(now, &mut rng, channel, self.cfg.payload)
             };
             send_all(ctx, out);
             self.sent += 1;
@@ -231,7 +232,8 @@ impl Actor<Msg> for ChatUser {
                 ClientEvent::Delivery(p) => {
                     self.received += 1;
                     if p.publisher == self.client.node() {
-                        self.trace.record_response(now, now.saturating_since(p.sent_at));
+                        self.trace
+                            .record_response(now, now.saturating_since(p.sent_at));
                     }
                 }
                 ClientEvent::SubscriptionsLost { channels, .. } => {

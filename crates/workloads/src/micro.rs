@@ -84,7 +84,8 @@ impl Actor<Msg> for Publisher {
                 let now = ctx.now();
                 let (_, out) = {
                     let mut rng = ctx.rng().fork();
-                    self.client.publish(now, &mut rng, self.channel, self.payload)
+                    self.client
+                        .publish(now, &mut rng, self.channel, self.payload)
                 };
                 send_all(ctx, out);
                 ctx.set_timer(self.interval(), TAG_PUBLISH);
@@ -147,7 +148,8 @@ impl Actor<Msg> for Subscriber {
             match event {
                 ClientEvent::Delivery(p) => {
                     self.received += 1;
-                    self.trace.record_response(now, now.saturating_since(p.sent_at));
+                    self.trace
+                        .record_response(now, now.saturating_since(p.sent_at));
                 }
                 ClientEvent::SubscriptionsLost { .. } => {
                     self.trace.record_lost_subscription();
@@ -198,7 +200,11 @@ mod tests {
 
     fn client() -> DynamothClient {
         let ring = Arc::new(Ring::new(&[ServerId(NodeId::from_index(0))], 8));
-        DynamothClient::new(NodeId::from_index(10), ring, Arc::new(DynamothConfig::default()))
+        DynamothClient::new(
+            NodeId::from_index(10),
+            ring,
+            Arc::new(DynamothConfig::default()),
+        )
     }
 
     #[test]

@@ -116,12 +116,10 @@ impl PlayerCounter {
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (current as isize + delta).max(0) as usize;
-            match self.0.compare_exchange_weak(
-                current,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }
@@ -189,7 +187,9 @@ impl Player {
     fn pick_waypoint(&self, rng: &mut SimRng) -> (f64, f64) {
         let g = self.cfg.grid as f64;
         if self.cfg.poi_count > 0 && rng.chance(self.cfg.poi_bias) {
-            let (px, py) = self.cfg.poi(rng.next_below(self.cfg.poi_count as u64) as usize);
+            let (px, py) = self
+                .cfg
+                .poi(rng.next_below(self.cfg.poi_count as u64) as usize);
             let j = self.cfg.poi_jitter;
             (
                 (px + rng.range_f64(-j, j)).clamp(0.0, g - 1e-9),
@@ -285,7 +285,8 @@ impl Player {
         if let Some(tile) = self.tile {
             let (_, out) = {
                 let mut tmp_rng = ctx.rng().fork();
-                self.client.publish(now, &mut tmp_rng, tile, self.cfg.payload)
+                self.client
+                    .publish(now, &mut tmp_rng, tile, self.cfg.payload)
             };
             send_all(ctx, out);
         }
@@ -313,7 +314,8 @@ impl Actor<Msg> for Player {
                     if p.publisher == self.client.node() {
                         // Echo of our own state update: the paper's
                         // response-time metric.
-                        self.trace.record_response(now, now.saturating_since(p.sent_at));
+                        self.trace
+                            .record_response(now, now.saturating_since(p.sent_at));
                     }
                 }
                 ClientEvent::SubscriptionsLost { channels, .. } => {

@@ -84,7 +84,10 @@ impl Schedule {
         t4: SimTime,
     ) -> Self {
         assert!(keep <= up1, "cannot keep more players than joined");
-        assert!(t0 < t1 && t1 <= t2 && t2 <= t3 && t3 < t4, "phases must be ordered");
+        assert!(
+            t0 < t1 && t1 <= t2 && t2 <= t3 && t3 < t4,
+            "phases must be ordered"
+        );
         let mut players = Vec::with_capacity(up1 + up2);
         // Phase 1: ramp up1 players in between t0 and t1; the first
         // `keep` stay forever, the rest leave at t2 (staggered slightly

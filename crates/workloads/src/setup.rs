@@ -74,7 +74,9 @@ pub fn spawn_hot_channel(
         let actor = Publisher::new(client, channel, rate_hz, payload);
         cluster.add_client(Box::new(actor));
         let stagger = SimDuration::from_millis((i as u64 * 7) % 1_000);
-        cluster.world.schedule_timer(node, pub_start + stagger, TAG_START);
+        cluster
+            .world
+            .schedule_timer(node, pub_start + stagger, TAG_START);
         publishers.push(node);
     }
     (publishers, subscribers)
@@ -148,7 +150,13 @@ mod tests {
             message_hz: 2.0,
             ..Default::default()
         });
-        let users = spawn_chat_users(&mut cluster, &cfg, 10, SimTime::from_secs(1), SimDuration::from_secs(2));
+        let users = spawn_chat_users(
+            &mut cluster,
+            &cfg,
+            10,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+        );
         cluster.run_for(SimDuration::from_secs(20));
         let mut total_sent = 0;
         for &u in &users {

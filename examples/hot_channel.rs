@@ -33,7 +33,15 @@ fn main() {
     // 120 publishers at 10 msg/s on one channel, one subscriber: a
     // publication-heavy channel (P_ratio = 1200).
     let channel = ChannelId(7);
-    spawn_hot_channel(&mut cluster, channel, 120, 10.0, 600, 1, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        channel,
+        120,
+        10.0,
+        600,
+        1,
+        SimTime::from_secs(1),
+    );
 
     for step in 1..=6 {
         cluster.run_for(SimDuration::from_secs(10));

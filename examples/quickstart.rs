@@ -24,10 +24,10 @@ fn main() {
     let (publishers, subscribers) = spawn_hot_channel(
         &mut cluster,
         channel,
-        3,    // publishers
-        5.0,  // messages per second each
-        512,  // payload bytes
-        10,   // subscribers
+        3,   // publishers
+        5.0, // messages per second each
+        512, // payload bytes
+        10,  // subscribers
         SimTime::from_secs(1),
     );
     println!(
@@ -42,10 +42,7 @@ fn main() {
 
     // Every subscriber received every publication exactly once.
     for &node in &subscribers {
-        let sub: &Subscriber = cluster
-            .world
-            .actor(node)
-            .expect("subscriber actor present");
+        let sub: &Subscriber = cluster.world.actor(node).expect("subscriber actor present");
         println!(
             "subscriber {node}: {} messages, {} duplicates suppressed",
             sub.received(),

@@ -78,7 +78,10 @@ fn main() {
         engine.schedule_timer(p, SimTime::from_millis(150), TAG_START);
     }
 
-    println!("running the full middleware on {} OS threads for 3 s…", 2 + 1 + 6);
+    println!(
+        "running the full middleware on {} OS threads for 3 s…",
+        2 + 1 + 6
+    );
     sleep(Duration::from_secs(3));
     for &s in &servers {
         println!("broker {s:?}: {} bytes sent", engine.egress_bytes(s.0));

@@ -26,14 +26,14 @@ fn run(adaptive: bool) -> (f64, f64) {
     let schedule = Schedule::ramp(100, 420, SimTime::from_secs(2), SimTime::from_secs(30));
     spawn_players(&mut cluster, &game, &schedule);
     cluster.run_for(SimDuration::from_secs(120));
-    let (high, safe) = cluster
-        .load_balancer()
-        .unwrap()
-        .effective_thresholds();
+    let (high, safe) = cluster.load_balancer().unwrap().effective_thresholds();
     let _ = safe;
     (
         high,
-        cluster.trace.mean_response_ms_between(90, 120).unwrap_or(f64::NAN),
+        cluster
+            .trace
+            .mean_response_ms_between(90, 120)
+            .unwrap_or(f64::NAN),
     )
 }
 
@@ -48,7 +48,10 @@ fn danger_episodes_tighten_the_thresholds() {
         "a near-failure ramp should have lowered LR_high, still at {adaptive_high}"
     );
     // And the system still works afterwards.
-    assert!(adaptive_latency < 150.0, "late latency {adaptive_latency} ms");
+    assert!(
+        adaptive_latency < 150.0,
+        "late latency {adaptive_latency} ms"
+    );
 }
 
 #[test]

@@ -23,10 +23,10 @@ fn spawn_cpu_bound_load(cluster: &mut Cluster) {
         spawn_hot_channel(
             cluster,
             ChannelId(ch),
-            7,    // publishers
-            5.0,  // msg/s each → 35 publications/s
-            56,   // tiny payload (120 B on the wire)
-            50,   // subscribers → 1 750 deliveries/s
+            7,   // publishers
+            5.0, // msg/s each → 35 publications/s
+            56,  // tiny payload (120 B on the wire)
+            50,  // subscribers → 1 750 deliveries/s
             SimTime::from_secs(1),
         );
     }
@@ -48,7 +48,10 @@ fn run(cpu_aware: bool) -> (f64, usize) {
     // Detection, provisioning waves and draining the CPU backlog built
     // up before the spread take a while; measure the steady state.
     cluster.run_for(SimDuration::from_secs(75));
-    let late = cluster.trace.mean_response_ms_between(55, 75).unwrap_or(f64::MAX);
+    let late = cluster
+        .trace
+        .mean_response_ms_between(55, 75)
+        .unwrap_or(f64::MAX);
     (late, cluster.active_server_count())
 }
 
@@ -92,7 +95,15 @@ fn cpu_aware_is_a_noop_for_bandwidth_bound_loads() {
             },
             ..Default::default()
         });
-        spawn_hot_channel(&mut cluster, ChannelId(0), 5, 10.0, 1_936, 30, SimTime::from_secs(1));
+        spawn_hot_channel(
+            &mut cluster,
+            ChannelId(0),
+            5,
+            10.0,
+            1_936,
+            30,
+            SimTime::from_secs(1),
+        );
         cluster.run_for(SimDuration::from_secs(30));
         (
             cluster.active_server_count(),

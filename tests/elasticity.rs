@@ -55,7 +55,10 @@ fn servers_are_released_when_load_drops() {
     spawn_players(&mut cluster, &game, &schedule);
     cluster.run_for(SimDuration::from_secs(80));
     let at_peak = cluster.active_server_count();
-    assert!(at_peak >= 3, "peak should use several servers, used {at_peak}");
+    assert!(
+        at_peak >= 3,
+        "peak should use several servers, used {at_peak}"
+    );
     cluster.run_for(SimDuration::from_secs(110));
     let after_drop = cluster.active_server_count();
     assert!(

@@ -45,7 +45,13 @@ fn run_and_drain(
         .sum();
     let received: Vec<u64> = subscribers
         .iter()
-        .map(|&s| cluster.world.actor::<Subscriber>(s).expect("subscriber").received())
+        .map(|&s| {
+            cluster
+                .world
+                .actor::<Subscriber>(s)
+                .expect("subscriber")
+                .received()
+        })
         .collect();
     (published, received)
 }
@@ -72,9 +78,20 @@ fn every_subscriber_receives_every_message_exactly_once() {
 #[test]
 fn response_time_sits_on_the_wan_floor() {
     let mut cluster = cluster(2);
-    spawn_hot_channel(&mut cluster, ChannelId(1), 1, 5.0, 400, 3, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        ChannelId(1),
+        1,
+        5.0,
+        400,
+        3,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(20));
-    let mean = cluster.trace.mean_response_ms().expect("deliveries happened");
+    let mean = cluster
+        .trace
+        .mean_response_ms()
+        .expect("deliveries happened");
     // Two one-way WAN samples with median ≈ 35 ms each, log-normal tail.
     assert!(
         (60.0..140.0).contains(&mean),
@@ -85,15 +102,33 @@ fn response_time_sits_on_the_wan_floor() {
 #[test]
 fn subscribers_on_different_channels_are_isolated() {
     let mut cluster = cluster(3);
-    let (pubs_a, subs_a) =
-        spawn_hot_channel(&mut cluster, ChannelId(1), 1, 10.0, 200, 2, SimTime::from_secs(1));
-    let (_pubs_b, subs_b) =
-        spawn_hot_channel(&mut cluster, ChannelId(2), 1, 2.0, 200, 2, SimTime::from_secs(1));
+    let (pubs_a, subs_a) = spawn_hot_channel(
+        &mut cluster,
+        ChannelId(1),
+        1,
+        10.0,
+        200,
+        2,
+        SimTime::from_secs(1),
+    );
+    let (_pubs_b, subs_b) = spawn_hot_channel(
+        &mut cluster,
+        ChannelId(2),
+        1,
+        2.0,
+        200,
+        2,
+        SimTime::from_secs(1),
+    );
     let (published_a, received_a) = run_and_drain(&mut cluster, &pubs_a, &subs_a, 15);
     // Channel-2 subscribers must have received only channel-2 traffic,
     // which is published at 1/5th the rate.
     for &s in &subs_b {
-        let got = cluster.world.actor::<Subscriber>(s).expect("subscriber").received();
+        let got = cluster
+            .world
+            .actor::<Subscriber>(s)
+            .expect("subscriber")
+            .received();
         assert!(got < published_a / 2, "channel isolation violated: {got}");
     }
     for &r in &received_a {
@@ -166,7 +201,9 @@ fn unsubscribed_clients_stop_receiving() {
         channel,
         received: 0,
     }));
-    cluster.world.schedule_timer(node, SimTime::from_millis(100), 0);
+    cluster
+        .world
+        .schedule_timer(node, SimTime::from_millis(100), 0);
     let (pubs, _) = spawn_hot_channel(&mut cluster, channel, 1, 10.0, 100, 0, SimTime::ZERO);
     cluster
         .world

@@ -37,8 +37,15 @@ fn cluster(seed: u64) -> Cluster {
 #[test]
 fn crash_triggers_failover_and_deliveries_resume() {
     let mut cluster = cluster(100);
-    let (_, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    let (_, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        2,
+        10.0,
+        400,
+        4,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(10));
     let victim = cluster.ring.server_for(CHANNEL);
 
@@ -92,8 +99,15 @@ fn crash_triggers_failover_and_deliveries_resume() {
 #[test]
 fn recovered_server_can_be_rented_again() {
     let mut cluster = cluster(101);
-    let (_, _) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    let (_, _) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        2,
+        10.0,
+        400,
+        4,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(8));
     let victim = cluster.ring.server_for(CHANNEL);
     cluster
@@ -118,13 +132,25 @@ fn recovered_server_can_be_rented_again() {
     cluster.run_for(SimDuration::from_secs(10));
     let node = cluster.server_node(victim).unwrap();
     assert!(!node.is_crashed());
-    assert_eq!(node.pubsub().subscription_count(), 0, "state survived a crash");
+    assert_eq!(
+        node.pubsub().subscription_count(),
+        0,
+        "state survived a crash"
+    );
 }
 
 #[test]
 fn healthy_clusters_never_fail_over() {
     let mut cluster = cluster(102);
-    spawn_hot_channel(&mut cluster, CHANNEL, 2, 10.0, 400, 4, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        2,
+        10.0,
+        400,
+        4,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(30));
     assert!(cluster
         .trace

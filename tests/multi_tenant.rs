@@ -57,7 +57,11 @@ fn three_applications_share_one_cluster() {
     assert!(chat_received > 1_000, "chat app starved: {chat_received}");
     for &r in &readers {
         let sub: &Subscriber = cluster.world.actor(r).unwrap();
-        assert!(sub.received() > 50, "feed reader starved: {}", sub.received());
+        assert!(
+            sub.received() > 50,
+            "feed reader starved: {}",
+            sub.received()
+        );
     }
     let mean = cluster.trace.mean_response_ms_between(30, 60).unwrap();
     assert!(mean < 150.0, "shared cluster degraded: {mean} ms");

@@ -32,7 +32,15 @@ fn publication_storm_overflows_the_subscriber_connection() {
     let mut cluster = manual_cluster(40);
     pin_single(&mut cluster);
     // 400 publishers × 10 msg/s × ~2 kB ≫ the 4 MB/s connection cap.
-    spawn_hot_channel(&mut cluster, CHANNEL, 400, 10.0, 1_936, 1, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        400,
+        10.0,
+        1_936,
+        1,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(15));
     assert!(
         cluster.trace.lost_subscriptions() > 0,
@@ -47,8 +55,15 @@ fn all_subscribers_replication_prevents_the_overflow() {
     let mut plan = Plan::bootstrap();
     plan.set(CHANNEL, ChannelMapping::AllSubscribers(servers));
     cluster.install_plan(plan);
-    let (_, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 400, 10.0, 1_936, 1, SimTime::from_secs(1));
+    let (_, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        400,
+        10.0,
+        1_936,
+        1,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(15));
     assert_eq!(
         cluster.trace.lost_subscriptions(),
@@ -56,7 +71,11 @@ fn all_subscribers_replication_prevents_the_overflow() {
         "replication should spread the stream over three connections"
     );
     let sub: &Subscriber = cluster.world.actor(subs[0]).unwrap();
-    assert!(sub.received() > 10_000, "subscriber starved: {}", sub.received());
+    assert!(
+        sub.received() > 10_000,
+        "subscriber starved: {}",
+        sub.received()
+    );
 }
 
 #[test]
@@ -65,7 +84,15 @@ fn fanout_saturation_raises_response_time_and_replication_fixes_it() {
     // NIC — response time explodes.
     let mut saturated = manual_cluster(41);
     pin_single(&mut saturated);
-    spawn_hot_channel(&mut saturated, CHANNEL, 1, 10.0, 1_936, 700, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut saturated,
+        CHANNEL,
+        1,
+        10.0,
+        1_936,
+        700,
+        SimTime::from_secs(1),
+    );
     saturated.run_for(SimDuration::from_secs(20));
     let hot = saturated.trace.mean_response_ms_between(10, 20).unwrap();
 
@@ -74,12 +101,23 @@ fn fanout_saturation_raises_response_time_and_replication_fixes_it() {
     let mut plan = Plan::bootstrap();
     plan.set(CHANNEL, ChannelMapping::AllPublishers(servers));
     replicated.install_plan(plan);
-    spawn_hot_channel(&mut replicated, CHANNEL, 1, 10.0, 1_936, 700, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut replicated,
+        CHANNEL,
+        1,
+        10.0,
+        1_936,
+        700,
+        SimTime::from_secs(1),
+    );
     replicated.run_for(SimDuration::from_secs(20));
     let cool = replicated.trace.mean_response_ms_between(10, 20).unwrap();
 
     assert!(hot > 500.0, "single server should be saturated: {hot} ms");
-    assert!(cool < 150.0, "replication should keep latency low: {cool} ms");
+    assert!(
+        cool < 150.0,
+        "replication should keep latency low: {cool} ms"
+    );
 }
 
 #[test]
@@ -103,14 +141,25 @@ fn disconnected_subscribers_can_resubscribe() {
         transport,
         ..Default::default()
     });
-    let (_, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 40, 10.0, 1_936, 1, SimTime::from_secs(1));
+    let (_, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        40,
+        10.0,
+        1_936,
+        1,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(10));
     assert!(cluster.trace.lost_subscriptions() > 0);
     let server = cluster.servers[0];
     // After the storm the subscriber is gone from the server.
     let sub: &Subscriber = cluster.world.actor(subs[0]).unwrap();
     assert!(!sub.client().is_subscribed(CHANNEL));
-    let count = cluster.server_node(server).unwrap().pubsub().subscriber_count(CHANNEL);
+    let count = cluster
+        .server_node(server)
+        .unwrap()
+        .pubsub()
+        .subscriber_count(CHANNEL);
     assert_eq!(count, 0, "server should have dropped the dead connection");
 }

@@ -4,8 +4,10 @@
 //! traffic flows and check exactly-once delivery end to end.
 
 use dynamoth::core::{
-    BalancerStrategy, ChannelId, ChannelMapping, Cluster, ClusterConfig, Plan, ServerId,
+    BalancerStrategy, ChannelId, ChannelMapping, Cluster, ClusterConfig, DynamothConfig, Plan,
+    ServerId,
 };
+use dynamoth::net::CloudTransportConfig;
 use dynamoth::sim::{SimDuration, SimTime};
 use dynamoth::workloads::setup::spawn_hot_channel;
 use dynamoth::workloads::{micro, Publisher, Subscriber};
@@ -28,10 +30,22 @@ fn single(server: ServerId) -> Plan {
     plan
 }
 
-fn totals(cluster: &Cluster, pubs: &[dynamoth::sim::NodeId], subs: &[dynamoth::sim::NodeId]) -> (u64, Vec<u64>, u64) {
+fn totals(
+    cluster: &Cluster,
+    pubs: &[dynamoth::sim::NodeId],
+    subs: &[dynamoth::sim::NodeId],
+) -> (u64, Vec<u64>, u64) {
     let published = pubs
         .iter()
-        .map(|&p| cluster.world.actor::<Publisher>(p).unwrap().client().stats().publishes)
+        .map(|&p| {
+            cluster
+                .world
+                .actor::<Publisher>(p)
+                .unwrap()
+                .client()
+                .stats()
+                .publishes
+        })
         .sum();
     let received = subs
         .iter()
@@ -57,8 +71,15 @@ fn migration_loses_nothing_and_delivers_once() {
     let mut cluster = manual_cluster(10);
     let servers = cluster.servers.clone();
     cluster.install_plan(single(servers[0]));
-    let (pubs, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 3, 10.0, 400, 6, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        3,
+        10.0,
+        400,
+        6,
+        SimTime::from_secs(1),
+    );
     // Let traffic settle on server 0, then migrate the channel twice
     // while messages are in flight.
     cluster.run_for(SimDuration::from_secs(10));
@@ -67,7 +88,9 @@ fn migration_loses_nothing_and_delivers_once() {
     cluster.install_plan(single(servers[2]));
     // Stop publishing and drain.
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(30), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(30), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(45));
 
@@ -82,7 +105,10 @@ fn migration_loses_nothing_and_delivers_once() {
     // The overlap window (grace period + dispatcher mirroring) must have
     // produced duplicate wire deliveries that the library suppressed —
     // evidence the reconfiguration machinery actually ran.
-    assert!(duplicates > 0, "expected suppressed duplicates during migration");
+    assert!(
+        duplicates > 0,
+        "expected suppressed duplicates during migration"
+    );
 }
 
 #[test]
@@ -90,8 +116,15 @@ fn clients_learn_the_new_mapping_lazily() {
     let mut cluster = manual_cluster(11);
     let servers = cluster.servers.clone();
     cluster.install_plan(single(servers[0]));
-    let (pubs, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 1, 10.0, 200, 3, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        1,
+        10.0,
+        200,
+        3,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(5));
     cluster.install_plan(single(servers[3]));
     cluster.run_for(SimDuration::from_secs(20));
@@ -110,11 +143,19 @@ fn clients_learn_the_new_mapping_lazily() {
     }
     // The new server actually has the subscribers; the old server none.
     assert_eq!(
-        cluster.server_node(servers[3]).unwrap().pubsub().subscriber_count(CHANNEL),
+        cluster
+            .server_node(servers[3])
+            .unwrap()
+            .pubsub()
+            .subscriber_count(CHANNEL),
         3
     );
     assert_eq!(
-        cluster.server_node(servers[0]).unwrap().pubsub().subscriber_count(CHANNEL),
+        cluster
+            .server_node(servers[0])
+            .unwrap()
+            .pubsub()
+            .subscriber_count(CHANNEL),
         0
     );
 }
@@ -124,8 +165,15 @@ fn forwarding_state_winds_down_after_migration() {
     let mut cluster = manual_cluster(12);
     let servers = cluster.servers.clone();
     cluster.install_plan(single(servers[0]));
-    let (pubs, _subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 1, 10.0, 200, 2, SimTime::from_secs(1));
+    let (pubs, _subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        1,
+        10.0,
+        200,
+        2,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(5));
     cluster.install_plan(single(servers[1]));
     cluster.run_for(SimDuration::from_secs(30));
@@ -149,8 +197,15 @@ fn migration_to_replicated_mapping_keeps_exactly_once() {
     let mut cluster = manual_cluster(13);
     let servers = cluster.servers.clone();
     cluster.install_plan(single(servers[0]));
-    let (pubs, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 4, 10.0, 300, 4, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        4,
+        10.0,
+        300,
+        4,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(8));
     // Single → all-subscribers over three servers.
     let mut plan = Plan::bootstrap();
@@ -168,7 +223,9 @@ fn migration_to_replicated_mapping_keeps_exactly_once() {
     );
     cluster.install_plan(plan);
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(28), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(28), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(45));
 
@@ -197,7 +254,9 @@ fn cold_clients_resolve_via_consistent_hashing_and_get_redirected() {
     let (pubs, subs) =
         spawn_hot_channel(&mut cluster, CHANNEL, 1, 5.0, 200, 2, SimTime::from_secs(1));
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(25));
 
@@ -215,9 +274,117 @@ fn cold_clients_resolve_via_consistent_hashing_and_get_redirected() {
     );
 }
 
+/// Runs one live migration with publishers firing in *lock-step* on a
+/// constant-latency transport, so multiple publications reach the
+/// server within the same instant and the batch path (when enabled)
+/// forms real multi-entry [`DeliverBatch`]es. Returns
+/// `(published, received, duplicates, batches_received)`.
+fn run_lockstep_migration(batching: bool) -> (u64, Vec<u64>, u64, u64) {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 16,
+        pool_size: 4,
+        initial_active: 4,
+        strategy: BalancerStrategy::Manual,
+        transport: CloudTransportConfig::fast_lan(),
+        dynamoth: DynamothConfig {
+            delivery_batching: batching,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let servers = cluster.servers.clone();
+    cluster.install_plan(single(servers[0]));
+
+    let mut subs = Vec::new();
+    for _ in 0..4 {
+        let node = cluster.world.node_count();
+        let node = dynamoth::sim::NodeId::from_index(node);
+        let client = cluster.client_library(node);
+        let actor = Subscriber::new(client, CHANNEL, cluster.trace.clone());
+        cluster.add_client(Box::new(actor));
+        cluster
+            .world
+            .schedule_timer(node, SimTime::from_secs(1), micro::TAG_START);
+        subs.push(node);
+    }
+    let mut pubs = Vec::new();
+    for _ in 0..3 {
+        let node = cluster.world.node_count();
+        let node = dynamoth::sim::NodeId::from_index(node);
+        let client = cluster.client_library(node);
+        let actor = Publisher::new(client, CHANNEL, 10.0, 300);
+        cluster.add_client(Box::new(actor));
+        // No stagger: every publisher fires at the very same instants.
+        cluster
+            .world
+            .schedule_timer(node, SimTime::from_secs(2), micro::TAG_START);
+        pubs.push(node);
+    }
+
+    cluster.run_for(SimDuration::from_secs(8));
+    cluster.install_plan(single(servers[1]));
+    for &p in &pubs {
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(18), micro::TAG_STOP);
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let (published, received, duplicates) = totals(&cluster, &pubs, &subs);
+    let batches = subs
+        .iter()
+        .map(|&s| {
+            cluster
+                .world
+                .actor::<Subscriber>(s)
+                .unwrap()
+                .client()
+                .stats()
+                .batches_received
+        })
+        .sum();
+    (published, received, duplicates, batches)
+}
+
+#[test]
+fn batched_migration_suppresses_duplicates_and_loses_nothing() {
+    let (published, received, duplicates, batches) = run_lockstep_migration(true);
+    assert!(published > 100);
+    // The batch path was actually exercised: lock-step publishers force
+    // multi-entry batches onto every subscriber.
+    assert!(batches > 0, "no DeliverBatch reached a subscriber");
+    // Exactly-once across the migration, same as the per-message path.
+    for (i, &r) in received.iter().enumerate() {
+        assert_eq!(r, published, "subscriber {i}: exactly-once violated");
+    }
+    // The overlap window still produced wire duplicates, and the dedup
+    // window caught them inside batches too.
+    assert!(
+        duplicates > 0,
+        "expected suppressed duplicates during migration"
+    );
+}
+
+#[test]
+fn batching_knob_does_not_change_delivery_outcomes() {
+    let (published_on, received_on, duplicates_on, batches_on) = run_lockstep_migration(true);
+    let (published_off, received_off, duplicates_off, batches_off) = run_lockstep_migration(false);
+    // Publishing is timer-driven, so both runs offer the same load.
+    assert_eq!(published_on, published_off);
+    // The application observes identical delivery counts either way.
+    assert_eq!(received_on, received_off);
+    for &r in &received_on {
+        assert_eq!(r, published_on);
+    }
+    // Both paths hit the reconfiguration overlap; only the batched run
+    // uses batch frames.
+    assert!(duplicates_on > 0 && duplicates_off > 0);
+    assert!(batches_on > 0);
+    assert_eq!(batches_off, 0, "knob off must never emit DeliverBatch");
+}
+
 #[test]
 fn eager_switch_moves_subscribers_without_waiting_for_traffic() {
-    use dynamoth::core::DynamothConfig;
     // A channel with subscribers but NO publications: under the paper's
     // lazy scheme the switch would wait for the first publication; in
     // eager mode (ablation) it is emitted with the plan push.
@@ -234,8 +401,7 @@ fn eager_switch_moves_subscribers_without_waiting_for_traffic() {
     });
     let servers = cluster.servers.clone();
     cluster.install_plan(single(servers[0]));
-    let (_, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 0, 1.0, 100, 3, SimTime::from_secs(1));
+    let (_, subs) = spawn_hot_channel(&mut cluster, CHANNEL, 0, 1.0, 100, 3, SimTime::from_secs(1));
     cluster.run_for(SimDuration::from_secs(3));
     cluster.install_plan(single(servers[1]));
     cluster.run_for(SimDuration::from_secs(5));

@@ -30,20 +30,41 @@ fn all_subscribers_spreads_publishers_and_delivers_once() {
     plan.set(CHANNEL, ChannelMapping::AllSubscribers(servers.clone()));
     cluster.install_plan(plan);
 
-    let (pubs, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 30, 10.0, 300, 2, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        30,
+        10.0,
+        300,
+        2,
+        SimTime::from_secs(1),
+    );
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(25));
 
     let published: u64 = pubs
         .iter()
-        .map(|&p| cluster.world.actor::<Publisher>(p).unwrap().client().stats().publishes)
+        .map(|&p| {
+            cluster
+                .world
+                .actor::<Publisher>(p)
+                .unwrap()
+                .client()
+                .stats()
+                .publishes
+        })
         .sum();
     for &s in &subs {
         let sub: &Subscriber = cluster.world.actor(s).unwrap();
-        assert_eq!(sub.received(), published, "exactly-once under all-subscribers");
+        assert_eq!(
+            sub.received(),
+            published,
+            "exactly-once under all-subscribers"
+        );
         // The subscriber holds a subscription on EVERY replica.
         assert_eq!(sub.client().subscription_servers(CHANNEL).len(), 3);
     }
@@ -67,10 +88,19 @@ fn all_publishers_spreads_subscribers_and_delivers_once() {
     plan.set(CHANNEL, ChannelMapping::AllPublishers(servers.clone()));
     cluster.install_plan(plan);
 
-    let (pubs, subs) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 1, 10.0, 300, 60, SimTime::from_secs(1));
+    let (pubs, subs) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        1,
+        10.0,
+        300,
+        60,
+        SimTime::from_secs(1),
+    );
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(15), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(25));
 
@@ -83,7 +113,11 @@ fn all_publishers_spreads_subscribers_and_delivers_once() {
         .publishes;
     for &s in &subs {
         let sub: &Subscriber = cluster.world.actor(s).unwrap();
-        assert_eq!(sub.received(), published, "exactly-once under all-publishers");
+        assert_eq!(
+            sub.received(),
+            published,
+            "exactly-once under all-publishers"
+        );
         assert_eq!(sub.client().subscription_servers(CHANNEL).len(), 1);
     }
     // The 60 subscribers spread over the three replicas: every server
@@ -118,7 +152,15 @@ fn algorithm_1_replicates_a_publication_storm_automatically() {
         dynamoth,
         ..Default::default()
     });
-    spawn_hot_channel(&mut cluster, CHANNEL, 60, 10.0, 300, 1, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        60,
+        10.0,
+        300,
+        1,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(30));
 
     let mapping = cluster
@@ -149,7 +191,15 @@ fn algorithm_1_replicates_a_subscriber_storm_automatically() {
         ..Default::default()
     });
     // 2 publishers at 5 msg/s, 80 subscribers: S_ratio = 8.
-    spawn_hot_channel(&mut cluster, CHANNEL, 2, 5.0, 300, 80, SimTime::from_secs(1));
+    spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        2,
+        5.0,
+        300,
+        80,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(30));
 
     let mapping = cluster
@@ -180,8 +230,15 @@ fn replication_is_cancelled_when_the_storm_passes() {
         dynamoth,
         ..Default::default()
     });
-    let (pubs, _) =
-        spawn_hot_channel(&mut cluster, CHANNEL, 60, 10.0, 300, 1, SimTime::from_secs(1));
+    let (pubs, _) = spawn_hot_channel(
+        &mut cluster,
+        CHANNEL,
+        60,
+        10.0,
+        300,
+        1,
+        SimTime::from_secs(1),
+    );
     cluster.run_for(SimDuration::from_secs(25));
     assert!(
         cluster
@@ -195,7 +252,9 @@ fn replication_is_cancelled_when_the_storm_passes() {
     // Storm ends; the balancer must eventually collapse the channel back
     // to a single server.
     for &p in &pubs {
-        cluster.world.schedule_timer(p, SimTime::from_secs(26), micro::TAG_STOP);
+        cluster
+            .world
+            .schedule_timer(p, SimTime::from_secs(26), micro::TAG_STOP);
     }
     cluster.run_for(SimDuration::from_secs(30));
     let mapping = cluster

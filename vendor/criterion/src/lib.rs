@@ -1,0 +1,220 @@
+//! Minimal offline stand-in for the `criterion` crate. It implements
+//! the subset the workspace benches use — `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrate-then-measure wall-clock loop that prints mean ns/iter and
+//! derived throughput. No statistical analysis, HTML reports, or
+//! baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stub treats every
+/// variant identically (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Drives and reports a set of named benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter (plus harness
+        // flags such as `--bench`) to every bench binary; honour it so
+        // a filtered run does not execute the whole suite.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            measurement: Duration::from_millis(200),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|needle| id.contains(&**needle)) {
+            return self;
+        }
+        let mut b = Bencher {
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        let per_sec = if mean_ns > 0.0 { 1e9 / mean_ns } else { 0.0 };
+        println!(
+            "bench: {id:<40} {mean_ns:>12.1} ns/iter ({per_sec:>14.0} iters/s, {} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Timing context passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Picks an iteration count that fills the measurement window,
+    /// based on a short calibration run of `one` (which reports the
+    /// cost of a single iteration).
+    fn calibrate(&self, mut one: impl FnMut() -> Duration) -> u64 {
+        let mut probe = Duration::ZERO;
+        let mut probes = 0u64;
+        while probe < Duration::from_millis(10) && probes < 10_000 {
+            probe += one();
+            probes += 1;
+        }
+        let per_iter = probe.checked_div(probes as u32).unwrap_or(Duration::ZERO);
+        if per_iter.is_zero() {
+            probes.max(1) * 20
+        } else {
+            ((self.measurement.as_nanos() / per_iter.as_nanos().max(1)) as u64)
+                .clamp(10, 10_000_000)
+        }
+    }
+
+    /// Times `routine`, including nothing else.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = self.calibrate(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.calibrate(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += iters;
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        // Build directly (not via `Default`) so stray harness args from
+        // the test runner cannot filter the smoke benches out.
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            filters: Vec::new(),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke_iter", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| {
+                    ran += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_ids() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            filters: vec!["fanout".to_string()],
+        };
+        let mut ran = false;
+        c.bench_function("unrelated_bench", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+        c.bench_function("fanout_smoke", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for the `parking_lot` crate, backed by
+//! `std::sync`. Only the API surface this workspace uses is provided:
+//! [`Mutex`] and [`RwLock`] with non-poisoning `lock`/`read`/`write`.
+
+use std::fmt;
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock that, unlike `std::sync::Mutex`, does not
+/// poison: a panic while holding the lock simply releases it.
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Poison from a
+    /// panicking holder is ignored, matching `parking_lot` semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => MutexGuard(g),
+            Err(p) => MutexGuard(p.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock with the same non-poisoning behaviour.
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+/// RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(StdRwLockReadGuard<'a, T>);
+
+/// RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(StdRwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => RwLockReadGuard(g),
+            Err(p) => RwLockReadGuard(p.into_inner()),
+        }
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => RwLockWriteGuard(g),
+            Err(p) => RwLockWriteGuard(p.into_inner()),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_read() {
+            Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            _ => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+}

@@ -1,0 +1,697 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! It implements the subset of the API this workspace's property tests
+//! use — the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_recursive`, range / tuple / `Just` / regex-class string
+//! strategies, `prop::collection::{vec, btree_set}`, `any::<T>()`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!`
+//! macros — over a deterministic xorshift RNG seeded from the test
+//! name, so every run explores the same cases. Differences from real
+//! proptest: no shrinking (a failure reports the full generated case)
+//! and `.proptest-regressions` files are not consulted.
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the case is a counterexample.
+        Fail(String),
+        /// `prop_assume!` rejected the case; generate another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with `message` as the explanation.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected (filtered-out) case.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Deterministic xorshift64* RNG used for value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from an arbitrary byte string (FNV-1a), e.g. the test name.
+        pub fn seed_from(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[lo, hi)`; `lo < hi` required.
+        pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo < hi);
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn gen_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Splits off an independent child RNG.
+        pub fn fork(&mut self) -> TestRng {
+            TestRng(self.next_u64() | 1)
+        }
+    }
+
+    /// Number of cases to run per property (`PROPTEST_CASES` overrides).
+    fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drives one property: generates and runs up to `cases()` accepted
+    /// cases, panicking on the first counterexample. `f` returns the
+    /// debug rendering of the generated bindings plus the case outcome.
+    pub fn run<F>(name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> (Vec<String>, Result<(), TestCaseError>),
+    {
+        let mut rng = TestRng::seed_from(name);
+        let wanted = cases();
+        let mut accepted = 0u32;
+        let mut attempts = 0u32;
+        while accepted < wanted && attempts < wanted.saturating_mul(20).max(100) {
+            attempts += 1;
+            let mut case_rng = rng.fork();
+            let (desc, outcome) = f(&mut case_rng);
+            match outcome {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest property '{name}' failed: {msg}\n  case (attempt {attempts}):\n    {}",
+                    desc.join("\n    ")
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy for storage in heterogeneous sets
+        /// (e.g. `prop_oneof!` branches).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds recursive values: at each of `depth` levels the
+        /// generator picks between the base strategy and one round of
+        /// `recurse` applied to the shallower strategy. The
+        /// `_desired_size` / `_expected_branch_size` tuning knobs of
+        /// real proptest are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur.clone()).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Object-safe generation, used behind [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy producing `V`.
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Builds the union; `branches` must be non-empty.
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union(branches)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range_u64(0, self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.gen_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// `&'static str` patterns act as string strategies. Only the
+    /// character-class form `[chars]{m,n}` (plus `{m}` and a bare class
+    /// meaning one char) is supported — the only regex shapes used in
+    /// this workspace's tests.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+            let len = if lo == hi {
+                lo
+            } else {
+                rng.gen_range_u64(lo as u64, hi as u64 + 1) as usize
+            };
+            (0..len)
+                .map(|_| alphabet[rng.gen_range_u64(0, alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `[a-zA-Z0-9 ]{0,24}`-style patterns into (alphabet, min, max).
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        if class.is_empty() {
+            return None;
+        }
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                if a > b {
+                    return None;
+                }
+                for c in a..=b {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        let suffix = &rest[close + 1..];
+        if suffix.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let counts = suffix.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    /// Types with a canonical "anything" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> u16 {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u8>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Inclusive-exclusive size bound for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.hi - self.lo <= 1 {
+                self.lo
+            } else {
+                rng.gen_range_u64(self.lo as u64, self.hi as u64) as usize
+            }
+        }
+    }
+
+    /// Collection strategies (`prop::collection::*`).
+    pub mod collection {
+        use super::*;
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors of values from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>`.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates ordered sets of values from `element`. Duplicates
+        /// are retried a bounded number of times, so a narrow element
+        /// domain may yield a smaller set than requested (real proptest
+        /// rejects such cases; the bounded retry is equivalent for the
+        /// domains used here).
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let n = self.size.pick(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < n && attempts < n * 20 + 20 {
+                    attempts += 1;
+                    out.insert(self.element.generate(rng));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::collection;
+
+/// Defines property tests. Each function body runs for many generated
+/// cases; bindings are drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($bind:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    let mut __case: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                    $(
+                        let __generated = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __case.push(::std::format!("{} = {:?}", stringify!($bind), __generated));
+                        let $bind = __generated;
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__case, __outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)*);
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies that generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from("ranges");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_patterns_generate_matching_strings() {
+        let mut rng = TestRng::seed_from("regex");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-zA-Z0-9_]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn collections_honor_size_bounds() {
+        let mut rng = TestRng::seed_from("coll");
+        for _ in 0..50 {
+            let v = Strategy::generate(&prop::collection::vec(0u64..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = Strategy::generate(&prop::collection::btree_set(0usize..100, 3..5), &mut rng);
+            assert!(s.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_cover_all_branches() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(u64),
+            Node(Vec<T>),
+        }
+        let strat = prop_oneof![(0u64..4).prop_map(T::Leaf)].prop_recursive(2, 8, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut rng = TestRng::seed_from("rec");
+        let mut saw_node = false;
+        for _ in 0..100 {
+            if let T::Node(_) = Strategy::generate(&strat, &mut rng) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u64..100, v in prop::collection::vec(0u8..10, 0..4)) {
+            prop_assume!(x != 55);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failing_property_panics_with_case() {
+        crate::test_runner::run("always_fails", |rng| {
+            let v = Strategy::generate(&(0u64..10), rng);
+            (vec![format!("v = {v:?}")], Err(TestCaseError::fail("nope")))
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! Broker concurrency benchmark: {1,4,16} publisher threads ×
+//! {1,100,1000} subscribers against the real TCP broker over loopback
+//! (see `dynamoth_bench::broker_bench`). Prints the series as CSV.
+//!
+//! ```text
+//! cargo bench -p dynamoth-bench --bench broker_concurrency
+//! ```
+//!
+//! The publishing window per cell defaults to 1000 ms; set
+//! `DYNAMOTH_BENCH_MS` to shrink it (CI smoke) or stretch it (stable
+//! numbers). `dynamoth-cli bench-broker` runs the same grid and emits
+//! the `BENCH_broker.json` tracking artifact.
+
+use std::time::Duration;
+
+use dynamoth_bench::broker_bench::{broker_grid, write_broker_csv};
+
+fn main() {
+    let ms: u64 = std::env::var("DYNAMOTH_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let rows = broker_grid(&[1, 4, 16], &[1, 100, 1_000], Duration::from_millis(ms), 64);
+    write_broker_csv(std::io::stdout(), &rows).expect("write csv");
+}

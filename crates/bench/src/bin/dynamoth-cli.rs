@@ -6,6 +6,8 @@
 //! dynamoth-cli fig5  [--strategy dynamoth|ch] [--players N] [--seed S] [--out FILE]
 //! dynamoth-cli fig7  [--seed S] [--out FILE]
 //! dynamoth-cli chat  [--users N] [--rooms N] [--seed S]
+//! dynamoth-cli bench-broker [--pubs 1,4,16] [--subs 1,100,1000]
+//!                           [--duration-ms N] [--payload BYTES] [--out FILE]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -194,8 +196,31 @@ fn main() {
                 cluster.trace.delivered_total()
             );
         }
+        "bench-broker" => {
+            use dynamoth_bench::broker_bench::{broker_grid, write_broker_json};
+            use std::time::Duration;
+
+            let parse_list = |flag: &str, default: &[usize]| -> Vec<usize> {
+                args.get(flag)
+                    .map(|v| {
+                        v.split(',')
+                            .filter_map(|n| n.trim().parse().ok())
+                            .collect::<Vec<usize>>()
+                    })
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| default.to_vec())
+            };
+            let pubs = parse_list("pubs", &[1, 4, 16]);
+            let subs = parse_list("subs", &[1, 100, 1_000]);
+            let duration = Duration::from_millis(args.num("duration-ms", 1_000u64));
+            let payload = args.num("payload", 64usize);
+            let rows = broker_grid(&pubs, &subs, duration, payload);
+            write_broker_json(out_writer(&args), &rows).expect("write json");
+        }
         other => {
-            eprintln!("unknown command {other:?}; expected fig4a|fig4b|fig5|fig7|chat");
+            eprintln!(
+                "unknown command {other:?}; expected fig4a|fig4b|fig5|fig7|chat|bench-broker"
+            );
             std::process::exit(2);
         }
     }

@@ -1,0 +1,357 @@
+//! Loopback-TCP concurrency benchmark of the sharded [`TcpBroker`].
+//!
+//! Drives the *real* broker over real sockets: `P` publisher threads
+//! each own one channel and pipeline `PUBLISH` commands against it,
+//! while `S` subscriber connections each subscribe to **all** `P`
+//! channels, drain their sockets and count deliveries. Every publish
+//! fans out to exactly `S` subscribers regardless of `P`, so cells in
+//! one subscriber column are directly comparable: adding publisher
+//! threads adds offered load on disjoint index shards without changing
+//! per-publish work. On a multi-core host publish throughput should
+//! scale with publisher threads until the loopback saturates — exactly
+//! the per-broker ceiling the paper's load-ratio economics depend on
+//! (a faster single broker ⇒ fewer rented servers per unit of load).
+//!
+//! [`bench_broker`] runs one grid cell and returns a [`BrokerBenchRow`];
+//! [`write_broker_json`] serialises a series as the `BENCH_broker.json`
+//! tracking artifact.
+
+use std::io::{Read, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynamoth_pubsub::resp::{self, Value};
+use dynamoth_pubsub::TcpBroker;
+
+/// One cell of the broker concurrency grid.
+#[derive(Debug, Clone)]
+pub struct BrokerBenchConfig {
+    /// Publisher threads; each owns one channel.
+    pub publishers: usize,
+    /// Subscriber connections; each subscribes to every channel.
+    pub subscribers: usize,
+    /// Wall-clock publishing window.
+    pub duration: Duration,
+    /// `PUBLISH` payload size in bytes.
+    pub payload_bytes: usize,
+    /// Publishes each publisher keeps in flight (pipelining window).
+    pub pipeline: usize,
+}
+
+impl Default for BrokerBenchConfig {
+    fn default() -> Self {
+        BrokerBenchConfig {
+            publishers: 1,
+            subscribers: 1,
+            duration: Duration::from_millis(1_000),
+            payload_bytes: 64,
+            pipeline: 32,
+        }
+    }
+}
+
+/// Measured results of one grid cell.
+#[derive(Debug, Clone)]
+pub struct BrokerBenchRow {
+    /// Publisher threads.
+    pub publishers: usize,
+    /// Subscriber connections.
+    pub subscribers: usize,
+    /// Publishing window actually used, seconds.
+    pub publish_secs: f64,
+    /// `PUBLISH` commands acknowledged by the broker.
+    pub published: u64,
+    /// Message pushes received across all subscribers.
+    pub delivered: u64,
+    /// Pushes the subscribers should have received.
+    pub expected: u64,
+    /// Publish throughput, commands/s.
+    pub publish_per_s: f64,
+    /// Delivery throughput, pushes/s (over publish window + drain).
+    pub deliver_per_s: f64,
+    /// Subscriber connections killed by output-buffer overflow.
+    pub killed: u64,
+    /// Frames flushed by the broker's writer threads.
+    pub flush_frames: u64,
+    /// Vectored-write syscalls those flushes used.
+    pub flush_writes: u64,
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect to broker");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("set timeout");
+    stream
+}
+
+/// Reads one RESP value, blocking up to `timeout`.
+fn recv_value(stream: &mut TcpStream, buf: &mut Vec<u8>, timeout: Duration) -> Option<Value> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some((value, used)) = resp::decode(buf).expect("valid resp") {
+            buf.drain(..used);
+            return Some(value);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn send_command(stream: &mut TcpStream, words: &[&str]) {
+    let value = Value::array(words.iter().map(|w| Value::bulk(*w)).collect());
+    let mut out = Vec::new();
+    resp::encode(&value, &mut out);
+    stream.write_all(&out).expect("write command");
+}
+
+/// Runs one grid cell against a fresh broker on a loopback socket.
+pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
+    let broker = TcpBroker::bind("127.0.0.1:0").expect("bind broker");
+    let addr = broker.local_addr();
+    let channels = cfg.publishers.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    // Channel names are zero-padded to a fixed width so every push
+    // frame has the same length (the subscribers count deliveries by
+    // bytes / frame_len instead of decoding every frame).
+    assert!(channels <= 100, "channel name padding supports ≤ 100");
+    let channel_names: Vec<String> = (0..channels).map(|c| format!("bench-{c:02}")).collect();
+    let payload = vec![b'x'; cfg.payload_bytes];
+    let frame_len = {
+        let mut buf = Vec::new();
+        resp::encode(&resp::message_push(&channel_names[0], &payload), &mut buf);
+        buf.len() as u64
+    };
+
+    // Subscribers: each subscribes to every channel, so per-publish
+    // fan-out is exactly `subscribers` no matter how many publisher
+    // threads the cell uses.
+    let mut sub_threads = Vec::new();
+    for _ in 0..cfg.subscribers {
+        let names = channel_names.clone();
+        let stop = Arc::clone(&stop);
+        let delivered = Arc::clone(&delivered);
+        sub_threads.push(std::thread::spawn(move || {
+            let mut stream = connect(addr);
+            let mut buf = Vec::new();
+            for name in &names {
+                send_command(&mut stream, &["SUBSCRIBE", name]);
+                recv_value(&mut stream, &mut buf, Duration::from_secs(5)).expect("subscribe ack");
+            }
+            let mut bytes = buf.len() as u64; // pushes that raced the acks
+            buf.clear();
+            let mut chunk = vec![0u8; 256 * 1024];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break, // killed or shut down
+                    Ok(n) => {
+                        bytes += n as u64;
+                        delivered.fetch_add(bytes / frame_len, Ordering::Relaxed);
+                        bytes %= frame_len; // carry the partial tail frame
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+    // Wait until every subscription is registered before publishing.
+    let expected_registrations = cfg.subscribers * channels;
+    let reg_deadline = Instant::now() + Duration::from_secs(10);
+    while broker.subscription_count() < expected_registrations {
+        assert!(
+            Instant::now() < reg_deadline,
+            "subscribers never registered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Publishers: one thread per channel, pipelined.
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let mut pub_threads = Vec::new();
+    for p in 0..cfg.publishers {
+        let channel = channel_names[p % channels].clone();
+        let payload = String::from_utf8(payload.clone()).expect("ascii payload");
+        let pipeline = cfg.pipeline.max(1);
+        pub_threads.push(std::thread::spawn(move || {
+            let mut stream = connect(addr);
+            let mut buf = Vec::new();
+            let mut inflight = 0usize;
+            let mut acked = 0u64;
+            while Instant::now() < deadline {
+                send_command(&mut stream, &["PUBLISH", &channel, &payload]);
+                inflight += 1;
+                if inflight >= pipeline {
+                    if recv_value(&mut stream, &mut buf, Duration::from_secs(5)).is_some() {
+                        acked += 1;
+                        inflight -= 1;
+                    } else {
+                        return acked;
+                    }
+                }
+            }
+            while inflight > 0 {
+                match recv_value(&mut stream, &mut buf, Duration::from_secs(5)) {
+                    Some(_) => {
+                        acked += 1;
+                        inflight -= 1;
+                    }
+                    None => break,
+                }
+            }
+            acked
+        }));
+    }
+    let published: u64 = pub_threads.into_iter().map(|t| t.join().unwrap()).sum();
+    let publish_secs = started.elapsed().as_secs_f64();
+
+    // Every subscriber listens on every channel, so each acknowledged
+    // publish owes exactly `subscribers` pushes.
+    let expected: u64 = published * cfg.subscribers as u64;
+
+    // Drain: wait until deliveries stop growing (or everything arrived).
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = delivered.load(Ordering::Relaxed);
+    while last < expected && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = delivered.load(Ordering::Relaxed);
+        if now == last {
+            break;
+        }
+        last = now;
+    }
+    // Sample kills while the subscribers are still connected — their
+    // own teardown below also removes registrations. A killed
+    // connection loses all `channels` of its registrations at once.
+    let killed =
+        (expected_registrations.saturating_sub(broker.subscription_count()) / channels) as u64;
+    stop.store(true, Ordering::Relaxed);
+    for t in sub_threads {
+        t.join().unwrap();
+    }
+    let total_secs = started.elapsed().as_secs_f64();
+    let delivered = delivered.load(Ordering::Relaxed);
+    let flush = broker.flush_stats();
+    broker.shutdown();
+
+    BrokerBenchRow {
+        publishers: cfg.publishers,
+        subscribers: cfg.subscribers,
+        publish_secs,
+        published,
+        delivered,
+        expected,
+        publish_per_s: published as f64 / publish_secs.max(f64::EPSILON),
+        deliver_per_s: delivered as f64 / total_secs.max(f64::EPSILON),
+        killed,
+        flush_frames: flush.frames,
+        flush_writes: flush.writes,
+    }
+}
+
+/// Runs the full `{publishers} × {subscribers}` grid.
+pub fn broker_grid(
+    publishers: &[usize],
+    subscribers: &[usize],
+    duration: Duration,
+    payload_bytes: usize,
+) -> Vec<BrokerBenchRow> {
+    let mut rows = Vec::new();
+    for &p in publishers {
+        for &s in subscribers {
+            rows.push(bench_broker(&BrokerBenchConfig {
+                publishers: p,
+                subscribers: s,
+                duration,
+                payload_bytes,
+                ..BrokerBenchConfig::default()
+            }));
+        }
+    }
+    rows
+}
+
+/// Serialises a bench series as the `BENCH_broker.json` artifact
+/// (hand-rolled — the workspace has no JSON dependency).
+pub fn write_broker_json(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"bench\": \"broker_concurrency\",")?;
+    writeln!(w, "  \"host_cores\": {cores},")?;
+    writeln!(w, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            w,
+            "    {{\"publishers\": {}, \"subscribers\": {}, \"publish_secs\": {:.3}, \
+             \"published\": {}, \"delivered\": {}, \"expected\": {}, \
+             \"publish_per_s\": {:.0}, \"deliver_per_s\": {:.0}, \"killed\": {}, \
+             \"flush_frames\": {}, \"flush_writes\": {}}}{comma}",
+            r.publishers,
+            r.subscribers,
+            r.publish_secs,
+            r.published,
+            r.delivered,
+            r.expected,
+            r.publish_per_s,
+            r.deliver_per_s,
+            r.killed,
+            r.flush_frames,
+            r.flush_writes,
+        )?;
+    }
+    writeln!(w, "  ]")?;
+    writeln!(w, "}}")
+}
+
+/// Prints a series as CSV (the `cargo bench` face of the same data).
+pub fn write_broker_csv(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "publishers,subscribers,publish_secs,published,delivered,expected,\
+         publish_per_s,deliver_per_s,killed,flush_frames,flush_writes"
+    )?;
+    for r in rows {
+        writeln!(
+            w,
+            "{},{},{:.3},{},{},{},{:.0},{:.0},{},{},{}",
+            r.publishers,
+            r.subscribers,
+            r.publish_secs,
+            r.published,
+            r.delivered,
+            r.expected,
+            r.publish_per_s,
+            r.deliver_per_s,
+            r.killed,
+            r.flush_frames,
+            r.flush_writes,
+        )?;
+    }
+    Ok(())
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod broker_bench;
+
 use std::sync::Arc;
 
 use dynamoth_core::{

@@ -1,91 +1,126 @@
 //! A runnable TCP pub/sub broker speaking the Redis protocol.
 //!
-//! This is the "deploy it for real" face of the substrate: the same
-//! [`PubSubServer`] state machine the simulation uses, behind a
-//! [`TcpBroker`] that accepts RESP connections (`SUBSCRIBE`,
-//! `UNSUBSCRIBE`, `PUBLISH`, `PING`) — enough protocol for any Redis
-//! pub/sub client. One OS thread reads each connection; deliveries go
-//! through a per-connection outbox thread so a slow subscriber never
-//! blocks a publisher, and an outbox overflowing its bound disconnects
+//! This is the "deploy it for real" face of the substrate: a
+//! [`TcpBroker`] accepts RESP connections (`SUBSCRIBE`, `UNSUBSCRIBE`,
+//! `PUBLISH`, `PING`) — enough protocol for any Redis pub/sub client.
+//! One OS thread reads each connection; deliveries go through a
+//! per-connection outbox thread so a slow subscriber never blocks a
+//! publisher, and an outbox overflowing its **byte** budget disconnects
 //! the subscriber exactly like Redis' `client-output-buffer-limit`
 //! (and the simulation's transport model).
 //!
-//! Fan-out fast path: a `PUBLISH` encodes its RESP push frame exactly
-//! once and hands every subscriber outbox the same [`Frame`]
-//! (`Arc<[u8]>`) — fan-out cost per subscriber is a reference-count
-//! bump and a bounded-queue push, not an encode or a buffer copy. A
-//! per-channel subscriber index resolves the outboxes up front so the
-//! hot path never walks the connection registry.
+//! The hot path is built to scale with cores:
+//!
+//! - subscription state lives in a [`ShardedIndex`]: commands on
+//!   disjoint channels take disjoint locks (shard chosen by hashing the
+//!   channel name), and the index is keyed by the **full** name so a
+//!   hash collision can never merge two channels;
+//! - `PUBLISH` is read-mostly: it clones the channel's immutable
+//!   `Arc` subscriber snapshot under a shared lock and fans out with no
+//!   lock held, so concurrent publishers never serialize behind each
+//!   other or behind subscription churn on other channels;
+//! - the push frame is encoded exactly once per publish and shared as
+//!   an `Arc<[u8]>` by every outbox — per-subscriber cost is a
+//!   reference-count bump and a bounded-queue push;
+//! - each outbox's writer thread drains every queued frame per wakeup
+//!   and flushes the batch with one vectored write, so a burst of N
+//!   pushes costs one syscall instead of N;
+//! - connection-level state (outbox, subscription list, shutdown flag)
+//!   is owned by the connection, so the idle-path liveness check and
+//!   overflow kills touch no global lock.
 
-use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::collections::{BTreeSet, HashMap};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dynamoth_sim::{NodeId, SimTime};
 use parking_lot::Mutex;
 
+use crate::outbox::{self, Frame, OutboxSender};
 use crate::resp::{self, Command, Value};
-use crate::server::{CpuModel, PubSubServer};
+use crate::shard::{ShardedIndex, SubscriberRef};
 
-/// Maximum frames queued per subscriber connection before it is dropped
-/// (the Redis `client-output-buffer-limit` analogue).
-const OUTBOX_LIMIT: usize = 4_096;
+/// Tuning knobs of a [`TcpBroker`].
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Maximum bytes queued per subscriber connection before it is
+    /// dropped (the Redis `client-output-buffer-limit` analogue,
+    /// measured in bytes like Redis, not frames).
+    pub outbox_limit_bytes: usize,
+    /// Number of subscription-index shards (rounded up to a power of
+    /// two). Commands on channels in different shards never contend.
+    pub shards: usize,
+}
 
-/// An encoded RESP frame shared by every outbox it is queued on: a
-/// publish encodes its push frame once and fans the same allocation out
-/// to all subscribers (reference-count bump per connection instead of a
-/// buffer copy).
-type Frame = Arc<[u8]>;
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            outbox_limit_bytes: 8 * 1024 * 1024,
+            shards: 16,
+        }
+    }
+}
 
-/// One subscriber's entry in the per-channel fan-out index.
-struct Subscriber {
+/// Flush statistics aggregated over every connection writer: the ratio
+/// `frames / writes` is the measured syscall-coalescing factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// RESP frames flushed to sockets.
+    pub frames: u64,
+    /// Vectored write syscalls issued to flush them.
+    pub writes: u64,
+}
+
+/// Per-connection state, owned by the connection and shared with the
+/// kill paths (overflow, shutdown). Everything the idle path needs is
+/// reachable without any broker-global lock.
+struct ConnState {
     conn: u64,
-    node: NodeId,
-    outbox: SyncSender<Frame>,
-}
-
-struct Registry {
-    server: PubSubServer,
-    outboxes: HashMap<u64, SyncSender<Frame>>,
-    /// Per-channel fan-out index: `PUBLISH` walks the channel's entry
-    /// directly instead of resolving each recipient through
-    /// `outboxes`. Kept in lockstep with `server`'s subscription state
-    /// (both only change under the registry lock).
-    index: HashMap<crate::Channel, Vec<Subscriber>>,
-}
-
-impl Registry {
-    /// Removes `client` everywhere: subscription state, fan-out index
-    /// and connection registry. Used for both orderly teardown and
-    /// output-buffer-overflow kills.
-    fn drop_client(&mut self, conn: u64, node: NodeId) {
-        self.outboxes.remove(&conn);
-        for channel in self.server.disconnect(node) {
-            self.unindex(channel, conn);
-        }
-    }
-
-    /// Removes `conn` from `channel`'s fan-out entry.
-    fn unindex(&mut self, channel: crate::Channel, conn: u64) {
-        if let Some(subs) = self.index.get_mut(&channel) {
-            subs.retain(|s| s.conn != conn);
-            if subs.is_empty() {
-                self.index.remove(&channel);
-            }
-        }
-    }
+    /// Set once by whichever side kills the connection first; the read
+    /// loop polls it on its 100 ms timeout without taking any lock.
+    dead: Arc<AtomicBool>,
+    outbox: OutboxSender,
+    /// Channels this connection is subscribed to, in subscription-set
+    /// order (drives the count in subscribe/unsubscribe replies and the
+    /// teardown sweep). Only the connection thread and its killer touch
+    /// it.
+    channels: Mutex<BTreeSet<String>>,
 }
 
 struct BrokerShared {
-    registry: Mutex<Registry>,
+    config: BrokerConfig,
+    index: ShardedIndex,
+    /// Connection registry: touched on connect, disconnect and kill —
+    /// never on the pub/sub hot path.
+    conns: Mutex<HashMap<u64, Arc<ConnState>>>,
+    flush_counters: Arc<outbox::FlushCounters>,
     running: AtomicBool,
     next_conn: AtomicU64,
     connections_accepted: AtomicU64,
+}
+
+impl BrokerShared {
+    /// Kills a connection exactly once: marks it dead, closes its
+    /// outbox, unregisters it, and removes every subscription. Safe to
+    /// call from any thread; later callers are no-ops.
+    fn kill(&self, state: &Arc<ConnState>) {
+        if state.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.conns.lock().remove(&state.conn);
+        state.outbox.close();
+        // Taking the channels lock after setting `dead` closes the race
+        // with a concurrent SUBSCRIBE on the same connection: either the
+        // subscribe saw `dead` and aborted, or its insertion is visible
+        // here and swept.
+        let names = std::mem::take(&mut *state.channels.lock());
+        for name in &names {
+            self.index.unsubscribe(name, state.conn);
+        }
+    }
 }
 
 /// A TCP broker serving the Redis pub/sub protocol.
@@ -107,21 +142,29 @@ pub struct TcpBroker {
 }
 
 impl TcpBroker {
-    /// Binds the broker and starts accepting connections.
+    /// Binds the broker with default tuning and starts accepting
+    /// connections.
     ///
     /// # Errors
     ///
     /// Returns any socket error from binding the listener.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpBroker> {
+        TcpBroker::bind_with(addr, BrokerConfig::default())
+    }
+
+    /// Binds the broker with explicit [`BrokerConfig`] tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding the listener.
+    pub fn bind_with(addr: impl ToSocketAddrs, config: BrokerConfig) -> std::io::Result<TcpBroker> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(BrokerShared {
-            registry: Mutex::new(Registry {
-                server: PubSubServer::new(CpuModel::default()),
-                outboxes: HashMap::new(),
-                index: HashMap::new(),
-            }),
+            index: ShardedIndex::new(config.shards),
+            config,
+            conns: Mutex::new(HashMap::new()),
+            flush_counters: Arc::new(outbox::FlushCounters::default()),
             running: AtomicBool::new(true),
             next_conn: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
@@ -147,7 +190,16 @@ impl TcpBroker {
 
     /// Current number of live subscriber registrations.
     pub fn subscription_count(&self) -> usize {
-        self.shared.registry.lock().server.subscription_count()
+        self.shared.index.subscription_count()
+    }
+
+    /// Aggregate writer-thread flush statistics (frames flushed and
+    /// vectored-write syscalls used).
+    pub fn flush_stats(&self) -> FlushStats {
+        FlushStats {
+            frames: self.shared.flush_counters.frames.load(Ordering::Relaxed),
+            writes: self.shared.flush_counters.writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops accepting connections and disconnects every client.
@@ -157,16 +209,17 @@ impl TcpBroker {
 
     fn stop(&mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
-        // Dropping the outboxes (and the index, which holds sender
-        // clones) ends the writer threads; readers notice on their next
-        // poll.
-        {
-            let mut reg = self.shared.registry.lock();
-            reg.outboxes.clear();
-            reg.index.clear();
-        }
+        // The accept loop blocks in `accept`; a throwaway self-connect
+        // wakes it so it can observe `running == false` and exit.
+        let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        // Kill every live connection; readers notice their dead flag on
+        // the next read-timeout tick, writers exit once drained.
+        let states: Vec<Arc<ConnState>> = self.shared.conns.lock().values().cloned().collect();
+        for state in states {
+            self.shared.kill(&state);
         }
     }
 }
@@ -188,18 +241,22 @@ impl std::fmt::Debug for TcpBroker {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<BrokerShared>) {
-    while shared.running.load(Ordering::SeqCst) {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    break; // the shutdown self-connect
+                }
                 shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&shared);
                 std::thread::spawn(move || connection_loop(conn, stream, conn_shared));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+            Err(_) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    break;
+                }
             }
-            Err(_) => break,
         }
     }
 }
@@ -211,34 +268,31 @@ fn encode_frame(value: &Value) -> Frame {
     buf.into()
 }
 
-fn send_frame(out: &SyncSender<Frame>, frame: Frame) -> bool {
-    match out.try_send(frame) {
-        Ok(()) => true,
-        // A full outbox means the subscriber cannot keep up: kill it,
-        // like Redis does.
-        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
-    }
-}
-
-fn send_value(out: &SyncSender<Frame>, value: &Value) -> bool {
-    send_frame(out, encode_frame(value))
+fn send_value(out: &OutboxSender, value: &Value) -> bool {
+    out.push(encode_frame(value))
 }
 
 fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
-    let node = NodeId::from_index(conn as usize);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = sync_channel::<Frame>(OUTBOX_LIMIT);
-    shared.registry.lock().outboxes.insert(conn, tx.clone());
-    let writer = std::thread::spawn(move || writer_loop(write_half, rx));
+    let (tx, rx) = OutboxSender::new(shared.config.outbox_limit_bytes);
+    let state = Arc::new(ConnState {
+        conn,
+        dead: Arc::new(AtomicBool::new(false)),
+        outbox: tx,
+        channels: Mutex::new(BTreeSet::new()),
+    });
+    shared.conns.lock().insert(conn, Arc::clone(&state));
+    let flush_counters = Arc::clone(&shared.flush_counters);
+    let writer = std::thread::spawn(move || outbox::writer_loop(rx, write_half, flush_counters));
 
     let mut read_stream = stream;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    'conn: while shared.running.load(Ordering::SeqCst) {
+    'conn: while !state.dead.load(Ordering::SeqCst) {
         match read_stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -246,10 +300,8 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Check whether our outbox was dropped (kill signal).
-                if !shared.registry.lock().outboxes.contains_key(&conn) {
-                    break;
-                }
+                // Idle tick: the `dead` flag in the loop condition is
+                // the whole liveness check — no lock taken.
                 continue;
             }
             Err(_) => break,
@@ -259,115 +311,106 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
             match resp::decode(&buf) {
                 Ok(Some((value, used))) => {
                     buf.drain(..used);
-                    if !handle_command(conn, node, &value, &tx, &shared) {
+                    if !handle_command(&state, &value, &shared) {
                         break 'conn;
                     }
                 }
                 Ok(None) => break,
                 Err(_) => {
-                    let _ = send_value(&tx, &Value::Error("ERR protocol error".into()));
+                    let _ = send_value(&state.outbox, &Value::Error("ERR protocol error".into()));
                     break 'conn;
                 }
             }
         }
     }
 
-    // Tear down: unregister and let the writer drain.
-    shared.registry.lock().drop_client(conn, node);
-    drop(tx);
+    // Tear down: unregister, close the socket (which unblocks a writer
+    // stuck on a full socket), then reap the writer.
+    shared.kill(&state);
     let _ = read_stream.shutdown(Shutdown::Both);
     let _ = writer.join();
 }
 
 /// Executes one client command; returns `false` to close the connection.
-fn handle_command(
-    conn: u64,
-    node: NodeId,
-    value: &Value,
-    tx: &SyncSender<Frame>,
-    shared: &BrokerShared,
-) -> bool {
-    let now = SimTime::ZERO; // wall-clock CPU modelling is not needed here
+fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) -> bool {
     let command = match resp::parse_command(value) {
         Ok(c) => c,
-        Err(msg) => return send_value(tx, &Value::Error(msg)),
+        Err(msg) => return send_value(&state.outbox, &Value::Error(msg)),
     };
     match command {
-        Command::Ping => send_value(tx, &Value::Simple("PONG".into())),
+        Command::Ping => send_value(&state.outbox, &Value::Simple("PONG".into())),
         Command::Subscribe(channels) => {
-            let mut reg = shared.registry.lock();
             for name in channels {
-                let channel = intern(&name);
-                if reg.server.subscribe(now, node, channel) {
-                    reg.index.entry(channel).or_default().push(Subscriber {
-                        conn,
-                        node,
-                        outbox: tx.clone(),
-                    });
-                }
-                let count = reg.server.channels_of(node).count() as i64;
-                if !send_value(tx, &resp::subscription_push("subscribe", &name, count)) {
+                let count = {
+                    let mut subscribed = state.channels.lock();
+                    if state.dead.load(Ordering::SeqCst) {
+                        return false;
+                    }
+                    if subscribed.insert(name.clone()) {
+                        shared.index.subscribe(
+                            &name,
+                            SubscriberRef {
+                                conn: state.conn,
+                                outbox: state.outbox.clone(),
+                            },
+                        );
+                    }
+                    subscribed.len() as i64
+                };
+                if !send_value(
+                    &state.outbox,
+                    &resp::subscription_push("subscribe", &name, count),
+                ) {
                     return false;
                 }
             }
             true
         }
         Command::Unsubscribe(channels) => {
-            let mut reg = shared.registry.lock();
             for name in channels {
-                let channel = intern(&name);
-                if reg.server.unsubscribe(now, node, channel) {
-                    reg.unindex(channel, conn);
-                }
-                let count = reg.server.channels_of(node).count() as i64;
-                if !send_value(tx, &resp::subscription_push("unsubscribe", &name, count)) {
+                let count = {
+                    let mut subscribed = state.channels.lock();
+                    if subscribed.remove(&name) {
+                        shared.index.unsubscribe(&name, state.conn);
+                    }
+                    subscribed.len() as i64
+                };
+                if !send_value(
+                    &state.outbox,
+                    &resp::subscription_push("unsubscribe", &name, count),
+                ) {
                     return false;
                 }
             }
             true
         }
         Command::Publish(name, payload) => {
-            let channel = intern(&name);
-            let mut reg = shared.registry.lock();
-            // CPU accounting; the recipient set comes from the fan-out
-            // index below (same subscribers, resolved outboxes).
-            let _ = reg.server.publish(now, channel);
-            // Encode the push once; every outbox shares the allocation.
-            let frame = encode_frame(&resp::message_push(&name, &payload));
+            // Read-mostly path: clone the channel's immutable snapshot
+            // under the shard's shared lock, then fan out lock-free.
+            let snapshot = shared.index.snapshot(&name);
             let mut delivered = 0i64;
-            let mut dead: Vec<(u64, NodeId)> = Vec::new();
-            for sub in reg.index.get(&channel).into_iter().flatten() {
-                if send_frame(&sub.outbox, Arc::clone(&frame)) {
-                    delivered += 1;
-                } else {
-                    dead.push((sub.conn, sub.node));
+            let mut overflowed: Vec<u64> = Vec::new();
+            if let Some(subs) = snapshot {
+                // Encode the push once; every outbox shares the
+                // allocation.
+                let frame = encode_frame(&resp::message_push(&name, &payload));
+                for sub in subs.iter() {
+                    if sub.outbox.push(Arc::clone(&frame)) {
+                        delivered += 1;
+                    } else {
+                        overflowed.push(sub.conn);
+                    }
                 }
             }
-            for (dead_conn, dead_node) in dead {
-                reg.drop_client(dead_conn, dead_node);
+            // A full outbox means the subscriber cannot keep up: kill
+            // it, like Redis does.
+            for dead_conn in overflowed {
+                let victim = shared.conns.lock().get(&dead_conn).cloned();
+                if let Some(victim) = victim {
+                    shared.kill(&victim);
+                }
             }
-            drop(reg);
-            send_value(tx, &Value::Integer(delivered))
+            send_value(&state.outbox, &Value::Integer(delivered))
         }
     }
-}
-
-/// Stable channel interning: the broker maps names to ids by hashing, so
-/// no shared registry lock is needed on the hot path.
-fn intern(name: &str) -> crate::Channel {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    crate::Channel(h)
-}
-
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Frame>) {
-    while let Ok(frame) = rx.recv() {
-        if stream.write_all(&frame).is_err() {
-            break;
-        }
-    }
-    let _ = stream.flush();
 }

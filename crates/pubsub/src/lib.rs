@@ -24,9 +24,11 @@
 
 mod broker;
 mod channel;
+mod outbox;
 pub mod resp;
 mod server;
+mod shard;
 
-pub use broker::TcpBroker;
+pub use broker::{BrokerConfig, FlushStats, TcpBroker};
 pub use channel::{Channel, ChannelRegistry};
 pub use server::{CpuModel, PubSubServer, PublishOutcome};

@@ -1,0 +1,194 @@
+//! Sharded fan-out index with RCU-style per-channel snapshots.
+//!
+//! The broker's subscription state is split into `N` shards selected by
+//! a hash of the **full channel name**, so SUBSCRIBE / UNSUBSCRIBE /
+//! PUBLISH on disjoint channels hit disjoint locks and never contend.
+//! Within a shard, each channel maps to an immutable
+//! `Arc<Vec<SubscriberRef>>` snapshot: writers clone-and-swap the
+//! vector under the shard's write lock, while PUBLISH takes only the
+//! shard's *shared* read lock long enough to clone the `Arc`, then fans
+//! out with no lock held at all — a publisher is never blocked by
+//! another publisher, and subscription churn on other channels of the
+//! same shard only contends for the brief pointer swap.
+//!
+//! Entries are keyed by the full channel name, not a hash of it: a
+//! 64-bit name-hash collision must never merge two channels' subscriber
+//! sets (the seed broker's interned-`Channel(hash)` index silently
+//! cross-delivered on collision). The hash here picks the *shard* only;
+//! colliding names land in the same shard but remain distinct keys.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::outbox::OutboxSender;
+
+/// One subscriber's entry in a channel snapshot.
+#[derive(Clone)]
+pub(crate) struct SubscriberRef {
+    pub conn: u64,
+    pub outbox: OutboxSender,
+}
+
+/// Immutable subscriber snapshot of one channel, shared with in-flight
+/// publishes.
+pub(crate) type ChannelSnapshot = Arc<Vec<SubscriberRef>>;
+
+type Shard = RwLock<HashMap<String, ChannelSnapshot>>;
+
+/// The broker's sharded subscription index.
+pub(crate) struct ShardedIndex {
+    shards: Vec<Shard>,
+}
+
+/// FNV-1a over the channel name; used only to pick a shard.
+pub(crate) fn fnv64(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl ShardedIndex {
+    /// Creates an index with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> ShardedIndex {
+        let n = shards.max(1).next_power_of_two();
+        ShardedIndex {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[(fnv64(name) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The subscriber snapshot of `name`, if any. Holds the shard read
+    /// lock only for the map lookup; the returned snapshot is safe to
+    /// iterate with no lock held.
+    pub fn snapshot(&self, name: &str) -> Option<ChannelSnapshot> {
+        self.shard(name).read().get(name).cloned()
+    }
+
+    /// Adds `sub` to `name`'s snapshot (clone-and-swap under the shard
+    /// write lock).
+    pub fn subscribe(&self, name: &str, sub: SubscriberRef) {
+        let mut shard = self.shard(name).write();
+        match shard.get_mut(name) {
+            Some(snapshot) => {
+                let mut next = Vec::with_capacity(snapshot.len() + 1);
+                next.extend(snapshot.iter().cloned());
+                next.push(sub);
+                *snapshot = Arc::new(next);
+            }
+            None => {
+                shard.insert(name.to_owned(), Arc::new(vec![sub]));
+            }
+        }
+    }
+
+    /// Removes connection `conn` from `name`'s snapshot, dropping the
+    /// channel entry when it empties.
+    pub fn unsubscribe(&self, name: &str, conn: u64) {
+        let mut shard = self.shard(name).write();
+        if let Some(snapshot) = shard.get_mut(name) {
+            let next: Vec<SubscriberRef> = snapshot
+                .iter()
+                .filter(|s| s.conn != conn)
+                .cloned()
+                .collect();
+            if next.is_empty() {
+                shard.remove(name);
+            } else {
+                *snapshot = Arc::new(next);
+            }
+        }
+    }
+
+    /// Total number of (channel, subscriber) pairs across all shards.
+    pub fn subscription_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|v| v.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender() -> OutboxSender {
+        OutboxSender::new(1024).0
+    }
+
+    /// The seed broker keyed its fan-out index by `Channel(fnv64(name))`,
+    /// so two names with colliding hashes shared one subscriber set and
+    /// cross-delivered. With a single shard every name's shard hash
+    /// "collides", the strongest possible collision regime — entries must
+    /// still stay distinct because the map key is the full name.
+    #[test]
+    fn colliding_shard_hashes_keep_channels_distinct() {
+        let index = ShardedIndex::new(1);
+        index.subscribe(
+            "alpha",
+            SubscriberRef {
+                conn: 1,
+                outbox: sender(),
+            },
+        );
+        index.subscribe(
+            "bravo",
+            SubscriberRef {
+                conn: 2,
+                outbox: sender(),
+            },
+        );
+        let alpha = index.snapshot("alpha").expect("alpha indexed");
+        let bravo = index.snapshot("bravo").expect("bravo indexed");
+        assert_eq!(alpha.iter().map(|s| s.conn).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(bravo.iter().map(|s| s.conn).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_rcu_views() {
+        let index = ShardedIndex::new(4);
+        index.subscribe(
+            "ch",
+            SubscriberRef {
+                conn: 1,
+                outbox: sender(),
+            },
+        );
+        let before = index.snapshot("ch").unwrap();
+        index.subscribe(
+            "ch",
+            SubscriberRef {
+                conn: 2,
+                outbox: sender(),
+            },
+        );
+        // The old snapshot is unchanged; the new one sees both.
+        assert_eq!(before.len(), 1);
+        assert_eq!(index.snapshot("ch").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_clears_empty_channels() {
+        let index = ShardedIndex::new(2);
+        index.subscribe(
+            "ch",
+            SubscriberRef {
+                conn: 7,
+                outbox: sender(),
+            },
+        );
+        assert_eq!(index.subscription_count(), 1);
+        index.unsubscribe("ch", 7);
+        assert!(index.snapshot("ch").is_none());
+        assert_eq!(index.subscription_count(), 0);
+    }
+}

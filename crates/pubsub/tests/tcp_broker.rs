@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use dynamoth_pubsub::resp::{self, Value};
-use dynamoth_pubsub::TcpBroker;
+use dynamoth_pubsub::{BrokerConfig, TcpBroker};
 
 struct RespClient {
     stream: TcpStream,
@@ -158,6 +158,64 @@ fn protocol_errors_are_reported() {
     match client.recv() {
         Value::Error(msg) => assert!(msg.contains("unknown command"), "{msg}"),
         other => panic!("expected an error, got {other:?}"),
+    }
+    broker.shutdown();
+}
+
+/// Regression: the seed broker keyed its fan-out index by a 64-bit FNV
+/// hash of the name (`intern()`), so two colliding names silently
+/// cross-delivered. The index is now keyed by the full name and the
+/// hash only picks a shard — with a single shard, every pair of names
+/// is a forced hash-bucket collision, and deliveries must still stay
+/// per-channel.
+#[test]
+fn colliding_channel_hashes_do_not_cross_deliver() {
+    let broker = TcpBroker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            shards: 1,
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = broker.local_addr();
+
+    let mut sub_a = RespClient::connect(addr);
+    sub_a.send(&["SUBSCRIBE", "alpha"]);
+    assert_eq!(
+        sub_a.recv(),
+        resp::subscription_push("subscribe", "alpha", 1)
+    );
+    let mut sub_b = RespClient::connect(addr);
+    sub_b.send(&["SUBSCRIBE", "bravo"]);
+    assert_eq!(
+        sub_b.recv(),
+        resp::subscription_push("subscribe", "bravo", 1)
+    );
+
+    let mut publisher = RespClient::connect(addr);
+    publisher.send(&["PUBLISH", "alpha", "only-a"]);
+    assert_eq!(publisher.recv(), Value::Integer(1), "exactly one receiver");
+    publisher.send(&["PUBLISH", "bravo", "only-b"]);
+    assert_eq!(publisher.recv(), Value::Integer(1), "exactly one receiver");
+
+    assert_eq!(sub_a.recv(), resp::message_push("alpha", b"only-a"));
+    assert_eq!(sub_b.recv(), resp::message_push("bravo", b"only-b"));
+    // Neither saw the other channel's message.
+    let deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    for (sub, name) in [(&mut sub_a, "alpha"), (&mut sub_b, "bravo")] {
+        let mut chunk = [0u8; 256];
+        match sub.stream.read(&mut chunk) {
+            Ok(0) => panic!("{name} subscriber disconnected"),
+            Ok(_) => panic!("{name} subscriber received a cross-delivered frame"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read error: {e}"),
+        }
     }
     broker.shutdown();
 }

@@ -5,8 +5,8 @@
 //! cargo run -p dynamoth-pubsub --example broker_demo -- [port] [seconds]
 //! ```
 //!
-//! Prints the bound address on the first line, then a summary when the
-//! run window closes.
+//! Prints the bound address on the first line, then a health snapshot
+//! and the shutdown-drain outcome when the run window closes.
 
 use dynamoth_pubsub::TcpBroker;
 
@@ -18,10 +18,31 @@ fn main() {
     let broker = TcpBroker::bind(("127.0.0.1", port)).expect("bind broker");
     println!("listening on {}", broker.local_addr());
     std::thread::sleep(std::time::Duration::from_secs(seconds));
+
+    let health = broker.health();
     println!(
-        "accepted {} connections, {} live subscriptions",
-        broker.connections_accepted(),
-        broker.subscription_count()
+        "health: {} connections accepted, {} live, {} subscriptions",
+        health.connections_accepted, health.connections_live, health.subscriptions
     );
-    broker.shutdown();
+    println!(
+        "disconnect causes: {} overflow kills, {} read errors, {} client closes, {} protocol errors",
+        health.overflow_kills, health.read_errors, health.client_closes, health.protocol_errors
+    );
+    println!(
+        "frames: {} flushed in {} writes ({:.1} frames/writev), {} dropped",
+        health.flush.frames,
+        health.flush.writes,
+        health.flush.frames as f64 / health.flush.writes.max(1) as f64,
+        health.dropped_frames
+    );
+    for (conn, dropped) in broker.per_connection_drops() {
+        if dropped > 0 {
+            println!("  connection {conn}: {dropped} frames shed");
+        }
+    }
+    let stats = broker.shutdown();
+    println!(
+        "shutdown drain: {} frames flushed, {} dropped",
+        stats.frames_flushed, stats.frames_dropped
+    );
 }

@@ -39,20 +39,29 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::outbox::{self, Frame, OutboxSender};
+use crate::outbox::{self, Frame, OutboxSender, OverflowPolicy};
 use crate::resp::{self, Command, Value};
 use crate::shard::{ShardedIndex, SubscriberRef};
 
 /// Tuning knobs of a [`TcpBroker`].
 #[derive(Debug, Clone)]
 pub struct BrokerConfig {
-    /// Maximum bytes queued per subscriber connection before it is
-    /// dropped (the Redis `client-output-buffer-limit` analogue,
-    /// measured in bytes like Redis, not frames).
+    /// Maximum bytes queued per subscriber connection before the
+    /// [`OverflowPolicy`] applies (the Redis
+    /// `client-output-buffer-limit` analogue, measured in bytes like
+    /// Redis, not frames).
     pub outbox_limit_bytes: usize,
     /// Number of subscription-index shards (rounded up to a power of
     /// two). Commands on channels in different shards never contend.
     pub shards: usize,
+    /// What to do with a subscriber whose outbox exceeds its byte
+    /// budget: kill it (Redis' behaviour, the default) or shed its
+    /// oldest queued frames and keep it connected.
+    pub overflow_policy: OverflowPolicy,
+    /// How long shutdown waits for each connection's queued frames to
+    /// reach the kernel before closing the socket anyway. Frames still
+    /// queued when the deadline passes are counted as dropped.
+    pub shutdown_drain_timeout: Duration,
 }
 
 impl Default for BrokerConfig {
@@ -60,6 +69,8 @@ impl Default for BrokerConfig {
         BrokerConfig {
             outbox_limit_bytes: 8 * 1024 * 1024,
             shards: 16,
+            overflow_policy: OverflowPolicy::Kill,
+            shutdown_drain_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -72,6 +83,43 @@ pub struct FlushStats {
     pub frames: u64,
     /// Vectored write syscalls issued to flush them.
     pub writes: u64,
+}
+
+/// What [`TcpBroker::shutdown`] managed to deliver while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownStats {
+    /// Frames handed to the kernel during the drain window.
+    pub frames_flushed: u64,
+    /// Frames still queued when the drain deadline passed (or a socket
+    /// died), discarded.
+    pub frames_dropped: u64,
+}
+
+/// A point-in-time health snapshot of a [`TcpBroker`]: connection
+/// churn, disconnect causes, shed frames and flush efficiency, all from
+/// lock-free counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerHealth {
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections currently registered.
+    pub connections_live: usize,
+    /// Live (channel, subscriber) registrations.
+    pub subscriptions: usize,
+    /// Connections killed because their outbox exceeded its byte
+    /// budget under [`OverflowPolicy::Kill`].
+    pub overflow_kills: u64,
+    /// Connections closed after a socket read error.
+    pub read_errors: u64,
+    /// Connections the peer closed in an orderly way.
+    pub client_closes: u64,
+    /// Connections closed after an unparseable RESP frame.
+    pub protocol_errors: u64,
+    /// Frames shed instead of delivered: `DropOldest` overflow, dead
+    /// writers, and expired shutdown drains.
+    pub dropped_frames: u64,
+    /// Writer flush efficiency (see [`TcpBroker::flush_stats`]).
+    pub flush: FlushStats,
 }
 
 /// Per-connection state, owned by the connection and shared with the
@@ -96,19 +144,29 @@ struct BrokerShared {
     /// Connection registry: touched on connect, disconnect and kill —
     /// never on the pub/sub hot path.
     conns: Mutex<HashMap<u64, Arc<ConnState>>>,
+    /// Join handles of live connection threads, reaped on shutdown so
+    /// drain accounting is complete before [`TcpBroker::shutdown`]
+    /// returns. The accept loop prunes finished entries as it goes.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
     flush_counters: Arc<outbox::FlushCounters>,
     running: AtomicBool,
     next_conn: AtomicU64,
     connections_accepted: AtomicU64,
+    /// Disconnect causes, for [`TcpBroker::health`].
+    overflow_kills: AtomicU64,
+    read_errors: AtomicU64,
+    client_closes: AtomicU64,
+    protocol_errors: AtomicU64,
 }
 
 impl BrokerShared {
     /// Kills a connection exactly once: marks it dead, closes its
     /// outbox, unregisters it, and removes every subscription. Safe to
-    /// call from any thread; later callers are no-ops.
-    fn kill(&self, state: &Arc<ConnState>) {
+    /// call from any thread; later callers are no-ops. Returns `true`
+    /// when this call performed the kill.
+    fn kill(&self, state: &Arc<ConnState>) -> bool {
         if state.dead.swap(true, Ordering::SeqCst) {
-            return;
+            return false;
         }
         self.conns.lock().remove(&state.conn);
         state.outbox.close();
@@ -120,6 +178,7 @@ impl BrokerShared {
         for name in &names {
             self.index.unsubscribe(name, state.conn);
         }
+        true
     }
 }
 
@@ -164,10 +223,15 @@ impl TcpBroker {
             index: ShardedIndex::new(config.shards),
             config,
             conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
             flush_counters: Arc::new(outbox::FlushCounters::default()),
             running: AtomicBool::new(true),
             next_conn: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
+            overflow_kills: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            client_closes: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -202,12 +266,46 @@ impl TcpBroker {
         }
     }
 
-    /// Stops accepting connections and disconnects every client.
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// A health snapshot: connection churn, disconnect causes, shed
+    /// frames and flush efficiency.
+    pub fn health(&self) -> BrokerHealth {
+        let s = &self.shared;
+        BrokerHealth {
+            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+            connections_live: s.conns.lock().len(),
+            subscriptions: s.index.subscription_count(),
+            overflow_kills: s.overflow_kills.load(Ordering::Relaxed),
+            read_errors: s.read_errors.load(Ordering::Relaxed),
+            client_closes: s.client_closes.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            dropped_frames: s.flush_counters.dropped.load(Ordering::Relaxed),
+            flush: self.flush_stats(),
+        }
     }
 
-    fn stop(&mut self) {
+    /// Frames shed per live connection (connection id, dropped count).
+    /// Non-zero entries under [`OverflowPolicy::DropOldest`] identify
+    /// the subscribers that cannot keep up.
+    pub fn per_connection_drops(&self) -> Vec<(u64, u64)> {
+        self.shared
+            .conns
+            .lock()
+            .values()
+            .map(|s| (s.conn, s.outbox.dropped_frames()))
+            .collect()
+    }
+
+    /// Stops accepting connections and disconnects every client,
+    /// draining each connection's queued frames for up to
+    /// [`BrokerConfig::shutdown_drain_timeout`] before closing its
+    /// socket. Returns how many frames the drain flushed vs dropped.
+    pub fn shutdown(mut self) -> ShutdownStats {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> ShutdownStats {
+        let flushed_before = self.shared.flush_counters.frames.load(Ordering::Relaxed);
+        let dropped_before = self.shared.flush_counters.dropped.load(Ordering::Relaxed);
         self.shared.running.store(false, Ordering::SeqCst);
         // The accept loop blocks in `accept`; a throwaway self-connect
         // wakes it so it can observe `running == false` and exit.
@@ -216,10 +314,21 @@ impl TcpBroker {
             let _ = handle.join();
         }
         // Kill every live connection; readers notice their dead flag on
-        // the next read-timeout tick, writers exit once drained.
+        // the next read-timeout tick, drain their outbox (bounded by
+        // the drain deadline) and exit.
         let states: Vec<Arc<ConnState>> = self.shared.conns.lock().values().cloned().collect();
         for state in states {
             self.shared.kill(&state);
+        }
+        // Reap every connection thread so drain accounting is complete.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conn_threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let counters = &self.shared.flush_counters;
+        ShutdownStats {
+            frames_flushed: counters.frames.load(Ordering::Relaxed) - flushed_before,
+            frames_dropped: counters.dropped.load(Ordering::Relaxed) - dropped_before,
         }
     }
 }
@@ -250,7 +359,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<BrokerShared>) {
                 shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&shared);
-                std::thread::spawn(move || connection_loop(conn, stream, conn_shared));
+                let handle = std::thread::spawn(move || connection_loop(conn, stream, conn_shared));
+                let mut threads = shared.conn_threads.lock();
+                threads.retain(|h| !h.is_finished());
+                threads.push(handle);
             }
             Err(_) => {
                 if !shared.running.load(Ordering::SeqCst) {
@@ -278,7 +390,11 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = OutboxSender::new(shared.config.outbox_limit_bytes);
+    let (tx, rx) = OutboxSender::new_with(
+        shared.config.outbox_limit_bytes,
+        shared.config.overflow_policy,
+        Arc::clone(&shared.flush_counters),
+    );
     let state = Arc::new(ConnState {
         conn,
         dead: Arc::new(AtomicBool::new(false)),
@@ -286,15 +402,17 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
         channels: Mutex::new(BTreeSet::new()),
     });
     shared.conns.lock().insert(conn, Arc::clone(&state));
-    let flush_counters = Arc::clone(&shared.flush_counters);
-    let writer = std::thread::spawn(move || outbox::writer_loop(rx, write_half, flush_counters));
+    let writer = std::thread::spawn(move || outbox::writer_loop(rx, write_half));
 
     let mut read_stream = stream;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     'conn: while !state.dead.load(Ordering::SeqCst) {
         match read_stream.read(&mut chunk) {
-            Ok(0) => break,
+            Ok(0) => {
+                shared.client_closes.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -304,7 +422,10 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
                 // the whole liveness check — no lock taken.
                 continue;
             }
-            Err(_) => break,
+            Err(_) => {
+                shared.read_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
         // Process every complete frame in the buffer.
         loop {
@@ -317,6 +438,7 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
                 }
                 Ok(None) => break,
                 Err(_) => {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = send_value(&state.outbox, &Value::Error("ERR protocol error".into()));
                     break 'conn;
                 }
@@ -324,9 +446,21 @@ fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
         }
     }
 
-    // Tear down: unregister, close the socket (which unblocks a writer
-    // stuck on a full socket), then reap the writer.
+    // Tear down: unregister, then — when the whole broker is shutting
+    // down — give queued frames a bounded chance to reach the kernel
+    // before the socket closes under them. Kills while the broker is
+    // running (dead peers, overflow) skip the wait: the writer either
+    // drains instantly or its socket is already useless.
     shared.kill(&state);
+    if !shared.running.load(Ordering::SeqCst)
+        && !state
+            .outbox
+            .wait_drained(shared.config.shutdown_drain_timeout)
+    {
+        state.outbox.discard_remaining();
+    }
+    // Closing the socket unblocks a writer stuck on a full socket; it
+    // counts whatever it could not flush as dropped.
     let _ = read_stream.shutdown(Shutdown::Both);
     let _ = writer.join();
 }
@@ -403,11 +537,14 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
                 }
             }
             // A full outbox means the subscriber cannot keep up: kill
-            // it, like Redis does.
+            // it, like Redis does. (Under `DropOldest` the push never
+            // fails on a live connection, so nothing lands here.)
             for dead_conn in overflowed {
                 let victim = shared.conns.lock().get(&dead_conn).cloned();
                 if let Some(victim) = victim {
-                    shared.kill(&victim);
+                    if shared.kill(&victim) {
+                        shared.overflow_kills.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             send_value(&state.outbox, &Value::Integer(delivered))

@@ -1,0 +1,794 @@
+//! A fault-tolerant RESP pub/sub client for the TCP broker.
+//!
+//! The paper's lazy-reconfiguration machinery assumes clients that
+//! survive broker churn: they detect dead or silent servers, reconnect,
+//! re-issue their subscriptions, retry in-flight publications, and
+//! suppress the duplicates retries can create (via globally unique
+//! message ids — the paper's §V duplicate-suppression scheme).
+//! [`TcpPubSubClient`] is that client for the real-network path:
+//!
+//! - **Reconnect**: capped exponential backoff with full jitter
+//!   (AWS-style: `delay = uniform(0, min(cap, base·2ᵃᵗᵗᵉᵐᵖᵗ))`), so a
+//!   thundering herd of clients re-spreads itself after a broker
+//!   restart.
+//! - **Resubscribe**: the desired channel set survives the socket; on
+//!   every reconnect the client transparently re-`SUBSCRIBE`s before
+//!   anything else.
+//! - **Publish retry + dedup**: each publication carries a globally
+//!   unique wire id (`origin`, `seq`) inside the payload
+//!   ([`frame_payload`]); unacknowledged publications are retried after
+//!   a reconnect, and the receive path suppresses re-deliveries through
+//!   a sliding dedup window, giving exactly-once delivery to a
+//!   connected subscriber across broker failures.
+//! - **Liveness**: `PING` heartbeats plus a receive deadline detect a
+//!   silent (half-open) broker within [`ClientConfig::liveness_timeout`]
+//!   instead of hanging forever.
+//! - **Observability**: every state change is surfaced as a
+//!   [`ClientEvent`] (`Connected` / `Disconnected` / `Resubscribed` /
+//!   `Dropped` / `GaveUp`), so callers see degradation instead of
+//!   silence.
+//!
+//! The client is plain blocking std networking on one worker thread —
+//! the same substrate as the broker — and interoperates with any RESP
+//! pub/sub server: payloads published by id-unaware clients are
+//! delivered verbatim (no id, no dedup).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::resp::{self, Value};
+use crate::rng::SplitMix64;
+
+/// Tuning knobs of a [`TcpPubSubClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// First-retry backoff ceiling; doubles per failed attempt.
+    pub reconnect_base: Duration,
+    /// Upper bound of the backoff ceiling.
+    pub reconnect_cap: Duration,
+    /// Consecutive failed connection attempts before the client emits
+    /// [`ClientEvent::GaveUp`] and stops. `None` retries forever.
+    pub max_reconnect_attempts: Option<u32>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// How often to send `PING` when the connection is otherwise idle
+    /// (clamped to at most half the liveness timeout).
+    pub heartbeat_interval: Duration,
+    /// A connection that has received nothing for this long is declared
+    /// dead ([`DisconnectReason::LivenessTimeout`]) — this is what
+    /// catches half-open connections that TCP alone never reports.
+    pub liveness_timeout: Duration,
+    /// Sliding dedup window size, in message ids (the paper's
+    /// duplicate-suppression window).
+    pub dedup_window: usize,
+    /// Send attempts per publication before it is dropped with
+    /// [`DropCause::RetriesExhausted`].
+    pub publish_retries: u32,
+    /// Queued publications (pending + unacknowledged) before the oldest
+    /// is dropped with [`DropCause::QueueFull`].
+    pub max_pending_publishes: usize,
+    /// Worker wake-up granularity: command latency, heartbeat check
+    /// resolution and shutdown latency are all bounded by one tick.
+    pub tick: Duration,
+    /// Seed for the jitter PRNG and the origin id; `None` uses OS
+    /// entropy. Fixing it makes reconnect timing reproducible in tests.
+    pub seed: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            reconnect_base: Duration::from_millis(50),
+            reconnect_cap: Duration::from_secs(2),
+            max_reconnect_attempts: None,
+            connect_timeout: Duration::from_secs(1),
+            heartbeat_interval: Duration::from_millis(500),
+            liveness_timeout: Duration::from_secs(3),
+            dedup_window: 1024,
+            publish_retries: 8,
+            max_pending_publishes: 4096,
+            tick: Duration::from_millis(20),
+            seed: None,
+        }
+    }
+}
+
+/// Globally unique wire id of a publication: the publishing client's
+/// random 64-bit `origin` plus its monotonically increasing `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId {
+    /// The publishing client instance.
+    pub origin: u64,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+/// Why a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// A socket read/write error.
+    Io,
+    /// The server closed the connection in an orderly way.
+    ServerClosed,
+    /// Nothing was received within the liveness timeout — the broker is
+    /// silent or the connection is half-open.
+    LivenessTimeout,
+    /// The server sent bytes that are not valid RESP.
+    Protocol,
+}
+
+/// Why a message or publication was dropped instead of delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropCause {
+    /// An incoming delivery carried an id already inside the dedup
+    /// window (a retry duplicate), and was suppressed.
+    Duplicate {
+        /// Channel the duplicate arrived on.
+        channel: String,
+    },
+    /// An outgoing publication exhausted its send attempts.
+    RetriesExhausted {
+        /// Channel it was addressed to.
+        channel: String,
+    },
+    /// The publish queue overflowed and shed its oldest entry.
+    QueueFull {
+        /// Channel the shed publication was addressed to.
+        channel: String,
+    },
+}
+
+/// A state change of a [`TcpPubSubClient`], delivered via
+/// [`TcpPubSubClient::try_event`] so callers observe degradation
+/// instead of hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A TCP connection to the broker was established.
+    Connected {
+        /// 1-based connection attempt this session took (resets after a
+        /// connection that received data).
+        attempt: u32,
+    },
+    /// The connection was lost; the client will reconnect.
+    Disconnected {
+        /// Why it was lost.
+        reason: DisconnectReason,
+    },
+    /// The desired channel set was re-issued after a (re)connect.
+    Resubscribed {
+        /// How many channels were re-subscribed.
+        channels: usize,
+    },
+    /// A message or publication was dropped.
+    Dropped {
+        /// What was dropped and why.
+        cause: DropCause,
+    },
+    /// `max_reconnect_attempts` consecutive attempts failed; the worker
+    /// stopped.
+    GaveUp,
+}
+
+/// A delivered publication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Channel it was published on.
+    pub channel: String,
+    /// Payload with the wire-id header (if any) stripped.
+    pub payload: Vec<u8>,
+    /// The publication's unique id, when the publisher framed one.
+    pub id: Option<MessageId>,
+}
+
+const ID_MAGIC: &[u8] = b"DMID1;";
+/// Bytes the wire-id header adds in front of a framed payload.
+pub const ID_HEADER_LEN: usize = 6 + 16 + 16 + 1;
+
+/// Frames `body` with `id` for the paper's duplicate-suppression
+/// scheme: `DMID1;<origin:016x><seq:016x>;<body>`. The header is plain
+/// payload bytes to the broker, so unmodified RESP servers forward it
+/// untouched.
+pub fn frame_payload(id: MessageId, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ID_HEADER_LEN + body.len());
+    out.extend_from_slice(ID_MAGIC);
+    out.extend_from_slice(format!("{:016x}{:016x}", id.origin, id.seq).as_bytes());
+    out.push(b';');
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a delivered payload into its wire id (if the publisher framed
+/// one) and the body. Payloads without a valid header pass through
+/// verbatim.
+pub fn parse_payload(payload: &[u8]) -> (Option<MessageId>, &[u8]) {
+    if payload.len() < ID_HEADER_LEN
+        || !payload.starts_with(ID_MAGIC)
+        || payload[ID_HEADER_LEN - 1] != b';'
+    {
+        return (None, payload);
+    }
+    let hex = &payload[ID_MAGIC.len()..ID_HEADER_LEN - 1];
+    let Ok(hex) = std::str::from_utf8(hex) else {
+        return (None, payload);
+    };
+    let (origin, seq) = hex.split_at(16);
+    match (
+        u64::from_str_radix(origin, 16),
+        u64::from_str_radix(seq, 16),
+    ) {
+        (Ok(origin), Ok(seq)) => (Some(MessageId { origin, seq }), &payload[ID_HEADER_LEN..]),
+        _ => (None, payload),
+    }
+}
+
+/// Sliding duplicate-suppression window (mirrors the simulator client's
+/// scheme): a set for O(1) membership plus FIFO eviction order.
+struct Dedup {
+    seen: HashSet<MessageId>,
+    order: VecDeque<MessageId>,
+}
+
+impl Dedup {
+    fn new() -> Dedup {
+        Dedup {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Returns `true` when `id` is new (and records it), `false` for a
+    /// duplicate inside the window.
+    fn insert(&mut self, id: MessageId, cap: usize) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > cap.max(1) {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+}
+
+enum Cmd {
+    Subscribe(String),
+    Unsubscribe(String),
+    Publish { channel: String, body: Vec<u8> },
+}
+
+struct ClientShared {
+    running: AtomicBool,
+    cmds: Mutex<VecDeque<Cmd>>,
+}
+
+/// A resilient RESP pub/sub client (see the module docs for the failure
+/// model).
+///
+/// # Examples
+///
+/// ```no_run
+/// use dynamoth_pubsub::{ClientEvent, TcpPubSubClient};
+/// use std::time::Duration;
+///
+/// let client = TcpPubSubClient::connect("127.0.0.1:6379").expect("resolve");
+/// client.subscribe("tile_1");
+/// client.publish("tile_1", b"hello");
+/// while let Some(msg) = client.message_timeout(Duration::from_secs(1)) {
+///     println!("{}: {} bytes", msg.channel, msg.payload.len());
+/// }
+/// client.shutdown();
+/// ```
+pub struct TcpPubSubClient {
+    shared: Arc<ClientShared>,
+    worker: Option<JoinHandle<()>>,
+    messages: Mutex<mpsc::Receiver<Message>>,
+    events: Mutex<mpsc::Receiver<ClientEvent>>,
+}
+
+impl TcpPubSubClient {
+    /// Starts a client for the broker at `addr` with default tuning.
+    /// Returns immediately; the connection is established (and forever
+    /// re-established) by a background worker — watch
+    /// [`ClientEvent`]s to observe it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when `addr` cannot be resolved.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpPubSubClient> {
+        TcpPubSubClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Starts a client with explicit [`ClientConfig`] tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when `addr` cannot be resolved.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> std::io::Result<TcpPubSubClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
+        })?;
+        let shared = Arc::new(ClientShared {
+            running: AtomicBool::new(true),
+            cmds: Mutex::new(VecDeque::new()),
+        });
+        let (msg_tx, msg_rx) = mpsc::channel();
+        let (event_tx, event_rx) = mpsc::channel();
+        let mut rng = match config.seed {
+            Some(seed) => SplitMix64::new(seed),
+            None => SplitMix64::from_entropy(),
+        };
+        let origin = rng.next_u64();
+        let worker = Worker {
+            addr,
+            cfg: config,
+            shared: Arc::clone(&shared),
+            messages: msg_tx,
+            events: event_tx,
+            rng,
+            origin,
+            next_seq: 0,
+            desired: BTreeSet::new(),
+            pending: VecDeque::new(),
+            unacked: VecDeque::new(),
+            dedup: Dedup::new(),
+        };
+        let handle = std::thread::spawn(move || worker.run());
+        Ok(TcpPubSubClient {
+            shared,
+            worker: Some(handle),
+            messages: Mutex::new(msg_rx),
+            events: Mutex::new(event_rx),
+        })
+    }
+
+    /// Adds `channel` to the desired subscription set; the worker
+    /// subscribes now (if connected) and after every reconnect.
+    pub fn subscribe(&self, channel: &str) {
+        self.shared
+            .cmds
+            .lock()
+            .push_back(Cmd::Subscribe(channel.to_owned()));
+    }
+
+    /// Removes `channel` from the desired subscription set.
+    pub fn unsubscribe(&self, channel: &str) {
+        self.shared
+            .cmds
+            .lock()
+            .push_back(Cmd::Unsubscribe(channel.to_owned()));
+    }
+
+    /// Publishes `body` on `channel` with a fresh globally unique wire
+    /// id. The publication is queued, retried across reconnects until
+    /// acknowledged, and eventually dropped (with a
+    /// [`ClientEvent::Dropped`]) if the broker never accepts it.
+    pub fn publish(&self, channel: &str, body: &[u8]) {
+        self.shared.cmds.lock().push_back(Cmd::Publish {
+            channel: channel.to_owned(),
+            body: body.to_vec(),
+        });
+    }
+
+    /// The next delivered message, if one is already queued.
+    pub fn try_message(&self) -> Option<Message> {
+        self.messages.lock().try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next delivered message.
+    pub fn message_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.messages.lock().recv_timeout(timeout).ok()
+    }
+
+    /// The next client event, if one is already queued.
+    pub fn try_event(&self) -> Option<ClientEvent> {
+        self.events.lock().try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next client event.
+    pub fn event_timeout(&self, timeout: Duration) -> Option<ClientEvent> {
+        self.events.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Stops the worker and closes the connection.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpPubSubClient {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpPubSubClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpPubSubClient").finish_non_exhaustive()
+    }
+}
+
+struct PendingPub {
+    channel: String,
+    /// Fully encoded `PUBLISH` frame (payload already id-framed), so a
+    /// retry re-sends byte-identical data — same id, dedupable.
+    wire: Vec<u8>,
+    attempts: u32,
+}
+
+struct Worker {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    shared: Arc<ClientShared>,
+    messages: mpsc::Sender<Message>,
+    events: mpsc::Sender<ClientEvent>,
+    rng: SplitMix64,
+    origin: u64,
+    next_seq: u64,
+    desired: BTreeSet<String>,
+    pending: VecDeque<PendingPub>,
+    unacked: VecDeque<PendingPub>,
+    dedup: Dedup,
+}
+
+impl Worker {
+    fn running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    fn emit(&self, event: ClientEvent) {
+        let _ = self.events.send(event);
+    }
+
+    fn run(mut self) {
+        // Failed attempts since the last connection that received data.
+        let mut attempts: u32 = 0;
+        while self.running() {
+            match TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout) {
+                Ok(stream) => {
+                    attempts += 1;
+                    self.emit(ClientEvent::Connected { attempt: attempts });
+                    let got_data = self.session(stream);
+                    // Whatever was in flight when the session died goes
+                    // back to the head of the queue, oldest first.
+                    while let Some(p) = self.unacked.pop_back() {
+                        self.pending.push_front(p);
+                    }
+                    if got_data {
+                        attempts = 0;
+                    }
+                }
+                Err(_) => attempts += 1,
+            }
+            if !self.running() {
+                break;
+            }
+            if let Some(max) = self.cfg.max_reconnect_attempts {
+                if attempts >= max {
+                    self.emit(ClientEvent::GaveUp);
+                    return;
+                }
+            }
+            self.backoff_sleep(attempts);
+        }
+    }
+
+    /// Runs one connected session; returns whether any bytes were
+    /// received (which is what resets the backoff counter — a half-open
+    /// accept that never speaks does not count as progress).
+    fn session(&mut self, mut stream: TcpStream) -> bool {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.cfg.tick));
+        // Transparent re-subscribe before anything else.
+        if !self.desired.is_empty() {
+            let mut words = vec![Value::bulk("SUBSCRIBE")];
+            words.extend(self.desired.iter().map(|c| Value::bulk(c.as_str())));
+            let mut wire = Vec::new();
+            resp::encode(&Value::array(words), &mut wire);
+            if stream.write_all(&wire).is_err() {
+                self.emit(ClientEvent::Disconnected {
+                    reason: DisconnectReason::Io,
+                });
+                return false;
+            }
+            self.emit(ClientEvent::Resubscribed {
+                channels: self.desired.len(),
+            });
+        }
+        // PING often enough that a silent broker misses several
+        // heartbeats before the liveness deadline fires.
+        let ping_every = self
+            .cfg
+            .heartbeat_interval
+            .min(self.cfg.liveness_timeout / 2)
+            .max(Duration::from_millis(1));
+        let mut last_rx = Instant::now();
+        let mut last_ping = Instant::now();
+        let mut got_data = false;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if !self.running() {
+                return got_data;
+            }
+            let reason = 'fail: {
+                if !self.apply_commands(Some(&mut stream)) || !self.send_pending(&mut stream) {
+                    break 'fail Some(DisconnectReason::Io);
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => break 'fail Some(DisconnectReason::ServerClosed),
+                    Ok(n) => {
+                        last_rx = Instant::now();
+                        got_data = true;
+                        buf.extend_from_slice(&chunk[..n]);
+                        loop {
+                            match resp::decode(&buf) {
+                                Ok(Some((value, used))) => {
+                                    buf.drain(..used);
+                                    self.handle_frame(value);
+                                }
+                                Ok(None) => break,
+                                Err(_) => break 'fail Some(DisconnectReason::Protocol),
+                            }
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break 'fail Some(DisconnectReason::Io),
+                }
+                if last_rx.elapsed() > self.cfg.liveness_timeout {
+                    break 'fail Some(DisconnectReason::LivenessTimeout);
+                }
+                if last_ping.elapsed() >= ping_every {
+                    let mut wire = Vec::new();
+                    resp::encode(&Value::array(vec![Value::bulk("PING")]), &mut wire);
+                    if stream.write_all(&wire).is_err() {
+                        break 'fail Some(DisconnectReason::Io);
+                    }
+                    last_ping = Instant::now();
+                }
+                None
+            };
+            if let Some(reason) = reason {
+                self.emit(ClientEvent::Disconnected { reason });
+                return got_data;
+            }
+        }
+    }
+
+    /// Interprets one server frame.
+    fn handle_frame(&mut self, value: Value) {
+        match value {
+            Value::Array(Some(items)) => {
+                let kind = match items.first() {
+                    Some(Value::Bulk(Some(k))) => k.as_slice(),
+                    _ => return,
+                };
+                if kind != b"message" || items.len() != 3 {
+                    return; // subscribe/unsubscribe confirmations etc.
+                }
+                let channel = match &items[1] {
+                    Value::Bulk(Some(c)) => String::from_utf8_lossy(c).into_owned(),
+                    _ => return,
+                };
+                let payload = match &items[2] {
+                    Value::Bulk(Some(p)) => p.as_slice(),
+                    _ => return,
+                };
+                let (id, body) = parse_payload(payload);
+                if let Some(id) = id {
+                    if !self.dedup.insert(id, self.cfg.dedup_window) {
+                        self.emit(ClientEvent::Dropped {
+                            cause: DropCause::Duplicate { channel },
+                        });
+                        return;
+                    }
+                }
+                let _ = self.messages.send(Message {
+                    channel,
+                    payload: body.to_vec(),
+                    id,
+                });
+            }
+            // Publish acknowledgement (receiver count). Replies on one
+            // connection are FIFO, so it acks the oldest in flight.
+            Value::Integer(_) => {
+                self.unacked.pop_front();
+            }
+            // An error reply deliberately acks nothing: a broker that
+            // choked on a torn frame error-replies before closing, and
+            // the publish it refused must be retried, not silently
+            // counted delivered. Retrying a publish that *did* land is
+            // safe (the dedup window suppresses it); dropping one that
+            // did not is a lost message.
+            // +PONG, -ERR and anything else: receipt already fed
+            // liveness.
+            _ => {}
+        }
+    }
+
+    /// Applies queued caller commands; `stream` is `None` while
+    /// disconnected (the desired set and publish queue still update).
+    /// Returns `false` on a write error.
+    fn apply_commands(&mut self, mut stream: Option<&mut TcpStream>) -> bool {
+        loop {
+            let cmd = match self.shared.cmds.lock().pop_front() {
+                Some(c) => c,
+                None => return true,
+            };
+            match cmd {
+                Cmd::Subscribe(channel) => {
+                    if self.desired.insert(channel.clone()) {
+                        if let Some(s) = stream.as_deref_mut() {
+                            if !write_command(s, &["SUBSCRIBE", &channel]) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Cmd::Unsubscribe(channel) => {
+                    if self.desired.remove(&channel) {
+                        if let Some(s) = stream.as_deref_mut() {
+                            if !write_command(s, &["UNSUBSCRIBE", &channel]) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Cmd::Publish { channel, body } => {
+                    let id = MessageId {
+                        origin: self.origin,
+                        seq: self.next_seq,
+                    };
+                    self.next_seq += 1;
+                    let framed = frame_payload(id, &body);
+                    let mut wire = Vec::new();
+                    resp::encode(
+                        &Value::array(vec![
+                            Value::bulk("PUBLISH"),
+                            Value::bulk(channel.as_str()),
+                            Value::Bulk(Some(framed)),
+                        ]),
+                        &mut wire,
+                    );
+                    if self.pending.len() + self.unacked.len() >= self.cfg.max_pending_publishes {
+                        if let Some(shed) = self.pending.pop_front() {
+                            self.emit(ClientEvent::Dropped {
+                                cause: DropCause::QueueFull {
+                                    channel: shed.channel,
+                                },
+                            });
+                        }
+                    }
+                    self.pending.push_back(PendingPub {
+                        channel,
+                        wire,
+                        attempts: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sends every queued publication, dropping those that exhausted
+    /// their attempts. Returns `false` on a write error.
+    fn send_pending(&mut self, stream: &mut TcpStream) -> bool {
+        while let Some(mut p) = self.pending.pop_front() {
+            if p.attempts >= self.cfg.publish_retries {
+                self.emit(ClientEvent::Dropped {
+                    cause: DropCause::RetriesExhausted { channel: p.channel },
+                });
+                continue;
+            }
+            p.attempts += 1;
+            if stream.write_all(&p.wire).is_err() {
+                self.pending.push_front(p);
+                return false;
+            }
+            self.unacked.push_back(p);
+        }
+        true
+    }
+
+    /// Sleeps for a full-jitter backoff delay, staying responsive to
+    /// shutdown and still absorbing caller commands.
+    fn backoff_sleep(&mut self, attempts: u32) {
+        let base = self.cfg.reconnect_base.as_millis().max(1) as u64;
+        let cap = self.cfg.reconnect_cap.as_millis().max(1) as u64;
+        let exp = attempts.saturating_sub(1).min(16);
+        let ceiling = cap.min(base.saturating_mul(1u64 << exp)).max(1);
+        let delay = Duration::from_millis(1 + self.rng.next_below(ceiling));
+        let deadline = Instant::now() + delay;
+        while self.running() {
+            self.apply_commands(None);
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+        }
+    }
+}
+
+/// Encodes and writes one command array; returns `false` on error.
+fn write_command(stream: &mut TcpStream, words: &[&str]) -> bool {
+    let value = Value::array(words.iter().map(|w| Value::bulk(*w)).collect());
+    let mut wire = Vec::new();
+    resp::encode(&value, &mut wire);
+    stream.write_all(&wire).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_ids_roundtrip() {
+        let id = MessageId {
+            origin: 0xdead_beef_cafe_f00d,
+            seq: 42,
+        };
+        let framed = frame_payload(id, b"position update");
+        let (parsed, body) = parse_payload(&framed);
+        assert_eq!(parsed, Some(id));
+        assert_eq!(body, b"position update");
+    }
+
+    #[test]
+    fn unframed_payloads_pass_through() {
+        for raw in [&b"plain"[..], b"", b"DMID1;short", &[0u8; 64][..]] {
+            let (id, body) = parse_payload(raw);
+            assert_eq!(id, None);
+            assert_eq!(body, raw);
+        }
+    }
+
+    #[test]
+    fn header_lookalike_with_bad_hex_passes_through() {
+        let mut fake = Vec::new();
+        fake.extend_from_slice(ID_MAGIC);
+        fake.extend_from_slice(&[b'z'; 32]);
+        fake.push(b';');
+        fake.extend_from_slice(b"body");
+        let (id, body) = parse_payload(&fake);
+        assert_eq!(id, None);
+        assert_eq!(body, &fake[..]);
+    }
+
+    #[test]
+    fn dedup_window_is_sliding_and_bounded() {
+        let mut dedup = Dedup::new();
+        let mid = |seq| MessageId { origin: 1, seq };
+        for seq in 0..10 {
+            assert!(dedup.insert(mid(seq), 4));
+        }
+        assert_eq!(dedup.seen.len(), 4);
+        // Recent ids are suppressed …
+        for seq in 6..10 {
+            assert!(!dedup.insert(mid(seq), 4));
+        }
+        // … while ids past the window are (correctly) fresh again.
+        assert!(dedup.insert(mid(0), 4));
+    }
+}

@@ -24,11 +24,19 @@
 
 mod broker;
 mod channel;
+pub mod chaos;
+pub mod client;
 mod outbox;
 pub mod resp;
+mod rng;
 mod server;
 mod shard;
 
-pub use broker::{BrokerConfig, FlushStats, TcpBroker};
+pub use broker::{BrokerConfig, BrokerHealth, FlushStats, ShutdownStats, TcpBroker};
 pub use channel::{Channel, ChannelRegistry};
+pub use chaos::{ChaosProxy, Direction};
+pub use client::{
+    ClientConfig, ClientEvent, DisconnectReason, DropCause, Message, MessageId, TcpPubSubClient,
+};
+pub use outbox::OverflowPolicy;
 pub use server::{CpuModel, PubSubServer, PublishOutcome};

@@ -1,12 +1,18 @@
 //! Byte-budgeted subscriber outboxes with syscall-coalescing writers.
 //!
-//! Each broker connection owns one [`Outbox`]: a bounded queue of
-//! encoded RESP frames measured in **bytes** (the Redis
+//! Each broker connection owns one outbox: a bounded queue of encoded
+//! RESP frames measured in **bytes** (the Redis
 //! `client-output-buffer-limit` analogue — a frame-count bound lets a
 //! few huge payloads exhaust memory while thousands of tiny pushes trip
 //! the limit spuriously; a byte budget bounds actual memory). Producers
-//! ([`OutboxSender::push`]) never block: a push that would exceed the
-//! budget fails, and the broker kills the overflowing connection.
+//! ([`OutboxSender::push`]) never block; what happens when a push would
+//! exceed the budget is the connection's [`OverflowPolicy`]:
+//!
+//! - [`OverflowPolicy::Kill`] rejects the push and the broker kills the
+//!   overflowing connection (Redis' behaviour);
+//! - [`OverflowPolicy::DropOldest`] sheds the oldest queued frames to
+//!   make room, counts them, and keeps the connection alive — a lossy
+//!   subscriber instead of a dead one.
 //!
 //! The draining side is a dedicated writer thread per connection
 //! ([`writer_loop`]): each wakeup takes *every* queued frame in one
@@ -15,12 +21,19 @@
 //! cost one `writev` syscall instead of N `write` syscalls. Under a
 //! publish storm the queue depth grows exactly when coalescing pays off
 //! most, which is what makes the bound in bytes (not frames) safe.
+//!
+//! For graceful shutdown, [`OutboxSender::wait_drained`] blocks (with a
+//! deadline) until every queued frame has been handed to the kernel, so
+//! the broker can flush in-flight deliveries before closing sockets;
+//! frames still queued when the writer dies or the deadline passes are
+//! tallied as dropped.
 
 use std::collections::VecDeque;
 use std::io::{IoSlice, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// An encoded RESP frame shared by every outbox it is queued on.
 pub(crate) type Frame = Arc<[u8]>;
@@ -28,6 +41,20 @@ pub(crate) type Frame = Arc<[u8]>;
 /// Linux caps `writev` at `IOV_MAX` (1024) iovecs; larger batches are
 /// flushed in chunks of this size.
 const MAX_IOVECS: usize = 1024;
+
+/// What a connection's outbox does with a push that would exceed its
+/// byte budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Reject the push; the broker disconnects the subscriber exactly
+    /// like Redis' `client-output-buffer-limit` (the default).
+    #[default]
+    Kill,
+    /// Shed the oldest queued frames until the new one fits, count the
+    /// shed frames, and keep the connection alive. A subscriber that
+    /// cannot keep up sees gaps instead of a disconnect.
+    DropOldest,
+}
 
 /// Aggregate flush counters shared by every writer of one broker:
 /// `frames / writes` is the measured coalescing ratio.
@@ -37,18 +64,41 @@ pub(crate) struct FlushCounters {
     pub frames: AtomicU64,
     /// Vectored write syscalls issued.
     pub writes: AtomicU64,
+    /// Frames shed before reaching the kernel: `DropOldest` overflow,
+    /// frames abandoned when a writer's socket dies, and frames still
+    /// queued when a shutdown drain deadline passes.
+    pub dropped: AtomicU64,
 }
 
 struct Queue {
     frames: VecDeque<Frame>,
     bytes: usize,
     closed: bool,
+    /// True while the writer is flushing a batch it already took out of
+    /// `frames` — the queue can be empty with bytes still in flight.
+    in_flight: bool,
 }
 
 struct Inner {
     queue: Mutex<Queue>,
     wakeup: Condvar,
     limit_bytes: usize,
+    policy: OverflowPolicy,
+    /// Frames this connection shed (see [`FlushCounters::dropped`] for
+    /// the broker-wide total).
+    dropped: AtomicU64,
+    counters: Arc<FlushCounters>,
+}
+
+impl Inner {
+    /// Records `n` frames as shed, on both the per-connection and the
+    /// broker-wide counter.
+    fn record_dropped(&self, n: u64) {
+        if n > 0 {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+            self.counters.dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Producer handle to a connection's outbox. Cloneable; all clones feed
@@ -59,17 +109,38 @@ pub(crate) struct OutboxSender {
 }
 
 impl OutboxSender {
-    /// Creates an outbox bounded at `limit_bytes` queued bytes and the
-    /// receiving half its writer thread drains.
+    /// Creates an outbox bounded at `limit_bytes` queued bytes with the
+    /// [`Kill`](OverflowPolicy::Kill) overflow policy and private
+    /// counters (convenience for tests).
+    #[cfg(test)]
     pub fn new(limit_bytes: usize) -> (OutboxSender, OutboxReceiver) {
+        OutboxSender::new_with(
+            limit_bytes,
+            OverflowPolicy::Kill,
+            Arc::new(FlushCounters::default()),
+        )
+    }
+
+    /// Creates an outbox bounded at `limit_bytes` queued bytes with an
+    /// explicit overflow `policy`, reporting into `counters`, and the
+    /// receiving half its writer thread drains.
+    pub fn new_with(
+        limit_bytes: usize,
+        policy: OverflowPolicy,
+        counters: Arc<FlushCounters>,
+    ) -> (OutboxSender, OutboxReceiver) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(Queue {
                 frames: VecDeque::new(),
                 bytes: 0,
                 closed: false,
+                in_flight: false,
             }),
             wakeup: Condvar::new(),
             limit_bytes,
+            policy,
+            dropped: AtomicU64::new(0),
+            counters,
         });
         (
             OutboxSender {
@@ -80,25 +151,102 @@ impl OutboxSender {
     }
 
     /// Enqueues `frame` without blocking. Returns `false` when the
-    /// outbox is closed or the frame would push the queue over its byte
-    /// budget — the caller must treat the connection as dead.
+    /// outbox is closed, or when the frame would exceed the byte budget
+    /// under [`OverflowPolicy::Kill`] — the caller must then treat the
+    /// connection as dead. Under [`OverflowPolicy::DropOldest`] the
+    /// push always succeeds on an open outbox: older frames (or, when
+    /// the frame alone exceeds the whole budget, the frame itself) are
+    /// shed and counted instead.
     pub fn push(&self, frame: Frame) -> bool {
-        let mut q = lock(&self.inner.queue);
-        if q.closed || q.bytes + frame.len() > self.inner.limit_bytes {
-            return false;
+        let mut shed = 0u64;
+        let pushed = {
+            let mut q = lock(&self.inner.queue);
+            if q.closed {
+                return false;
+            }
+            if q.bytes + frame.len() > self.inner.limit_bytes {
+                match self.inner.policy {
+                    OverflowPolicy::Kill => return false,
+                    // A frame that alone exceeds the whole budget is
+                    // shed itself, without pointlessly evicting the
+                    // queue first.
+                    OverflowPolicy::DropOldest if frame.len() > self.inner.limit_bytes => {}
+                    OverflowPolicy::DropOldest => {
+                        while q.bytes + frame.len() > self.inner.limit_bytes {
+                            if let Some(old) = q.frames.pop_front() {
+                                q.bytes -= old.len();
+                                shed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if q.bytes + frame.len() <= self.inner.limit_bytes {
+                q.bytes += frame.len();
+                q.frames.push_back(frame);
+                true
+            } else {
+                shed += 1;
+                false
+            }
+        };
+        self.inner.record_dropped(shed);
+        if pushed {
+            self.inner.wakeup.notify_all();
         }
-        q.bytes += frame.len();
-        q.frames.push_back(frame);
-        drop(q);
-        self.inner.wakeup.notify_one();
-        true
+        // DropOldest never reports failure for an open outbox: the
+        // connection stays alive even when the frame itself was shed.
+        pushed || self.inner.policy == OverflowPolicy::DropOldest
     }
 
     /// Closes the outbox: queued frames still drain, further pushes
     /// fail, and the writer thread exits once the queue is empty.
     pub fn close(&self) {
         lock(&self.inner.queue).closed = true;
-        self.inner.wakeup.notify_one();
+        self.inner.wakeup.notify_all();
+    }
+
+    /// Frames this connection has shed (overflow under `DropOldest`,
+    /// writer death, or an expired drain deadline).
+    pub fn dropped_frames(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every queued frame has been handed to the kernel
+    /// (queue empty and no batch in flight) or `timeout` passes.
+    /// Returns `true` when fully drained.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = lock(&self.inner.queue);
+        loop {
+            if q.frames.is_empty() && !q.in_flight {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            q = match self.inner.wakeup.wait_timeout(q, deadline - now) {
+                Ok((g, _)) => g,
+                Err(p) => p.into_inner().0,
+            };
+        }
+    }
+
+    /// Discards whatever is still queued, counting it as dropped, and
+    /// returns the number of frames discarded. Called after a drain
+    /// deadline expires so shutdown accounting matches reality.
+    pub fn discard_remaining(&self) -> u64 {
+        let n = {
+            let mut q = lock(&self.inner.queue);
+            let n = q.frames.len() as u64;
+            q.frames.clear();
+            q.bytes = 0;
+            n
+        };
+        self.inner.record_dropped(n);
+        self.inner.wakeup.notify_all();
+        n
     }
 }
 
@@ -109,8 +257,10 @@ pub(crate) struct OutboxReceiver {
 
 /// Drains an outbox into `stream` until it is closed and empty or the
 /// socket errors. Every wakeup takes the whole queue and flushes it
-/// with vectored writes.
-pub(crate) fn writer_loop(rx: OutboxReceiver, mut stream: TcpStream, counters: Arc<FlushCounters>) {
+/// with vectored writes. On socket death the un-flushed remainder is
+/// counted as dropped so drain accounting stays exact.
+pub(crate) fn writer_loop(rx: OutboxReceiver, mut stream: TcpStream) {
+    let counters = Arc::clone(&rx.inner.counters);
     let mut batch: Vec<Frame> = Vec::new();
     loop {
         {
@@ -126,37 +276,60 @@ pub(crate) fn writer_loop(rx: OutboxReceiver, mut stream: TcpStream, counters: A
             }
             batch.extend(q.frames.drain(..));
             q.bytes = 0;
+            q.in_flight = true;
         }
-        if !write_batch(&mut stream, &batch, &counters) {
-            break;
+        let flushed = write_batch(&mut stream, &batch, &counters);
+        let failed = flushed < batch.len();
+        {
+            let mut q = lock(&rx.inner.queue);
+            q.in_flight = false;
+            if failed {
+                // The socket is gone: everything not yet handed to the
+                // kernel — the rest of this batch and whatever queued
+                // meanwhile — is dropped.
+                let abandoned = (batch.len() - flushed) as u64 + q.frames.len() as u64;
+                q.frames.clear();
+                q.bytes = 0;
+                q.closed = true;
+                drop(q);
+                rx.inner.record_dropped(abandoned);
+            }
+        }
+        rx.inner.wakeup.notify_all();
+        if failed {
+            return;
         }
         batch.clear();
     }
     let _ = stream.flush();
+    rx.inner.wakeup.notify_all();
 }
 
 /// Writes every frame of `batch` with as few syscalls as the kernel
-/// allows. Returns `false` on socket error.
-fn write_batch(stream: &mut TcpStream, batch: &[Frame], counters: &FlushCounters) -> bool {
+/// allows. Returns the number of frames fully handed to the kernel
+/// (`batch.len()` on success, fewer on socket error).
+fn write_batch(stream: &mut TcpStream, batch: &[Frame], counters: &FlushCounters) -> usize {
+    let mut flushed = 0usize;
     for chunk in batch.chunks(MAX_IOVECS) {
         let mut slices: Vec<IoSlice<'_>> = chunk.iter().map(|f| IoSlice::new(f)).collect();
         let mut rest: &mut [IoSlice<'_>] = &mut slices;
         while !rest.is_empty() {
             match stream.write_vectored(rest) {
-                Ok(0) => return false,
+                Ok(0) => return flushed,
                 Ok(n) => {
                     counters.writes.fetch_add(1, Ordering::Relaxed);
                     IoSlice::advance_slices(&mut rest, n);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return false,
+                Err(_) => return flushed,
             }
         }
         counters
             .frames
             .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        flushed += chunk.len();
     }
-    true
+    flushed
 }
 
 fn lock<'a>(m: &'a Mutex<Queue>) -> std::sync::MutexGuard<'a, Queue> {
@@ -197,5 +370,59 @@ mod tests {
         let (tx, _rx) = OutboxSender::new(100);
         tx.close();
         assert!(!tx.push(frame(1)));
+    }
+
+    #[test]
+    fn drop_oldest_sheds_exactly_the_overflow() {
+        let counters = Arc::new(FlushCounters::default());
+        let (tx, _rx) =
+            OutboxSender::new_with(100, OverflowPolicy::DropOldest, Arc::clone(&counters));
+        // 3 × 30 bytes fit; each further push sheds exactly one oldest
+        // frame (no writer is draining, so this is deterministic).
+        for _ in 0..10 {
+            assert!(tx.push(frame(30)));
+        }
+        assert_eq!(tx.dropped_frames(), 7);
+        assert_eq!(counters.dropped.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn drop_oldest_survives_a_frame_bigger_than_the_budget() {
+        let (tx, _rx) = OutboxSender::new_with(
+            100,
+            OverflowPolicy::DropOldest,
+            Arc::new(FlushCounters::default()),
+        );
+        assert!(tx.push(frame(60)));
+        // The oversized frame itself is shed — without evicting the
+        // queued frame — and the connection stays alive.
+        assert!(tx.push(frame(101)));
+        assert_eq!(tx.dropped_frames(), 1);
+        // The queue still holds the original 60 bytes.
+        assert!(tx.push(frame(40)));
+        assert_eq!(tx.dropped_frames(), 1);
+    }
+
+    #[test]
+    fn closed_drop_oldest_outbox_still_rejects() {
+        let (tx, _rx) = OutboxSender::new_with(
+            100,
+            OverflowPolicy::DropOldest,
+            Arc::new(FlushCounters::default()),
+        );
+        tx.close();
+        assert!(!tx.push(frame(1)));
+    }
+
+    #[test]
+    fn wait_drained_reports_empty_queues_immediately() {
+        let (tx, _rx) = OutboxSender::new(100);
+        assert!(tx.wait_drained(Duration::from_millis(1)));
+        tx.push(frame(10));
+        // Nothing drains (no writer): the deadline must fire.
+        assert!(!tx.wait_drained(Duration::from_millis(10)));
+        assert_eq!(tx.discard_remaining(), 1);
+        assert!(tx.wait_drained(Duration::from_millis(1)));
+        assert_eq!(tx.dropped_frames(), 1);
     }
 }

@@ -46,6 +46,12 @@ pub enum DecodeError {
     BadInteger,
     /// A frame violated the protocol (e.g. missing `\r\n`).
     Malformed,
+    /// Arrays nested past [`MAX_DEPTH`] — a stack-overflow bomb from a
+    /// hostile peer, rejected before recursion can hurt.
+    TooDeep,
+    /// A declared bulk/array length past [`MAX_BULK_LEN`] /
+    /// [`MAX_ARRAY_LEN`] — a memory bomb, rejected before buffering.
+    TooLarge,
 }
 
 impl fmt::Display for DecodeError {
@@ -54,6 +60,8 @@ impl fmt::Display for DecodeError {
             DecodeError::BadType(b) => write!(f, "unknown RESP type byte {b:#04x}"),
             DecodeError::BadInteger => write!(f, "invalid integer field"),
             DecodeError::Malformed => write!(f, "malformed RESP frame"),
+            DecodeError::TooDeep => write!(f, "RESP arrays nested too deeply"),
+            DecodeError::TooLarge => write!(f, "RESP length field exceeds limits"),
         }
     }
 }
@@ -112,23 +120,62 @@ fn parse_int(buf: &[u8]) -> Result<i64, DecodeError> {
         .ok_or(DecodeError::BadInteger)
 }
 
+/// Deepest array nesting [`decode`] accepts. Nothing the broker speaks
+/// nests past 2; a peer streaming `*1\r\n*1\r\n…` is attacking the
+/// decoder's stack, not speaking RESP.
+pub const MAX_DEPTH: usize = 32;
+
+/// Largest bulk-string length [`decode`] accepts (64 MiB). A header
+/// claiming more would make the broker buffer unbounded bytes for one
+/// frame; real payloads are orders of magnitude smaller.
+pub const MAX_BULK_LEN: usize = 64 * 1024 * 1024;
+
+/// Largest array element count [`decode`] accepts.
+pub const MAX_ARRAY_LEN: usize = 1 << 20;
+
+/// Longest header line (between the type byte and its `\r\n`) before
+/// the decoder gives up. Headers hold at most a 20-digit integer;
+/// without this cap a CRLF-free stream makes every retry rescan the
+/// whole buffer.
+pub const MAX_LINE_LEN: usize = 64;
+
 /// Decodes one RESP value from the front of `buf`.
 ///
 /// Returns `Ok(None)` when the buffer does not yet hold a complete
 /// frame (read more bytes and retry), or `Ok(Some((value, consumed)))`.
+///
+/// Hostile input is bounded: array nesting past [`MAX_DEPTH`], length
+/// fields past [`MAX_BULK_LEN`] / [`MAX_ARRAY_LEN`] and header lines
+/// past [`MAX_LINE_LEN`] are decode errors, never panics, unbounded
+/// recursion or unbounded allocation.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] when the buffer contents cannot be valid
 /// RESP no matter what bytes follow.
 pub fn decode(buf: &[u8]) -> Result<Option<(Value, usize)>, DecodeError> {
+    decode_at(buf, 0)
+}
+
+fn decode_at(buf: &[u8], depth: usize) -> Result<Option<(Value, usize)>, DecodeError> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
     if buf.is_empty() {
         return Ok(None);
     }
     let Some(line_end) = find_crlf(buf, 1) else {
+        // No CRLF yet: a header line longer than any valid one will
+        // never become valid, so fail instead of rescanning forever.
+        if buf.len() > 1 + MAX_LINE_LEN {
+            return Err(DecodeError::Malformed);
+        }
         return Ok(None);
     };
     let line = &buf[1..line_end];
+    if line.len() > MAX_LINE_LEN {
+        return Err(DecodeError::Malformed);
+    }
     let after = line_end + 2;
     match buf[0] {
         b'+' => Ok(Some((
@@ -145,7 +192,10 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Value, usize)>, DecodeError> {
             if len < 0 {
                 return Ok(Some((Value::Bulk(None), after)));
             }
-            let len = len as usize;
+            let len = usize::try_from(len).map_err(|_| DecodeError::TooLarge)?;
+            if len > MAX_BULK_LEN {
+                return Err(DecodeError::TooLarge);
+            }
             if buf.len() < after + len + 2 {
                 return Ok(None);
             }
@@ -162,10 +212,16 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Value, usize)>, DecodeError> {
             if len < 0 {
                 return Ok(Some((Value::Array(None), after)));
             }
-            let mut items = Vec::with_capacity(len as usize);
+            let len = usize::try_from(len).map_err(|_| DecodeError::TooLarge)?;
+            if len > MAX_ARRAY_LEN {
+                return Err(DecodeError::TooLarge);
+            }
+            // Capped preallocation: a header may claim far more
+            // elements than the bytes behind it can hold.
+            let mut items = Vec::with_capacity(len.min(64));
             let mut offset = after;
             for _ in 0..len {
-                match decode(&buf[offset..])? {
+                match decode_at(&buf[offset..], depth + 1)? {
                     Some((item, used)) => {
                         items.push(item);
                         offset += used;
@@ -306,6 +362,54 @@ mod tests {
         assert_eq!(decode(b":abc\r\n").unwrap_err(), DecodeError::BadInteger);
         // Bulk whose trailer is not CRLF.
         assert_eq!(decode(b"$2\r\nab!!").unwrap_err(), DecodeError::Malformed);
+    }
+
+    #[test]
+    fn nesting_bombs_are_rejected_not_recursed() {
+        // `*1\r\n` repeated: each level recurses once — unbounded, this
+        // would overflow the decoder's stack (an abort, not a panic a
+        // broker thread could contain).
+        let mut buf = Vec::new();
+        for _ in 0..10_000 {
+            buf.extend_from_slice(b"*1\r\n");
+        }
+        assert_eq!(decode(&buf).unwrap_err(), DecodeError::TooDeep);
+        // At or under the cap, deep-but-legal frames still decode.
+        let mut legal = Vec::new();
+        for _ in 0..MAX_DEPTH {
+            legal.extend_from_slice(b"*1\r\n");
+        }
+        legal.extend_from_slice(b":1\r\n");
+        assert!(decode(&legal).unwrap().is_some());
+    }
+
+    #[test]
+    fn length_bombs_are_rejected_before_allocation() {
+        // Bulk header claiming 100 GiB: must error, not buffer forever.
+        assert_eq!(
+            decode(b"$107374182400\r\n").unwrap_err(),
+            DecodeError::TooLarge
+        );
+        // Array header claiming ~1e15 elements: `with_capacity` on the
+        // claimed size would abort on allocation failure.
+        assert_eq!(
+            decode(b"*999999999999999\r\n").unwrap_err(),
+            DecodeError::TooLarge
+        );
+        // Negative-but-not-minus-one lengths are nonsense, not panics.
+        assert_eq!(decode(b"$-2\r\n").unwrap().unwrap().0, Value::Bulk(None));
+    }
+
+    #[test]
+    fn crlf_free_streams_fail_fast() {
+        // A stream that never sends CRLF must stop being re-scanned
+        // once it cannot be a valid header line.
+        let junk = vec![b'a'; MAX_LINE_LEN + 2];
+        let mut buf = vec![b'+'];
+        buf.extend_from_slice(&junk);
+        assert_eq!(decode(&buf).unwrap_err(), DecodeError::Malformed);
+        // Short prefixes still just wait for more bytes.
+        assert_eq!(decode(b"+abc").unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Tiny deterministic PRNG shared by the fault-tolerance layer.
+//!
+//! The client's reconnect jitter and the chaos proxy's fault decisions
+//! both need randomness that is (a) dependency-free and (b) exactly
+//! reproducible from a seed, so a failing chaos run can be replayed.
+//! SplitMix64 is the standard pick: 64 bits of state, passes BigCrush,
+//! and trivially forkable by seeding a child from the parent's output.
+
+/// SplitMix64 (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose whole future is determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator seeded from OS-level entropy (via the std hasher's
+    /// per-process random keys), for callers that did not ask for
+    /// reproducibility.
+    pub fn from_entropy() -> SplitMix64 {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u64(std::process::id() as u64);
+        SplitMix64::new(h.finish())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n > 0` required.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant for jitter and fault dice.
+        self.next_u64() % n
+    }
+
+    /// Bernoulli trial with probability `permille / 1000`.
+    pub fn chance_permille(&mut self, permille: u64) -> bool {
+        self.next_below(1000) < permille.min(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+}

@@ -212,6 +212,7 @@ fn overflow_kills_exactly_the_slow_connection() {
         BrokerConfig {
             outbox_limit_bytes: 64 * 1024,
             shards: 2,
+            ..BrokerConfig::default()
         },
     )
     .expect("bind");

@@ -53,6 +53,51 @@ proptest! {
         let _ = decode(&bytes);
     }
 
+    /// Regression for the fault-injection path: a frame truncated at
+    /// *any* byte boundary — what a chaos-killed connection leaves in
+    /// the read buffer — never panics and never decodes to a value,
+    /// even with arbitrary garbage appended after the cut (the next
+    /// doomed read). The decoder either waits for more bytes or
+    /// rejects; it must not invent a frame or die.
+    #[test]
+    fn truncated_frames_never_panic_or_decode(
+        value in arb_value(),
+        cut_seed in any::<u16>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut buf = Vec::new();
+        encode(&value, &mut buf);
+        prop_assume!(buf.len() > 1);
+        let cut = 1 + (cut_seed as usize) % (buf.len() - 1);
+        let mut torn = buf[..cut].to_vec();
+        // The pure prefix decodes to "need more bytes", never a value.
+        prop_assert_eq!(decode(&torn).expect("prefix never errors"), None);
+        // With garbage appended it may error, but it must not panic,
+        // and anything it does decode must consume past the tear (a
+        // decode that "completed" inside the torn prefix would be
+        // inventing bytes).
+        torn.extend_from_slice(&garbage);
+        if let Ok(Some((_, used))) = decode(&torn) {
+            prop_assert!(used > cut);
+        }
+    }
+
+    /// Hostile length headers (huge bulks, huge or deeply nested
+    /// arrays) are rejected with an error — never a panic, an abort or
+    /// unbounded allocation.
+    #[test]
+    fn hostile_headers_error_fast(
+        len in (1u64 << 27)..(1u64 << 62),
+        deep in 64usize..512,
+    ) {
+        let bulk = format!("${len}\r\n");
+        prop_assert!(decode(bulk.as_bytes()).is_err());
+        let arr = format!("*{len}\r\n");
+        prop_assert!(decode(arr.as_bytes()).is_err());
+        let nested = "*1\r\n".repeat(deep);
+        prop_assert!(decode(nested.as_bytes()).is_err());
+    }
+
     /// PUBLISH commands round-trip through the codec and the parser.
     #[test]
     fn publish_commands_parse(

@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use dynamoth_pubsub::resp::{self, Value};
-use dynamoth_pubsub::{BrokerConfig, TcpBroker};
+use dynamoth_pubsub::{BrokerConfig, OverflowPolicy, TcpBroker};
 
 struct RespClient {
     stream: TcpStream,
@@ -35,16 +35,25 @@ impl RespClient {
 
     /// Reads until one full RESP value is available (or panics after 2 s).
     fn recv(&mut self) -> Value {
-        let deadline = Instant::now() + Duration::from_secs(2);
+        self.try_recv(Duration::from_secs(2))
+            .expect("timed out waiting for a frame")
+    }
+
+    /// Like [`recv`](Self::recv), but returns `None` at the deadline or
+    /// on a closed connection instead of panicking.
+    fn try_recv(&mut self, timeout: Duration) -> Option<Value> {
+        let deadline = Instant::now() + timeout;
         loop {
             if let Some((value, used)) = resp::decode(&self.buf).expect("valid resp") {
                 self.buf.drain(..used);
-                return value;
+                return Some(value);
             }
-            assert!(Instant::now() < deadline, "timed out waiting for a frame");
+            if Instant::now() >= deadline {
+                return None;
+            }
             let mut chunk = [0u8; 1024];
             match self.stream.read(&mut chunk) {
-                Ok(0) => panic!("connection closed"),
+                Ok(0) => return None,
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -215,6 +224,197 @@ fn colliding_channel_hashes_do_not_cross_deliver() {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(e) => panic!("read error: {e}"),
+        }
+    }
+    broker.shutdown();
+}
+
+/// Floods a subscriber with `count` payloads of `size` bytes, asserting
+/// every publish reply reports `receivers`.
+fn flood(publisher: &mut RespClient, channel: &str, count: usize, size: usize, receivers: i64) {
+    let payload = "x".repeat(size);
+    for _ in 0..count {
+        publisher.send(&["PUBLISH", channel, &payload]);
+        assert_eq!(publisher.recv(), Value::Integer(receivers));
+    }
+}
+
+/// Reads message pushes from `sub` until EOF, returning how many
+/// arrived. Panics if the stream stays silent past `deadline`.
+fn count_messages_until_eof(mut sub: RespClient, deadline: Instant) -> u64 {
+    let mut count = 0u64;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        while let Some((value, used)) = resp::decode(&sub.buf).expect("valid resp") {
+            sub.buf.drain(..used);
+            let is_message = matches!(
+                &value,
+                Value::Array(Some(items))
+                    if matches!(items.first(), Some(Value::Bulk(Some(k))) if k == b"message")
+            );
+            assert!(is_message, "unexpected frame: {value:?}");
+            count += 1;
+        }
+        match sub.stream.read(&mut chunk) {
+            Ok(0) => return count,
+            Ok(n) => sub.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                assert!(Instant::now() < deadline, "drained stream never closed");
+            }
+            Err(_) => return count,
+        }
+    }
+}
+
+/// Graceful shutdown drains queued frames: a subscriber that only
+/// starts reading *after* shutdown begins still receives every single
+/// message, and the broker reports zero dropped frames.
+#[test]
+fn shutdown_drains_queued_frames_to_a_catching_up_subscriber() {
+    const MESSAGES: usize = 4_000;
+    const SIZE: usize = 8 * 1024; // 32 MiB total — far beyond kernel buffers
+    let broker = TcpBroker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            outbox_limit_bytes: 64 * 1024 * 1024,
+            shutdown_drain_timeout: Duration::from_secs(10),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = broker.local_addr();
+
+    let mut subscriber = RespClient::connect(addr);
+    subscriber.send(&["SUBSCRIBE", "drain"]);
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("subscribe", "drain", 1)
+    );
+    // The subscriber stops reading; the backlog piles up in its outbox.
+    let mut publisher = RespClient::connect(addr);
+    flood(&mut publisher, "drain", MESSAGES, SIZE, 1);
+
+    // Start reading 100 ms into the shutdown drain.
+    let reader = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        count_messages_until_eof(subscriber, Instant::now() + Duration::from_secs(20))
+    });
+    let stats = broker.shutdown();
+    let received = reader.join().unwrap();
+
+    assert_eq!(stats.frames_dropped, 0, "drain abandoned frames");
+    assert!(stats.frames_flushed > 0, "nothing was queued at shutdown");
+    assert_eq!(received as usize, MESSAGES, "drained delivery lost frames");
+}
+
+/// A subscriber that never reads cannot be drained: shutdown still
+/// completes within the configured deadline and reports the abandoned
+/// frames as dropped instead of hanging forever.
+#[test]
+fn shutdown_drops_undrainable_frames_at_the_deadline() {
+    const MESSAGES: usize = 4_000;
+    const SIZE: usize = 8 * 1024;
+    let broker = TcpBroker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            outbox_limit_bytes: 64 * 1024 * 1024,
+            shutdown_drain_timeout: Duration::from_millis(200),
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = broker.local_addr();
+
+    let mut subscriber = RespClient::connect(addr);
+    subscriber.send(&["SUBSCRIBE", "stuck"]);
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("subscribe", "stuck", 1)
+    );
+    let mut publisher = RespClient::connect(addr);
+    flood(&mut publisher, "stuck", MESSAGES, SIZE, 1);
+
+    let started = Instant::now();
+    let stats = broker.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} despite a 200ms drain deadline",
+        started.elapsed()
+    );
+    assert!(
+        stats.frames_dropped > 0,
+        "a never-reading subscriber cannot have been fully drained"
+    );
+    drop(subscriber);
+}
+
+/// Under `DropOldest` a subscriber that cannot keep up sees gaps, not a
+/// disconnect: the flood sheds frames (counted per connection and
+/// broker-wide), nobody is killed, and the connection keeps working
+/// once the subscriber catches up.
+#[test]
+fn drop_oldest_sheds_without_killing_and_counters_match() {
+    const MESSAGES: usize = 2_000;
+    const SIZE: usize = 8 * 1024;
+    let broker = TcpBroker::bind_with(
+        "127.0.0.1:0",
+        BrokerConfig {
+            outbox_limit_bytes: 32 * 1024,
+            overflow_policy: OverflowPolicy::DropOldest,
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = broker.local_addr();
+
+    let mut subscriber = RespClient::connect(addr);
+    subscriber.send(&["SUBSCRIBE", "firehose"]);
+    assert_eq!(
+        subscriber.recv(),
+        resp::subscription_push("subscribe", "firehose", 1)
+    );
+    // The subscriber stops reading; every publish reply must keep
+    // reporting one receiver — the whole point of DropOldest.
+    let mut publisher = RespClient::connect(addr);
+    flood(&mut publisher, "firehose", MESSAGES, SIZE, 1);
+
+    let health = broker.health();
+    assert_eq!(health.overflow_kills, 0, "DropOldest must not kill");
+    assert!(health.dropped_frames > 0, "the flood cannot have fit");
+    assert_eq!(health.subscriptions, 1);
+    assert_eq!(health.connections_live, 2);
+    // The shed frames are attributed to the slow connection.
+    let drops = broker.per_connection_drops();
+    assert_eq!(
+        drops.iter().filter(|(_, d)| *d > 0).count(),
+        1,
+        "exactly one connection shed frames: {drops:?}"
+    );
+    assert_eq!(
+        drops.iter().map(|(_, d)| d).sum::<u64>(),
+        health.dropped_frames
+    );
+
+    // The connection survived: a marker published now reaches the
+    // subscriber once it drains the (bounded) backlog.
+    publisher.send(&["PUBLISH", "firehose", "final"]);
+    assert_eq!(publisher.recv(), Value::Integer(1));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "marker never arrived");
+        let Some(value) = subscriber.try_recv(Duration::from_millis(200)) else {
+            continue;
+        };
+        let Value::Array(Some(items)) = &value else {
+            panic!("unexpected frame: {value:?}");
+        };
+        if let Some(Value::Bulk(Some(payload))) = items.get(2) {
+            if payload == b"final" {
+                break;
+            }
         }
     }
     broker.shutdown();

@@ -174,10 +174,18 @@ fn bench_algorithms(c: &mut Criterion) {
         })
     });
 
+    let ring = Ring::new(&active, 100);
     c.bench_function("algorithm2_rebalance_8s_100c", |b| {
         b.iter_batched(
             || LoadView::from_store(&store, &active, 1_000_000.0), // overloaded
-            |mut view| black_box(high_load::rebalance(&Plan::bootstrap(), &mut view, &cfg)),
+            |mut view| {
+                black_box(high_load::rebalance(
+                    &Plan::bootstrap(),
+                    &mut view,
+                    &ring,
+                    &cfg,
+                ))
+            },
             BatchSize::SmallInput,
         )
     });

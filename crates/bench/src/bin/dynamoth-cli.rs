@@ -8,6 +8,8 @@
 //! dynamoth-cli chat  [--users N] [--rooms N] [--seed S]
 //! dynamoth-cli bench-broker [--pubs 1,4,16] [--subs 1,100,1000]
 //!                           [--duration-ms N] [--payload BYTES] [--out FILE]
+//! dynamoth-cli bench-router [--brokers 1,3] [--subs 1,4] [--duration-ms N]
+//!                           [--payload BYTES] [--seed S] [--out FILE]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -217,9 +219,31 @@ fn main() {
             let rows = broker_grid(&pubs, &subs, duration, payload);
             write_broker_json(out_writer(&args), &rows).expect("write json");
         }
+        "bench-router" => {
+            use dynamoth_bench::router_bench::{router_grid, write_router_json};
+            use std::time::Duration;
+
+            let parse_list = |flag: &str, default: &[usize]| -> Vec<usize> {
+                args.get(flag)
+                    .map(|v| {
+                        v.split(',')
+                            .filter_map(|n| n.trim().parse().ok())
+                            .collect::<Vec<usize>>()
+                    })
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| default.to_vec())
+            };
+            let brokers = parse_list("brokers", &[1, 3]);
+            let subs = parse_list("subs", &[1, 4]);
+            let duration = Duration::from_millis(args.num("duration-ms", 1_000u64));
+            let payload = args.num("payload", 64usize);
+            let rows = router_grid(&brokers, &subs, duration, payload, seed);
+            write_router_json(out_writer(&args), &rows).expect("write json");
+        }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig4a|fig4b|fig5|fig7|chat|bench-broker"
+                "unknown command {other:?}; expected \
+                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router"
             );
             std::process::exit(2);
         }

@@ -7,6 +7,7 @@
 //! additional servers must be rented from the cloud.
 
 use crate::config::DynamothConfig;
+use crate::hashing::Ring;
 use crate::plan::Plan;
 use crate::types::ChannelId;
 
@@ -26,8 +27,15 @@ pub struct HighLoadOutcome {
 
 /// Algorithm 2. `plan` is the current plan; `view` the estimated loads
 /// of the active servers (consumed and mutated as migrations are
-/// simulated).
-pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> HighLoadOutcome {
+/// simulated); `ring` resolves channels the plan does not mention, so a
+/// migration is recorded only when the source actually serves the
+/// channel.
+pub fn rebalance(
+    plan: &Plan,
+    view: &mut LoadView,
+    ring: &Ring,
+    cfg: &DynamothConfig,
+) -> HighLoadOutcome {
     let mut p_star = plan.clone();
     let mut changed = false;
     let mut servers_wanted = 0usize;
@@ -70,7 +78,7 @@ pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> High
                 skip.push(channel);
                 continue;
             }
-            p_star.migrate(channel, h_max, h_min);
+            p_star.migrate(channel, h_max, h_min, ring);
             view.migrate(channel, h_max, h_min);
             changed = true;
             moved_any = true;
@@ -101,6 +109,22 @@ mod tests {
 
     fn sid(i: usize) -> ServerId {
         ServerId(NodeId::from_index(i))
+    }
+
+    /// Ring over servers `0..n`, matching the view fixtures below.
+    fn ring(n: usize) -> Ring {
+        let ids: Vec<ServerId> = (0..n).map(sid).collect();
+        Ring::new(&ids, 64)
+    }
+
+    /// The first `k` channel ids the ring homes on server `s`; fixtures
+    /// must place channels on their ring home, or the ring-gated
+    /// `Plan::migrate` rightly refuses to move them.
+    fn chans_on(r: &Ring, s: usize, k: usize) -> Vec<u64> {
+        (0..)
+            .filter(|&c| r.server_for(ChannelId(c)) == sid(s))
+            .take(k)
+            .collect()
     }
 
     fn cfg() -> DynamothConfig {
@@ -143,8 +167,9 @@ mod tests {
 
     #[test]
     fn no_rebalance_below_threshold() {
+        let r = ring(2);
         let mut v = view(&[(0, vec![(1, 500)]), (1, vec![(2, 400)])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let out = rebalance(&Plan::bootstrap(), &mut v, &r, &cfg());
         assert!(!out.changed);
         assert_eq!(out.servers_wanted, 0);
     }
@@ -152,12 +177,21 @@ mod tests {
     #[test]
     fn overloaded_server_sheds_busiest_channels() {
         // Server 0 at 1.2, server 1 at 0.1.
-        let mut v = view(&[(0, vec![(1, 500), (2, 400), (3, 300)]), (1, vec![(4, 100)])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let r = ring(2);
+        let c0 = chans_on(&r, 0, 3);
+        let c1 = chans_on(&r, 1, 1);
+        let mut v = view(&[
+            (0, vec![(c0[0], 500), (c0[1], 400), (c0[2], 300)]),
+            (1, vec![(c1[0], 100)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &r, &cfg());
         assert!(out.changed);
         assert_eq!(out.servers_wanted, 0);
         // The busiest channel moved to server 1.
-        assert!(out.plan.mapping(ChannelId(1)).is_some());
+        assert_eq!(
+            out.plan.mapping(ChannelId(c0[0])),
+            Some(&crate::plan::ChannelMapping::Single(sid(1)))
+        );
         // Post-condition: estimated loads are at or below LR_safe
         // everywhere (the source can land exactly on the threshold).
         for s in [sid(0), sid(1)] {
@@ -174,14 +208,14 @@ mod tests {
     fn requests_servers_when_pool_exhausted() {
         // Both servers hot: no migration target can absorb anything.
         let mut v = view(&[(0, vec![(1, 600), (2, 600)]), (1, vec![(3, 600), (4, 600)])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let out = rebalance(&Plan::bootstrap(), &mut v, &ring(2), &cfg());
         assert!(out.servers_wanted >= 1, "wanted {}", out.servers_wanted);
     }
 
     #[test]
     fn single_server_requests_growth() {
         let mut v = view(&[(0, vec![(1, 950)])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let out = rebalance(&Plan::bootstrap(), &mut v, &ring(1), &cfg());
         assert!(!out.changed);
         assert_eq!(out.servers_wanted, 1);
     }
@@ -190,13 +224,18 @@ mod tests {
     fn does_not_overload_the_target() {
         // One giant channel (950) that would blow past LR_safe on the
         // idle server, plus small ones that fit.
-        let mut v = view(&[(0, vec![(1, 950), (2, 100), (3, 100)]), (1, vec![])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let r = ring(2);
+        let c0 = chans_on(&r, 0, 3);
+        let mut v = view(&[
+            (0, vec![(c0[0], 950), (c0[1], 100), (c0[2], 100)]),
+            (1, vec![]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &r, &cfg());
         // The giant channel must NOT have been migrated.
         assert!(
-            out.plan.mapping(ChannelId(1)).is_none(),
+            out.plan.mapping(ChannelId(c0[0])).is_none(),
             "giant channel moved: {:?}",
-            out.plan.mapping(ChannelId(1))
+            out.plan.mapping(ChannelId(c0[0]))
         );
         // The small channels moved instead.
         assert!(out.changed);
@@ -211,7 +250,7 @@ mod tests {
             ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]),
         );
         let mut v = view(&[(0, vec![(1, 1_200)]), (1, vec![])]);
-        let out = rebalance(&plan, &mut v, &cfg());
+        let out = rebalance(&plan, &mut v, &ring(2), &cfg());
         // Mapping unchanged for the replicated channel.
         assert_eq!(
             out.plan.mapping(ChannelId(1)),
@@ -228,7 +267,7 @@ mod tests {
             (2, vec![(3, 1_000)]),
             (3, vec![(4, 1_000)]),
         ]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg());
+        let out = rebalance(&Plan::bootstrap(), &mut v, &ring(4), &cfg());
         assert!(out.servers_wanted >= 1);
     }
 }

@@ -8,6 +8,7 @@
 //! the remaining pool cannot absorb all channels.
 
 use crate::config::DynamothConfig;
+use crate::hashing::Ring;
 use crate::plan::Plan;
 use crate::types::ServerId;
 
@@ -25,7 +26,12 @@ pub struct LowLoadOutcome {
 /// Attempts to drain one server. Returns `None` when the global load is
 /// not low enough, only one server is active, or the remaining servers
 /// cannot absorb the drained channels without approaching overload.
-pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> Option<LowLoadOutcome> {
+pub fn rebalance(
+    plan: &Plan,
+    view: &mut LoadView,
+    ring: &Ring,
+    cfg: &DynamothConfig,
+) -> Option<LowLoadOutcome> {
     if view.servers().count() <= 1 {
         return None;
     }
@@ -50,7 +56,7 @@ pub fn rebalance(plan: &Plan, view: &mut LoadView, cfg: &DynamothConfig) -> Opti
         if lr + staged.ratio_of(bytes) > cfg.lr_safe {
             return None; // pool cannot absorb; abort the drain
         }
-        p_star.migrate(channel, victim, target);
+        p_star.migrate(channel, victim, target, ring);
         staged.migrate(channel, victim, target);
     }
     *view = staged;
@@ -69,6 +75,20 @@ mod tests {
 
     fn sid(i: usize) -> ServerId {
         ServerId(NodeId::from_index(i))
+    }
+
+    /// Ring over servers `0..n`, matching the view fixtures below.
+    fn ring(n: usize) -> Ring {
+        let ids: Vec<ServerId> = (0..n).map(sid).collect();
+        Ring::new(&ids, 64)
+    }
+
+    /// The first `k` channel ids the ring homes on server `s`.
+    fn chans_on(r: &Ring, s: usize, k: usize) -> Vec<u64> {
+        (0..)
+            .filter(|&c| r.server_for(ChannelId(c)) == sid(s))
+            .take(k)
+            .collect()
     }
 
     fn cfg() -> DynamothConfig {
@@ -109,25 +129,37 @@ mod tests {
 
     #[test]
     fn drains_least_loaded_server_when_global_load_is_low() {
-        let mut v = view(&[(0, vec![(1, 300)]), (1, vec![(2, 100), (3, 50)])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg()).expect("drain");
+        let r = ring(2);
+        let c0 = chans_on(&r, 0, 1);
+        let c1 = chans_on(&r, 1, 2);
+        let mut v = view(&[
+            (0, vec![(c0[0], 300)]),
+            (1, vec![(c1[0], 100), (c1[1], 50)]),
+        ]);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &r, &cfg()).expect("drain");
         assert_eq!(out.release, sid(1));
         // Both channels moved to server 0.
-        assert!(out.plan.mapping(ChannelId(2)).is_some());
-        assert!(out.plan.mapping(ChannelId(3)).is_some());
+        assert_eq!(
+            out.plan.mapping(ChannelId(c1[0])),
+            Some(&crate::plan::ChannelMapping::Single(sid(0)))
+        );
+        assert_eq!(
+            out.plan.mapping(ChannelId(c1[1])),
+            Some(&crate::plan::ChannelMapping::Single(sid(0)))
+        );
         assert_eq!(v.channels_on(sid(1)).len(), 0);
     }
 
     #[test]
     fn no_drain_when_load_is_moderate() {
         let mut v = view(&[(0, vec![(1, 600)]), (1, vec![(2, 500)])]);
-        assert!(rebalance(&Plan::bootstrap(), &mut v, &cfg()).is_none());
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &ring(2), &cfg()).is_none());
     }
 
     #[test]
     fn no_drain_with_single_server() {
         let mut v = view(&[(0, vec![(1, 10)])]);
-        assert!(rebalance(&Plan::bootstrap(), &mut v, &cfg()).is_none());
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &ring(1), &cfg()).is_none());
     }
 
     #[test]
@@ -137,7 +169,7 @@ mod tests {
         let mut v = view(&[(0, vec![(1, 500)]), (1, vec![(2, 250)])]);
         let mut c = cfg();
         c.lr_low = 0.5;
-        assert!(rebalance(&Plan::bootstrap(), &mut v, &c).is_none());
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &ring(2), &c).is_none());
     }
 
     #[test]
@@ -146,11 +178,14 @@ mod tests {
         // drain must abort AND roll the staged migration of the first
         // channel back out of the estimator, or the caller's view shows
         // a migration that never produced a plan.
-        let mut v = view(&[(0, vec![(1, 600)]), (1, vec![(2, 80), (3, 50)])]);
+        let r = ring(2);
+        let c0 = chans_on(&r, 0, 1);
+        let c1 = chans_on(&r, 1, 2);
+        let mut v = view(&[(0, vec![(c0[0], 600)]), (1, vec![(c1[0], 80), (c1[1], 50)])]);
         let mut c = cfg();
         c.lr_low = 0.5;
         let before: Vec<f64> = [0, 1].map(|i| v.load_ratio(sid(i))).to_vec();
-        assert!(rebalance(&Plan::bootstrap(), &mut v, &c).is_none());
+        assert!(rebalance(&Plan::bootstrap(), &mut v, &r, &c).is_none());
         let after: Vec<f64> = [0, 1].map(|i| v.load_ratio(sid(i))).to_vec();
         assert_eq!(before, after, "aborted drain corrupted the load view");
         assert_eq!(v.channels_on(sid(1)).len(), 2);
@@ -165,13 +200,13 @@ mod tests {
             ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]),
         );
         let mut v = view(&[(0, vec![(1, 200)]), (1, vec![(2, 50)])]);
-        assert!(rebalance(&plan, &mut v, &cfg()).is_none());
+        assert!(rebalance(&plan, &mut v, &ring(2), &cfg()).is_none());
     }
 
     #[test]
     fn idle_server_is_released_without_migrations() {
         let mut v = view(&[(0, vec![(1, 300)]), (1, vec![])]);
-        let out = rebalance(&Plan::bootstrap(), &mut v, &cfg()).expect("drain");
+        let out = rebalance(&Plan::bootstrap(), &mut v, &ring(2), &cfg()).expect("drain");
         assert_eq!(out.release, sid(1));
         assert!(out.plan.is_empty());
     }

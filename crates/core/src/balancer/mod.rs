@@ -289,13 +289,13 @@ impl LoadBalancer {
         );
 
         // Step 2: system-level (macro) rebalancing — Algorithm 2.
-        let high = high_load::rebalance(&plan, &mut view, &self.effective);
+        let high = high_load::rebalance(&plan, &mut view, &self.ring, &self.effective);
         let mut plan = high.plan;
 
         // Step 3: low-load drain, only when nothing else is going on.
         let mut release = None;
         if !high.changed && high.servers_wanted == 0 && !cl_changed {
-            if let Some(low) = low_load::rebalance(&plan, &mut view, &self.effective) {
+            if let Some(low) = low_load::rebalance(&plan, &mut view, &self.ring, &self.effective) {
                 release = Some(low.release);
                 plan = low.plan;
             }
@@ -386,7 +386,7 @@ impl LoadBalancer {
                 if mapping.contains(dead) {
                     let target = healthy[round % healthy.len()];
                     round += 1;
-                    plan.migrate(channel, dead, target);
+                    plan.migrate(channel, dead, target, &self.ring);
                 }
             }
         }

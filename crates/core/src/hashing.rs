@@ -1,273 +1,7 @@
 //! Consistent hashing with virtual identifiers.
 //!
-//! This is both the bootstrap mapping of Dynamoth (plan 0 and every
-//! channel a plan does not mention, §II-C) and the baseline load
-//! balancer the paper compares against in Experiment 2. Each server
-//! owns a configurable number of *virtual identifiers* on a 64-bit ring;
-//! a channel maps to the server owning the first identifier clockwise
-//! from the channel's hash.
-//!
-//! Hashing uses a fixed avalanche mix (SplitMix64 finalizer) rather than
-//! `std`'s `RandomState` so that mappings are stable across processes
-//! and runs.
+//! The implementation lives in `dynamoth-pubsub` (`hashing` module) so
+//! the simulator and the routed TCP tier share one copy; this module
+//! re-exports it under the historical `dynamoth_core` paths.
 
-use crate::types::{ChannelId, ServerId};
-
-/// Number of virtual identifiers per server used by default; high enough
-/// that channel shares are roughly even, matching the paper's
-/// assumption.
-pub const DEFAULT_VNODES: u32 = 100;
-
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A consistent-hashing ring mapping channels to servers.
-///
-/// # Examples
-///
-/// ```
-/// use dynamoth_core::{ChannelId, Ring, ServerId};
-/// use dynamoth_sim::NodeId;
-///
-/// let s0 = ServerId(NodeId::from_index(0));
-/// let s1 = ServerId(NodeId::from_index(1));
-/// let ring = Ring::new(&[s0, s1], 100);
-/// let home = ring.server_for(ChannelId(42));
-/// assert!(home == s0 || home == s1);
-/// // Lookups are deterministic.
-/// assert_eq!(home, ring.server_for(ChannelId(42)));
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Ring {
-    // Sorted by point for binary search.
-    points: Vec<(u64, ServerId)>,
-    servers: Vec<ServerId>,
-    vnodes: u32,
-}
-
-impl Ring {
-    /// Builds a ring over `servers`, each owning `vnodes` virtual
-    /// identifiers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `servers` is empty or `vnodes` is zero.
-    pub fn new(servers: &[ServerId], vnodes: u32) -> Self {
-        assert!(!servers.is_empty(), "ring needs at least one server");
-        assert!(vnodes > 0, "vnodes must be positive");
-        let mut ring = Ring {
-            points: Vec::with_capacity(servers.len() * vnodes as usize),
-            servers: Vec::new(),
-            vnodes,
-        };
-        for &s in servers {
-            ring.insert_points(s);
-            ring.servers.push(s);
-        }
-        ring.points.sort_unstable();
-        ring
-    }
-
-    fn insert_points(&mut self, server: ServerId) {
-        let base = mix(server.0.index() as u64 ^ 0xABCD_EF01);
-        for k in 0..self.vnodes {
-            self.points.push((mix(base ^ mix(k as u64)), server));
-        }
-    }
-
-    /// The server responsible for `channel`.
-    pub fn server_for(&self, channel: ChannelId) -> ServerId {
-        let h = mix(channel.0 ^ 0x1234_5678_9ABC_DEF0);
-        let idx = self.points.partition_point(|&(p, _)| p < h);
-        // Wrap around the ring.
-        let (_, server) = self.points[idx % self.points.len()];
-        server
-    }
-
-    /// The server responsible for `channel`, skipping the virtual
-    /// identifiers of `excluded` servers (used by the reliability
-    /// extension to route around servers believed dead). Returns `None`
-    /// when every server is excluded. Deterministic: every client
-    /// excluding the same set resolves to the same survivor.
-    pub fn server_for_excluding(
-        &self,
-        channel: ChannelId,
-        excluded: &[ServerId],
-    ) -> Option<ServerId> {
-        let h = mix(channel.0 ^ 0x1234_5678_9ABC_DEF0);
-        let start = self.points.partition_point(|&(p, _)| p < h);
-        (0..self.points.len())
-            .map(|k| self.points[(start + k) % self.points.len()].1)
-            .find(|s| !excluded.contains(s))
-    }
-
-    /// Adds a server to the ring (used by the consistent-hashing
-    /// baseline when it rents a new machine). No-op if already present.
-    pub fn add_server(&mut self, server: ServerId) {
-        if self.servers.contains(&server) {
-            return;
-        }
-        self.servers.push(server);
-        self.insert_points(server);
-        self.points.sort_unstable();
-    }
-
-    /// Removes a server; its virtual identifiers (and channels) fall to
-    /// the remaining servers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if removing the last server.
-    pub fn remove_server(&mut self, server: ServerId) {
-        if !self.servers.contains(&server) {
-            return;
-        }
-        assert!(self.servers.len() > 1, "cannot remove the last server");
-        self.servers.retain(|&s| s != server);
-        self.points.retain(|&(_, s)| s != server);
-    }
-
-    /// The servers currently on the ring, in insertion order.
-    pub fn servers(&self) -> &[ServerId] {
-        &self.servers
-    }
-
-    /// Number of servers on the ring.
-    pub fn len(&self) -> usize {
-        self.servers.len()
-    }
-
-    /// `false` always (a ring cannot be empty).
-    pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dynamoth_sim::NodeId;
-
-    fn servers(n: usize) -> Vec<ServerId> {
-        (0..n).map(|i| ServerId(NodeId::from_index(i))).collect()
-    }
-
-    #[test]
-    fn lookup_is_deterministic() {
-        let ring = Ring::new(&servers(4), 100);
-        for c in 0..100 {
-            assert_eq!(ring.server_for(ChannelId(c)), ring.server_for(ChannelId(c)));
-        }
-    }
-
-    #[test]
-    fn single_server_gets_everything() {
-        let ring = Ring::new(&servers(1), 10);
-        for c in 0..50 {
-            assert_eq!(ring.server_for(ChannelId(c)), servers(1)[0]);
-        }
-    }
-
-    #[test]
-    fn distribution_is_roughly_even() {
-        let ss = servers(4);
-        let ring = Ring::new(&ss, DEFAULT_VNODES);
-        let mut counts = vec![0usize; 4];
-        let n = 10_000;
-        for c in 0..n {
-            let s = ring.server_for(ChannelId(c));
-            counts[ss.iter().position(|&x| x == s).unwrap()] += 1;
-        }
-        for &count in &counts {
-            let share = count as f64 / n as f64;
-            assert!(
-                (0.15..0.35).contains(&share),
-                "share {share} should be near 0.25: {counts:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn adding_a_server_moves_only_some_channels() {
-        let ss = servers(4);
-        let mut ring = Ring::new(&ss, DEFAULT_VNODES);
-        let before: Vec<ServerId> = (0..1_000).map(|c| ring.server_for(ChannelId(c))).collect();
-        let new = ServerId(NodeId::from_index(9));
-        ring.add_server(new);
-        let mut moved = 0;
-        for c in 0..1_000 {
-            let after = ring.server_for(ChannelId(c));
-            if after != before[c as usize] {
-                // Every moved channel must move to the new server.
-                assert_eq!(after, new, "channel {c} moved to an old server");
-                moved += 1;
-            }
-        }
-        // Roughly 1/5 of channels should move.
-        assert!((100..350).contains(&moved), "moved {moved}");
-    }
-
-    #[test]
-    fn removing_a_server_relocates_only_its_channels() {
-        let ss = servers(4);
-        let mut ring = Ring::new(&ss, DEFAULT_VNODES);
-        let victim = ss[2];
-        let before: Vec<ServerId> = (0..1_000).map(|c| ring.server_for(ChannelId(c))).collect();
-        ring.remove_server(victim);
-        for c in 0..1_000 {
-            let after = ring.server_for(ChannelId(c));
-            if before[c as usize] != victim {
-                assert_eq!(after, before[c as usize], "unaffected channel {c} moved");
-            } else {
-                assert_ne!(after, victim);
-            }
-        }
-    }
-
-    #[test]
-    fn exclusion_lookup_routes_around_dead_servers() {
-        let ss = servers(4);
-        let ring = Ring::new(&ss, DEFAULT_VNODES);
-        for c in 0..200 {
-            let channel = ChannelId(c);
-            let home = ring.server_for(channel);
-            assert_eq!(ring.server_for_excluding(channel, &[]), Some(home));
-            let alt = ring.server_for_excluding(channel, &[home]).unwrap();
-            assert_ne!(alt, home);
-            // Unaffected channels keep their home.
-            let other = ss.iter().copied().find(|&s| s != home).unwrap();
-            if home != other {
-                assert_eq!(ring.server_for_excluding(channel, &[other]), Some(home));
-            }
-        }
-        assert_eq!(ring.server_for_excluding(ChannelId(1), &ss), None);
-    }
-
-    #[test]
-    fn add_is_idempotent_and_remove_of_absent_is_noop() {
-        let ss = servers(2);
-        let mut ring = Ring::new(&ss, 10);
-        ring.add_server(ss[0]);
-        assert_eq!(ring.len(), 2);
-        ring.remove_server(ServerId(NodeId::from_index(77)));
-        assert_eq!(ring.len(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one server")]
-    fn empty_ring_panics() {
-        let _ = Ring::new(&[], 10);
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot remove the last server")]
-    fn removing_last_server_panics() {
-        let ss = servers(1);
-        let mut ring = Ring::new(&ss, 10);
-        ring.remove_server(ss[0]);
-    }
-}
+pub use dynamoth_pubsub::hashing::{Ring, DEFAULT_VNODES};

@@ -5,25 +5,7 @@ use std::fmt;
 use dynamoth_sim::NodeId;
 
 pub use dynamoth_pubsub::Channel as ChannelId;
-
-/// Identifies a pub/sub server (a Redis instance in the paper). Wraps
-/// the simulation [`NodeId`] the server's node runs under, which doubles
-/// as its network address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ServerId(pub NodeId);
-
-impl ServerId {
-    /// The network address of this server.
-    pub fn node(self) -> NodeId {
-        self.0
-    }
-}
-
-impl fmt::Display for ServerId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "H{}", self.0.index())
-    }
-}
+pub use dynamoth_pubsub::{PlanId, ServerId};
 
 /// Identifies a client of the middleware (a player, game server, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,18 +21,6 @@ impl ClientId {
 impl fmt::Display for ClientId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "C{}", self.0.index())
-    }
-}
-
-/// Version number of a global plan. Monotonically increasing; "plan 0"
-/// is the empty bootstrap plan that resolves everything through
-/// consistent hashing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct PlanId(pub u64);
-
-impl fmt::Display for PlanId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "plan{}", self.0)
     }
 }
 
@@ -78,25 +48,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let s = ServerId(NodeId::from_index(3));
         let c = ClientId(NodeId::from_index(8));
-        assert_eq!(s.to_string(), "H3");
         assert_eq!(c.to_string(), "C8");
-        assert_eq!(PlanId(2).to_string(), "plan2");
         let m = MessageId {
             origin: NodeId::from_index(1),
             seq: 9,
         };
         assert_eq!(m.to_string(), "n1#9");
-    }
-
-    #[test]
-    fn ids_are_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let a = ServerId(NodeId::from_index(1));
-        let b = ServerId(NodeId::from_index(2));
-        assert!(a < b);
-        let set: HashSet<ServerId> = [a, b, a].into_iter().collect();
-        assert_eq!(set.len(), 2);
     }
 }

@@ -9,6 +9,22 @@ fn sid(i: usize) -> ServerId {
     ServerId(NodeId::from_index(i))
 }
 
+/// One step of a random plan edit history.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u64, ChannelMapping),
+    Unset(u64),
+    Migrate(u64, usize, usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..16, arb_mapping()).prop_map(|(c, m)| Op::Set(c, m)),
+        (0u64..16).prop_map(Op::Unset),
+        (0u64..16, 0usize..12, 0usize..12).prop_map(|(c, f, t)| Op::Migrate(c, f, t)),
+    ]
+}
+
 fn arb_mapping() -> impl Strategy<Value = ChannelMapping> {
     prop_oneof![
         (0usize..12).prop_map(|i| ChannelMapping::Single(sid(i))),
@@ -70,24 +86,63 @@ proptest! {
     }
 
     /// After migrating a channel away from `from`, the mapping no longer
-    /// contains `from` (unless `from == to`).
+    /// contains `from` (unless `from == to`), and a replicated mapping
+    /// never shrinks below two members — it collapses to `Single`.
     #[test]
     fn migrate_removes_the_source(
         mapping in arb_mapping(),
         from_idx in 0usize..12,
         to_idx in 0usize..12,
     ) {
+        let ring = Ring::new(&[sid(0), sid(1), sid(2)], DEFAULT_VNODES);
         let from = sid(from_idx);
         let to = sid(to_idx);
         prop_assume!(from != to);
         let mut plan = Plan::bootstrap();
         plan.set(ChannelId(1), mapping);
-        plan.migrate(ChannelId(1), from, to);
+        plan.migrate(ChannelId(1), from, to, &ring);
         let after = plan.mapping(ChannelId(1)).unwrap();
-        prop_assert!(!after.contains(from) || !after.is_replicated());
-        if !after.contains(from) || after.servers() == [to] {
-            // fine — the source left or collapsed onto the target
+        prop_assert!(!after.contains(from));
+        prop_assert!(
+            !after.is_replicated() || after.replication_factor() >= 2,
+            "degenerate replicated mapping: {after:?}"
+        );
+    }
+
+    /// Any sequence of `set`/`unset`/`migrate` operations leaves the plan
+    /// with only well-formed mappings: non-empty, replicated ⇒ at least
+    /// two distinct servers, and `diff` against itself empty.
+    #[test]
+    fn op_sequences_preserve_plan_invariants(
+        ops in prop::collection::vec(arb_op(), 0..64),
+    ) {
+        let ring = Ring::new(&[sid(0), sid(1), sid(2)], DEFAULT_VNODES);
+        let mut plan = Plan::bootstrap();
+        for op in ops {
+            match op {
+                Op::Set(c, m) => plan.set(ChannelId(c), m),
+                Op::Unset(c) => { plan.unset(ChannelId(c)); }
+                Op::Migrate(c, from, to) => {
+                    plan.migrate(ChannelId(c), sid(from), sid(to), &ring)
+                }
+            }
+            for (channel, mapping) in plan.iter() {
+                prop_assert!(
+                    mapping.replication_factor() >= 1,
+                    "empty mapping for {channel}"
+                );
+                if mapping.is_replicated() {
+                    let distinct: std::collections::BTreeSet<ServerId> =
+                        mapping.servers().iter().copied().collect();
+                    prop_assert!(
+                        distinct.len() >= 2,
+                        "replicated mapping for {channel} with fewer than \
+                         two distinct servers: {mapping:?}"
+                    );
+                }
+            }
         }
+        prop_assert!(plan.diff(&plan.clone(), &ring).is_empty());
     }
 
     /// `diff` reports exactly the channels whose resolution changed.

@@ -257,6 +257,13 @@ impl TcpBroker {
         self.shared.index.subscription_count()
     }
 
+    /// Current number of subscribers on one channel (by full name).
+    /// Used by the routed tier's tests and tooling to wait for a
+    /// subscription to land without sniffing traffic.
+    pub fn channel_subscribers(&self, name: &str) -> usize {
+        self.shared.index.channel_subscribers(name)
+    }
+
     /// Aggregate writer-thread flush statistics (frames flushed and
     /// vectored-write syscalls used).
     pub fn flush_stats(&self) -> FlushStats {

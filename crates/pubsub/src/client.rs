@@ -229,14 +229,16 @@ pub fn parse_payload(payload: &[u8]) -> (Option<MessageId>, &[u8]) {
 }
 
 /// Sliding duplicate-suppression window (mirrors the simulator client's
-/// scheme): a set for O(1) membership plus FIFO eviction order.
-struct Dedup {
+/// scheme): a set for O(1) membership plus FIFO eviction order. Shared
+/// with the routed tier: the router and the dispatcher sidecar keep
+/// their own windows over the same wire ids.
+pub(crate) struct Dedup {
     seen: HashSet<MessageId>,
     order: VecDeque<MessageId>,
 }
 
 impl Dedup {
-    fn new() -> Dedup {
+    pub(crate) fn new() -> Dedup {
         Dedup {
             seen: HashSet::new(),
             order: VecDeque::new(),
@@ -245,7 +247,7 @@ impl Dedup {
 
     /// Returns `true` when `id` is new (and records it), `false` for a
     /// duplicate inside the window.
-    fn insert(&mut self, id: MessageId, cap: usize) -> bool {
+    pub(crate) fn insert(&mut self, id: MessageId, cap: usize) -> bool {
         if !self.seen.insert(id) {
             return false;
         }
@@ -263,6 +265,7 @@ enum Cmd {
     Subscribe(String),
     Unsubscribe(String),
     Publish { channel: String, body: Vec<u8> },
+    PublishRaw { channel: String, payload: Vec<u8> },
 }
 
 struct ClientShared {
@@ -292,6 +295,7 @@ pub struct TcpPubSubClient {
     worker: Option<JoinHandle<()>>,
     messages: Mutex<mpsc::Receiver<Message>>,
     events: Mutex<mpsc::Receiver<ClientEvent>>,
+    origin: u64,
 }
 
 impl TcpPubSubClient {
@@ -350,7 +354,15 @@ impl TcpPubSubClient {
             worker: Some(handle),
             messages: Mutex::new(msg_rx),
             events: Mutex::new(event_rx),
+            origin,
         })
+    }
+
+    /// This client's random 64-bit origin — the first half of every
+    /// wire id it frames. The routed tier derives per-client control
+    /// channel names from it.
+    pub fn origin(&self) -> u64 {
+        self.origin
     }
 
     /// Adds `channel` to the desired subscription set; the worker
@@ -378,6 +390,18 @@ impl TcpPubSubClient {
         self.shared.cmds.lock().push_back(Cmd::Publish {
             channel: channel.to_owned(),
             body: body.to_vec(),
+        });
+    }
+
+    /// Publishes an already-framed payload verbatim — no new wire id is
+    /// allocated and any existing `DMID1` header is preserved. This is
+    /// the forwarding primitive of the routed tier: a dispatcher
+    /// re-publishing a wrong-server publication keeps the original id,
+    /// so receive-side dedup windows still suppress duplicates.
+    pub fn publish_raw(&self, channel: &str, payload: &[u8]) {
+        self.shared.cmds.lock().push_back(Cmd::PublishRaw {
+            channel: channel.to_owned(),
+            payload: payload.to_vec(),
         });
     }
 
@@ -663,32 +687,41 @@ impl Worker {
                     };
                     self.next_seq += 1;
                     let framed = frame_payload(id, &body);
-                    let mut wire = Vec::new();
-                    resp::encode(
-                        &Value::array(vec![
-                            Value::bulk("PUBLISH"),
-                            Value::bulk(channel.as_str()),
-                            Value::Bulk(Some(framed)),
-                        ]),
-                        &mut wire,
-                    );
-                    if self.pending.len() + self.unacked.len() >= self.cfg.max_pending_publishes {
-                        if let Some(shed) = self.pending.pop_front() {
-                            self.emit(ClientEvent::Dropped {
-                                cause: DropCause::QueueFull {
-                                    channel: shed.channel,
-                                },
-                            });
-                        }
-                    }
-                    self.pending.push_back(PendingPub {
-                        channel,
-                        wire,
-                        attempts: 0,
-                    });
+                    self.enqueue_publish(channel, framed);
+                }
+                Cmd::PublishRaw { channel, payload } => {
+                    self.enqueue_publish(channel, payload);
                 }
             }
         }
+    }
+
+    /// Queues one fully framed payload for publication, shedding the
+    /// oldest pending entry when the queue is full.
+    fn enqueue_publish(&mut self, channel: String, framed: Vec<u8>) {
+        let mut wire = Vec::new();
+        resp::encode(
+            &Value::array(vec![
+                Value::bulk("PUBLISH"),
+                Value::bulk(channel.as_str()),
+                Value::Bulk(Some(framed)),
+            ]),
+            &mut wire,
+        );
+        if self.pending.len() + self.unacked.len() >= self.cfg.max_pending_publishes {
+            if let Some(shed) = self.pending.pop_front() {
+                self.emit(ClientEvent::Dropped {
+                    cause: DropCause::QueueFull {
+                        channel: shed.channel,
+                    },
+                });
+            }
+        }
+        self.pending.push_back(PendingPub {
+            channel,
+            wire,
+            attempts: 0,
+        });
     }
 
     /// Sends every queued publication, dropping those that exhausted

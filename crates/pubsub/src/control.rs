@@ -1,0 +1,246 @@
+//! Control frames of the routed TCP tier (§IV of the paper).
+//!
+//! Dynamoth's lazy reconfiguration needs two in-band notifications, both
+//! carried as ordinary publications so the brokers stay unmodified:
+//!
+//! - **`<switch to H>`** ([`ControlFrame::Switch`]): published by the
+//!   *old* broker's dispatcher sidecar on the migrated channel itself,
+//!   telling the channel's still-connected local subscribers where the
+//!   channel now lives.
+//! - **`MOVED`** ([`ControlFrame::Moved`]): published on the stale
+//!   *publisher's* private control channel (derived from the wire-id
+//!   origin of the wrong-server publication it just sent), telling it to
+//!   update its local plan. This is the Redis-Cluster-style wrong-server
+//!   reply, done over pub/sub because the broker cannot speak for us.
+//!
+//! Frames are a line-oriented text format prefixed with `DMCTL1;`;
+//! anything that does not parse is treated as application payload and
+//! delivered untouched, so applications whose payloads merely resemble
+//! control frames lose nothing.
+
+use crate::channel::Channel;
+use crate::ids::{PlanId, ServerId};
+use crate::plan::ChannelMapping;
+
+const MAGIC: &str = "DMCTL1";
+
+/// Derives the plan/ring key of a channel *name*. Stable across
+/// processes (FNV-1a), so every router and sidecar agrees on the key —
+/// the routed tier addresses channels by name on the wire and by
+/// [`Channel`] in plans. A hash collision merely co-locates two names on
+/// the same servers; it cannot misdeliver because brokers match full
+/// names.
+pub fn channel_id_of(name: &str) -> Channel {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Channel(h)
+}
+
+/// The private control channel of the client with wire-id `origin`.
+/// Sidecars publish [`ControlFrame::Moved`] here; the routed client
+/// subscribes to it on every broker it connects to.
+pub fn control_channel(origin: u64) -> String {
+    format!("__dmc.{origin:016x}")
+}
+
+/// `true` if `name` is a control channel (these never route through
+/// plans and are invisible to application traffic accounting).
+pub fn is_control_channel(name: &str) -> bool {
+    name.starts_with("__dmc.")
+}
+
+/// A reconfiguration notification (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// "This channel moved; re-point your subscription."
+    Switch {
+        /// The migrated channel's name.
+        channel: String,
+        /// Where it lives now.
+        mapping: ChannelMapping,
+        /// Version of the plan that moved it.
+        plan: PlanId,
+    },
+    /// "You published to the wrong server; update your local plan."
+    Moved {
+        /// The migrated channel's name.
+        channel: String,
+        /// Where it lives now.
+        mapping: ChannelMapping,
+        /// Version of the plan that moved it.
+        plan: PlanId,
+    },
+}
+
+impl ControlFrame {
+    /// The channel name the frame is about.
+    pub fn channel(&self) -> &str {
+        match self {
+            ControlFrame::Switch { channel, .. } | ControlFrame::Moved { channel, .. } => channel,
+        }
+    }
+
+    /// The new mapping it announces.
+    pub fn mapping(&self) -> &ChannelMapping {
+        match self {
+            ControlFrame::Switch { mapping, .. } | ControlFrame::Moved { mapping, .. } => mapping,
+        }
+    }
+
+    /// The plan version it carries.
+    pub fn plan(&self) -> PlanId {
+        match self {
+            ControlFrame::Switch { plan, .. } | ControlFrame::Moved { plan, .. } => *plan,
+        }
+    }
+
+    /// Serializes to payload bytes:
+    /// `DMCTL1;<kind>;<plan:016x>;<mapping>;<channel-name>`. The name
+    /// comes last and unescaped — it may contain `;`.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, channel, mapping, plan) = match self {
+            ControlFrame::Switch {
+                channel,
+                mapping,
+                plan,
+            } => ("switch", channel, mapping, plan),
+            ControlFrame::Moved {
+                channel,
+                mapping,
+                plan,
+            } => ("moved", channel, mapping, plan),
+        };
+        format!(
+            "{MAGIC};{kind};{:016x};{};{channel}",
+            plan.0,
+            encode_mapping(mapping)
+        )
+        .into_bytes()
+    }
+
+    /// Parses payload bytes; `None` for anything that is not a valid
+    /// control frame (then it is application payload).
+    pub fn decode(payload: &[u8]) -> Option<ControlFrame> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut parts = text.splitn(5, ';');
+        if parts.next()? != MAGIC {
+            return None;
+        }
+        let kind = parts.next()?;
+        let plan = PlanId(u64::from_str_radix(parts.next()?, 16).ok()?);
+        let mapping = decode_mapping(parts.next()?)?;
+        let channel = parts.next()?.to_owned();
+        match kind {
+            "switch" => Some(ControlFrame::Switch {
+                channel,
+                mapping,
+                plan,
+            }),
+            "moved" => Some(ControlFrame::Moved {
+                channel,
+                mapping,
+                plan,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// `single:3`, `allsub:1,2` or `allpub:0,2` — servers by directory
+/// index.
+fn encode_mapping(mapping: &ChannelMapping) -> String {
+    let (mode, servers) = match mapping {
+        ChannelMapping::Single(s) => return format!("single:{}", s.index()),
+        ChannelMapping::AllSubscribers(v) => ("allsub", v),
+        ChannelMapping::AllPublishers(v) => ("allpub", v),
+    };
+    let idxs: Vec<String> = servers.iter().map(|s| s.index().to_string()).collect();
+    format!("{mode}:{}", idxs.join(","))
+}
+
+fn decode_mapping(text: &str) -> Option<ChannelMapping> {
+    let (mode, rest) = text.split_once(':')?;
+    let servers: Option<Vec<ServerId>> = rest
+        .split(',')
+        .map(|i| i.parse::<usize>().ok().map(ServerId::from_index))
+        .collect();
+    let servers = servers?;
+    match (mode, servers.len()) {
+        ("single", 1) => Some(ChannelMapping::Single(servers[0])),
+        ("allsub", n) if n >= 2 => Some(ChannelMapping::AllSubscribers(servers)),
+        ("allpub", n) if n >= 2 => Some(ChannelMapping::AllPublishers(servers)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> ServerId {
+        ServerId::from_index(i)
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            ControlFrame::Switch {
+                channel: "tile_3_4".into(),
+                mapping: ChannelMapping::Single(s(2)),
+                plan: PlanId(7),
+            },
+            ControlFrame::Moved {
+                channel: "weird;name;with;semicolons".into(),
+                mapping: ChannelMapping::AllSubscribers(vec![s(0), s(2)]),
+                plan: PlanId(u64::MAX),
+            },
+            ControlFrame::Switch {
+                channel: "fan_in".into(),
+                mapping: ChannelMapping::AllPublishers(vec![s(1), s(2), s(3)]),
+                plan: PlanId(0),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(ControlFrame::decode(&bytes), Some(frame));
+        }
+    }
+
+    #[test]
+    fn junk_is_not_a_frame() {
+        for junk in [
+            &b"hello"[..],
+            b"",
+            b"DMCTL1;",
+            b"DMCTL1;switch;zz;single:0;c",
+            b"DMCTL1;switch;0000000000000007;single:x;c",
+            b"DMCTL1;bogus;0000000000000007;single:0;c",
+            b"DMCTL2;switch;0000000000000007;single:0;c",
+            // Degenerate replicated mappings are rejected, preserving
+            // the plan invariant on the wire.
+            b"DMCTL1;switch;0000000000000007;allsub:1;c",
+            &[0xff, 0xfe, 0x00][..],
+        ] {
+            assert_eq!(ControlFrame::decode(junk), None, "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn channel_ids_are_stable_and_name_sensitive() {
+        assert_eq!(channel_id_of("tile_1"), channel_id_of("tile_1"));
+        assert_ne!(channel_id_of("tile_1"), channel_id_of("tile_2"));
+        // Pinned value: routers and sidecars in different processes must
+        // agree forever.
+        assert_eq!(channel_id_of(""), Channel(0xcbf2_9ce4_8422_2325));
+    }
+
+    #[test]
+    fn control_channel_names() {
+        assert_eq!(control_channel(0xAB), "__dmc.00000000000000ab");
+        assert!(is_control_channel(&control_channel(7)));
+        assert!(!is_control_channel("tile_7"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Per-broker dispatcher sidecar: the reconfiguration half of the
+//! routed TCP tier (§IV of the paper).
+//!
+//! Dynamoth keeps its pub/sub servers unmodified; the *dispatcher*
+//! process colocated with each server implements lazy reconfiguration.
+//! [`DispatcherSidecar`] is that process for the TCP tier. When the
+//! load balancer migrates a channel, it installs the corresponding
+//! [`ChannelChange`] on the sidecars of every involved broker; each
+//! sidecar then subscribes to the migrated channel **on its own broker**
+//! and, for every publication it observes during the reconfiguration
+//! window:
+//!
+//! - the **old-home** sidecar emits a [`ControlFrame::Switch`] on the
+//!   channel (so still-connected local subscribers re-point), emits a
+//!   [`ControlFrame::Moved`] on the stale publisher's control channel
+//!   (so its local plan catches up), and forwards the publication —
+//!   byte-identical, original wire id preserved — to the channel's new
+//!   home(s);
+//! - the **new-home** sidecar forwards publications back to old members
+//!   still holding unswitched subscribers.
+//!
+//! Forwarding both ways means neither a stale publisher nor a stale
+//! subscriber loses messages, and preserved wire ids mean the
+//! receive-side dedup windows (client and router level) make delivery
+//! exactly-once despite the duplication forwarding creates. Publications
+//! without a wire id are never forwarded — with no id to suppress on, a
+//! bounced copy would ping-pong between brokers forever — and are
+//! counted in [`SidecarStats::unforwardable`].
+//!
+//! All per-channel state carries a TTL; once it lapses (the paper keeps
+//! forwarding "for a certain amount of time"), the sidecar unsubscribes
+//! its watch and drops the forwarding rule.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::client::{frame_payload, ClientConfig, Dedup, TcpPubSubClient};
+use crate::control::{control_channel, ControlFrame};
+use crate::ids::{PlanId, ServerId};
+use crate::plan::ChannelMapping;
+
+/// Tuning knobs of a [`DispatcherSidecar`].
+#[derive(Debug, Clone)]
+pub struct SidecarConfig {
+    /// How long forwarding/switch state lives after installation.
+    pub ttl: Duration,
+    /// Dedup window (wire ids) for forwarding-loop suppression.
+    pub dedup_window: usize,
+    /// Pump thread granularity.
+    pub tick: Duration,
+    /// Tuning for the underlying broker connections.
+    pub client: ClientConfig,
+}
+
+impl Default for SidecarConfig {
+    fn default() -> Self {
+        SidecarConfig {
+            ttl: Duration::from_secs(10),
+            dedup_window: 4096,
+            tick: Duration::from_millis(5),
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// One channel migration, as installed on a sidecar: the channel's name
+/// plus its mapping before and after the plan change.
+#[derive(Debug, Clone)]
+pub struct ChannelChange {
+    /// Full channel name (what clients publish/subscribe with).
+    pub channel: String,
+    /// Mapping under the old plan.
+    pub old: ChannelMapping,
+    /// Mapping under the new plan.
+    pub new: ChannelMapping,
+}
+
+/// Counters of a sidecar's reconfiguration activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SidecarStats {
+    /// Publications forwarded to another broker.
+    pub forwarded: u64,
+    /// `<switch>` frames emitted to local subscribers.
+    pub switches_emitted: u64,
+    /// `MOVED` frames emitted to stale publishers.
+    pub moved_emitted: u64,
+    /// Observed publications suppressed as forwarding-loop duplicates.
+    pub duplicates_suppressed: u64,
+    /// Observed publications without a wire id (not forwarded).
+    pub unforwardable: u64,
+    /// Channel states torn down after their TTL lapsed.
+    pub expired: u64,
+    /// Channel states currently installed.
+    pub active_channels: usize,
+}
+
+struct ChannelState {
+    old: ChannelMapping,
+    new: ChannelMapping,
+    plan: PlanId,
+    expires_at: Instant,
+}
+
+struct SidecarShared {
+    running: AtomicBool,
+    installs: Mutex<Vec<(ChannelChange, PlanId)>>,
+    stats: Mutex<SidecarStats>,
+    active: Mutex<usize>,
+}
+
+/// The dispatcher sidecar of one broker (see module docs).
+pub struct DispatcherSidecar {
+    shared: Arc<SidecarShared>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl DispatcherSidecar {
+    /// Starts the sidecar of broker `me`. `directory[i]` is the address
+    /// of the broker with index `i`; `directory[me.index()]` is this
+    /// sidecar's own broker, which it watches and emits control frames
+    /// through.
+    pub fn start(
+        me: ServerId,
+        directory: Vec<SocketAddr>,
+        cfg: SidecarConfig,
+    ) -> DispatcherSidecar {
+        let shared = Arc::new(SidecarShared {
+            running: AtomicBool::new(true),
+            installs: Mutex::new(Vec::new()),
+            stats: Mutex::new(SidecarStats::default()),
+            active: Mutex::new(0),
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::spawn(move || {
+            Pump {
+                me,
+                directory,
+                cfg,
+                shared: pump_shared,
+                watch: None,
+                peers: HashMap::new(),
+                channels: HashMap::new(),
+                dedup: Dedup::new(),
+            }
+            .run()
+        });
+        DispatcherSidecar {
+            shared,
+            pump: Some(pump),
+        }
+    }
+
+    /// Installs reconfiguration state for one migrated channel under
+    /// plan version `plan`. Idempotent per (channel, plan): re-installing
+    /// refreshes the TTL.
+    pub fn install(&self, change: ChannelChange, plan: PlanId) {
+        self.shared.installs.lock().push((change, plan));
+    }
+
+    /// Counters so far (`active_channels` is current, the rest are
+    /// cumulative).
+    pub fn stats(&self) -> SidecarStats {
+        let mut stats = self.shared.stats.lock().clone();
+        stats.active_channels = *self.shared.active.lock();
+        stats
+    }
+
+    /// Stops the pump thread and closes every broker connection.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.pump.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DispatcherSidecar {
+    fn drop(&mut self) {
+        if self.pump.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for DispatcherSidecar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatcherSidecar").finish_non_exhaustive()
+    }
+}
+
+/// The sidecar's worker: owns the watch connection to its own broker,
+/// lazy forwarding connections to peers, the per-channel state table and
+/// the loop-suppression window.
+struct Pump {
+    me: ServerId,
+    directory: Vec<SocketAddr>,
+    cfg: SidecarConfig,
+    shared: Arc<SidecarShared>,
+    watch: Option<TcpPubSubClient>,
+    peers: HashMap<usize, TcpPubSubClient>,
+    channels: HashMap<String, ChannelState>,
+    dedup: Dedup,
+}
+
+impl Pump {
+    fn run(mut self) {
+        while self.shared.running.load(Ordering::SeqCst) {
+            self.apply_installs();
+            self.drain_watch();
+            self.expire();
+            std::thread::sleep(self.cfg.tick);
+        }
+    }
+
+    fn watch(&mut self) -> &TcpPubSubClient {
+        if self.watch.is_none() {
+            let addr = self.directory[self.me.index()];
+            let client = TcpPubSubClient::connect_with(addr, self.cfg.client.clone())
+                .expect("socket address is always resolvable");
+            self.watch = Some(client);
+        }
+        self.watch.as_ref().unwrap()
+    }
+
+    fn peer(&mut self, server: ServerId) -> &TcpPubSubClient {
+        let idx = server.index();
+        if !self.peers.contains_key(&idx) {
+            let client =
+                TcpPubSubClient::connect_with(self.directory[idx], self.cfg.client.clone())
+                    .expect("socket address is always resolvable");
+            self.peers.insert(idx, client);
+        }
+        &self.peers[&idx]
+    }
+
+    fn apply_installs(&mut self) {
+        let installs: Vec<(ChannelChange, PlanId)> =
+            std::mem::take(&mut *self.shared.installs.lock());
+        for (change, plan) in installs {
+            let involved = change.old.contains(self.me) || change.new.contains(self.me);
+            if !involved {
+                continue;
+            }
+            let stale = self
+                .channels
+                .get(&change.channel)
+                .is_some_and(|existing| existing.plan > plan);
+            if stale {
+                continue;
+            }
+            if !self.channels.contains_key(&change.channel) {
+                self.watch().subscribe(&change.channel);
+            }
+            self.channels.insert(
+                change.channel,
+                ChannelState {
+                    old: change.old,
+                    new: change.new,
+                    plan,
+                    expires_at: Instant::now() + self.cfg.ttl,
+                },
+            );
+            *self.shared.active.lock() = self.channels.len();
+        }
+    }
+
+    fn drain_watch(&mut self) {
+        let Some(watch) = self.watch.as_ref() else {
+            return;
+        };
+        let mut messages = Vec::new();
+        while let Some(msg) = watch.try_message() {
+            messages.push(msg);
+        }
+        // Keep the watch connection's event queue from growing forever.
+        while watch.try_event().is_some() {}
+        for msg in messages {
+            self.handle(msg);
+        }
+    }
+
+    fn handle(&mut self, msg: crate::client::Message) {
+        // Our own Switch emissions (and any other sidecar's control
+        // frames) come back through the watch subscription; they carry
+        // routing metadata, not application traffic — never forward.
+        if ControlFrame::decode(&msg.payload).is_some() {
+            return;
+        }
+        let Some(state) = self.channels.get(&msg.channel) else {
+            return; // teardown raced a late delivery
+        };
+        let i_am_old = state.old.contains(self.me);
+        let new = state.new.clone();
+        let old = state.old.clone();
+        let plan = state.plan;
+
+        let Some(id) = msg.id else {
+            self.shared.stats.lock().unforwardable += 1;
+            // Still tell local subscribers where the channel went.
+            if i_am_old {
+                self.emit_switch(&msg.channel, &new, plan);
+            }
+            return;
+        };
+        if !self.dedup.insert(id, self.cfg.dedup_window) {
+            self.shared.stats.lock().duplicates_suppressed += 1;
+            return;
+        }
+        // Re-frame byte-identically: framing is deterministic, so the
+        // forwarded copy carries the original wire id and every dedup
+        // window downstream recognizes it.
+        let framed = frame_payload(id, &msg.payload);
+
+        if i_am_old {
+            self.emit_switch(&msg.channel, &new, plan);
+            self.emit_moved(id.origin, &msg.channel, &new, plan);
+            for target in forward_targets_old_to_new(self.me, &new) {
+                self.peer(target).publish_raw(&msg.channel, &framed);
+                self.shared.stats.lock().forwarded += 1;
+            }
+        } else {
+            // New home: cover unswitched subscribers still sitting on
+            // old members that left the mapping.
+            for target in forward_targets_new_to_old(self.me, &old, &new) {
+                self.peer(target).publish_raw(&msg.channel, &framed);
+                self.shared.stats.lock().forwarded += 1;
+            }
+        }
+    }
+
+    fn emit_switch(&mut self, channel: &str, new: &ChannelMapping, plan: PlanId) {
+        let frame = ControlFrame::Switch {
+            channel: channel.to_owned(),
+            mapping: new.clone(),
+            plan,
+        };
+        self.watch().publish(channel, &frame.encode());
+        self.shared.stats.lock().switches_emitted += 1;
+    }
+
+    fn emit_moved(&mut self, origin: u64, channel: &str, new: &ChannelMapping, plan: PlanId) {
+        let frame = ControlFrame::Moved {
+            channel: channel.to_owned(),
+            mapping: new.clone(),
+            plan,
+        };
+        self.watch()
+            .publish(&control_channel(origin), &frame.encode());
+        self.shared.stats.lock().moved_emitted += 1;
+    }
+
+    fn expire(&mut self) {
+        let now = Instant::now();
+        let lapsed: Vec<String> = self
+            .channels
+            .iter()
+            .filter(|(_, s)| s.expires_at <= now)
+            .map(|(c, _)| c.clone())
+            .collect();
+        if lapsed.is_empty() {
+            return;
+        }
+        for channel in &lapsed {
+            self.channels.remove(channel);
+            if let Some(watch) = self.watch.as_ref() {
+                watch.unsubscribe(channel);
+            }
+        }
+        let mut stats = self.shared.stats.lock();
+        stats.expired += lapsed.len() as u64;
+        *self.shared.active.lock() = self.channels.len();
+    }
+}
+
+/// Where the old home forwards a stale publication so it reaches the
+/// channel's new servers. Mirrors publisher semantics per mapping mode:
+/// one member suffices under `Single`/`AllSubscribers` (subscribers
+/// cover every member), all members are needed under `AllPublishers`.
+fn forward_targets_old_to_new(me: ServerId, new: &ChannelMapping) -> Vec<ServerId> {
+    match new {
+        ChannelMapping::Single(s) => {
+            if *s == me {
+                Vec::new()
+            } else {
+                vec![*s]
+            }
+        }
+        ChannelMapping::AllSubscribers(v) => {
+            if v.contains(&me) {
+                Vec::new() // local delivery already reaches every subscriber
+            } else {
+                vec![v[0]]
+            }
+        }
+        ChannelMapping::AllPublishers(v) => v.iter().copied().filter(|&s| s != me).collect(),
+    }
+}
+
+/// Where a new home forwards a publication so subscribers still parked
+/// on departed old members keep receiving during the window.
+fn forward_targets_new_to_old(
+    me: ServerId,
+    old: &ChannelMapping,
+    new: &ChannelMapping,
+) -> Vec<ServerId> {
+    old.servers()
+        .iter()
+        .copied()
+        .filter(|&s| s != me && !new.contains(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> ServerId {
+        ServerId::from_index(i)
+    }
+
+    #[test]
+    fn old_to_new_targets_per_mode() {
+        // Single: forward to the new home, never to self.
+        assert_eq!(
+            forward_targets_old_to_new(s(0), &ChannelMapping::Single(s(2))),
+            vec![s(2)]
+        );
+        assert_eq!(
+            forward_targets_old_to_new(s(2), &ChannelMapping::Single(s(2))),
+            Vec::<ServerId>::new()
+        );
+        // AllSubscribers: one member suffices; none if we are a member.
+        assert_eq!(
+            forward_targets_old_to_new(s(0), &ChannelMapping::AllSubscribers(vec![s(1), s(2)])),
+            vec![s(1)]
+        );
+        assert_eq!(
+            forward_targets_old_to_new(s(1), &ChannelMapping::AllSubscribers(vec![s(1), s(2)])),
+            Vec::<ServerId>::new()
+        );
+        // AllPublishers: every member except self.
+        assert_eq!(
+            forward_targets_old_to_new(s(1), &ChannelMapping::AllPublishers(vec![s(1), s(2)])),
+            vec![s(2)]
+        );
+    }
+
+    #[test]
+    fn new_to_old_targets_cover_departed_members_only() {
+        let old = ChannelMapping::AllSubscribers(vec![s(0), s(1)]);
+        let new = ChannelMapping::AllSubscribers(vec![s(1), s(2)]);
+        // From s2's perspective: s0 left the mapping and may still hold
+        // unswitched subscribers; s1 stayed and needs nothing.
+        assert_eq!(forward_targets_new_to_old(s(2), &old, &new), vec![s(0)]);
+        // Plain Single → Single migration.
+        assert_eq!(
+            forward_targets_new_to_old(
+                s(2),
+                &ChannelMapping::Single(s(0)),
+                &ChannelMapping::Single(s(2))
+            ),
+            vec![s(0)]
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Identifier types shared by the simulated middleware (`dynamoth-core`)
+//! and the routed TCP tier in this crate.
+//!
+//! These used to live in `dynamoth-core`, but the plan/ring machinery
+//! moved here so the simulator and the real-network router run one
+//! implementation; the identifiers came along. `dynamoth-core`
+//! re-exports them unchanged.
+
+use std::fmt;
+
+use dynamoth_sim::NodeId;
+
+/// Identifies a pub/sub server (a Redis instance in the paper). Wraps
+/// the simulation [`NodeId`] the server's node runs under, which doubles
+/// as its network address; on the TCP tier the index is a position in
+/// the broker directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub NodeId);
+
+impl ServerId {
+    /// The network address of this server.
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+
+    /// A server id from a broker-directory index (TCP tier convention).
+    pub fn from_index(index: usize) -> ServerId {
+        ServerId(NodeId::from_index(index))
+    }
+
+    /// The directory index of this server (TCP tier convention).
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0.index())
+    }
+}
+
+/// Version number of a global plan. Monotonically increasing; "plan 0"
+/// is the empty bootstrap plan that resolves everything through
+/// consistent hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PlanId(pub u64);
+
+impl fmt::Display for PlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId(NodeId::from_index(3)).to_string(), "H3");
+        assert_eq!(PlanId(2).to_string(), "plan2");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = ServerId::from_index(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(s, ServerId(NodeId::from_index(7)));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = ServerId::from_index(1);
+        let b = ServerId::from_index(2);
+        assert!(a < b);
+        let set: HashSet<ServerId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

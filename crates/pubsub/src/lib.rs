@@ -1,13 +1,18 @@
 //! # dynamoth-pubsub
 //!
 //! A from-scratch, Redis-like channel-based pub/sub server used as the
-//! broker substrate of the Dynamoth reproduction. The paper deploys
-//! *unmodified* Redis instances and implements all middleware logic
-//! around them; correspondingly, this crate knows nothing about plans,
-//! load balancing or reconfiguration — it only implements the standard
-//! pub/sub primitives plus the two resource-exhaustion behaviours the
-//! evaluation depends on (CPU fan-out cost and cooperation with bounded
-//! per-subscriber output buffers).
+//! broker substrate of the Dynamoth reproduction, plus the plan-routed
+//! client tier that turns a fleet of such brokers into one logical
+//! pub/sub service. The paper deploys *unmodified* Redis instances and
+//! implements all middleware logic around them; correspondingly, the
+//! broker here ([`TcpBroker`]) knows nothing about plans, load
+//! balancing or reconfiguration — routing lives entirely in the client
+//! ([`RoutedClient`]) and the per-broker dispatcher sidecar
+//! ([`DispatcherSidecar`]), mirroring how Dynamoth layers on Redis.
+//!
+//! The plan machinery ([`Plan`], [`ChannelMapping`], [`Ring`]) is
+//! defined here and shared with the simulator in `dynamoth-core`, so
+//! both tiers run one implementation.
 //!
 //! ```
 //! use dynamoth_pubsub::{Channel, CpuModel, PubSubServer};
@@ -26,9 +31,15 @@ mod broker;
 mod channel;
 pub mod chaos;
 pub mod client;
+pub mod control;
+pub mod dispatcher;
+pub mod hashing;
+mod ids;
 mod outbox;
+pub mod plan;
 pub mod resp;
 mod rng;
+pub mod router;
 mod server;
 mod shard;
 
@@ -38,5 +49,11 @@ pub use chaos::{ChaosProxy, Direction};
 pub use client::{
     ClientConfig, ClientEvent, DisconnectReason, DropCause, Message, MessageId, TcpPubSubClient,
 };
+pub use control::{channel_id_of, control_channel, ControlFrame};
+pub use dispatcher::{ChannelChange, DispatcherSidecar, SidecarConfig, SidecarStats};
+pub use hashing::{Ring, DEFAULT_VNODES};
+pub use ids::{PlanId, ServerId};
 pub use outbox::OverflowPolicy;
+pub use plan::{ChannelMapping, Plan, PlanChange};
+pub use router::{RoutedClient, RouterConfig, RouterEvent, RouterStats};
 pub use server::{CpuModel, PubSubServer, PublishOutcome};

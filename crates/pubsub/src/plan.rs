@@ -1,0 +1,466 @@
+//! Plans: the channel → server lookup structure at the heart of
+//! Dynamoth (§II-A).
+//!
+//! A [`Plan`] is "a more elaborate version of a lookup table where the
+//! keys are the channels and the values are the list of servers that
+//! should be used for each channel". Channels a plan does not mention
+//! resolve through consistent hashing ([`Ring`]). A channel's value is a
+//! [`ChannelMapping`]: a single server in the common case, or a set of
+//! servers under one of the two replication schemes of §II-B.
+//!
+//! One implementation serves both tiers: the simulator
+//! (`dynamoth-core`) and the routed TCP tier ([`crate::router`]).
+
+use std::collections::HashMap;
+
+use dynamoth_sim::SimRng;
+
+use crate::channel::Channel as ChannelId;
+use crate::hashing::Ring;
+use crate::ids::{PlanId, ServerId};
+
+/// How a channel is mapped onto pub/sub servers (Fig. 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelMapping {
+    /// The channel lives on exactly one server (Fig. 2a).
+    Single(ServerId),
+    /// *All-subscribers replication* (Fig. 2b): subscribers subscribe on
+    /// **all** listed servers, publishers publish to **one** random
+    /// server. Relevant for channels with very many publications.
+    AllSubscribers(Vec<ServerId>),
+    /// *All-publishers replication* (Fig. 2c): publishers publish to
+    /// **all** listed servers, subscribers subscribe on **one** random
+    /// server. Relevant for channels with very many subscribers.
+    AllPublishers(Vec<ServerId>),
+}
+
+impl ChannelMapping {
+    /// Every server participating in this mapping.
+    pub fn servers(&self) -> &[ServerId] {
+        match self {
+            ChannelMapping::Single(s) => std::slice::from_ref(s),
+            ChannelMapping::AllSubscribers(v) | ChannelMapping::AllPublishers(v) => v,
+        }
+    }
+
+    /// `true` if `server` participates in this mapping.
+    pub fn contains(&self, server: ServerId) -> bool {
+        self.servers().contains(&server)
+    }
+
+    /// The servers a *publisher* must send a publication to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replicated mapping has an empty server list (plans
+    /// are validated on construction, so this indicates a logic error).
+    pub fn publish_targets(&self, rng: &mut SimRng) -> Vec<ServerId> {
+        match self {
+            ChannelMapping::Single(s) => vec![*s],
+            ChannelMapping::AllSubscribers(v) => vec![*rng.choose(v).expect("non-empty mapping")],
+            ChannelMapping::AllPublishers(v) => v.clone(),
+        }
+    }
+
+    /// The servers a *subscriber* must hold subscriptions on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replicated mapping has an empty server list.
+    pub fn subscribe_targets(&self, rng: &mut SimRng) -> Vec<ServerId> {
+        match self {
+            ChannelMapping::Single(s) => vec![*s],
+            ChannelMapping::AllSubscribers(v) => v.clone(),
+            ChannelMapping::AllPublishers(v) => vec![*rng.choose(v).expect("non-empty mapping")],
+        }
+    }
+
+    /// Number of servers in the mapping.
+    pub fn replication_factor(&self) -> usize {
+        self.servers().len()
+    }
+
+    /// `true` if the mapping uses one of the replication schemes.
+    pub fn is_replicated(&self) -> bool {
+        !matches!(self, ChannelMapping::Single(_))
+    }
+}
+
+/// A global plan: channel mappings plus a version number.
+///
+/// # Examples
+///
+/// ```
+/// use dynamoth_pubsub::{Channel, ChannelMapping, Plan, Ring, ServerId};
+///
+/// let s0 = ServerId::from_index(0);
+/// let s1 = ServerId::from_index(1);
+/// let ring = Ring::new(&[s0], 16);
+///
+/// let mut plan = Plan::bootstrap();
+/// plan.set(Channel(1), ChannelMapping::Single(s1));
+/// // Mapped channels resolve explicitly, everything else via the ring.
+/// assert_eq!(plan.resolve(Channel(1), &ring), ChannelMapping::Single(s1));
+/// assert_eq!(plan.resolve(Channel(2), &ring), ChannelMapping::Single(s0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Plan {
+    id: PlanId,
+    entries: HashMap<ChannelId, ChannelMapping>,
+}
+
+impl Plan {
+    /// "Plan 0": no explicit mappings, everything resolves through
+    /// consistent hashing.
+    pub fn bootstrap() -> Self {
+        Plan::default()
+    }
+
+    /// This plan's version.
+    pub fn id(&self) -> PlanId {
+        self.id
+    }
+
+    /// Sets the version (the load balancer bumps it on every new plan).
+    pub fn set_id(&mut self, id: PlanId) {
+        self.id = id;
+    }
+
+    /// The explicit mapping for `channel`, if any.
+    pub fn mapping(&self, channel: ChannelId) -> Option<&ChannelMapping> {
+        self.entries.get(&channel)
+    }
+
+    /// Resolves `channel` to a mapping, falling back to the consistent
+    /// hashing `ring` when the plan has no entry (§II-C).
+    pub fn resolve(&self, channel: ChannelId, ring: &Ring) -> ChannelMapping {
+        self.entries
+            .get(&channel)
+            .cloned()
+            .unwrap_or_else(|| ChannelMapping::Single(ring.server_for(channel)))
+    }
+
+    /// Inserts or replaces the mapping for `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replicated mapping has an empty or single-element
+    /// server list (replication requires at least two servers).
+    pub fn set(&mut self, channel: ChannelId, mapping: ChannelMapping) {
+        if mapping.is_replicated() {
+            assert!(
+                mapping.replication_factor() >= 2,
+                "replicated mappings need at least two servers"
+            );
+        }
+        self.entries.insert(channel, mapping);
+    }
+
+    /// Removes the explicit mapping for `channel`, reverting it to
+    /// consistent hashing.
+    pub fn unset(&mut self, channel: ChannelId) -> Option<ChannelMapping> {
+        self.entries.remove(&channel)
+    }
+
+    /// Migrates `channel` from server `from` to server `to` (paper
+    /// Algorithm 2, line 12). For replicated mappings the member `from`
+    /// is replaced by `to`; if `to` is already a member, `from` is
+    /// simply dropped, and a replicated mapping left with a single
+    /// member collapses to [`ChannelMapping::Single`].
+    ///
+    /// An unmapped channel is pinned to `to` only when `from` is its
+    /// ring home — a migration away from a server that does not serve
+    /// the channel is a no-op.
+    pub fn migrate(&mut self, channel: ChannelId, from: ServerId, to: ServerId, ring: &Ring) {
+        if let Some(mapping) = self.entries.get_mut(&channel) {
+            match mapping {
+                ChannelMapping::Single(s) => {
+                    if *s == from {
+                        *s = to;
+                    }
+                }
+                ChannelMapping::AllSubscribers(v) | ChannelMapping::AllPublishers(v) => {
+                    if v.contains(&to) {
+                        if v.len() > 1 {
+                            v.retain(|&s| s != from);
+                        }
+                    } else if let Some(slot) = v.iter_mut().find(|s| **s == from) {
+                        *slot = to;
+                    }
+                }
+            }
+            if mapping.is_replicated() && mapping.replication_factor() == 1 {
+                *mapping = ChannelMapping::Single(mapping.servers()[0]);
+            }
+            return;
+        }
+        if ring.server_for(channel) == from {
+            self.entries.insert(channel, ChannelMapping::Single(to));
+        }
+    }
+
+    /// Iterates over all explicit entries.
+    pub fn iter(&self) -> impl Iterator<Item = (ChannelId, &ChannelMapping)> + '_ {
+        self.entries.iter().map(|(&c, m)| (c, m))
+    }
+
+    /// Channels whose mapping differs between `self` (old) and `new`.
+    /// Channels only present in one plan are reported with the other
+    /// side resolved through `ring`.
+    pub fn diff<'a>(&'a self, new: &'a Plan, ring: &Ring) -> Vec<PlanChange> {
+        let mut changes = Vec::new();
+        let mut seen: Vec<ChannelId> = Vec::new();
+        for (c, old_mapping) in self.iter() {
+            seen.push(c);
+            let new_mapping = new.resolve(c, ring);
+            if *old_mapping != new_mapping {
+                changes.push(PlanChange {
+                    channel: c,
+                    old: old_mapping.clone(),
+                    new: new_mapping,
+                });
+            }
+        }
+        for (c, new_mapping) in new.iter() {
+            if seen.contains(&c) {
+                continue;
+            }
+            let old_mapping = self.resolve(c, ring);
+            if old_mapping != *new_mapping {
+                changes.push(PlanChange {
+                    channel: c,
+                    old: old_mapping,
+                    new: new_mapping.clone(),
+                });
+            }
+        }
+        changes
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the plan has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate wire size when pushed to a dispatcher.
+    pub fn wire_size(&self) -> u32 {
+        64 + 32 * self.entries.len() as u32
+    }
+}
+
+/// One channel whose mapping changed between two plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChange {
+    /// The affected channel.
+    pub channel: ChannelId,
+    /// Mapping under the old plan.
+    pub old: ChannelMapping,
+    /// Mapping under the new plan.
+    pub new: ChannelMapping,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> ServerId {
+        ServerId::from_index(i)
+    }
+
+    fn ring() -> Ring {
+        Ring::new(&[s(0), s(1)], 16)
+    }
+
+    /// The first channel the ring homes on `server`.
+    fn homed_on(ring: &Ring, server: ServerId) -> ChannelId {
+        (0..)
+            .map(ChannelId)
+            .find(|&c| ring.server_for(c) == server)
+            .unwrap()
+    }
+
+    #[test]
+    fn publish_and_subscribe_targets_per_mode() {
+        let mut rng = SimRng::new(1);
+        let single = ChannelMapping::Single(s(0));
+        assert_eq!(single.publish_targets(&mut rng), vec![s(0)]);
+        assert_eq!(single.subscribe_targets(&mut rng), vec![s(0)]);
+
+        let all_subs = ChannelMapping::AllSubscribers(vec![s(0), s(1), s(2)]);
+        assert_eq!(all_subs.subscribe_targets(&mut rng), vec![s(0), s(1), s(2)]);
+        assert_eq!(all_subs.publish_targets(&mut rng).len(), 1);
+
+        let all_pubs = ChannelMapping::AllPublishers(vec![s(0), s(1), s(2)]);
+        assert_eq!(all_pubs.publish_targets(&mut rng), vec![s(0), s(1), s(2)]);
+        assert_eq!(all_pubs.subscribe_targets(&mut rng).len(), 1);
+    }
+
+    #[test]
+    fn random_target_covers_all_members() {
+        let mut rng = SimRng::new(2);
+        let all_subs = ChannelMapping::AllSubscribers(vec![s(0), s(1), s(2)]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let t = all_subs.publish_targets(&mut rng)[0];
+            seen[t.0.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn resolve_falls_back_to_ring() {
+        let plan = Plan::bootstrap();
+        let r = ring();
+        let m = plan.resolve(ChannelId(5), &r);
+        assert_eq!(m, ChannelMapping::Single(r.server_for(ChannelId(5))));
+    }
+
+    #[test]
+    fn set_and_unset() {
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), ChannelMapping::Single(s(3)));
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::Single(s(3)))
+        );
+        assert_eq!(plan.len(), 1);
+        plan.unset(ChannelId(1));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn migrate_single() {
+        let r = ring();
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), ChannelMapping::Single(s(0)));
+        plan.migrate(ChannelId(1), s(0), s(1), &r);
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::Single(s(1)))
+        );
+        // Migrating an unmapped channel away from its ring home pins it
+        // to the target.
+        let home = homed_on(&r, s(0));
+        plan.migrate(home, s(0), s(3), &r);
+        assert_eq!(plan.mapping(home), Some(&ChannelMapping::Single(s(3))));
+    }
+
+    #[test]
+    fn migrate_unmapped_ignores_non_owner_source() {
+        // Regression: migrating an unmapped channel used to pin it to
+        // the target even when `from` never served it, hijacking
+        // ring-resolved channels.
+        let r = ring();
+        let foreign = homed_on(&r, s(1));
+        let mut plan = Plan::bootstrap();
+        plan.migrate(foreign, s(0), s(3), &r);
+        assert_eq!(plan.mapping(foreign), None);
+        assert_eq!(plan.resolve(foreign, &r), ChannelMapping::Single(s(1)));
+    }
+
+    #[test]
+    fn migrate_missing_source_is_noop_for_mapped_channels() {
+        let r = ring();
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), ChannelMapping::Single(s(1)));
+        plan.migrate(ChannelId(1), s(0), s(3), &r);
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::Single(s(1)))
+        );
+    }
+
+    #[test]
+    fn migrate_replicated_replaces_member() {
+        let r = ring();
+        let mut plan = Plan::bootstrap();
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllSubscribers(vec![s(0), s(1)]),
+        );
+        plan.migrate(ChannelId(1), s(0), s(2), &r);
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::AllSubscribers(vec![s(2), s(1)]))
+        );
+    }
+
+    #[test]
+    fn migrate_onto_member_collapses_to_single() {
+        // Regression: dropping `from` from a 2-member replicated set
+        // used to leave a 1-member AllSubscribers/AllPublishers mapping,
+        // violating the ≥2-server invariant `Plan::set` asserts.
+        let r = ring();
+        for replicated in [
+            ChannelMapping::AllSubscribers(vec![s(2), s(1)]),
+            ChannelMapping::AllPublishers(vec![s(2), s(1)]),
+        ] {
+            let mut plan = Plan::bootstrap();
+            plan.set(ChannelId(1), replicated);
+            plan.migrate(ChannelId(1), s(2), s(1), &r);
+            assert_eq!(
+                plan.mapping(ChannelId(1)),
+                Some(&ChannelMapping::Single(s(1)))
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_onto_member_of_larger_set_stays_replicated() {
+        let r = ring();
+        let mut plan = Plan::bootstrap();
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllSubscribers(vec![s(0), s(1), s(2)]),
+        );
+        plan.migrate(ChannelId(1), s(0), s(2), &r);
+        assert_eq!(
+            plan.mapping(ChannelId(1)),
+            Some(&ChannelMapping::AllSubscribers(vec![s(1), s(2)]))
+        );
+    }
+
+    #[test]
+    fn diff_reports_changed_channels() {
+        let r = ring();
+        let mut old = Plan::bootstrap();
+        old.set(ChannelId(1), ChannelMapping::Single(s(0)));
+        old.set(ChannelId(2), ChannelMapping::Single(s(0)));
+        let mut new = old.clone();
+        new.set(ChannelId(1), ChannelMapping::Single(s(1)));
+        new.set(ChannelId(3), ChannelMapping::Single(s(5)));
+        let mut changes = old.diff(&new, &r);
+        changes.sort_by_key(|c| c.channel);
+        // Channel 1 changed; channel 2 unchanged; channel 3 is new
+        // (unless the ring already mapped it to s5, which it cannot —
+        // s5 is not on the ring).
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].channel, ChannelId(1));
+        assert_eq!(changes[0].old, ChannelMapping::Single(s(0)));
+        assert_eq!(changes[0].new, ChannelMapping::Single(s(1)));
+        assert_eq!(changes[1].channel, ChannelId(3));
+    }
+
+    #[test]
+    fn diff_of_identical_plans_is_empty() {
+        let r = ring();
+        let mut plan = Plan::bootstrap();
+        plan.set(
+            ChannelId(1),
+            ChannelMapping::AllPublishers(vec![s(0), s(1)]),
+        );
+        assert!(plan.diff(&plan.clone(), &r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two servers")]
+    fn replicated_mapping_with_one_server_panics() {
+        let mut plan = Plan::bootstrap();
+        plan.set(ChannelId(1), ChannelMapping::AllSubscribers(vec![s(0)]));
+    }
+}

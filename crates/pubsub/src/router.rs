@@ -1,0 +1,595 @@
+//! The plan-routed multi-broker client (§II-C of the paper).
+//!
+//! [`RoutedClient`] turns a *directory* of independent [`crate::TcpBroker`]s
+//! into one logical pub/sub service. Routing follows the Dynamoth
+//! client algorithm:
+//!
+//! - Every client holds a **local plan**: a lazy, partial copy of the
+//!   global plan, filled in strictly on a need-to-know basis. Channels
+//!   the local plan does not mention resolve through the shared
+//!   consistent-hash [`Ring`] over the directory.
+//! - SUBSCRIBE and PUBLISH pick brokers per [`ChannelMapping`]
+//!   semantics: `Single` uses the one server, `AllSubscribers`
+//!   subscribes everywhere and publishes to one random member,
+//!   `AllPublishers` publishes everywhere and subscribes to one random
+//!   member.
+//! - The local plan is updated by the two control frames of the
+//!   dispatcher sidecars: a [`ControlFrame::Moved`] on this client's
+//!   private control channel (it published to the wrong broker), or a
+//!   [`ControlFrame::Switch`] on a subscribed channel (the channel
+//!   moved away from a broker it is subscribed on). On a switch the
+//!   client subscribes at the new location immediately but keeps the
+//!   old subscription for a grace period
+//!   ([`RouterConfig::switch_grace`]) — the new subscription rides a
+//!   possibly brand-new TCP connection, so tearing the old one down
+//!   right away would open a loss window. The overlap only produces
+//!   duplicates, which the dedup window absorbs.
+//! - A router-level dedup window spanning **all** broker connections
+//!   suppresses the duplicates that reconfiguration forwarding creates
+//!   (same wire id arriving via two brokers), on top of the per
+//!   connection window each underlying [`TcpPubSubClient`] already
+//!   keeps.
+//!
+//! One underlying fault-tolerant client is created per broker, lazily —
+//! a client that only ever touches channels of one broker holds exactly
+//! one connection, matching the paper's "connects to the server(s) it
+//! needs" behaviour.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::client::{ClientConfig, ClientEvent, Dedup, Message, TcpPubSubClient};
+use crate::control::{channel_id_of, control_channel, ControlFrame};
+use crate::hashing::{Ring, DEFAULT_VNODES};
+use crate::ids::{PlanId, ServerId};
+use crate::plan::ChannelMapping;
+use crate::rng::SplitMix64;
+
+/// Tuning knobs of a [`RoutedClient`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Tuning for each underlying per-broker client.
+    pub client: ClientConfig,
+    /// Router-level (cross-broker) dedup window, in wire ids.
+    pub dedup_window: usize,
+    /// Virtual identifiers per server on the fallback ring.
+    pub vnodes: u32,
+    /// Pump thread granularity.
+    pub tick: Duration,
+    /// How long a superseded subscription lingers after a switch before
+    /// it is unsubscribed. Covers the connection-setup time of the new
+    /// brokers; the resulting double deliveries are deduplicated.
+    pub switch_grace: Duration,
+    /// Seed for replication-mode random member picks and for deriving
+    /// per-broker client seeds. `None` uses OS entropy.
+    pub seed: Option<u64>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            client: ClientConfig::default(),
+            dedup_window: 8192,
+            vnodes: DEFAULT_VNODES,
+            tick: Duration::from_millis(5),
+            switch_grace: Duration::from_secs(1),
+            seed: None,
+        }
+    }
+}
+
+/// A state change of one underlying broker connection, tagged with the
+/// broker's directory index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterEvent {
+    /// Directory index of the broker the event is about.
+    pub broker: usize,
+    /// The underlying client event.
+    pub event: ClientEvent,
+}
+
+/// Counters describing a router's routing and reconfiguration activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Cross-broker duplicates suppressed by the router-level window.
+    pub duplicates_suppressed: u64,
+    /// `MOVED` frames applied to the local plan.
+    pub moved_applied: u64,
+    /// `<switch>` frames applied to the local plan.
+    pub switches_applied: u64,
+    /// Control frames ignored because the local plan was already newer.
+    pub stale_control_frames: u64,
+    /// Underlying broker connections currently open.
+    pub connections: usize,
+    /// Channels the local plan currently maps explicitly.
+    pub local_plan_len: usize,
+}
+
+struct RouterShared {
+    running: AtomicBool,
+    duplicates: AtomicU64,
+    moved_applied: AtomicU64,
+    switches_applied: AtomicU64,
+    stale_frames: AtomicU64,
+}
+
+struct Routing {
+    /// Lazy local plan: name → (mapping, version that set it).
+    local_plan: HashMap<String, (ChannelMapping, PlanId)>,
+    /// Channels the caller wants to be subscribed to.
+    desired: BTreeSet<String>,
+    /// Broker indices each desired channel is currently subscribed on.
+    subscribed_on: BTreeMap<String, BTreeSet<usize>>,
+    /// Superseded subscriptions awaiting their grace-period unsubscribe.
+    pending_unsubs: Vec<(Instant, usize, String)>,
+    rng: SplitMix64,
+}
+
+/// The plan-routed multi-broker client (see module docs).
+pub struct RoutedClient {
+    directory: Vec<SocketAddr>,
+    cfg: RouterConfig,
+    ring: Ring,
+    clients: Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: Arc<Mutex<Routing>>,
+    shared: Arc<RouterShared>,
+    messages: Mutex<mpsc::Receiver<Message>>,
+    events: Mutex<mpsc::Receiver<RouterEvent>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl RoutedClient {
+    /// Creates a router over `directory` (broker index `i` ↔
+    /// [`ServerId::from_index`]`(i)`). No connection is opened until a
+    /// channel actually routes to a broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directory` is empty.
+    pub fn connect(directory: Vec<SocketAddr>, cfg: RouterConfig) -> RoutedClient {
+        assert!(!directory.is_empty(), "directory needs at least one broker");
+        let servers: Vec<ServerId> = (0..directory.len()).map(ServerId::from_index).collect();
+        let ring = Ring::new(&servers, cfg.vnodes);
+        let rng = match cfg.seed {
+            Some(seed) => SplitMix64::new(seed),
+            None => SplitMix64::from_entropy(),
+        };
+        let shared = Arc::new(RouterShared {
+            running: AtomicBool::new(true),
+            duplicates: AtomicU64::new(0),
+            moved_applied: AtomicU64::new(0),
+            switches_applied: AtomicU64::new(0),
+            stale_frames: AtomicU64::new(0),
+        });
+        let clients = Arc::new(Mutex::new(HashMap::new()));
+        let routing = Arc::new(Mutex::new(Routing {
+            local_plan: HashMap::new(),
+            desired: BTreeSet::new(),
+            subscribed_on: BTreeMap::new(),
+            pending_unsubs: Vec::new(),
+            rng,
+        }));
+        let (msg_tx, msg_rx) = mpsc::channel();
+        let (event_tx, event_rx) = mpsc::channel();
+        let mut router = RoutedClient {
+            directory,
+            cfg,
+            ring,
+            clients,
+            routing,
+            shared,
+            messages: Mutex::new(msg_rx),
+            events: Mutex::new(event_rx),
+            pump: None,
+        };
+        router.pump = Some(router.spawn_pump(msg_tx, event_tx));
+        router
+    }
+
+    /// Subscribes to `channel` on the brokers its current mapping
+    /// demands; the subscription follows the channel across migrations.
+    pub fn subscribe(&self, channel: &str) {
+        let mut routing = self.routing.lock();
+        routing.desired.insert(channel.to_owned());
+        let mapping = self.resolve_locked(&routing, channel);
+        let targets = self.subscribe_targets(&mut routing, channel, &mapping);
+        for &idx in &targets {
+            self.client_for(idx).subscribe(channel);
+        }
+        routing
+            .subscribed_on
+            .insert(channel.to_owned(), targets.into_iter().collect());
+    }
+
+    /// Unsubscribes `channel` everywhere it is currently subscribed.
+    pub fn unsubscribe(&self, channel: &str) {
+        let mut routing = self.routing.lock();
+        routing.desired.remove(channel);
+        if let Some(brokers) = routing.subscribed_on.remove(channel) {
+            for idx in brokers {
+                self.client_for(idx).unsubscribe(channel);
+            }
+        }
+        // Lingering grace-period subscriptions go down immediately too.
+        let mut lingering = Vec::new();
+        routing.pending_unsubs.retain(|(_, idx, ch)| {
+            if ch == channel {
+                lingering.push(*idx);
+                false
+            } else {
+                true
+            }
+        });
+        for idx in lingering {
+            self.client_for(idx).unsubscribe(channel);
+        }
+    }
+
+    /// Publishes `body` on `channel`, routed per the channel's current
+    /// mapping.
+    pub fn publish(&self, channel: &str, body: &[u8]) {
+        let mut routing = self.routing.lock();
+        let mapping = self.resolve_locked(&routing, channel);
+        let targets: Vec<usize> = match &mapping {
+            ChannelMapping::Single(s) => vec![s.index()],
+            ChannelMapping::AllSubscribers(v) => {
+                let pick = routing.rng.next_below(v.len() as u64) as usize;
+                vec![v[pick].index()]
+            }
+            ChannelMapping::AllPublishers(v) => v.iter().map(|s| s.index()).collect(),
+        };
+        drop(routing);
+        for idx in targets {
+            self.client_for(idx).publish(channel, body);
+        }
+    }
+
+    /// The next delivered message, if one is already queued.
+    pub fn try_message(&self) -> Option<Message> {
+        self.messages.lock().try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next delivered message.
+    pub fn message_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.messages.lock().recv_timeout(timeout).ok()
+    }
+
+    /// The next router event, if one is already queued.
+    pub fn try_event(&self) -> Option<RouterEvent> {
+        self.events.lock().try_recv().ok()
+    }
+
+    /// The local plan's mapping for `channel`, if reconfiguration has
+    /// taught this client one.
+    pub fn local_mapping(&self, channel: &str) -> Option<(ChannelMapping, PlanId)> {
+        self.routing.lock().local_plan.get(channel).cloned()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            duplicates_suppressed: self.shared.duplicates.load(Ordering::Relaxed),
+            moved_applied: self.shared.moved_applied.load(Ordering::Relaxed),
+            switches_applied: self.shared.switches_applied.load(Ordering::Relaxed),
+            stale_control_frames: self.shared.stale_frames.load(Ordering::Relaxed),
+            connections: self.clients.lock().len(),
+            local_plan_len: self.routing.lock().local_plan.len(),
+        }
+    }
+
+    /// Stops the pump and every underlying client.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.pump.take() {
+            let _ = handle.join();
+        }
+        self.clients.lock().clear();
+    }
+
+    /// Resolves `channel` through the local plan, then the ring.
+    fn resolve_locked(&self, routing: &Routing, channel: &str) -> ChannelMapping {
+        routing
+            .local_plan
+            .get(channel)
+            .map(|(m, _)| m.clone())
+            .unwrap_or_else(|| ChannelMapping::Single(self.ring.server_for(channel_id_of(channel))))
+    }
+
+    /// Broker indices a subscriber of `channel` must sit on under
+    /// `mapping`. The `AllPublishers` pick is remembered via
+    /// `subscribed_on`, so repeated calls do not hop brokers.
+    fn subscribe_targets(
+        &self,
+        routing: &mut Routing,
+        channel: &str,
+        mapping: &ChannelMapping,
+    ) -> Vec<usize> {
+        match mapping {
+            ChannelMapping::Single(s) => vec![s.index()],
+            ChannelMapping::AllSubscribers(v) => v.iter().map(|s| s.index()).collect(),
+            ChannelMapping::AllPublishers(v) => {
+                let members: BTreeSet<usize> = v.iter().map(|s| s.index()).collect();
+                if let Some(current) = routing.subscribed_on.get(channel) {
+                    if let Some(&keep) = current.iter().find(|idx| members.contains(idx)) {
+                        return vec![keep];
+                    }
+                }
+                let pick = routing.rng.next_below(v.len() as u64) as usize;
+                vec![v[pick].index()]
+            }
+        }
+    }
+
+    /// The lazily created client for broker `idx`; on creation it also
+    /// subscribes its private control channel, so sidecars can reach
+    /// this router on that broker.
+    fn client_for(&self, idx: usize) -> Arc<TcpPubSubClient> {
+        let mut clients = self.clients.lock();
+        if let Some(c) = clients.get(&idx) {
+            return Arc::clone(c);
+        }
+        let client = Arc::new(connect_broker(
+            &self.directory,
+            idx,
+            &self.cfg.client,
+            self.cfg.seed,
+        ));
+        client.subscribe(&control_channel(client.origin()));
+        clients.insert(idx, Arc::clone(&client));
+        Arc::clone(&client)
+    }
+
+    fn spawn_pump(
+        &self,
+        msg_tx: mpsc::Sender<Message>,
+        event_tx: mpsc::Sender<RouterEvent>,
+    ) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let clients = Arc::clone(&self.clients);
+        let routing = Arc::clone(&self.routing);
+        let directory = self.directory.clone();
+        let cfg = self.cfg.clone();
+        let ring = self.ring.clone();
+        std::thread::spawn(move || {
+            let mut dedup = Dedup::new();
+            while shared.running.load(Ordering::SeqCst) {
+                let snapshot: Vec<(usize, Arc<TcpPubSubClient>)> = clients
+                    .lock()
+                    .iter()
+                    .map(|(&i, c)| (i, Arc::clone(c)))
+                    .collect();
+                for (idx, client) in snapshot {
+                    while let Some(event) = client.try_event() {
+                        let _ = event_tx.send(RouterEvent { broker: idx, event });
+                    }
+                    while let Some(msg) = client.try_message() {
+                        pump_handle(
+                            &shared, &clients, &routing, &directory, &cfg, &ring, &mut dedup,
+                            &client, msg, &msg_tx,
+                        );
+                    }
+                }
+                drain_pending_unsubs(&clients, &routing);
+                std::thread::sleep(cfg.tick);
+            }
+        })
+    }
+}
+
+impl Drop for RoutedClient {
+    fn drop(&mut self) {
+        if self.pump.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for RoutedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedClient")
+            .field("brokers", &self.directory.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn connect_broker(
+    directory: &[SocketAddr],
+    idx: usize,
+    base: &ClientConfig,
+    seed: Option<u64>,
+) -> TcpPubSubClient {
+    let mut cfg = base.clone();
+    // Decorrelate per-broker client seeds: identical seeds would mean
+    // identical origins, colliding wire-id sequence spaces and a shared
+    // control channel across connections.
+    cfg.seed = seed.map(|s| {
+        let mut mixer = SplitMix64::new(s ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        mixer.next_u64()
+    });
+    TcpPubSubClient::connect_with(directory[idx], cfg).expect("socket address is always resolvable")
+}
+
+/// Handles one delivered frame inside the pump thread: control frames
+/// update the local plan, application messages pass the router-level
+/// dedup window and surface to the caller.
+#[allow(clippy::too_many_arguments)]
+fn pump_handle(
+    shared: &Arc<RouterShared>,
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: &Arc<Mutex<Routing>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    ring: &Ring,
+    dedup: &mut Dedup,
+    via: &Arc<TcpPubSubClient>,
+    msg: Message,
+    msg_tx: &mpsc::Sender<Message>,
+) {
+    let on_control_channel = msg.channel == control_channel(via.origin());
+    if let Some(frame) = ControlFrame::decode(&msg.payload) {
+        let applies = match &frame {
+            ControlFrame::Moved { .. } => on_control_channel,
+            ControlFrame::Switch { channel, .. } => *channel == msg.channel,
+        };
+        if applies {
+            apply_control(shared, clients, routing, directory, cfg, ring, &frame);
+            return;
+        }
+        // A control frame on the wrong channel is application payload
+        // that merely looks like one; fall through and deliver it.
+    }
+    if on_control_channel {
+        return; // junk on the private channel; nothing to deliver
+    }
+    if let Some(id) = msg.id {
+        if !dedup.insert(id, cfg.dedup_window) {
+            shared.duplicates.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    let _ = msg_tx.send(msg);
+}
+
+/// Applies a `Moved`/`Switch` to the local plan and re-points any
+/// affected subscription — new brokers first, old ones after, so the
+/// subscription windows overlap.
+fn apply_control(
+    shared: &Arc<RouterShared>,
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: &Arc<Mutex<Routing>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    ring: &Ring,
+    frame: &ControlFrame,
+) {
+    let channel = frame.channel().to_owned();
+    let mapping = frame.mapping().clone();
+    let plan = frame.plan();
+    if mapping
+        .servers()
+        .iter()
+        .any(|s| s.index() >= directory.len())
+    {
+        return; // frame references brokers outside the directory
+    }
+
+    let mut r = routing.lock();
+    if let Some((_, known)) = r.local_plan.get(&channel) {
+        if *known >= plan {
+            shared.stale_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    r.local_plan
+        .insert(channel.clone(), (mapping.clone(), plan));
+    match frame {
+        ControlFrame::Moved { .. } => shared.moved_applied.fetch_add(1, Ordering::Relaxed),
+        ControlFrame::Switch { .. } => shared.switches_applied.fetch_add(1, Ordering::Relaxed),
+    };
+
+    if !r.desired.contains(&channel) {
+        return;
+    }
+    // Re-point the subscription: subscribe on the new target set before
+    // unsubscribing brokers that fell out of it.
+    let current: BTreeSet<usize> = r.subscribed_on.get(&channel).cloned().unwrap_or_else(|| {
+        // Subscribed before any plan entry existed: the ring told us
+        // where.
+        let mut set = BTreeSet::new();
+        set.insert(ring.server_for(channel_id_of(&channel)).index());
+        set
+    });
+    let wanted: BTreeSet<usize> = match &mapping {
+        ChannelMapping::Single(s) => [s.index()].into(),
+        ChannelMapping::AllSubscribers(v) => v.iter().map(|s| s.index()).collect(),
+        ChannelMapping::AllPublishers(v) => {
+            if let Some(&keep) = current.iter().find(|i| v.iter().any(|s| s.index() == **i)) {
+                [keep].into()
+            } else {
+                let pick = r.rng.next_below(v.len() as u64) as usize;
+                [v[pick].index()].into()
+            }
+        }
+    };
+    for &idx in wanted.difference(&current) {
+        subscribe_via(clients, directory, cfg, idx, &channel);
+    }
+    // Superseded brokers are not unsubscribed yet: the new subscriptions
+    // may ride connections still being established, so the old ones
+    // linger for `switch_grace` (double deliveries dedup away).
+    let due = Instant::now() + cfg.switch_grace;
+    for &idx in current.difference(&wanted) {
+        r.pending_unsubs.push((due, idx, channel.clone()));
+    }
+    r.subscribed_on.insert(channel, wanted);
+}
+
+/// Unsubscribes superseded subscriptions whose grace period lapsed,
+/// unless a later switch re-pointed the channel back at that broker.
+fn drain_pending_unsubs(
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: &Arc<Mutex<Routing>>,
+) {
+    let now = Instant::now();
+    let mut r = routing.lock();
+    let mut due = Vec::new();
+    r.pending_unsubs.retain(|entry| {
+        if entry.0 <= now {
+            due.push((entry.1, entry.2.clone()));
+            false
+        } else {
+            true
+        }
+    });
+    for (idx, channel) in due {
+        let wanted_again = r
+            .subscribed_on
+            .get(&channel)
+            .is_some_and(|set| set.contains(&idx));
+        if wanted_again {
+            continue;
+        }
+        if let Some(client) = clients.lock().get(&idx) {
+            client.unsubscribe(&channel);
+        }
+    }
+}
+
+/// `client_for` + `subscribe`, callable from the pump thread (which
+/// has no `&RoutedClient`).
+fn subscribe_via(
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    idx: usize,
+    channel: &str,
+) {
+    let mut map = clients.lock();
+    let client = map.entry(idx).or_insert_with(|| {
+        let c = Arc::new(connect_broker(directory, idx, &cfg.client, cfg.seed));
+        c.subscribe(&control_channel(c.origin()));
+        c
+    });
+    client.subscribe(channel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one broker")]
+    fn empty_directory_panics() {
+        let _ = RoutedClient::connect(Vec::new(), RouterConfig::default());
+    }
+}

@@ -108,6 +108,11 @@ impl ShardedIndex {
         }
     }
 
+    /// Number of subscribers currently on `name`.
+    pub fn channel_subscribers(&self, name: &str) -> usize {
+        self.snapshot(name).map_or(0, |s| s.len())
+    }
+
     /// Total number of (channel, subscriber) pairs across all shards.
     pub fn subscription_count(&self) -> usize {
         self.shards

@@ -173,7 +173,8 @@ fn concurrent_churn_preserves_counts_and_publisher_fifo() {
     // Every stable subscriber receives exactly the messages of its
     // channel: right count, no duplicates, per-publisher seq strictly
     // sequential (FIFO).
-    let pubs_per_channel = PUBLISHERS / CHANNELS + usize::from(PUBLISHERS % CHANNELS != 0);
+    let pubs_per_channel =
+        PUBLISHERS / CHANNELS + usize::from(!PUBLISHERS.is_multiple_of(CHANNELS));
     for (ch, client) in &mut stable {
         let my_channel = format!("stress-{ch}");
         let expected = (0..PUBLISHERS).filter(|p| p % CHANNELS == *ch).count() * MSGS_PER_PUBLISHER;

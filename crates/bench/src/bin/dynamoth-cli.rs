@@ -10,6 +10,8 @@
 //!                           [--duration-ms N] [--payload BYTES] [--out FILE]
 //! dynamoth-cli bench-router [--brokers 1,3] [--subs 1,4] [--duration-ms N]
 //!                           [--payload BYTES] [--seed S] [--out FILE]
+//! dynamoth-cli bench-rebalance [--offered 1000,4000,16000] [--duration-ms N]
+//!                              [--payload BYTES] [--seed S] [--out FILE]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -240,10 +242,28 @@ fn main() {
             let rows = router_grid(&brokers, &subs, duration, payload, seed);
             write_router_json(out_writer(&args), &rows).expect("write json");
         }
+        "bench-rebalance" => {
+            use dynamoth_bench::rebalance_bench::{rebalance_grid, write_rebalance_json};
+            use std::time::Duration;
+
+            let offered: Vec<u64> = args
+                .get("offered")
+                .map(|v| {
+                    v.split(',')
+                        .filter_map(|n| n.trim().parse().ok())
+                        .collect::<Vec<u64>>()
+                })
+                .filter(|v| !v.is_empty())
+                .unwrap_or_else(|| vec![1_000, 4_000, 16_000]);
+            let duration = Duration::from_millis(args.num("duration-ms", 2_000u64));
+            let payload = args.num("payload", 512usize);
+            let rows = rebalance_grid(&offered, duration, payload, seed);
+            write_rebalance_json(out_writer(&args), &rows).expect("write json");
+        }
         other => {
             eprintln!(
                 "unknown command {other:?}; expected \
-                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router"
+                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance"
             );
             std::process::exit(2);
         }

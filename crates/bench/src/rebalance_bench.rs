@@ -1,0 +1,420 @@
+//! Autonomous-rebalancing benchmark of the live control plane
+//! (DESIGN.md §9): the same skewed offered load measured with the
+//! [`LiveLoadBalancer`] switched on vs off.
+//!
+//! Every channel in the grid is ring-homed on **one** broker, so with
+//! rebalancing off the whole offered load funnels through a single
+//! machine of the 3-broker cluster no matter how high it climbs. With
+//! rebalancing on, the brokers self-report load, Algorithm 2 migrates
+//! channels off the hot broker mid-run, and the cluster absorbs the
+//! load — delivery ratio and tail latency at the upper rungs of the
+//! grid are the paper's argument for dynamic rebalancing, reproduced
+//! on the real TCP tier.
+//!
+//! [`bench_rebalance`] runs one cell and returns a
+//! [`RebalanceBenchRow`]; [`write_rebalance_json`] serialises a series
+//! as the `BENCH_rebalance.json` tracking artifact.
+
+use std::io::Write as IoWrite;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dynamoth_pubsub::{
+    channel_id_of, BalancerConfig, ClientConfig, DispatcherSidecar, LiveLoadBalancer, LoadReporter,
+    Ring, RoutedClient, RouterConfig, ServerId, SidecarConfig, TcpBroker, DEFAULT_VNODES,
+};
+
+const BROKERS: usize = 3;
+
+/// One cell of the rebalancing grid.
+#[derive(Debug, Clone)]
+pub struct RebalanceBenchConfig {
+    /// Total offered publication rate across all publishers, per second.
+    pub offered_per_s: u64,
+    /// Whether the live balancer (reporters + `LiveLoadBalancer`) runs.
+    pub rebalancing: bool,
+    /// Channels, all ring-homed on the same (hot) broker.
+    pub channels: usize,
+    /// Publication payload size in bytes (timestamp header included).
+    pub payload_bytes: usize,
+    /// Wall-clock publishing window.
+    pub duration: Duration,
+    /// Broker capacity the balancer assumes, in egress bytes per 100 ms
+    /// report interval.
+    pub capacity_floor: f64,
+    /// Seed for all client PRNGs.
+    pub seed: u64,
+}
+
+impl Default for RebalanceBenchConfig {
+    fn default() -> Self {
+        RebalanceBenchConfig {
+            offered_per_s: 4_000,
+            rebalancing: true,
+            channels: 6,
+            payload_bytes: 512,
+            duration: Duration::from_millis(2_000),
+            capacity_floor: 100_000.0,
+            seed: 0xD1A0,
+        }
+    }
+}
+
+/// Measured results of one grid cell.
+#[derive(Debug, Clone)]
+pub struct RebalanceBenchRow {
+    /// Offered publication rate, per second.
+    pub offered_per_s: u64,
+    /// Whether the live balancer ran.
+    pub rebalancing: bool,
+    /// Publishing window actually used, seconds.
+    pub publish_secs: f64,
+    /// Publications issued.
+    pub published: u64,
+    /// Deliveries at the subscriber router.
+    pub delivered: u64,
+    /// `delivered / published` (one subscriber per channel).
+    pub delivery_ratio: f64,
+    /// Mean publish→delivery latency, milliseconds.
+    pub mean_ms: f64,
+    /// 99th-percentile publish→delivery latency, milliseconds.
+    pub p99_ms: f64,
+    /// Plans the balancer installed (0 with rebalancing off).
+    pub plans_installed: u64,
+    /// High-load rebalances the balancer performed.
+    pub high_load_rebalances: u64,
+}
+
+fn quiet_client(seed: u64) -> ClientConfig {
+    ClientConfig {
+        tick: Duration::from_millis(1),
+        seed: Some(seed),
+        ..ClientConfig::default()
+    }
+}
+
+/// Runs one grid cell against a fresh 3-broker cluster on loopback.
+pub fn bench_rebalance(cfg: &RebalanceBenchConfig) -> RebalanceBenchRow {
+    let brokers: Vec<TcpBroker> = (0..BROKERS)
+        .map(|_| TcpBroker::bind("127.0.0.1:0").expect("bind broker"))
+        .collect();
+    let directory: Vec<std::net::SocketAddr> = brokers.iter().map(|b| b.local_addr()).collect();
+    let sidecars: Vec<DispatcherSidecar> = (0..BROKERS)
+        .map(|i| {
+            DispatcherSidecar::start(
+                ServerId::from_index(i),
+                directory.clone(),
+                SidecarConfig {
+                    tick: Duration::from_millis(2),
+                    client: quiet_client(cfg.seed ^ (0x30 + i as u64)),
+                    ..SidecarConfig::default()
+                },
+            )
+        })
+        .collect();
+    let (reporters, balancer) = if cfg.rebalancing {
+        let reporters: Vec<LoadReporter> = brokers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                LoadReporter::start(
+                    b.load_handle(),
+                    i,
+                    directory[i],
+                    Duration::from_millis(100),
+                    quiet_client(cfg.seed ^ (0x40 + i as u64)),
+                )
+            })
+            .collect();
+        let balancer = LiveLoadBalancer::start(
+            directory.clone(),
+            BalancerConfig {
+                capacity_floor: cfg.capacity_floor,
+                tick: Duration::from_millis(100),
+                window: 2,
+                warmup_ticks: 2,
+                install_refresh: Duration::from_secs(2),
+                client: quiet_client(cfg.seed ^ 0x50),
+                ..BalancerConfig::default()
+            },
+        );
+        (reporters, Some(balancer))
+    } else {
+        (Vec::new(), None)
+    };
+
+    // Skew: every channel ring-homed on the same broker.
+    let ring = Ring::new(
+        &(0..BROKERS).map(ServerId::from_index).collect::<Vec<_>>(),
+        DEFAULT_VNODES,
+    );
+    let hot = ring.server_for(channel_id_of("skew-000")).index();
+    let channel_names: Vec<String> = (0..)
+        .map(|i| format!("skew-{i:03}"))
+        .filter(|name| ring.server_for(channel_id_of(name)).index() == hot)
+        .take(cfg.channels.max(1))
+        .collect();
+
+    let router_cfg = |seed: u64| RouterConfig {
+        client: quiet_client(seed),
+        tick: Duration::from_millis(1),
+        seed: Some(seed),
+        ..RouterConfig::default()
+    };
+
+    // One subscriber router over all channels; its drain thread parses
+    // the timestamp header out of every payload into the latency log.
+    let epoch = Instant::now();
+    let delivered = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sub = RoutedClient::connect(directory.clone(), router_cfg(cfg.seed ^ 1));
+    for name in &channel_names {
+        sub.subscribe(name);
+    }
+    let drain = {
+        let delivered = Arc::clone(&delivered);
+        let latencies = Arc::clone(&latencies);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            loop {
+                let mut idle = true;
+                while let Some(msg) = sub.try_message() {
+                    idle = false;
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                    let sent_us = msg
+                        .payload
+                        .split(|&b| b == b';')
+                        .next()
+                        .and_then(|f| std::str::from_utf8(f).ok())
+                        .and_then(|f| f.parse::<u64>().ok());
+                    if let Some(sent_us) = sent_us {
+                        let now_us = epoch.elapsed().as_micros() as u64;
+                        latencies
+                            .lock()
+                            .unwrap()
+                            .push(now_us.saturating_sub(sent_us));
+                    }
+                }
+                while sub.try_event().is_some() {}
+                if idle {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            sub.shutdown();
+        })
+    };
+    let want = channel_names.len();
+    let reg_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let subs: usize = channel_names
+            .iter()
+            .map(|name| {
+                brokers
+                    .iter()
+                    .map(|b| b.channel_subscribers(name))
+                    .sum::<usize>()
+            })
+            .sum();
+        if subs >= want {
+            break;
+        }
+        assert!(
+            Instant::now() < reg_deadline,
+            "subscriptions never registered ({subs}/{want})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Two publishers split the offered rate, pacing in 5 ms batches and
+    // stamping each payload with its publish time.
+    const PUBLISHERS: u64 = 2;
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let mut pub_threads = Vec::new();
+    for p in 0..PUBLISHERS {
+        let publisher = RoutedClient::connect(directory.clone(), router_cfg(cfg.seed ^ 0xB000 ^ p));
+        let names = channel_names.clone();
+        let per_batch = (cfg.offered_per_s / PUBLISHERS / 200).max(1) as usize;
+        let payload_bytes = cfg.payload_bytes;
+        pub_threads.push(std::thread::spawn(move || {
+            let mut sent = 0u64;
+            let mut i = p as usize;
+            let mut body = Vec::with_capacity(payload_bytes + 24);
+            while Instant::now() < deadline {
+                for _ in 0..per_batch {
+                    body.clear();
+                    body.extend_from_slice(epoch.elapsed().as_micros().to_string().as_bytes());
+                    body.push(b';');
+                    body.resize(body.len().max(payload_bytes), b'x');
+                    publisher.publish(&names[i % names.len()], &body);
+                    i += 1;
+                    sent += 1;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            std::thread::sleep(Duration::from_millis(200));
+            publisher.shutdown();
+            sent
+        }));
+    }
+    let published: u64 = pub_threads.into_iter().map(|t| t.join().unwrap()).sum();
+    let publish_secs = started.elapsed().as_secs_f64();
+
+    // Drain until deliveries stop growing (or everything arrived).
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = delivered.load(Ordering::Relaxed);
+    while last < published && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = delivered.load(Ordering::Relaxed);
+        if now == last {
+            break;
+        }
+        last = now;
+    }
+    stop.store(true, Ordering::Relaxed);
+    drain.join().unwrap();
+    let delivered = delivered.load(Ordering::Relaxed);
+
+    let (plans_installed, high_load_rebalances) = balancer
+        .as_ref()
+        .map(|b| {
+            let s = b.stats();
+            (s.plans_installed, s.high_load_rebalances)
+        })
+        .unwrap_or((0, 0));
+    if let Some(balancer) = balancer {
+        balancer.shutdown();
+    }
+    for reporter in reporters {
+        reporter.shutdown();
+    }
+    for sidecar in sidecars {
+        sidecar.shutdown();
+    }
+    for broker in brokers {
+        broker.shutdown();
+    }
+
+    let mut lat = std::mem::take(&mut *latencies.lock().unwrap());
+    lat.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+        lat[idx] as f64 / 1_000.0
+    };
+    let mean_ms = if lat.is_empty() {
+        f64::NAN
+    } else {
+        lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1_000.0
+    };
+
+    RebalanceBenchRow {
+        offered_per_s: cfg.offered_per_s,
+        rebalancing: cfg.rebalancing,
+        publish_secs,
+        published,
+        delivered,
+        delivery_ratio: if published == 0 {
+            1.0
+        } else {
+            delivered as f64 / published as f64
+        },
+        mean_ms,
+        p99_ms: quantile(0.99),
+        plans_installed,
+        high_load_rebalances,
+    }
+}
+
+/// Runs the offered-load grid, each rung with rebalancing off then on.
+pub fn rebalance_grid(
+    offered: &[u64],
+    duration: Duration,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<RebalanceBenchRow> {
+    let mut rows = Vec::new();
+    for &offered_per_s in offered {
+        for rebalancing in [false, true] {
+            rows.push(bench_rebalance(&RebalanceBenchConfig {
+                offered_per_s,
+                rebalancing,
+                duration,
+                payload_bytes,
+                seed,
+                ..RebalanceBenchConfig::default()
+            }));
+        }
+    }
+    rows
+}
+
+/// Serialises a bench series as the `BENCH_rebalance.json` artifact
+/// (hand-rolled — the workspace has no JSON dependency).
+pub fn write_rebalance_json(
+    mut w: impl IoWrite,
+    rows: &[RebalanceBenchRow],
+) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"bench\": \"rebalance_live\",")?;
+    writeln!(w, "  \"host_cores\": {cores},")?;
+    writeln!(w, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            w,
+            "    {{\"offered_per_s\": {}, \"rebalancing\": {}, \"publish_secs\": {:.3}, \
+             \"published\": {}, \"delivered\": {}, \"delivery_ratio\": {:.4}, \
+             \"mean_ms\": {:.2}, \"p99_ms\": {:.2}, \"plans_installed\": {}, \
+             \"high_load_rebalances\": {}}}{comma}",
+            r.offered_per_s,
+            r.rebalancing,
+            r.publish_secs,
+            r.published,
+            r.delivered,
+            r.delivery_ratio,
+            r.mean_ms,
+            r.p99_ms,
+            r.plans_installed,
+            r.high_load_rebalances,
+        )?;
+    }
+    writeln!(w, "  ]")?;
+    writeln!(w, "}}")
+}
+
+/// Prints a series as CSV.
+pub fn write_rebalance_csv(mut w: impl IoWrite, rows: &[RebalanceBenchRow]) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "offered_per_s,rebalancing,publish_secs,published,delivered,delivery_ratio,\
+         mean_ms,p99_ms,plans_installed,high_load_rebalances"
+    )?;
+    for r in rows {
+        writeln!(
+            w,
+            "{},{},{:.3},{},{},{:.4},{:.2},{:.2},{},{}",
+            r.offered_per_s,
+            r.rebalancing,
+            r.publish_secs,
+            r.published,
+            r.delivered,
+            r.delivery_ratio,
+            r.mean_ms,
+            r.p99_ms,
+            r.plans_installed,
+            r.high_load_rebalances,
+        )?;
+    }
+    Ok(())
+}

@@ -11,10 +11,10 @@
 //! provisioning delay.
 
 pub mod adaptive;
-pub mod channel_level;
-pub mod estimator;
-pub mod high_load;
-pub mod low_load;
+// The algorithm implementations moved to `dynamoth-pubsub` so the live
+// TCP control plane can reuse them; re-exported here under the
+// historical `dynamoth_core::balancer::*` paths.
+pub use dynamoth_pubsub::balance::{channel_level, estimator, high_load, low_load};
 
 use std::sync::Arc;
 

@@ -7,6 +7,7 @@
 //! same way against the simulated substrate (see `DESIGN.md` and
 //! `EXPERIMENTS.md`).
 
+use dynamoth_pubsub::balance::Tuning;
 use dynamoth_sim::SimDuration;
 
 /// Configuration of the load balancer, local load analyzers, dispatchers
@@ -170,6 +171,24 @@ impl DynamothConfig {
     /// eq. 1 expressed per tick).
     pub fn capacity_per_tick(&self) -> f64 {
         self.server_capacity * self.tick.as_secs_f64()
+    }
+}
+
+/// The balancing algorithms in `dynamoth-pubsub` consume a plain
+/// [`Tuning`] snapshot; this conversion lets every existing call site
+/// keep passing `&DynamothConfig`.
+impl From<&DynamothConfig> for Tuning {
+    fn from(cfg: &DynamothConfig) -> Tuning {
+        Tuning {
+            all_subs_threshold: cfg.all_subs_threshold,
+            publication_threshold: cfg.publication_threshold,
+            all_pubs_threshold: cfg.all_pubs_threshold,
+            subscriber_threshold: cfg.subscriber_threshold,
+            max_replication: cfg.max_replication,
+            lr_high: cfg.lr_high,
+            lr_safe: cfg.lr_safe,
+            lr_low: cfg.lr_low,
+        }
     }
 }
 

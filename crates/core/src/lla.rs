@@ -13,6 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use dynamoth_pubsub::balance::CapacityEstimator;
 use dynamoth_sim::NodeId;
 
 use crate::metrics::{ChannelTick, LlaReport};
@@ -31,7 +32,11 @@ struct Acc {
 #[derive(Debug)]
 pub struct Lla {
     server: ServerId,
-    capacity_bytes_per_tick: f64,
+    /// Observed-capacity estimate of `T_i`: the paper defines capacity
+    /// as the *measured maximum* outgoing throughput, so the advertised
+    /// bandwidth is only a floor (see
+    /// [`CapacityEstimator`]).
+    capacity: CapacityEstimator,
     tick: u64,
     acc: HashMap<ChannelId, Acc>,
     last_egress_total: u64,
@@ -40,11 +45,14 @@ pub struct Lla {
 
 impl Lla {
     /// Creates an analyzer for `server` with advertised capacity `T_i`
-    /// (bytes per tick).
+    /// (bytes per tick). The advertised value is a floor: when the
+    /// server demonstrates a higher sustained egress, the reported
+    /// capacity follows the measurement (with decay), so `LR_i` stops
+    /// lying when provisioned capacity ≠ real capacity.
     pub fn new(server: ServerId, capacity_bytes_per_tick: f64) -> Self {
         Lla {
             server,
-            capacity_bytes_per_tick,
+            capacity: CapacityEstimator::new(capacity_bytes_per_tick),
             tick: 0,
             acc: HashMap::new(),
             last_egress_total: 0,
@@ -107,6 +115,7 @@ impl Lla {
         }
         let measured = egress_total.saturating_sub(self.last_egress_total);
         self.last_egress_total = egress_total;
+        self.capacity.observe(measured as f64);
         let cpu_total_micros = cpu_total.as_micros();
         let cpu_busy_micros = cpu_total_micros.saturating_sub(self.last_cpu_total_micros);
         self.last_cpu_total_micros = cpu_total_micros;
@@ -118,7 +127,7 @@ impl Lla {
             server: self.server,
             tick,
             measured_egress_bytes: measured,
-            capacity_bytes: self.capacity_bytes_per_tick,
+            capacity_bytes: self.capacity.capacity(),
             cpu_busy_micros,
             channels,
         }
@@ -186,6 +195,37 @@ mod tests {
         assert_eq!(report.channels.len(), 1);
         assert_eq!(report.channels[0].1.subscribers, 3);
         assert_eq!(report.channels[0].1.publications, 0);
+    }
+
+    #[test]
+    fn capacity_follows_sustained_maximum() {
+        // Provisioned floor is 1000 bytes/tick, but the server sustains
+        // 1500: `T_i` must follow the measurement so the load ratio
+        // reads "at capacity" instead of 1.5 — but only once the level
+        // has held for the estimator's window. The first hot ticks still
+        // report LR > 1, which is what the adaptive-threshold controller
+        // keys off during near-failure episodes.
+        let mut lla = lla();
+        let r = lla.end_tick(1_500, dynamoth_sim::SimDuration::ZERO, []);
+        assert!((r.capacity_bytes - 1_000.0).abs() < 1e-9);
+        assert!((r.load_ratio() - 1.5).abs() < 1e-9);
+        let _ = lla.end_tick(3_000, dynamoth_sim::SimDuration::ZERO, []);
+        let r3 = lla.end_tick(4_500, dynamoth_sim::SimDuration::ZERO, []);
+        assert!((r3.capacity_bytes - 1_500.0).abs() < 1e-9);
+        assert!(r3.load_ratio() <= 1.0 + 1e-9);
+        // A quieter tick decays the demonstrated maximum without ever
+        // dropping below the provisioned floor.
+        let r4 = lla.end_tick(4_600, dynamoth_sim::SimDuration::ZERO, []);
+        assert!(r4.capacity_bytes < 1_500.0);
+        assert!(r4.capacity_bytes >= 1_000.0);
+    }
+
+    #[test]
+    fn capacity_stays_at_floor_under_light_load() {
+        let mut lla = lla();
+        let r = lla.end_tick(400, dynamoth_sim::SimDuration::ZERO, []);
+        assert!((r.capacity_bytes - 1_000.0).abs() < 1e-9);
+        assert!((r.load_ratio() - 0.4).abs() < 1e-9);
     }
 
     #[test]

@@ -1,439 +1,10 @@
 //! Load metrics: what the Local Load Analyzers record each time unit and
 //! how the load balancer aggregates it (§III-A).
+//!
+//! The implementation lives in `dynamoth-pubsub` (`balance::metrics`) so
+//! the live TCP control plane and the simulator share one copy; this
+//! module re-exports it under the historical `dynamoth_core` paths.
 
-use std::collections::{HashMap, VecDeque};
-
-use crate::plan::ChannelMapping;
-use crate::types::{ChannelId, ServerId};
-
-/// Metrics recorded for one channel on one server during one time unit
-/// `t` — exactly the quantities listed in §III-A of the paper.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ChannelTick {
-    /// Publications received on the channel.
-    pub publications: u64,
-    /// Messages sent to subscribers (fan-out deliveries).
-    pub deliveries: u64,
-    /// Incoming bytes.
-    pub bytes_in: u64,
-    /// Outgoing bytes.
-    pub bytes_out: u64,
-    /// Distinct publishers observed.
-    pub publishers: u32,
-    /// Subscribers at the end of the time unit.
-    pub subscribers: u32,
-}
-
-impl ChannelTick {
-    /// Merges another tick record into this one (summing counters,
-    /// taking the max of gauges).
-    pub fn merge(&mut self, other: &ChannelTick) {
-        self.publications += other.publications;
-        self.deliveries += other.deliveries;
-        self.bytes_in += other.bytes_in;
-        self.bytes_out += other.bytes_out;
-        self.publishers += other.publishers;
-        self.subscribers = self.subscribers.max(other.subscribers);
-    }
-}
-
-/// The aggregate update message an LLA sends to the load balancer: all
-/// per-channel metrics for one time unit plus the interface-level
-/// counters used for the load ratio (eq. 1).
-#[derive(Debug, Clone)]
-pub struct LlaReport {
-    /// Reporting server.
-    pub server: ServerId,
-    /// Time-unit index since the start of the simulation.
-    pub tick: u64,
-    /// Measured outgoing bytes on the network interface during the tick
-    /// (`M_i` of eq. 1, as bytes per tick).
-    pub measured_egress_bytes: u64,
-    /// Theoretical maximum outgoing bytes per tick (`T_i` of eq. 1).
-    pub capacity_bytes: f64,
-    /// CPU time consumed by the pub/sub server during the tick,
-    /// microseconds (used by the CPU-aware balancing extension; the
-    /// paper's balancer ignores it, §III-A).
-    pub cpu_busy_micros: u64,
-    /// Per-channel metrics for the tick.
-    pub channels: Vec<(ChannelId, ChannelTick)>,
-}
-
-impl LlaReport {
-    /// The load ratio `LR_i = M_i / T_i` of eq. 1 for this tick.
-    pub fn load_ratio(&self) -> f64 {
-        self.measured_egress_bytes as f64 / self.capacity_bytes
-    }
-
-    /// CPU utilization during the tick (`tick_micros` is the tick
-    /// length).
-    pub fn cpu_ratio(&self, tick_micros: u64) -> f64 {
-        self.cpu_busy_micros as f64 / tick_micros as f64
-    }
-
-    /// Approximate wire size of the report.
-    pub fn wire_size(&self) -> u32 {
-        128 + 48 * self.channels.len() as u32
-    }
-}
-
-/// Windowed aggregate of a channel across servers, the input to
-/// Algorithm 1 and the load estimator.
-///
-/// Combining per-server counters requires knowing the channel's current
-/// replication mode: under *all-subscribers* every subscriber appears on
-/// every member (distinct count = max) while each publication hits one
-/// member (sum); under *all-publishers* it is the publications that are
-/// mirrored to every member (max) while subscribers spread (sum).
-/// Without this normalization a replicated channel's ratios would be
-/// distorted by the replication factor and Algorithm 1 would oscillate.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct ChannelAggregate {
-    /// Mean distinct publications per tick.
-    pub publications_per_tick: f64,
-    /// Mean deliveries per tick (real traffic, summed).
-    pub deliveries_per_tick: f64,
-    /// Mean outgoing bytes per tick (real traffic, summed).
-    pub bytes_out_per_tick: f64,
-    /// Distinct subscribers.
-    pub subscribers: f64,
-    /// Distinct publishers (approximate).
-    pub publishers: f64,
-}
-
-/// The load balancer's sliding-window store of LLA reports.
-#[derive(Debug, Clone)]
-pub struct MetricsStore {
-    window: usize,
-    per_server: HashMap<ServerId, VecDeque<LlaReport>>,
-}
-
-impl MetricsStore {
-    /// Creates a store averaging over the last `window` ticks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `window` is zero.
-    pub fn new(window: usize) -> Self {
-        assert!(window > 0, "window must be positive");
-        MetricsStore {
-            window,
-            per_server: HashMap::new(),
-        }
-    }
-
-    /// Records a report, evicting data older than the window.
-    pub fn record(&mut self, report: LlaReport) {
-        let q = self.per_server.entry(report.server).or_default();
-        q.push_back(report);
-        while q.len() > self.window {
-            q.pop_front();
-        }
-    }
-
-    /// Forgets everything about `server` (used when it is despawned).
-    pub fn forget(&mut self, server: ServerId) {
-        self.per_server.remove(&server);
-    }
-
-    /// Windowed mean load ratio of `server`, or `None` if no report has
-    /// been received yet.
-    pub fn load_ratio(&self, server: ServerId) -> Option<f64> {
-        let q = self.per_server.get(&server)?;
-        if q.is_empty() {
-            return None;
-        }
-        Some(q.iter().map(LlaReport::load_ratio).sum::<f64>() / q.len() as f64)
-    }
-
-    /// Windowed mean CPU utilization of `server`.
-    pub fn cpu_ratio(&self, server: ServerId, tick_micros: u64) -> Option<f64> {
-        let q = self.per_server.get(&server)?;
-        if q.is_empty() {
-            return None;
-        }
-        Some(q.iter().map(|r| r.cpu_ratio(tick_micros)).sum::<f64>() / q.len() as f64)
-    }
-
-    /// Windowed mean outgoing bytes per tick of `server`.
-    pub fn egress_bytes_per_tick(&self, server: ServerId) -> Option<f64> {
-        let q = self.per_server.get(&server)?;
-        if q.is_empty() {
-            return None;
-        }
-        Some(
-            q.iter()
-                .map(|r| r.measured_egress_bytes as f64)
-                .sum::<f64>()
-                / q.len() as f64,
-        )
-    }
-
-    /// Windowed mean outgoing bytes per tick of `channel` on `server`.
-    pub fn channel_bytes_on(&self, server: ServerId, channel: ChannelId) -> f64 {
-        let Some(q) = self.per_server.get(&server) else {
-            return 0.0;
-        };
-        if q.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = q
-            .iter()
-            .map(|r| {
-                r.channels
-                    .iter()
-                    .find(|(c, _)| *c == channel)
-                    .map_or(0, |(_, t)| t.bytes_out)
-            })
-            .sum();
-        total as f64 / q.len() as f64
-    }
-
-    /// Windowed mean deliveries per tick of `channel` on `server`.
-    pub fn channel_deliveries_on(&self, server: ServerId, channel: ChannelId) -> f64 {
-        let Some(q) = self.per_server.get(&server) else {
-            return 0.0;
-        };
-        if q.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = q
-            .iter()
-            .map(|r| {
-                r.channels
-                    .iter()
-                    .find(|(c, _)| *c == channel)
-                    .map_or(0, |(_, t)| t.deliveries)
-            })
-            .sum();
-        total as f64 / q.len() as f64
-    }
-
-    /// Aggregates every channel seen in the window across all servers,
-    /// normalizing per the channel's current replication mode (see the
-    /// [`ChannelAggregate`] docs). `resolve` maps a channel to its
-    /// mapping under the current plan.
-    pub fn channel_aggregates(
-        &self,
-        resolve: impl Fn(ChannelId) -> ChannelMapping,
-    ) -> HashMap<ChannelId, ChannelAggregate> {
-        // Per-server windowed means of one channel:
-        // (publications, deliveries, bytes_out, subscribers, publishers).
-        type ServerMeans = (f64, f64, f64, f64, f64);
-        let mut per_channel: HashMap<ChannelId, Vec<ServerMeans>> = HashMap::new();
-        for q in self.per_server.values() {
-            if q.is_empty() {
-                continue;
-            }
-            let n = q.len() as f64;
-            let mut merged: HashMap<ChannelId, ChannelTick> = HashMap::new();
-            for report in q {
-                for (c, t) in &report.channels {
-                    merged.entry(*c).or_default().merge(t);
-                }
-            }
-            for (c, summed) in merged {
-                per_channel.entry(c).or_default().push((
-                    summed.publications as f64 / n,
-                    summed.deliveries as f64 / n,
-                    summed.bytes_out as f64 / n,
-                    // `merge` maxes the subscriber gauge over the window.
-                    summed.subscribers as f64,
-                    summed.publishers as f64 / n,
-                ));
-            }
-        }
-        per_channel
-            .into_iter()
-            .map(|(c, rows)| {
-                let mapping = resolve(c);
-                type ServerMeans = (f64, f64, f64, f64, f64);
-                let sum = |f: fn(&ServerMeans) -> f64| rows.iter().map(f).sum::<f64>();
-                let max = |f: fn(&ServerMeans) -> f64| rows.iter().map(f).fold(0.0_f64, f64::max);
-                let agg = match mapping {
-                    // Publications mirrored to every member; subscribers
-                    // spread across members.
-                    ChannelMapping::AllPublishers(_) => ChannelAggregate {
-                        publications_per_tick: max(|r| r.0),
-                        deliveries_per_tick: sum(|r| r.1),
-                        bytes_out_per_tick: sum(|r| r.2),
-                        subscribers: sum(|r| r.3),
-                        publishers: max(|r| r.4),
-                    },
-                    // Subscribers mirrored on every member; publications
-                    // spread across members.
-                    ChannelMapping::AllSubscribers(_) => ChannelAggregate {
-                        publications_per_tick: sum(|r| r.0),
-                        deliveries_per_tick: sum(|r| r.1),
-                        bytes_out_per_tick: sum(|r| r.2),
-                        subscribers: max(|r| r.3),
-                        publishers: sum(|r| r.4),
-                    },
-                    ChannelMapping::Single(_) => ChannelAggregate {
-                        publications_per_tick: sum(|r| r.0),
-                        deliveries_per_tick: sum(|r| r.1),
-                        bytes_out_per_tick: sum(|r| r.2),
-                        subscribers: max(|r| r.3),
-                        publishers: sum(|r| r.4),
-                    },
-                };
-                (c, agg)
-            })
-            .collect()
-    }
-
-    /// Every channel observed in the current window.
-    pub fn channels(&self) -> std::collections::BTreeSet<ChannelId> {
-        self.per_server
-            .values()
-            .flatten()
-            .flat_map(|r| r.channels.iter().map(|&(c, _)| c))
-            .collect()
-    }
-
-    /// Servers that have reported at least once.
-    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
-        self.per_server.keys().copied()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dynamoth_sim::NodeId;
-
-    fn sid(i: usize) -> ServerId {
-        ServerId(NodeId::from_index(i))
-    }
-
-    fn report(
-        server: usize,
-        tick: u64,
-        egress: u64,
-        channels: Vec<(u64, ChannelTick)>,
-    ) -> LlaReport {
-        LlaReport {
-            server: sid(server),
-            tick,
-            measured_egress_bytes: egress,
-            capacity_bytes: 1_000.0,
-            cpu_busy_micros: 0,
-            channels: channels
-                .into_iter()
-                .map(|(c, t)| (ChannelId(c), t))
-                .collect(),
-        }
-    }
-
-    #[test]
-    fn load_ratio_is_measured_over_capacity() {
-        let r = report(0, 0, 800, vec![]);
-        assert!((r.load_ratio() - 0.8).abs() < 1e-9);
-    }
-
-    #[test]
-    fn store_averages_over_window() {
-        let mut store = MetricsStore::new(2);
-        store.record(report(0, 0, 400, vec![]));
-        store.record(report(0, 1, 800, vec![]));
-        assert!((store.load_ratio(sid(0)).unwrap() - 0.6).abs() < 1e-9);
-        // Window evicts the oldest.
-        store.record(report(0, 2, 800, vec![]));
-        assert!((store.load_ratio(sid(0)).unwrap() - 0.8).abs() < 1e-9);
-        assert_eq!(store.load_ratio(sid(1)), None);
-    }
-
-    #[test]
-    fn channel_bytes_on_server() {
-        let mut store = MetricsStore::new(2);
-        let t = ChannelTick {
-            bytes_out: 100,
-            ..Default::default()
-        };
-        store.record(report(0, 0, 0, vec![(7, t)]));
-        store.record(report(0, 1, 0, vec![]));
-        // 100 bytes over a 2-tick window.
-        assert!((store.channel_bytes_on(sid(0), ChannelId(7)) - 50.0).abs() < 1e-9);
-        assert_eq!(store.channel_bytes_on(sid(1), ChannelId(7)), 0.0);
-    }
-
-    #[test]
-    fn aggregates_merge_across_servers() {
-        let mut store = MetricsStore::new(1);
-        let t0 = ChannelTick {
-            publications: 10,
-            subscribers: 5,
-            publishers: 2,
-            bytes_out: 1_000,
-            deliveries: 50,
-            bytes_in: 0,
-        };
-        let t1 = ChannelTick {
-            publications: 20,
-            subscribers: 5, // same subscribers on the replica
-            publishers: 3,
-            bytes_out: 2_000,
-            deliveries: 100,
-            bytes_in: 0,
-        };
-        store.record(report(0, 0, 0, vec![(1, t0)]));
-        store.record(report(1, 0, 0, vec![(1, t1)]));
-        // Treated as all-subscribers: publications spread (sum), the
-        // subscriber set is mirrored (max).
-        let all_subs =
-            |_c: ChannelId| crate::plan::ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]);
-        let a = store.channel_aggregates(all_subs)[&ChannelId(1)];
-        assert!((a.publications_per_tick - 30.0).abs() < 1e-9);
-        assert!((a.subscribers - 5.0).abs() < 1e-9);
-        assert!((a.publishers - 5.0).abs() < 1e-9);
-        assert!((a.bytes_out_per_tick - 3_000.0).abs() < 1e-9);
-        // Treated as all-publishers: publications are mirrored (max),
-        // subscribers spread (sum).
-        let all_pubs =
-            |_c: ChannelId| crate::plan::ChannelMapping::AllPublishers(vec![sid(0), sid(1)]);
-        let b = store.channel_aggregates(all_pubs)[&ChannelId(1)];
-        assert!((b.publications_per_tick - 20.0).abs() < 1e-9);
-        assert!((b.subscribers - 10.0).abs() < 1e-9);
-        assert!((b.publishers - 3.0).abs() < 1e-9);
-        assert_eq!(store.channels().len(), 1);
-    }
-
-    #[test]
-    fn forget_removes_server() {
-        let mut store = MetricsStore::new(2);
-        store.record(report(0, 0, 100, vec![]));
-        store.forget(sid(0));
-        assert_eq!(store.load_ratio(sid(0)), None);
-        assert_eq!(store.servers().count(), 0);
-    }
-
-    #[test]
-    fn merge_sums_counters_maxes_gauges() {
-        let mut a = ChannelTick {
-            publications: 1,
-            deliveries: 2,
-            bytes_in: 3,
-            bytes_out: 4,
-            publishers: 1,
-            subscribers: 10,
-        };
-        let b = ChannelTick {
-            publications: 10,
-            deliveries: 20,
-            bytes_in: 30,
-            bytes_out: 40,
-            publishers: 2,
-            subscribers: 5,
-        };
-        a.merge(&b);
-        assert_eq!(a.publications, 11);
-        assert_eq!(a.subscribers, 10);
-        assert_eq!(a.publishers, 3);
-    }
-
-    #[test]
-    #[should_panic(expected = "window must be positive")]
-    fn zero_window_panics() {
-        let _ = MetricsStore::new(0);
-    }
-}
+pub use dynamoth_pubsub::balance::metrics::{
+    ChannelAggregate, ChannelTick, LlaReport, MetricsStore,
+};

@@ -9,13 +9,14 @@
 //! all-publishers would multiply every publication by the replica count
 //! (§III-B1, corner case).
 
-use crate::config::DynamothConfig;
+use crate::channel::Channel as ChannelId;
 use crate::hashing::Ring;
-use crate::metrics::ChannelAggregate;
+use crate::ids::ServerId;
 use crate::plan::{ChannelMapping, Plan};
-use crate::types::{ChannelId, ServerId};
 
 use super::estimator::LoadView;
+use super::metrics::ChannelAggregate;
+use super::Tuning;
 
 /// The outcome of Algorithm 1 for one channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +31,8 @@ pub enum ReplicationDecision {
 
 /// Algorithm 1: decides whether `channel` metrics warrant replication
 /// and over how many servers.
-pub fn decide(agg: &ChannelAggregate, cfg: &DynamothConfig) -> ReplicationDecision {
+pub fn decide(agg: &ChannelAggregate, cfg: impl Into<Tuning>) -> ReplicationDecision {
+    let cfg: Tuning = cfg.into();
     let pubs = agg.publications_per_tick;
     let subs = agg.subscribers;
     let p_ratio = pubs / subs.max(1.0);
@@ -58,8 +60,9 @@ pub fn apply(
     aggregates: &[(ChannelId, ChannelAggregate)],
     view: &mut LoadView,
     active: &[ServerId],
-    cfg: &DynamothConfig,
+    cfg: impl Into<Tuning>,
 ) -> bool {
+    let cfg: Tuning = cfg.into();
     let mut changed = false;
     for (channel, agg) in aggregates {
         let decision = decide(agg, cfg);
@@ -176,21 +179,21 @@ fn select_members(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{ChannelTick, LlaReport, MetricsStore};
+    use crate::balance::metrics::{ChannelTick, LlaReport, MetricsStore};
     use dynamoth_sim::NodeId;
 
     fn sid(i: usize) -> ServerId {
         ServerId(NodeId::from_index(i))
     }
 
-    fn cfg() -> DynamothConfig {
-        DynamothConfig {
+    fn cfg() -> Tuning {
+        Tuning {
             all_subs_threshold: 100.0,
             publication_threshold: 500.0,
             all_pubs_threshold: 20.0,
             subscriber_threshold: 100.0,
             max_replication: 3,
-            ..DynamothConfig::default()
+            ..Tuning::default()
         }
     }
 

@@ -9,8 +9,9 @@
 
 use std::collections::HashMap;
 
-use crate::metrics::MetricsStore;
-use crate::types::{ChannelId, ServerId};
+use super::metrics::MetricsStore;
+use crate::channel::Channel as ChannelId;
+use crate::ids::ServerId;
 
 /// Mutable estimate of per-server load under a candidate plan.
 #[derive(Debug, Clone)]
@@ -212,7 +213,7 @@ impl LoadView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{ChannelTick, LlaReport};
+    use crate::balance::metrics::{ChannelTick, LlaReport};
     use dynamoth_sim::NodeId;
 
     fn sid(i: usize) -> ServerId {

@@ -6,12 +6,12 @@
 //! `LR_safe`. If the pool has no capacity left to absorb the excess,
 //! additional servers must be rented from the cloud.
 
-use crate::config::DynamothConfig;
+use crate::channel::Channel as ChannelId;
 use crate::hashing::Ring;
 use crate::plan::Plan;
-use crate::types::ChannelId;
 
 use super::estimator::LoadView;
+use super::Tuning;
 
 /// Result of a high-load rebalancing pass.
 #[derive(Debug, Clone)]
@@ -34,13 +34,14 @@ pub fn rebalance(
     plan: &Plan,
     view: &mut LoadView,
     ring: &Ring,
-    cfg: &DynamothConfig,
+    cfg: impl Into<Tuning>,
 ) -> HighLoadOutcome {
+    let cfg: Tuning = cfg.into();
     let mut p_star = plan.clone();
     let mut changed = false;
     let mut servers_wanted = 0usize;
     // Servers we already failed to relieve; prevents infinite loops.
-    let mut exhausted: Vec<crate::types::ServerId> = Vec::new();
+    let mut exhausted: Vec<crate::ids::ServerId> = Vec::new();
 
     while let Some((h_max, lr_max)) = view
         .servers()
@@ -73,7 +74,7 @@ pub fn rebalance(
             // managed by channel-level rebalancing.
             if p_star
                 .mapping(channel)
-                .is_some_and(super::super::plan::ChannelMapping::is_replicated)
+                .is_some_and(crate::plan::ChannelMapping::is_replicated)
             {
                 skip.push(channel);
                 continue;
@@ -103,8 +104,8 @@ pub fn rebalance(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{ChannelTick, LlaReport, MetricsStore};
-    use crate::types::ServerId;
+    use crate::balance::metrics::{ChannelTick, LlaReport, MetricsStore};
+    use crate::ids::ServerId;
     use dynamoth_sim::NodeId;
 
     fn sid(i: usize) -> ServerId {
@@ -127,11 +128,11 @@ mod tests {
             .collect()
     }
 
-    fn cfg() -> DynamothConfig {
-        DynamothConfig {
+    fn cfg() -> Tuning {
+        Tuning {
             lr_high: 0.9,
             lr_safe: 0.7,
-            ..DynamothConfig::default()
+            ..Tuning::default()
         }
     }
 

@@ -7,12 +7,12 @@
 //! back to the cloud. The operation aborts (and releases nothing) if
 //! the remaining pool cannot absorb all channels.
 
-use crate::config::DynamothConfig;
 use crate::hashing::Ring;
+use crate::ids::ServerId;
 use crate::plan::Plan;
-use crate::types::ServerId;
 
 use super::estimator::LoadView;
+use super::Tuning;
 
 /// Result of a low-load rebalancing pass.
 #[derive(Debug, Clone)]
@@ -30,8 +30,9 @@ pub fn rebalance(
     plan: &Plan,
     view: &mut LoadView,
     ring: &Ring,
-    cfg: &DynamothConfig,
+    cfg: impl Into<Tuning>,
 ) -> Option<LowLoadOutcome> {
+    let cfg: Tuning = cfg.into();
     if view.servers().count() <= 1 {
         return None;
     }
@@ -69,8 +70,8 @@ pub fn rebalance(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{ChannelTick, LlaReport, MetricsStore};
-    use crate::types::ChannelId;
+    use crate::balance::metrics::{ChannelTick, LlaReport, MetricsStore};
+    use crate::channel::Channel as ChannelId;
     use dynamoth_sim::NodeId;
 
     fn sid(i: usize) -> ServerId {
@@ -91,11 +92,11 @@ mod tests {
             .collect()
     }
 
-    fn cfg() -> DynamothConfig {
-        DynamothConfig {
+    fn cfg() -> Tuning {
+        Tuning {
             lr_low: 0.35,
             lr_safe: 0.7,
-            ..DynamothConfig::default()
+            ..Tuning::default()
         }
     }
 

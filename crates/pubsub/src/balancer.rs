@@ -1,0 +1,551 @@
+//! The live load balancer: Dynamoth's control loop (§III) closed over
+//! real TCP brokers.
+//!
+//! Two services make the loop:
+//!
+//! - A [`LoadReporter`] runs next to each broker. It periodically
+//!   harvests the broker's [`BrokerLoadAnalyzer`](crate::load) deltas
+//!   and publishes them — as ordinary pub/sub traffic on the broker's
+//!   own `__dmc.lla.*` channel — so the balancer needs no side channel
+//!   and the broker stays protocol-unmodified, exactly like the paper's
+//!   LLA-over-Redis design.
+//! - One [`LiveLoadBalancer`] subscribes to every broker's report
+//!   channel, feeds the reports into the same [`MetricsStore`] /
+//!   [`LoadView`] / Algorithm 1 / Algorithm 2 / low-load-drain pipeline
+//!   the simulator uses, and turns resulting plan deltas into
+//!   [`InstallFrame`]s published to the involved brokers' dispatcher
+//!   sidecars. The sidecars then run the ordinary lazy-reconfiguration
+//!   window (`<switch>`, `MOVED`, bidirectional forwarding), so a hot
+//!   channel migrates with no client involvement and exactly-once
+//!   delivery intact.
+//!
+//! The balancer is deliberately stateless towards the brokers: if it
+//! dies, traffic keeps flowing under the last installed plan — the data
+//! plane never depends on the control plane being alive.
+
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::balance::estimator::LoadView;
+use crate::balance::metrics::{ChannelAggregate, LlaReport, MetricsStore};
+use crate::balance::{channel_level, high_load, low_load, CapacityEstimator, Tuning};
+use crate::broker::BrokerLoadHandle;
+use crate::channel::Channel as ChannelId;
+use crate::client::{ClientConfig, TcpPubSubClient};
+use crate::control::{
+    channel_id_of, decode_report, encode_report, install_channel, is_control_channel, lla_channel,
+    InstallFrame,
+};
+use crate::hashing::{Ring, DEFAULT_VNODES};
+use crate::ids::{PlanId, ServerId};
+use crate::plan::Plan;
+
+/// Tuning knobs of a [`LiveLoadBalancer`].
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// Thresholds for Algorithms 1/2 and the low-load drain.
+    pub tuning: Tuning,
+    /// Provisioned broker capacity in bytes per report interval — the
+    /// floor of the observed-capacity estimate (`T_i`).
+    pub capacity_floor: f64,
+    /// Evaluation cadence. Keep close to the [`LoadReporter`] interval:
+    /// the metrics window counts reports, not wall time.
+    pub tick: Duration,
+    /// Sliding metrics window, in reports per broker.
+    pub window: usize,
+    /// Evaluation ticks to wait before the first rebalancing decision,
+    /// so the window holds real measurements instead of startup zeros.
+    pub warmup_ticks: u64,
+    /// How long plan-delta installs are re-published after a migration,
+    /// refreshing the sidecars' forwarding TTL across the window.
+    pub install_refresh: Duration,
+    /// Virtual identifiers per server on the fallback ring. Must match
+    /// the routers' [`RouterConfig::vnodes`](crate::RouterConfig).
+    pub vnodes: u32,
+    /// Tuning for the balancer's own broker connections.
+    pub client: ClientConfig,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            tuning: Tuning::default(),
+            capacity_floor: 1_000_000.0,
+            tick: Duration::from_secs(1),
+            window: 3,
+            warmup_ticks: 3,
+            install_refresh: Duration::from_secs(3),
+            vnodes: DEFAULT_VNODES,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Counters and gauges describing a [`LiveLoadBalancer`]'s activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LiveBalancerStats {
+    /// Broker load reports ingested.
+    pub reports_received: u64,
+    /// Plans installed (each bumps `plan_version`).
+    pub plans_installed: u64,
+    /// Evaluations where Algorithm 2 migrated channels off an
+    /// overloaded broker.
+    pub high_load_rebalances: u64,
+    /// Evaluations where the low-load drain released a broker.
+    pub low_load_drains: u64,
+    /// Evaluations where Algorithm 1 changed a channel's replication.
+    pub channel_level_rebalances: u64,
+    /// Brokers currently active (not drained).
+    pub active_brokers: usize,
+    /// Version of the most recently installed plan (0 = bootstrap).
+    pub plan_version: u64,
+    /// Windowed load ratio per broker directory index, for brokers that
+    /// have reported.
+    pub load_ratios: Vec<(usize, f64)>,
+}
+
+/// Publishes one broker's load reports on its `__dmc.lla.*` channel at
+/// a fixed interval (see module docs).
+pub struct LoadReporter {
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LoadReporter {
+    /// Starts reporting for the broker with directory index `broker`,
+    /// reachable at `addr`, harvesting through `handle` every
+    /// `interval`.
+    pub fn start(
+        handle: BrokerLoadHandle,
+        broker: usize,
+        addr: SocketAddr,
+        interval: Duration,
+        client: ClientConfig,
+    ) -> LoadReporter {
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let thread = std::thread::spawn(move || {
+            let conn = TcpPubSubClient::connect_addr(addr, client);
+            let channel = lla_channel(broker);
+            while flag.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                let report = handle.report();
+                conn.publish(&channel, &encode_report(&report));
+            }
+        });
+        LoadReporter {
+            running,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the reporter thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LoadReporter {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for LoadReporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadReporter").finish_non_exhaustive()
+    }
+}
+
+/// The live balancing service (see module docs).
+pub struct LiveLoadBalancer {
+    running: Arc<AtomicBool>,
+    stats: Arc<Mutex<LiveBalancerStats>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LiveLoadBalancer {
+    /// Starts balancing the brokers in `directory` (index `i` ↔
+    /// [`ServerId::from_index`]`(i)`, same convention as routers and
+    /// sidecars).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directory` is empty.
+    pub fn start(directory: Vec<SocketAddr>, cfg: BalancerConfig) -> LiveLoadBalancer {
+        assert!(!directory.is_empty(), "directory needs at least one broker");
+        let running = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(Mutex::new(LiveBalancerStats {
+            active_brokers: directory.len(),
+            ..LiveBalancerStats::default()
+        }));
+        let flag = Arc::clone(&running);
+        let stats_out = Arc::clone(&stats);
+        let thread = std::thread::spawn(move || Engine::new(directory, cfg, flag, stats_out).run());
+        LiveLoadBalancer {
+            running,
+            stats,
+            thread: Some(thread),
+        }
+    }
+
+    /// Counters and gauges so far.
+    pub fn stats(&self) -> LiveBalancerStats {
+        self.stats.lock().clone()
+    }
+
+    /// Stops the balancer. Brokers keep serving under the last
+    /// installed plan.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LiveLoadBalancer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for LiveLoadBalancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveLoadBalancer").finish_non_exhaustive()
+    }
+}
+
+/// A plan delta awaiting its refresh window: re-published every tick
+/// until `installed_at + install_refresh`, so sidecar forwarding TTLs
+/// stay fresh for the whole reconfiguration window.
+struct PendingInstall {
+    installed_at: Instant,
+    frame: InstallFrame,
+    targets: Vec<usize>,
+}
+
+/// The balancer's worker thread state.
+struct Engine {
+    directory: Vec<SocketAddr>,
+    cfg: BalancerConfig,
+    running: Arc<AtomicBool>,
+    stats: Arc<Mutex<LiveBalancerStats>>,
+    /// One connection per broker: subscribed to its report channel,
+    /// used to publish installs to its sidecar.
+    clients: Vec<TcpPubSubClient>,
+    ring: Ring,
+    plan: Plan,
+    next_plan_id: u64,
+    /// Brokers currently in the balancing pool; a low-load drain parks
+    /// a broker here without touching the directory.
+    active: Vec<ServerId>,
+    store: MetricsStore,
+    /// One shared estimator observing the per-tick *maximum* egress
+    /// across brokers: per-broker estimators would mix idle brokers'
+    /// zeros into the sustained-minimum window and never learn.
+    capacity: CapacityEstimator,
+    /// Channel names by id — reports carry names, plans carry ids.
+    names: HashMap<ChannelId, String>,
+    /// Brokers that have reported at least once (evaluation gate).
+    reported: HashSet<usize>,
+    ticks: u64,
+    pending_installs: Vec<PendingInstall>,
+}
+
+impl Engine {
+    fn new(
+        directory: Vec<SocketAddr>,
+        cfg: BalancerConfig,
+        running: Arc<AtomicBool>,
+        stats: Arc<Mutex<LiveBalancerStats>>,
+    ) -> Engine {
+        let servers: Vec<ServerId> = (0..directory.len()).map(ServerId::from_index).collect();
+        let ring = Ring::new(&servers, cfg.vnodes);
+        let clients: Vec<TcpPubSubClient> = directory
+            .iter()
+            .enumerate()
+            .map(|(idx, &addr)| {
+                let client = TcpPubSubClient::connect_addr(addr, cfg.client.clone());
+                client.subscribe(&lla_channel(idx));
+                client
+            })
+            .collect();
+        Engine {
+            store: MetricsStore::new(cfg.window),
+            capacity: CapacityEstimator::new(cfg.capacity_floor),
+            directory,
+            running,
+            stats,
+            clients,
+            ring,
+            plan: Plan::bootstrap(),
+            next_plan_id: 1,
+            active: servers,
+            names: HashMap::new(),
+            reported: HashSet::new(),
+            ticks: 0,
+            pending_installs: Vec::new(),
+            cfg,
+        }
+    }
+
+    fn run(mut self) {
+        while self.running.load(Ordering::SeqCst) {
+            std::thread::sleep(self.cfg.tick);
+            self.ingest();
+            self.ticks += 1;
+            if self.reported.len() == self.directory.len() && self.ticks >= self.cfg.warmup_ticks {
+                self.evaluate();
+            }
+            self.refresh_installs();
+            self.publish_stats();
+        }
+    }
+
+    /// Drains every broker connection, converting `DMLLA1` payloads to
+    /// [`LlaReport`]s for the metrics window and feeding the capacity
+    /// estimator the tick's maximum observed egress.
+    fn ingest(&mut self) {
+        let mut max_egress: Option<f64> = None;
+        for (idx, client) in self.clients.iter().enumerate() {
+            while client.try_event().is_some() {}
+            while let Some(msg) = client.try_message() {
+                if msg.channel != lla_channel(idx) {
+                    continue;
+                }
+                let Some(report) = decode_report(&msg.payload) else {
+                    continue;
+                };
+                max_egress = Some(max_egress.unwrap_or(0.0).max(report.egress_bytes as f64));
+                let mut channels = Vec::with_capacity(report.channels.len());
+                for (name, tick) in report.channels {
+                    // The control plane's own traffic (reports, installs,
+                    // MOVED frames) must not influence balancing.
+                    if is_control_channel(&name) {
+                        continue;
+                    }
+                    let id = channel_id_of(&name);
+                    self.names.entry(id).or_insert(name);
+                    channels.push((id, tick));
+                }
+                self.store.record(LlaReport {
+                    server: ServerId::from_index(idx),
+                    tick: report.tick,
+                    measured_egress_bytes: report.egress_bytes,
+                    capacity_bytes: self.capacity.capacity(),
+                    cpu_busy_micros: 0,
+                    channels,
+                });
+                self.reported.insert(idx);
+                self.stats.lock().reports_received += 1;
+            }
+        }
+        if let Some(max) = max_egress {
+            self.capacity.observe(max);
+        }
+    }
+
+    /// One balancing evaluation, mirroring the simulator's
+    /// `evaluate_dynamoth`: Algorithm 1 (channel-level replication),
+    /// then Algorithm 2 (high-load migration), then — only when the
+    /// system is otherwise stable — the low-load drain.
+    fn evaluate(&mut self) {
+        let capacity = self.capacity.capacity();
+        let mut view = LoadView::from_store(&self.store, &self.active, capacity);
+        let mut aggregates: Vec<(ChannelId, ChannelAggregate)> = self
+            .store
+            .channel_aggregates(|c| self.plan.resolve(c, &self.ring))
+            .into_iter()
+            .collect();
+        aggregates.sort_by_key(|&(c, _)| c); // deterministic decisions
+
+        let mut candidate = self.plan.clone();
+        let cl_changed = channel_level::apply(
+            &mut candidate,
+            &self.ring,
+            &aggregates,
+            &mut view,
+            &self.active,
+            self.cfg.tuning,
+        );
+        let high = high_load::rebalance(&candidate, &mut view, &self.ring, self.cfg.tuning);
+        let mut candidate = high.plan;
+        let mut drained = None;
+        if !high.changed && !cl_changed && high.servers_wanted == 0 && self.active.len() > 1 {
+            if let Some(out) =
+                low_load::rebalance(&candidate, &mut view, &self.ring, self.cfg.tuning)
+            {
+                candidate = out.plan;
+                drained = Some(out.release);
+            }
+        }
+
+        {
+            let mut stats = self.stats.lock();
+            if cl_changed {
+                stats.channel_level_rebalances += 1;
+            }
+            if high.changed {
+                stats.high_load_rebalances += 1;
+            }
+            if drained.is_some() {
+                stats.low_load_drains += 1;
+            }
+        }
+
+        if high.servers_wanted > 0 {
+            // The pool cannot absorb the load: re-admit parked brokers
+            // (the TCP tier cannot rent new machines, but drained ones
+            // are free capacity).
+            for idx in 0..self.directory.len() {
+                let s = ServerId::from_index(idx);
+                if !self.active.contains(&s) {
+                    self.active.push(s);
+                }
+            }
+            self.active.sort();
+        } else if let Some(victim) = drained {
+            self.active.retain(|&s| s != victim);
+            self.store.forget(victim);
+            self.reported.remove(&victim.index());
+        }
+        self.readmit_loaded_parked_brokers();
+
+        let changes = self.plan.diff(&candidate, &self.ring);
+        if changes.is_empty() {
+            return;
+        }
+        let plan_id = PlanId(self.next_plan_id);
+        self.next_plan_id += 1;
+        candidate.set_id(plan_id);
+        let now = Instant::now();
+        for change in changes {
+            let Some(name) = self.names.get(&change.channel) else {
+                continue; // never observed on the wire; nothing to tell
+            };
+            let frame = InstallFrame {
+                plan: plan_id,
+                channel: name.clone(),
+                old: change.old,
+                new: change.new,
+            };
+            let mut targets: Vec<usize> = frame
+                .old
+                .servers()
+                .iter()
+                .chain(frame.new.servers())
+                .map(|s| s.index())
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            self.send_install(&frame, &targets);
+            self.pending_installs.push(PendingInstall {
+                installed_at: now,
+                frame,
+                targets,
+            });
+        }
+        self.plan = candidate;
+        self.stats.lock().plans_installed += 1;
+    }
+
+    /// A drained broker is invisible to the plan, but the ring still
+    /// homes *new* channels on it — if such a channel heats up, the
+    /// broker must rejoin the pool or its load is never balanced.
+    fn readmit_loaded_parked_brokers(&mut self) {
+        let threshold = self.cfg.tuning.lr_low * self.capacity.capacity();
+        let mut changed = false;
+        for idx in 0..self.directory.len() {
+            let s = ServerId::from_index(idx);
+            if self.active.contains(&s) {
+                continue;
+            }
+            if self.store.egress_bytes_per_tick(s).unwrap_or(0.0) >= threshold {
+                self.active.push(s);
+                changed = true;
+            }
+        }
+        if changed {
+            self.active.sort();
+        }
+    }
+
+    fn send_install(&self, frame: &InstallFrame, targets: &[usize]) {
+        let payload = frame.encode();
+        for &idx in targets {
+            if let Some(client) = self.clients.get(idx) {
+                client.publish(&install_channel(idx), &payload);
+            }
+        }
+    }
+
+    /// Re-publishes young installs so the sidecars' forwarding TTLs stay
+    /// refreshed across the reconfiguration window (the install path is
+    /// idempotent per (channel, plan)).
+    fn refresh_installs(&mut self) {
+        let refresh = self.cfg.install_refresh;
+        let now = Instant::now();
+        self.pending_installs
+            .retain(|p| now.duration_since(p.installed_at) < refresh);
+        for p in &self.pending_installs {
+            self.send_install(&p.frame, &p.targets);
+        }
+    }
+
+    fn publish_stats(&self) {
+        let mut load_ratios: Vec<(usize, f64)> = (0..self.directory.len())
+            .filter_map(|idx| {
+                self.store
+                    .load_ratio(ServerId::from_index(idx))
+                    .map(|lr| (idx, lr))
+            })
+            .collect();
+        load_ratios.sort_by_key(|&(idx, _)| idx);
+        let mut stats = self.stats.lock();
+        stats.active_brokers = self.active.len();
+        stats.plan_version = self.plan.id().0;
+        stats.load_ratios = load_ratios;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one broker")]
+    fn empty_directory_panics() {
+        let _ = LiveLoadBalancer::start(Vec::new(), BalancerConfig::default());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = BalancerConfig::default();
+        assert!(cfg.window >= 1);
+        assert!(cfg.warmup_ticks >= 1);
+        assert!(cfg.capacity_floor > 0.0);
+        assert!(cfg.install_refresh > cfg.tick);
+    }
+}

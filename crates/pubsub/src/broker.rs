@@ -39,6 +39,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::load::{BrokerLoadAnalyzer, BrokerLoadReport};
 use crate::outbox::{self, Frame, OutboxSender, OverflowPolicy};
 use crate::resp::{self, Command, Value};
 use crate::shard::{ShardedIndex, SubscriberRef};
@@ -141,6 +142,9 @@ struct ConnState {
 struct BrokerShared {
     config: BrokerConfig,
     index: ShardedIndex,
+    /// Live load analyzer riding the publish hot path (see
+    /// [`crate::load`]).
+    load: BrokerLoadAnalyzer,
     /// Connection registry: touched on connect, disconnect and kill —
     /// never on the pub/sub hot path.
     conns: Mutex<HashMap<u64, Arc<ConnState>>>,
@@ -221,6 +225,7 @@ impl TcpBroker {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(BrokerShared {
             index: ShardedIndex::new(config.shards),
+            load: BrokerLoadAnalyzer::new(config.shards),
             config,
             conns: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
@@ -290,6 +295,25 @@ impl TcpBroker {
         }
     }
 
+    /// Closes the current load-measurement interval and returns its
+    /// per-channel traffic deltas plus the current subscriber gauge —
+    /// the broker-side half of the live control plane. Each counter
+    /// increment appears in exactly one report across successive calls.
+    pub fn load_report(&self) -> BrokerLoadReport {
+        self.shared
+            .load
+            .harvest(self.shared.index.channels_with_subscribers())
+    }
+
+    /// A cloneable handle that can harvest [`Self::load_report`]s after
+    /// the broker has been moved elsewhere (e.g. from a reporter
+    /// thread).
+    pub fn load_handle(&self) -> BrokerLoadHandle {
+        BrokerLoadHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Frames shed per live connection (connection id, dropped count).
     /// Non-zero entries under [`OverflowPolicy::DropOldest`] identify
     /// the subscribers that cannot keep up.
@@ -337,6 +361,31 @@ impl TcpBroker {
             frames_flushed: counters.frames.load(Ordering::Relaxed) - flushed_before,
             frames_dropped: counters.dropped.load(Ordering::Relaxed) - dropped_before,
         }
+    }
+}
+
+/// A cloneable handle onto a broker's load analyzer, detached from the
+/// [`TcpBroker`] value itself so a reporter thread can harvest reports
+/// while the broker lives on another thread. Holding a handle does not
+/// keep the broker serving — once the broker shuts down the handle just
+/// reports the final quiescent counters.
+#[derive(Clone)]
+pub struct BrokerLoadHandle {
+    shared: Arc<BrokerShared>,
+}
+
+impl BrokerLoadHandle {
+    /// Harvests the next load report (see [`TcpBroker::load_report`]).
+    pub fn report(&self) -> BrokerLoadReport {
+        self.shared
+            .load
+            .harvest(self.shared.index.channels_with_subscribers())
+    }
+}
+
+impl std::fmt::Debug for BrokerLoadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerLoadHandle").finish_non_exhaustive()
     }
 }
 
@@ -531,10 +580,12 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
             let snapshot = shared.index.snapshot(&name);
             let mut delivered = 0i64;
             let mut overflowed: Vec<u64> = Vec::new();
+            let mut frame_len = 0u64;
             if let Some(subs) = snapshot {
                 // Encode the push once; every outbox shares the
                 // allocation.
                 let frame = encode_frame(&resp::message_push(&name, &payload));
+                frame_len = frame.len() as u64;
                 for sub in subs.iter() {
                     if sub.outbox.push(Arc::clone(&frame)) {
                         delivered += 1;
@@ -543,6 +594,12 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
                     }
                 }
             }
+            shared.load.note_publish(
+                &name,
+                (name.len() + payload.len()) as u64,
+                frame_len * delivered as u64,
+                delivered as u64,
+            );
             // A full outbox means the subscriber cannot keep up: kill
             // it, like Redis does. (Under `DropOldest` the push never
             // fails on a live connection, so nothing lands here.)

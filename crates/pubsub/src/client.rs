@@ -323,6 +323,18 @@ impl TcpPubSubClient {
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
         })?;
+        Ok(TcpPubSubClient::connect_addr(addr, config))
+    }
+
+    /// Starts a client for an already-resolved address. Infallible: the
+    /// TCP connection itself is established (and re-established, with
+    /// capped-exponential backoff) by the background worker, so there is
+    /// nothing left that can fail synchronously — watch
+    /// [`ClientEvent`]s to observe connection state. This is the entry
+    /// point for infrastructure that must never panic or abort on a
+    /// temporarily unreachable peer (dispatcher sidecars, the live
+    /// balancer).
+    pub fn connect_addr(addr: SocketAddr, config: ClientConfig) -> TcpPubSubClient {
         let shared = Arc::new(ClientShared {
             running: AtomicBool::new(true),
             cmds: Mutex::new(VecDeque::new()),
@@ -349,13 +361,13 @@ impl TcpPubSubClient {
             dedup: Dedup::new(),
         };
         let handle = std::thread::spawn(move || worker.run());
-        Ok(TcpPubSubClient {
+        TcpPubSubClient {
             shared,
             worker: Some(handle),
             messages: Mutex::new(msg_rx),
             events: Mutex::new(event_rx),
             origin,
-        })
+        }
     }
 
     /// This client's random 64-bit origin — the first half of every

@@ -20,9 +20,12 @@
 
 use crate::channel::Channel;
 use crate::ids::{PlanId, ServerId};
+use crate::load::BrokerLoadReport;
 use crate::plan::ChannelMapping;
 
 const MAGIC: &str = "DMCTL1";
+const REPORT_MAGIC: &str = "DMLLA1";
+const INSTALL_MAGIC: &str = "DMINST1";
 
 /// Derives the plan/ring key of a channel *name*. Stable across
 /// processes (FNV-1a), so every router and sidecar agrees on the key —
@@ -50,6 +53,19 @@ pub fn control_channel(origin: u64) -> String {
 /// plans and are invisible to application traffic accounting).
 pub fn is_control_channel(name: &str) -> bool {
     name.starts_with("__dmc.")
+}
+
+/// The channel on which broker `broker` (by directory index) publishes
+/// its periodic [`BrokerLoadReport`]s; the live balancer subscribes to
+/// it directly on that broker.
+pub fn lla_channel(broker: usize) -> String {
+    format!("__dmc.lla.{broker:04x}")
+}
+
+/// The channel on which broker `broker`'s dispatcher sidecar receives
+/// plan-delta installs ([`InstallFrame`]) from the live balancer.
+pub fn install_channel(broker: usize) -> String {
+    format!("__dmc.inst.{broker:04x}")
 }
 
 /// A reconfiguration notification (see module docs).
@@ -149,6 +165,147 @@ impl ControlFrame {
     }
 }
 
+/// Serializes a [`BrokerLoadReport`] for the `DMLLA1` report channel:
+/// a header line `DMLLA1;<tick>;<egress>;<ingress>;<sent>;<nchannels>`
+/// (all hex), then per channel one numeric line
+/// `<namelen>;<pubs>;<dels>;<bytes-in>;<bytes-out>;<subs>` followed by
+/// exactly `namelen` bytes of the raw channel name — a length prefix
+/// instead of escaping, since names may contain `;` and `\n`.
+pub fn encode_report(report: &BrokerLoadReport) -> Vec<u8> {
+    let mut out = format!(
+        "{REPORT_MAGIC};{:x};{:x};{:x};{:x};{:x}\n",
+        report.tick,
+        report.egress_bytes,
+        report.ingress_bytes,
+        report.sent_messages,
+        report.channels.len()
+    )
+    .into_bytes();
+    for (name, t) in &report.channels {
+        out.extend_from_slice(
+            format!(
+                "{:x};{:x};{:x};{:x};{:x};{:x}\n",
+                name.len(),
+                t.publications,
+                t.deliveries,
+                t.bytes_in,
+                t.bytes_out,
+                t.subscribers
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+/// Parses a `DMLLA1` report payload; `None` for anything malformed.
+pub fn decode_report(payload: &[u8]) -> Option<BrokerLoadReport> {
+    fn take_line(rest: &mut &[u8]) -> Option<String> {
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&rest[..nl]).ok()?.to_owned();
+        *rest = &rest[nl + 1..];
+        Some(line)
+    }
+    fn hex_fields<const N: usize>(line: &str) -> Option<[u64; N]> {
+        let mut out = [0u64; N];
+        let mut parts = line.split(';');
+        for slot in &mut out {
+            *slot = u64::from_str_radix(parts.next()?, 16).ok()?;
+        }
+        parts.next().is_none().then_some(out)
+    }
+
+    let mut rest = payload;
+    let header = take_line(&mut rest)?;
+    let header = header.strip_prefix(REPORT_MAGIC)?.strip_prefix(';')?;
+    let [tick, egress_bytes, ingress_bytes, sent_messages, nchannels] = hex_fields(header)?;
+    let mut channels = Vec::with_capacity(nchannels.min(4096) as usize);
+    for _ in 0..nchannels {
+        let line = take_line(&mut rest)?;
+        let [namelen, publications, deliveries, bytes_in, bytes_out, subscribers] =
+            hex_fields(&line)?;
+        let namelen = namelen as usize;
+        if rest.len() < namelen {
+            return None;
+        }
+        let name = std::str::from_utf8(&rest[..namelen]).ok()?.to_owned();
+        rest = &rest[namelen..];
+        channels.push((
+            name,
+            crate::balance::metrics::ChannelTick {
+                publications,
+                deliveries,
+                bytes_in,
+                bytes_out,
+                publishers: 0,
+                subscribers: u32::try_from(subscribers).ok()?,
+            },
+        ));
+    }
+    rest.is_empty().then_some(BrokerLoadReport {
+        tick,
+        egress_bytes,
+        ingress_bytes,
+        sent_messages,
+        channels,
+    })
+}
+
+/// One plan delta pushed by the live balancer to a dispatcher sidecar's
+/// install channel: "channel `channel` moves from `old` to `new` under
+/// plan version `plan`". The sidecar turns it into the same
+/// dual-mapping forwarding window a local
+/// [`DispatcherSidecar::install`](crate::DispatcherSidecar::install)
+/// call would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallFrame {
+    /// Version of the plan that performs the move.
+    pub plan: PlanId,
+    /// The migrating channel's name.
+    pub channel: String,
+    /// Mapping before the move.
+    pub old: ChannelMapping,
+    /// Mapping after the move.
+    pub new: ChannelMapping,
+}
+
+impl InstallFrame {
+    /// Serializes to payload bytes:
+    /// `DMINST1;<plan:016x>;<old-mapping>;<new-mapping>;<channel-name>`
+    /// (name last and unescaped, like [`ControlFrame::encode`]).
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "{INSTALL_MAGIC};{:016x};{};{};{}",
+            self.plan.0,
+            encode_mapping(&self.old),
+            encode_mapping(&self.new),
+            self.channel
+        )
+        .into_bytes()
+    }
+
+    /// Parses payload bytes; `None` for anything that is not a valid
+    /// install frame.
+    pub fn decode(payload: &[u8]) -> Option<InstallFrame> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut parts = text.splitn(5, ';');
+        if parts.next()? != INSTALL_MAGIC {
+            return None;
+        }
+        let plan = PlanId(u64::from_str_radix(parts.next()?, 16).ok()?);
+        let old = decode_mapping(parts.next()?)?;
+        let new = decode_mapping(parts.next()?)?;
+        let channel = parts.next()?.to_owned();
+        Some(InstallFrame {
+            plan,
+            channel,
+            old,
+            new,
+        })
+    }
+}
+
 /// `single:3`, `allsub:1,2` or `allpub:0,2` — servers by directory
 /// index.
 fn encode_mapping(mapping: &ChannelMapping) -> String {
@@ -242,5 +399,102 @@ mod tests {
         assert_eq!(control_channel(0xAB), "__dmc.00000000000000ab");
         assert!(is_control_channel(&control_channel(7)));
         assert!(!is_control_channel("tile_7"));
+        assert!(is_control_channel(&lla_channel(3)));
+        assert!(is_control_channel(&install_channel(3)));
+        assert_ne!(lla_channel(3), install_channel(3));
+        assert_ne!(lla_channel(3), lla_channel(4));
+    }
+
+    #[test]
+    fn load_reports_roundtrip() {
+        use crate::balance::metrics::ChannelTick;
+        let report = BrokerLoadReport {
+            tick: 42,
+            egress_bytes: 1 << 40,
+            ingress_bytes: 12345,
+            sent_messages: 678,
+            channels: vec![
+                (
+                    "plain".into(),
+                    ChannelTick {
+                        publications: 3,
+                        deliveries: 9,
+                        bytes_in: 300,
+                        bytes_out: 900,
+                        publishers: 0,
+                        subscribers: 3,
+                    },
+                ),
+                (
+                    "evil;name\nwith;delimiters".into(),
+                    ChannelTick {
+                        publications: 1,
+                        deliveries: 0,
+                        bytes_in: 7,
+                        bytes_out: 0,
+                        publishers: 0,
+                        subscribers: 0,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(decode_report(&encode_report(&report)), Some(report));
+        // Empty reports (idle broker heartbeat) work too.
+        let idle = BrokerLoadReport {
+            tick: 0,
+            egress_bytes: 0,
+            ingress_bytes: 0,
+            sent_messages: 0,
+            channels: Vec::new(),
+        };
+        assert_eq!(decode_report(&encode_report(&idle)), Some(idle));
+    }
+
+    #[test]
+    fn junk_is_not_a_report() {
+        for junk in [
+            &b""[..],
+            b"hello",
+            b"DMLLA1;1;2;3;4;5",        // missing newline
+            b"DMLLA1;1;2;3;4;1\n",      // promised channel missing
+            b"DMLLA1;1;2;3;4;0\nextra", // trailing garbage
+            b"DMLLA1;zz;2;3;4;0\n",
+            b"DMCTL1;1;2;3;4;0\n",
+            &[0xff, 0xfe, 0x0a][..],
+        ] {
+            assert_eq!(decode_report(junk), None, "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn install_frames_roundtrip() {
+        let frame = InstallFrame {
+            plan: PlanId(9),
+            channel: "tile;with;semis".into(),
+            old: ChannelMapping::Single(s(0)),
+            new: ChannelMapping::AllSubscribers(vec![s(1), s(2)]),
+        };
+        let bytes = frame.encode();
+        assert_eq!(InstallFrame::decode(&bytes), Some(frame));
+        // An install frame is not a control frame and vice versa.
+        assert_eq!(ControlFrame::decode(&bytes), None);
+        let ctl = ControlFrame::Switch {
+            channel: "c".into(),
+            mapping: ChannelMapping::Single(s(1)),
+            plan: PlanId(1),
+        };
+        assert_eq!(InstallFrame::decode(&ctl.encode()), None);
+    }
+
+    #[test]
+    fn junk_is_not_an_install_frame() {
+        for junk in [
+            &b""[..],
+            b"DMINST1;0000000000000001;single:0;c",
+            b"DMINST1;0000000000000001;single:0;allsub:1;c",
+            b"DMINST1;zz;single:0;single:1;c",
+        ] {
+            assert_eq!(InstallFrame::decode(junk), None, "{junk:?}");
+        }
     }
 }

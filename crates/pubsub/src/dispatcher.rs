@@ -34,14 +34,14 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::client::{frame_payload, ClientConfig, Dedup, TcpPubSubClient};
-use crate::control::{control_channel, ControlFrame};
+use crate::client::{frame_payload, ClientConfig, ClientEvent, Dedup, TcpPubSubClient};
+use crate::control::{control_channel, install_channel, ControlFrame, InstallFrame};
 use crate::ids::{PlanId, ServerId};
 use crate::plan::ChannelMapping;
 
@@ -100,6 +100,21 @@ pub struct SidecarStats {
     pub active_channels: usize,
 }
 
+/// Out-of-band notifications from a sidecar's pump thread, drained with
+/// [`DispatcherSidecar::try_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SidecarEvent {
+    /// A broker connection exhausted its reconnect budget
+    /// ([`ClientConfig::max_reconnect_attempts`]) and was abandoned.
+    /// The sidecar keeps running — the connection is re-established
+    /// lazily on next use — but the operator should know the peer was
+    /// unreachable for a whole backoff cycle.
+    PeerUnavailable {
+        /// Directory index of the unreachable broker.
+        broker: usize,
+    },
+}
+
 struct ChannelState {
     old: ChannelMapping,
     new: ChannelMapping,
@@ -118,6 +133,7 @@ struct SidecarShared {
 pub struct DispatcherSidecar {
     shared: Arc<SidecarShared>,
     pump: Option<JoinHandle<()>>,
+    events: Mutex<mpsc::Receiver<SidecarEvent>>,
 }
 
 impl DispatcherSidecar {
@@ -137,6 +153,7 @@ impl DispatcherSidecar {
             active: Mutex::new(0),
         });
         let pump_shared = Arc::clone(&shared);
+        let (event_tx, event_rx) = mpsc::channel();
         let pump = std::thread::spawn(move || {
             Pump {
                 me,
@@ -147,12 +164,14 @@ impl DispatcherSidecar {
                 peers: HashMap::new(),
                 channels: HashMap::new(),
                 dedup: Dedup::new(),
+                events: event_tx,
             }
             .run()
         });
         DispatcherSidecar {
             shared,
             pump: Some(pump),
+            events: Mutex::new(event_rx),
         }
     }
 
@@ -161,6 +180,11 @@ impl DispatcherSidecar {
     /// refreshes the TTL.
     pub fn install(&self, change: ChannelChange, plan: PlanId) {
         self.shared.installs.lock().push((change, plan));
+    }
+
+    /// The next queued [`SidecarEvent`], if any.
+    pub fn try_event(&self) -> Option<SidecarEvent> {
+        self.events.lock().try_recv().ok()
     }
 
     /// Counters so far (`active_channels` is current, the rest are
@@ -210,11 +234,19 @@ struct Pump {
     peers: HashMap<usize, TcpPubSubClient>,
     channels: HashMap<String, ChannelState>,
     dedup: Dedup,
+    events: mpsc::Sender<SidecarEvent>,
 }
 
 impl Pump {
     fn run(mut self) {
+        // Watch eagerly: the install channel must be listening before
+        // the balancer's first plan delta, not after the first local
+        // `install()` call.
         while self.shared.running.load(Ordering::SeqCst) {
+            // No-op while the watch is healthy; after a `GaveUp` this
+            // rebuilds the connection (and its subscriptions) so an
+            // outage longer than the retry budget still heals.
+            self.watch();
             self.apply_installs();
             self.drain_watch();
             self.expire();
@@ -225,8 +257,14 @@ impl Pump {
     fn watch(&mut self) -> &TcpPubSubClient {
         if self.watch.is_none() {
             let addr = self.directory[self.me.index()];
-            let client = TcpPubSubClient::connect_with(addr, self.cfg.client.clone())
-                .expect("socket address is always resolvable");
+            let client = TcpPubSubClient::connect_addr(addr, self.cfg.client.clone());
+            // (Re-)establish the control-plane subscriptions: the
+            // balancer's install channel plus any channel state that
+            // survived a dropped watch connection.
+            client.subscribe(&install_channel(self.me.index()));
+            for channel in self.channels.keys() {
+                client.subscribe(channel);
+            }
             self.watch = Some(client);
         }
         self.watch.as_ref().unwrap()
@@ -236,8 +274,7 @@ impl Pump {
         let idx = server.index();
         if !self.peers.contains_key(&idx) {
             let client =
-                TcpPubSubClient::connect_with(self.directory[idx], self.cfg.client.clone())
-                    .expect("socket address is always resolvable");
+                TcpPubSubClient::connect_addr(self.directory[idx], self.cfg.client.clone());
             self.peers.insert(idx, client);
         }
         &self.peers[&idx]
@@ -282,14 +319,61 @@ impl Pump {
         while let Some(msg) = watch.try_message() {
             messages.push(msg);
         }
-        // Keep the watch connection's event queue from growing forever.
-        while watch.try_event().is_some() {}
+        // Drain the watch connection's event queue; a worker that gave
+        // up reconnecting leaves a dead client behind, so drop it (the
+        // next use rebuilds it — with its subscriptions — from scratch)
+        // and surface the outage instead of silently wedging.
+        let mut watch_gave_up = false;
+        while let Some(event) = watch.try_event() {
+            if matches!(event, ClientEvent::GaveUp) {
+                watch_gave_up = true;
+            }
+        }
+        if watch_gave_up {
+            self.watch = None;
+            let _ = self.events.send(SidecarEvent::PeerUnavailable {
+                broker: self.me.index(),
+            });
+        }
+        // Same for forwarding peers: prune dead clients so the next
+        // forward reconnects instead of publishing into a void.
+        let mut dead_peers = Vec::new();
+        for (&idx, peer) in &self.peers {
+            while let Some(event) = peer.try_event() {
+                if matches!(event, ClientEvent::GaveUp) {
+                    dead_peers.push(idx);
+                }
+            }
+        }
+        for idx in dead_peers {
+            self.peers.remove(&idx);
+            let _ = self
+                .events
+                .send(SidecarEvent::PeerUnavailable { broker: idx });
+        }
         for msg in messages {
             self.handle(msg);
         }
     }
 
     fn handle(&mut self, msg: crate::client::Message) {
+        // Plan deltas from the live balancer arrive on our private
+        // install channel; they feed the same install path a local
+        // `install()` call does (idempotent per (channel, plan), TTL
+        // refresh on re-send).
+        if msg.channel == install_channel(self.me.index()) {
+            if let Some(frame) = InstallFrame::decode(&msg.payload) {
+                self.shared.installs.lock().push((
+                    ChannelChange {
+                        channel: frame.channel,
+                        old: frame.old,
+                        new: frame.new,
+                    },
+                    frame.plan,
+                ));
+            }
+            return;
+        }
         // Our own Switch emissions (and any other sidecar's control
         // frames) come back through the watch subscription; they carry
         // routing metadata, not application traffic — never forward.

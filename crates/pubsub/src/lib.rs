@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
+pub mod balancer;
 mod broker;
 mod channel;
 pub mod chaos;
@@ -35,6 +37,7 @@ pub mod control;
 pub mod dispatcher;
 pub mod hashing;
 mod ids;
+pub mod load;
 mod outbox;
 pub mod plan;
 pub mod resp;
@@ -43,16 +46,23 @@ pub mod router;
 mod server;
 mod shard;
 
-pub use broker::{BrokerConfig, BrokerHealth, FlushStats, ShutdownStats, TcpBroker};
+pub use balance::{CapacityEstimator, Tuning};
+pub use balancer::{BalancerConfig, LiveBalancerStats, LiveLoadBalancer, LoadReporter};
+pub use broker::{
+    BrokerConfig, BrokerHealth, BrokerLoadHandle, FlushStats, ShutdownStats, TcpBroker,
+};
 pub use channel::{Channel, ChannelRegistry};
 pub use chaos::{ChaosProxy, Direction};
 pub use client::{
     ClientConfig, ClientEvent, DisconnectReason, DropCause, Message, MessageId, TcpPubSubClient,
 };
-pub use control::{channel_id_of, control_channel, ControlFrame};
-pub use dispatcher::{ChannelChange, DispatcherSidecar, SidecarConfig, SidecarStats};
+pub use control::{
+    channel_id_of, control_channel, install_channel, lla_channel, ControlFrame, InstallFrame,
+};
+pub use dispatcher::{ChannelChange, DispatcherSidecar, SidecarConfig, SidecarEvent, SidecarStats};
 pub use hashing::{Ring, DEFAULT_VNODES};
 pub use ids::{PlanId, ServerId};
+pub use load::{BrokerLoadAnalyzer, BrokerLoadReport};
 pub use outbox::OverflowPolicy;
 pub use plan::{ChannelMapping, Plan, PlanChange};
 pub use router::{RoutedClient, RouterConfig, RouterEvent, RouterStats};

@@ -107,7 +107,9 @@ pub struct RouterStats {
     pub stale_control_frames: u64,
     /// Underlying broker connections currently open.
     pub connections: usize,
-    /// Channels the local plan currently maps explicitly.
+    /// Channels the local plan currently maps — explicit entries learned
+    /// from control frames plus provisional ring-fallback entries
+    /// (recorded at plan version 0 on first use).
     pub local_plan_len: usize,
 }
 
@@ -197,7 +199,7 @@ impl RoutedClient {
     pub fn subscribe(&self, channel: &str) {
         let mut routing = self.routing.lock();
         routing.desired.insert(channel.to_owned());
-        let mapping = self.resolve_locked(&routing, channel);
+        let mapping = self.resolve_locked(&mut routing, channel);
         let targets = self.subscribe_targets(&mut routing, channel, &mapping);
         for &idx in &targets {
             self.client_for(idx).subscribe(channel);
@@ -235,7 +237,7 @@ impl RoutedClient {
     /// mapping.
     pub fn publish(&self, channel: &str, body: &[u8]) {
         let mut routing = self.routing.lock();
-        let mapping = self.resolve_locked(&routing, channel);
+        let mapping = self.resolve_locked(&mut routing, channel);
         let targets: Vec<usize> = match &mapping {
             ChannelMapping::Single(s) => vec![s.index()],
             ChannelMapping::AllSubscribers(v) => {
@@ -296,13 +298,21 @@ impl RoutedClient {
         self.clients.lock().clear();
     }
 
-    /// Resolves `channel` through the local plan, then the ring.
-    fn resolve_locked(&self, routing: &Routing, channel: &str) -> ChannelMapping {
+    /// Resolves `channel` through the local plan, then the ring. A ring
+    /// fallback is recorded in the local plan at version 0 — a
+    /// *provisional* entry. Provisional entries never win the staleness
+    /// race in `apply_control`: plan 0 is the empty bootstrap plan, so a
+    /// control frame carrying *any* version (even 0, from a
+    /// bootstrap-era migration) knows more than the ring did.
+    fn resolve_locked(&self, routing: &mut Routing, channel: &str) -> ChannelMapping {
+        if let Some((m, _)) = routing.local_plan.get(channel) {
+            return m.clone();
+        }
+        let mapping = ChannelMapping::Single(self.ring.server_for(channel_id_of(channel)));
         routing
             .local_plan
-            .get(channel)
-            .map(|(m, _)| m.clone())
-            .unwrap_or_else(|| ChannelMapping::Single(self.ring.server_for(channel_id_of(channel))))
+            .insert(channel.to_owned(), (mapping.clone(), PlanId(0)));
+        mapping
     }
 
     /// Broker indices a subscriber of `channel` must sit on under
@@ -416,7 +426,7 @@ fn connect_broker(
         let mut mixer = SplitMix64::new(s ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         mixer.next_u64()
     });
-    TcpPubSubClient::connect_with(directory[idx], cfg).expect("socket address is always resolvable")
+    TcpPubSubClient::connect_addr(directory[idx], cfg)
 }
 
 /// Handles one delivered frame inside the pump thread: control frames
@@ -485,7 +495,12 @@ fn apply_control(
 
     let mut r = routing.lock();
     if let Some((_, known)) = r.local_plan.get(&channel) {
-        if *known >= plan {
+        // Version-0 entries are provisional (ring fallback or bootstrap
+        // frames): they record what this client *assumed*, not what any
+        // plan decreed, so they must never shadow a real migration — in
+        // particular the first Moved/Switch for a ring-resolved channel
+        // may itself carry version 0 and must still apply.
+        if *known >= plan && *known != PlanId(0) {
             shared.stale_frames.fetch_add(1, Ordering::Relaxed);
             return;
         }

@@ -113,6 +113,23 @@ impl ShardedIndex {
         self.snapshot(name).map_or(0, |s| s.len())
     }
 
+    /// Every channel currently holding at least one subscriber, with its
+    /// subscriber count — the load analyzer's harvest-time gauge. Locks
+    /// one shard at a time (shared), so the snapshot is per-shard
+    /// consistent and never blocks the publish path.
+    pub fn channels_with_subscribers(&self) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(
+                guard
+                    .iter()
+                    .map(|(name, subs)| (name.clone(), subs.len() as u32)),
+            );
+        }
+        out
+    }
+
     /// Total number of (channel, subscriber) pairs across all shards.
     pub fn subscription_count(&self) -> usize {
         self.shards

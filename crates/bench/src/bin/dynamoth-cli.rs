@@ -12,6 +12,8 @@
 //!                           [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-rebalance [--offered 1000,4000,16000] [--duration-ms N]
 //!                              [--payload BYTES] [--seed S] [--out FILE]
+//! dynamoth-cli bench-resume [--outages 64,512,4096] [--retentions 128,1024]
+//!                           [--payload BYTES] [--seed S] [--out FILE]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -260,10 +262,29 @@ fn main() {
             let rows = rebalance_grid(&offered, duration, payload, seed);
             write_rebalance_json(out_writer(&args), &rows).expect("write json");
         }
+        "bench-resume" => {
+            use dynamoth_bench::resume_bench::{resume_grid, write_resume_json};
+
+            let parse_list = |flag: &str, default: &[usize]| -> Vec<usize> {
+                args.get(flag)
+                    .map(|v| {
+                        v.split(',')
+                            .filter_map(|n| n.trim().parse().ok())
+                            .collect::<Vec<usize>>()
+                    })
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| default.to_vec())
+            };
+            let outages = parse_list("outages", &[64, 512, 4_096]);
+            let retentions = parse_list("retentions", &[128, 1_024]);
+            let payload = args.num("payload", 64usize);
+            let rows = resume_grid(&outages, &retentions, payload, seed);
+            write_resume_json(out_writer(&args), &rows).expect("write json");
+        }
         other => {
             eprintln!(
                 "unknown command {other:?}; expected \
-                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance"
+                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance|bench-resume"
             );
             std::process::exit(2);
         }

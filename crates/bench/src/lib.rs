@@ -18,6 +18,7 @@
 
 pub mod broker_bench;
 pub mod rebalance_bench;
+pub mod resume_bench;
 pub mod router_bench;
 
 use std::sync::Arc;

@@ -129,8 +129,7 @@ fn least_loaded_member(view: &LoadView, members: &[ServerId]) -> ServerId {
         .copied()
         .min_by(|&a, &b| {
             view.load_ratio(a)
-                .partial_cmp(&view.load_ratio(b))
-                .unwrap()
+                .total_cmp(&view.load_ratio(b))
                 .then(a.cmp(&b))
         })
         .expect("mapping has at least one member")
@@ -154,8 +153,7 @@ fn select_members(
         .collect();
     members.sort_by(|&a, &b| {
         view.load_ratio(a)
-            .partial_cmp(&view.load_ratio(b))
-            .unwrap()
+            .total_cmp(&view.load_ratio(b))
             .then(a.cmp(&b))
     });
     members.truncate(n);
@@ -167,8 +165,7 @@ fn select_members(
             .collect();
         candidates.sort_by(|&a, &b| {
             view.load_ratio(a)
-                .partial_cmp(&view.load_ratio(b))
-                .unwrap()
+                .total_cmp(&view.load_ratio(b))
                 .then(a.cmp(&b))
         });
         members.extend(candidates.into_iter().take(n - members.len()));

@@ -98,9 +98,25 @@ impl LoadView {
         self.load.keys().copied()
     }
 
-    /// Estimated load ratio of `server`.
+    /// `bytes / capacity` without ever producing NaN: a zero (or
+    /// negative, from a corrupt report) capacity means an idle server is
+    /// at ratio 0 and any loaded server is infinitely overloaded. The
+    /// old plain division turned `0 / 0` into NaN, which poisoned every
+    /// `partial_cmp().unwrap()` downstream and panicked the balancer.
+    fn ratio(&self, bytes: f64) -> f64 {
+        if self.capacity_bytes_per_tick > 0.0 {
+            bytes / self.capacity_bytes_per_tick
+        } else if bytes <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Estimated load ratio of `server`. Never NaN, even for a
+    /// zero-capacity view.
     pub fn load_ratio(&self, server: ServerId) -> f64 {
-        self.load.get(&server).copied().unwrap_or(0.0) / self.capacity_bytes_per_tick
+        self.ratio(self.load.get(&server).copied().unwrap_or(0.0))
     }
 
     /// Mean estimated load ratio across all servers in the view.
@@ -108,24 +124,24 @@ impl LoadView {
         if self.load.is_empty() {
             return 0.0;
         }
-        self.load.values().sum::<f64>() / (self.capacity_bytes_per_tick * self.load.len() as f64)
+        self.ratio(self.load.values().sum::<f64>() / self.load.len() as f64)
     }
 
     /// The most loaded server, ties broken by id for determinism.
     pub fn max_loaded(&self) -> Option<(ServerId, f64)> {
         self.load
-            .iter()
-            .map(|(&s, &l)| (s, l / self.capacity_bytes_per_tick))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .keys()
+            .map(|&s| (s, self.load_ratio(s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     }
 
     /// The least loaded server excluding `excluding`, ties broken by id.
     pub fn min_loaded(&self, excluding: Option<ServerId>) -> Option<(ServerId, f64)> {
         self.load
-            .iter()
-            .filter(|(&s, _)| Some(s) != excluding)
-            .map(|(&s, &l)| (s, l / self.capacity_bytes_per_tick))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .keys()
+            .filter(|&&s| Some(s) != excluding)
+            .map(|&s| (s, self.load_ratio(s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     }
 
     /// The busiest channel on `server` (by estimated bytes/tick),
@@ -140,7 +156,7 @@ impl LoadView {
                 .iter()
                 .filter(|(c, _)| !skip.contains(c))
                 .map(|(&c, &b)| (c, b))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
         })
     }
 
@@ -151,7 +167,7 @@ impl LoadView {
             .get(&server)
             .map(|m| m.iter().map(|(&c, &b)| (c, b)).collect())
             .unwrap_or_default();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -205,8 +221,9 @@ impl LoadView {
     }
 
     /// Estimated additional load ratio that `bytes` per tick would add.
+    /// Never NaN (see [`Self::load_ratio`]).
     pub fn ratio_of(&self, bytes: f64) -> f64 {
-        bytes / self.capacity_bytes_per_tick
+        self.ratio(bytes)
     }
 }
 
@@ -304,6 +321,23 @@ mod tests {
         assert!((view.load_ratio(sid(0)) - 0.5).abs() < 1e-9); // 300 base + 200 share
         assert!((view.load_ratio(sid(1)) - 0.2).abs() < 1e-9);
         assert!((view.load_ratio(sid(2)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_never_yields_nan() {
+        // A mid-rollout balancer can briefly see capacity 0 (no config
+        // yet) while brokers already report load. Ratios must stay
+        // orderable — the idle server at 0, the loaded one at +inf —
+        // instead of the 0/0 NaN that used to panic max_loaded.
+        let store = store_with(&[(0, 900, vec![(1, 600)]), (1, 0, vec![])]);
+        let view = LoadView::from_store(&store, &[sid(0), sid(1)], 0.0);
+        assert_eq!(view.load_ratio(sid(1)), 0.0);
+        assert_eq!(view.load_ratio(sid(0)), f64::INFINITY);
+        assert!(!view.average_load_ratio().is_nan());
+        assert_eq!(view.ratio_of(0.0), 0.0);
+        assert_eq!(view.ratio_of(10.0), f64::INFINITY);
+        assert_eq!(view.max_loaded().unwrap().0, sid(0));
+        assert_eq!(view.min_loaded(None).unwrap().0, sid(1));
     }
 
     #[test]

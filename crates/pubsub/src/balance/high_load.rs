@@ -47,7 +47,7 @@ pub fn rebalance(
         .servers()
         .filter(|s| !exhausted.contains(s))
         .map(|s| (s, view.load_ratio(s)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     {
         if lr_max < cfg.lr_high {
             break;
@@ -257,6 +257,35 @@ mod tests {
             out.plan.mapping(ChannelId(1)),
             Some(&ChannelMapping::AllSubscribers(vec![sid(0), sid(1)]))
         );
+    }
+
+    #[test]
+    fn zero_capacity_view_neither_panics_nor_hangs() {
+        // Regression: capacity 0 used to make load_ratio return NaN,
+        // which blew up the `partial_cmp().unwrap()` in the hottest-
+        // server scan. With ratios saturating at +inf instead, the pass
+        // must terminate (exhausting the pool) rather than panic or
+        // spin.
+        let mut store = MetricsStore::new(1);
+        store.record(LlaReport {
+            server: sid(0),
+            tick: 0,
+            measured_egress_bytes: 900,
+            capacity_bytes: 0.0,
+            cpu_busy_micros: 0,
+            channels: [(
+                ChannelId(1),
+                ChannelTick {
+                    bytes_out: 900,
+                    ..Default::default()
+                },
+            )]
+            .into_iter()
+            .collect(),
+        });
+        let mut v = LoadView::from_store(&store, &[sid(0), sid(1)], 0.0);
+        let out = rebalance(&Plan::bootstrap(), &mut v, &ring(2), &cfg());
+        assert!(out.servers_wanted >= 1);
     }
 
     #[test]

@@ -28,6 +28,16 @@
 //! - connection-level state (outbox, subscription list, shutdown flag)
 //!   is owned by the connection, so the idle-path liveness check and
 //!   overflow kills touch no global lock.
+//!
+//! Beyond plain Redis semantics the broker speaks the `DMSEQ1` resume
+//! protocol (see [`crate::seq`]): every publish is assigned a
+//! per-channel monotonic sequence and retained in a bounded ring
+//! ([`BrokerConfig::retention_frames`] /
+//! [`BrokerConfig::retention_bytes`]), and a `SUBSCRIBE` whose channel
+//! argument carries the `DMSEQ1;<from>;<name>` form replays the
+//! retained suffix before going live — or pushes an explicit gap
+//! marker when the requested point was already evicted, so loss is
+//! detectable instead of silent.
 
 use std::collections::{BTreeSet, HashMap};
 use std::io::Read;
@@ -42,6 +52,7 @@ use parking_lot::Mutex;
 use crate::load::{BrokerLoadAnalyzer, BrokerLoadReport};
 use crate::outbox::{self, Frame, OutboxSender, OverflowPolicy};
 use crate::resp::{self, Command, Value};
+use crate::seq;
 use crate::shard::{ShardedIndex, SubscriberRef};
 
 /// Tuning knobs of a [`TcpBroker`].
@@ -63,6 +74,13 @@ pub struct BrokerConfig {
     /// reach the kernel before closing the socket anyway. Frames still
     /// queued when the deadline passes are counted as dropped.
     pub shutdown_drain_timeout: Duration,
+    /// Maximum published frames retained per channel for sequence-based
+    /// resume (evict-oldest). Zero disables retention and sequencing.
+    pub retention_frames: usize,
+    /// Maximum retained payload bytes per channel (evict-oldest,
+    /// applied together with [`Self::retention_frames`]). Zero disables
+    /// retention and sequencing.
+    pub retention_bytes: usize,
 }
 
 impl Default for BrokerConfig {
@@ -72,6 +90,8 @@ impl Default for BrokerConfig {
             shards: 16,
             overflow_policy: OverflowPolicy::Kill,
             shutdown_drain_timeout: Duration::from_secs(1),
+            retention_frames: 1024,
+            retention_bytes: 1024 * 1024,
         }
     }
 }
@@ -224,7 +244,11 @@ impl TcpBroker {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(BrokerShared {
-            index: ShardedIndex::new(config.shards),
+            index: ShardedIndex::new(
+                config.shards,
+                config.retention_frames,
+                config.retention_bytes,
+            ),
             load: BrokerLoadAnalyzer::new(config.shards),
             config,
             conns: Mutex::new(HashMap::new()),
@@ -267,6 +291,12 @@ impl TcpBroker {
     /// subscription to land without sniffing traffic.
     pub fn channel_subscribers(&self, name: &str) -> usize {
         self.shared.index.channel_subscribers(name)
+    }
+
+    /// `(retained frames, next sequence)` of one channel's retention
+    /// ring — observability for resume tests and tooling.
+    pub fn channel_retention(&self, name: &str) -> (usize, u64) {
+        self.shared.index.retained(name)
     }
 
     /// Aggregate writer-thread flush statistics (frames flushed and
@@ -530,28 +560,63 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
     match command {
         Command::Ping => send_value(&state.outbox, &Value::Simple("PONG".into())),
         Command::Subscribe(channels) => {
-            for name in channels {
-                let count = {
+            for arg in channels {
+                // A `DMSEQ1;<from|->;<name>` argument asks for sequenced
+                // delivery and, with an explicit `from`, a replay of the
+                // retained suffix; a plain argument subscribes plainly.
+                let (name, from, sequenced) = match seq::parse_subscribe_arg(&arg) {
+                    Some((name, from)) => (name.to_owned(), from, true),
+                    None => (arg, None, false),
+                };
+                let (count, outcome) = {
                     let mut subscribed = state.channels.lock();
                     if state.dead.load(Ordering::SeqCst) {
                         return false;
                     }
-                    if subscribed.insert(name.clone()) {
-                        shared.index.subscribe(
-                            &name,
-                            SubscriberRef {
-                                conn: state.conn,
-                                outbox: state.outbox.clone(),
-                            },
-                        );
-                    }
-                    subscribed.len() as i64
+                    subscribed.insert(name.clone());
+                    // Always (re)register: a repeated SUBSCRIBE may
+                    // upgrade a plain subscription to a sequenced one or
+                    // move its resume point (the post-reconnect and
+                    // switch-migration paths re-subscribe in place).
+                    let outcome = shared.index.subscribe(
+                        &name,
+                        SubscriberRef {
+                            conn: state.conn,
+                            outbox: state.outbox.clone(),
+                            sequenced,
+                        },
+                        from,
+                    );
+                    (subscribed.len() as i64, outcome)
                 };
                 if !send_value(
                     &state.outbox,
                     &resp::subscription_push("subscribe", &name, count),
                 ) {
                     return false;
+                }
+                if let Some((requested, resume_from)) = outcome.gap {
+                    let gap = resp::message_push(&name, &seq::gap_marker(requested, resume_from));
+                    if !send_value(&state.outbox, &gap) {
+                        return false;
+                    }
+                }
+                let replayed = outcome.replay.len() as u64;
+                for (s, payload) in outcome.replay {
+                    let push = resp::message_push(&name, &seq::prefix_payload(s, &payload));
+                    if !send_value(&state.outbox, &push) {
+                        return false;
+                    }
+                }
+                // An explicit resume gets a completion marker even when
+                // nothing was replayed, so the client can surface
+                // `Resumed` deterministically.
+                if outcome.sequenced && from.is_some() {
+                    let done =
+                        resp::message_push(&name, &seq::resume_marker(replayed, outcome.next_seq));
+                    if !send_value(&state.outbox, &done) {
+                        return false;
+                    }
                 }
             }
             true
@@ -575,29 +640,37 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
             true
         }
         Command::Publish(name, payload) => {
-            // Read-mostly path: clone the channel's immutable snapshot
-            // under the shard's shared lock, then fan out lock-free.
-            let snapshot = shared.index.snapshot(&name);
+            // Sequence assignment and snapshot capture happen together
+            // under the channel mutex; the fan-out below holds no lock.
+            let fanout = shared.index.publish(&name, &payload);
             let mut delivered = 0i64;
             let mut overflowed: Vec<u64> = Vec::new();
-            let mut frame_len = 0u64;
-            if let Some(subs) = snapshot {
-                // Encode the push once; every outbox shares the
-                // allocation.
-                let frame = encode_frame(&resp::message_push(&name, &payload));
-                frame_len = frame.len() as u64;
-                for sub in subs.iter() {
-                    if sub.outbox.push(Arc::clone(&frame)) {
-                        delivered += 1;
-                    } else {
-                        overflowed.push(sub.conn);
-                    }
+            let mut sent_bytes = 0u64;
+            // Encode each delivery variant at most once; every outbox
+            // of that kind shares the allocation. Sequenced subscribers
+            // only exist when retention is on, i.e. when `seq` is set.
+            let mut plain: Option<Frame> = None;
+            let mut seqed: Option<Frame> = None;
+            for sub in fanout.subs.iter() {
+                let frame = if sub.sequenced {
+                    seqed.get_or_insert_with(|| {
+                        let body = seq::prefix_payload(fanout.seq.unwrap_or(0), &payload);
+                        encode_frame(&resp::message_push(&name, &body))
+                    })
+                } else {
+                    plain.get_or_insert_with(|| encode_frame(&resp::message_push(&name, &payload)))
+                };
+                if sub.outbox.push(Arc::clone(frame)) {
+                    delivered += 1;
+                    sent_bytes += frame.len() as u64;
+                } else {
+                    overflowed.push(sub.conn);
                 }
             }
             shared.load.note_publish(
                 &name,
                 (name.len() + payload.len()) as u64,
-                frame_len * delivered as u64,
+                sent_bytes,
                 delivered as u64,
             );
             // A full outbox means the subscriber cannot keep up: kill

@@ -11,9 +11,16 @@
 //!   (AWS-style: `delay = uniform(0, min(cap, base·2ᵃᵗᵗᵉᵐᵖᵗ))`), so a
 //!   thundering herd of clients re-spreads itself after a broker
 //!   restart.
-//! - **Resubscribe**: the desired channel set survives the socket; on
-//!   every reconnect the client transparently re-`SUBSCRIBE`s before
-//!   anything else.
+//! - **Resubscribe + resume**: the desired channel set survives the
+//!   socket; on every reconnect the client transparently
+//!   re-`SUBSCRIBE`s before anything else. With
+//!   [`ClientConfig::resume`] on (the default) each subscription uses
+//!   the broker's `DMSEQ1` from-sequence form: the client tracks the
+//!   highest sequence seen per channel and asks the broker to replay
+//!   everything after it, so an outage longer than the dedup window
+//!   loses nothing while the gap still fits the broker's retention
+//!   ring — and surfaces [`ClientEvent::Gap`] (never silence) when it
+//!   does not.
 //! - **Publish retry + dedup**: each publication carries a globally
 //!   unique wire id (`origin`, `seq`) inside the payload
 //!   ([`frame_payload`]); unacknowledged publications are retried after
@@ -33,7 +40,7 @@
 //! pub/sub server: payloads published by id-unaware clients are
 //! delivered verbatim (no id, no dedup).
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +52,7 @@ use parking_lot::Mutex;
 
 use crate::resp::{self, Value};
 use crate::rng::SplitMix64;
+use crate::seq;
 
 /// Tuning knobs of a [`TcpPubSubClient`].
 #[derive(Debug, Clone)]
@@ -80,6 +88,12 @@ pub struct ClientConfig {
     /// Seed for the jitter PRNG and the origin id; `None` uses OS
     /// entropy. Fixing it makes reconnect timing reproducible in tests.
     pub seed: Option<u64>,
+    /// Subscribe with the broker's `DMSEQ1` from-sequence form and
+    /// resume from the per-channel high-water sequence after every
+    /// reconnect. Against a broker with retention disabled the form
+    /// degrades to a plain subscription; disabling it here restores the
+    /// pre-resume wire behaviour entirely.
+    pub resume: bool,
 }
 
 impl Default for ClientConfig {
@@ -96,6 +110,7 @@ impl Default for ClientConfig {
             max_pending_publishes: 4096,
             tick: Duration::from_millis(20),
             seed: None,
+            resume: true,
         }
     }
 }
@@ -171,6 +186,25 @@ pub enum ClientEvent {
         /// What was dropped and why.
         cause: DropCause,
     },
+    /// A from-sequence resubscribe finished replaying the broker's
+    /// retained suffix; live delivery continues seamlessly after it.
+    Resumed {
+        /// Channel that resumed.
+        channel: String,
+        /// Frames the broker replayed.
+        replayed: u64,
+    },
+    /// The broker could not replay back to the requested sequence — the
+    /// missing frames were evicted from retention (or the broker
+    /// restarted and reset its sequence space). Loss is bounded and
+    /// *explicit*: it is exactly `missed` frames (zero only for the
+    /// restart-reset discontinuity, which still surfaces as a gap).
+    Gap {
+        /// Channel with the hole.
+        channel: String,
+        /// Frames between the requested and first-replayable sequence.
+        missed: u64,
+    },
     /// `max_reconnect_attempts` consecutive attempts failed; the worker
     /// stopped.
     GaveUp,
@@ -185,6 +219,9 @@ pub struct Message {
     pub payload: Vec<u8>,
     /// The publication's unique id, when the publisher framed one.
     pub id: Option<MessageId>,
+    /// The broker-assigned per-channel sequence, when this subscription
+    /// is sequenced (see [`ClientConfig::resume`]).
+    pub seq: Option<u64>,
 }
 
 const ID_MAGIC: &[u8] = b"DMID1;";
@@ -262,10 +299,37 @@ impl Dedup {
 }
 
 enum Cmd {
-    Subscribe(String),
+    Subscribe { channel: String, from: Option<u64> },
     Unsubscribe(String),
     Publish { channel: String, body: Vec<u8> },
     PublishRaw { channel: String, payload: Vec<u8> },
+}
+
+/// Per-channel resume bookkeeping: where the caller asked to start and
+/// the highest broker sequence seen so far.
+#[derive(Debug, Default, Clone, Copy)]
+struct ResumeState {
+    /// Caller-requested starting sequence ([`TcpPubSubClient::subscribe_from`]).
+    base_from: Option<u64>,
+    /// Highest sequence received on the channel; the next resubscribe
+    /// resumes at `high_water + 1`.
+    high_water: Option<u64>,
+}
+
+impl ResumeState {
+    /// The `SUBSCRIBE` argument re-establishing this subscription:
+    /// plain name without resume, `DMSEQ1`-framed otherwise — from the
+    /// furthest point already covered, live when nothing is.
+    fn subscribe_arg(&self, resume: bool, channel: &str) -> String {
+        if !resume {
+            return channel.to_owned();
+        }
+        let from = match (self.base_from, self.high_water) {
+            (None, None) => None,
+            (base, hw) => Some(base.unwrap_or(0).max(hw.map_or(0, |h| h + 1))),
+        };
+        seq::encode_subscribe_arg(channel, from)
+    }
 }
 
 struct ClientShared {
@@ -355,7 +419,7 @@ impl TcpPubSubClient {
             rng,
             origin,
             next_seq: 0,
-            desired: BTreeSet::new(),
+            desired: BTreeMap::new(),
             pending: VecDeque::new(),
             unacked: VecDeque::new(),
             dedup: Dedup::new(),
@@ -378,12 +442,27 @@ impl TcpPubSubClient {
     }
 
     /// Adds `channel` to the desired subscription set; the worker
-    /// subscribes now (if connected) and after every reconnect.
+    /// subscribes now (if connected) and after every reconnect. With
+    /// [`ClientConfig::resume`] on, delivery starts live and every
+    /// later reconnect resumes from the highest sequence seen.
     pub fn subscribe(&self, channel: &str) {
-        self.shared
-            .cmds
-            .lock()
-            .push_back(Cmd::Subscribe(channel.to_owned()));
+        self.shared.cmds.lock().push_back(Cmd::Subscribe {
+            channel: channel.to_owned(),
+            from: None,
+        });
+    }
+
+    /// Like [`Self::subscribe`], but asks the broker to first replay
+    /// its retained frames of `channel` starting at sequence `from`
+    /// (the routed tier passes 0 after a `<switch>` migration so the
+    /// new home broker's whole post-migration suffix replays). The
+    /// replay ends with a [`ClientEvent::Resumed`], or surfaces a
+    /// [`ClientEvent::Gap`] when `from` is no longer retained.
+    pub fn subscribe_from(&self, channel: &str, from: u64) {
+        self.shared.cmds.lock().push_back(Cmd::Subscribe {
+            channel: channel.to_owned(),
+            from: Some(from),
+        });
     }
 
     /// Removes `channel` from the desired subscription set.
@@ -481,7 +560,7 @@ struct Worker {
     rng: SplitMix64,
     origin: u64,
     next_seq: u64,
-    desired: BTreeSet<String>,
+    desired: BTreeMap<String, ResumeState>,
     pending: VecDeque<PendingPub>,
     unacked: VecDeque<PendingPub>,
     dedup: Dedup,
@@ -535,10 +614,15 @@ impl Worker {
     fn session(&mut self, mut stream: TcpStream) -> bool {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.cfg.tick));
-        // Transparent re-subscribe before anything else.
+        // Transparent re-subscribe before anything else, resuming each
+        // channel from its high-water sequence.
         if !self.desired.is_empty() {
             let mut words = vec![Value::bulk("SUBSCRIBE")];
-            words.extend(self.desired.iter().map(|c| Value::bulk(c.as_str())));
+            words.extend(
+                self.desired
+                    .iter()
+                    .map(|(c, st)| Value::bulk(st.subscribe_arg(self.cfg.resume, c))),
+            );
             let mut wire = Vec::new();
             resp::encode(&Value::array(words), &mut wire);
             if stream.write_all(&wire).is_err() {
@@ -628,10 +712,44 @@ impl Worker {
                     Value::Bulk(Some(c)) => String::from_utf8_lossy(c).into_owned(),
                     _ => return,
                 };
-                let payload = match &items[2] {
+                let mut payload = match &items[2] {
                     Value::Bulk(Some(p)) => p.as_slice(),
                     _ => return,
                 };
+                let mut broker_seq = None;
+                if self.cfg.resume {
+                    // Resume-protocol markers arrive as unicast pushes
+                    // on the channel; intercept them before the normal
+                    // delivery path.
+                    if let Some((requested, resume_from)) = seq::parse_gap(payload) {
+                        // `resume_from < requested` means the broker's
+                        // sequence space restarted under us: the stale
+                        // high-water must be forgotten or every future
+                        // resubscribe re-requests it.
+                        if resume_from < requested {
+                            if let Some(st) = self.desired.get_mut(&channel) {
+                                st.base_from = None;
+                                st.high_water = None;
+                            }
+                        }
+                        self.emit(ClientEvent::Gap {
+                            channel,
+                            missed: resume_from.saturating_sub(requested),
+                        });
+                        return;
+                    }
+                    if let Some((replayed, _next)) = seq::parse_resume(payload) {
+                        self.emit(ClientEvent::Resumed { channel, replayed });
+                        return;
+                    }
+                    if let Some((s, body)) = seq::parse_seq_payload(payload) {
+                        broker_seq = Some(s);
+                        payload = body;
+                        if let Some(st) = self.desired.get_mut(&channel) {
+                            st.high_water = Some(st.high_water.map_or(s, |h| h.max(s)));
+                        }
+                    }
+                }
                 let (id, body) = parse_payload(payload);
                 if let Some(id) = id {
                     if !self.dedup.insert(id, self.cfg.dedup_window) {
@@ -645,6 +763,7 @@ impl Worker {
                     channel,
                     payload: body.to_vec(),
                     id,
+                    seq: broker_seq,
                 });
             }
             // Publish acknowledgement (receiver count). Replies on one
@@ -674,17 +793,26 @@ impl Worker {
                 None => return true,
             };
             match cmd {
-                Cmd::Subscribe(channel) => {
-                    if self.desired.insert(channel.clone()) {
+                Cmd::Subscribe { channel, from } => {
+                    let is_new = !self.desired.contains_key(&channel);
+                    let st = self.desired.entry(channel.clone()).or_default();
+                    if from.is_some() {
+                        st.base_from = from;
+                    }
+                    // An explicit `from` re-issues the SUBSCRIBE even on
+                    // an already-subscribed channel: the broker replaces
+                    // the registration and replays from the new point.
+                    if is_new || from.is_some() {
+                        let arg = st.subscribe_arg(self.cfg.resume, &channel);
                         if let Some(s) = stream.as_deref_mut() {
-                            if !write_command(s, &["SUBSCRIBE", &channel]) {
+                            if !write_command(s, &["SUBSCRIBE", &arg]) {
                                 return false;
                             }
                         }
                     }
                 }
                 Cmd::Unsubscribe(channel) => {
-                    if self.desired.remove(&channel) {
+                    if self.desired.remove(&channel).is_some() {
                         if let Some(s) = stream.as_deref_mut() {
                             if !write_command(s, &["UNSUBSCRIBE", &channel]) {
                                 return false;
@@ -819,6 +947,40 @@ mod tests {
         let (id, body) = parse_payload(&fake);
         assert_eq!(id, None);
         assert_eq!(body, &fake[..]);
+    }
+
+    #[test]
+    fn resubscribe_arg_resumes_past_the_furthest_point() {
+        let fresh = ResumeState::default();
+        // A fresh subscription goes live-sequenced: no history replay.
+        assert_eq!(fresh.subscribe_arg(true, "ch"), "DMSEQ1;-;ch");
+        assert_eq!(fresh.subscribe_arg(false, "ch"), "ch");
+        let hw = ResumeState {
+            base_from: None,
+            high_water: Some(9),
+        };
+        assert_eq!(
+            hw.subscribe_arg(true, "ch"),
+            format!("DMSEQ1;{:016x};ch", 10)
+        );
+        // An explicit base only wins while it lies beyond the
+        // high-water mark.
+        let both = ResumeState {
+            base_from: Some(3),
+            high_water: Some(9),
+        };
+        assert_eq!(
+            both.subscribe_arg(true, "ch"),
+            format!("DMSEQ1;{:016x};ch", 10)
+        );
+        let ahead = ResumeState {
+            base_from: Some(42),
+            high_water: Some(9),
+        };
+        assert_eq!(
+            ahead.subscribe_arg(true, "ch"),
+            format!("DMSEQ1;{:016x};ch", 42)
+        );
     }
 
     #[test]

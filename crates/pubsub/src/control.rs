@@ -318,6 +318,11 @@ fn encode_mapping(mapping: &ChannelMapping) -> String {
     format!("{mode}:{}", idxs.join(","))
 }
 
+/// Rejects degenerate replicated mappings (`allsub:`/`allpub:` with
+/// fewer than two members) so a corrupt or hostile control frame can
+/// never smuggle an empty member list into a [`Plan`] — downstream
+/// routing treats such mappings as unroutable rather than panicking,
+/// but they should not be constructible over the wire at all.
 fn decode_mapping(text: &str) -> Option<ChannelMapping> {
     let (mode, rest) = text.split_once(':')?;
     let servers: Option<Vec<ServerId>> = rest
@@ -339,6 +344,45 @@ mod tests {
 
     fn s(i: usize) -> ServerId {
         ServerId::from_index(i)
+    }
+
+    #[test]
+    fn decode_rejects_empty_and_singleton_replicated_mappings() {
+        // A hostile DMCTL1/DMINST1 frame with an empty member list must
+        // die at the decoder, long before Plan::try_set or routing.
+        for bad in [
+            "allsub:",
+            "allpub:",
+            "allsub:1",
+            "allpub:0",
+            "single:",
+            "single:1,2",
+        ] {
+            assert_eq!(decode_mapping(bad), None, "{bad:?} should not decode");
+        }
+        for (frame, label) in [
+            (
+                b"DMCTL1;switch;0000000000000001;allsub:;c".as_slice(),
+                "switch",
+            ),
+            (
+                b"DMCTL1;moved;0000000000000001;allpub:;c".as_slice(),
+                "moved",
+            ),
+            (
+                b"DMINST1;0000000000000002;allsub:;single:0;c".as_slice(),
+                "install-old",
+            ),
+            (
+                b"DMINST1;0000000000000002;single:0;allpub:;c".as_slice(),
+                "install-new",
+            ),
+        ] {
+            assert!(
+                ControlFrame::decode(frame).is_none() && InstallFrame::decode(frame).is_none(),
+                "{label} frame with empty mapping should not decode"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! All per-channel state carries a TTL; once it lapses (the paper keeps
 //! forwarding "for a certain amount of time"), the sidecar unsubscribes
 //! its watch and drops the forwarding rule.
+//!
+//! The watch rides a resume-enabled [`TcpPubSubClient`], so a watch
+//! connection that drops mid-window resumes from its per-channel
+//! high-water sequence on reconnect: publications the sidecar missed
+//! while disconnected are replayed from the broker's retention ring and
+//! forwarded late rather than never. And because a sidecar's `Switch`
+//! emissions are themselves publications on the migrated channel, they
+//! sit in that channel's retention ring — a subscriber that reconnects
+//! to the *old* home after the forwarding TTL lapsed still replays the
+//! `<switch>` and learns the new home.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -254,20 +264,29 @@ impl Pump {
         }
     }
 
+    /// The watch connection, rebuilt in place when a `GaveUp` tore it
+    /// down. Structurally infallible: the client value is constructed
+    /// inside `get_or_insert_with`, so there is no window in which the
+    /// pump can observe a missing watch and panic (the connection
+    /// itself is established asynchronously by the client's worker; an
+    /// unreachable broker surfaces as [`SidecarEvent::PeerUnavailable`]
+    /// from the event drain, never as a crash).
     fn watch(&mut self) -> &TcpPubSubClient {
-        if self.watch.is_none() {
-            let addr = self.directory[self.me.index()];
-            let client = TcpPubSubClient::connect_addr(addr, self.cfg.client.clone());
+        let addr = self.directory[self.me.index()];
+        let cfg = self.cfg.client.clone();
+        let me = self.me.index();
+        let channels = &self.channels;
+        self.watch.get_or_insert_with(|| {
+            let client = TcpPubSubClient::connect_addr(addr, cfg);
             // (Re-)establish the control-plane subscriptions: the
             // balancer's install channel plus any channel state that
             // survived a dropped watch connection.
-            client.subscribe(&install_channel(self.me.index()));
-            for channel in self.channels.keys() {
+            client.subscribe(&install_channel(me));
+            for channel in channels.keys() {
                 client.subscribe(channel);
             }
-            self.watch = Some(client);
-        }
-        self.watch.as_ref().unwrap()
+            client
+        })
     }
 
     fn peer(&mut self, server: ServerId) -> &TcpPubSubClient {
@@ -483,7 +502,9 @@ fn forward_targets_old_to_new(me: ServerId, new: &ChannelMapping) -> Vec<ServerI
             if v.contains(&me) {
                 Vec::new() // local delivery already reaches every subscriber
             } else {
-                vec![v[0]]
+                // A corrupt empty member list forwards nowhere instead
+                // of panicking the pump.
+                v.first().map(|s| vec![*s]).unwrap_or_default()
             }
         }
         ChannelMapping::AllPublishers(v) => v.iter().copied().filter(|&s| s != me).collect(),

@@ -43,6 +43,7 @@ pub mod plan;
 pub mod resp;
 mod rng;
 pub mod router;
+mod seq;
 mod server;
 mod shard;
 
@@ -64,6 +65,6 @@ pub use hashing::{Ring, DEFAULT_VNODES};
 pub use ids::{PlanId, ServerId};
 pub use load::{BrokerLoadAnalyzer, BrokerLoadReport};
 pub use outbox::OverflowPolicy;
-pub use plan::{ChannelMapping, Plan, PlanChange};
+pub use plan::{ChannelMapping, Plan, PlanChange, PlanError};
 pub use router::{RoutedClient, RouterConfig, RouterEvent, RouterStats};
 pub use server::{CpuModel, PubSubServer, PublishOutcome};

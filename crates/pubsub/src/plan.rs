@@ -48,30 +48,28 @@ impl ChannelMapping {
         self.servers().contains(&server)
     }
 
-    /// The servers a *publisher* must send a publication to.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a replicated mapping has an empty server list (plans
-    /// are validated on construction, so this indicates a logic error).
+    /// The servers a *publisher* must send a publication to. A
+    /// replicated mapping with an empty server list (only constructible
+    /// by hand — [`Plan::try_set`] and the control-frame decoder both
+    /// reject them) yields no targets instead of panicking.
     pub fn publish_targets(&self, rng: &mut SimRng) -> Vec<ServerId> {
         match self {
             ChannelMapping::Single(s) => vec![*s],
-            ChannelMapping::AllSubscribers(v) => vec![*rng.choose(v).expect("non-empty mapping")],
+            ChannelMapping::AllSubscribers(v) => {
+                rng.choose(v).map(|s| vec![*s]).unwrap_or_default()
+            }
             ChannelMapping::AllPublishers(v) => v.clone(),
         }
     }
 
-    /// The servers a *subscriber* must hold subscriptions on.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a replicated mapping has an empty server list.
+    /// The servers a *subscriber* must hold subscriptions on. Like
+    /// [`Self::publish_targets`], an empty replicated mapping yields no
+    /// targets.
     pub fn subscribe_targets(&self, rng: &mut SimRng) -> Vec<ServerId> {
         match self {
             ChannelMapping::Single(s) => vec![*s],
             ChannelMapping::AllSubscribers(v) => v.clone(),
-            ChannelMapping::AllPublishers(v) => vec![*rng.choose(v).expect("non-empty mapping")],
+            ChannelMapping::AllPublishers(v) => rng.choose(v).map(|s| vec![*s]).unwrap_or_default(),
         }
     }
 
@@ -85,6 +83,32 @@ impl ChannelMapping {
         !matches!(self, ChannelMapping::Single(_))
     }
 }
+
+/// Why a mapping was rejected by [`Plan::try_set`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// A replicated mapping listed fewer than two servers. Replication
+    /// over zero or one server is degenerate — and the zero case, fed
+    /// from a corrupt or hostile `DMCTL1`/`DMINST1` frame, used to
+    /// reach `publish_targets` and panic the routing thread.
+    DegenerateReplication {
+        /// How many members the rejected mapping had.
+        members: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::DegenerateReplication { members } => write!(
+                f,
+                "replicated mappings need at least two servers (got {members})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A global plan: channel mappings plus a version number.
 ///
@@ -140,20 +164,39 @@ impl Plan {
             .unwrap_or_else(|| ChannelMapping::Single(ring.server_for(channel)))
     }
 
+    /// Inserts or replaces the mapping for `channel`, rejecting
+    /// degenerate replicated mappings (fewer than two servers). This is
+    /// the constructor for mappings of untrusted provenance — control
+    /// frames, configuration files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::DegenerateReplication`] when a replicated
+    /// mapping lists fewer than two servers; the plan is unchanged.
+    pub fn try_set(
+        &mut self,
+        channel: ChannelId,
+        mapping: ChannelMapping,
+    ) -> Result<(), PlanError> {
+        if mapping.is_replicated() && mapping.replication_factor() < 2 {
+            return Err(PlanError::DegenerateReplication {
+                members: mapping.replication_factor(),
+            });
+        }
+        self.entries.insert(channel, mapping);
+        Ok(())
+    }
+
     /// Inserts or replaces the mapping for `channel`.
     ///
     /// # Panics
     ///
     /// Panics if a replicated mapping has an empty or single-element
-    /// server list (replication requires at least two servers).
+    /// server list (replication requires at least two servers). Use
+    /// [`Self::try_set`] for mappings of untrusted provenance.
     pub fn set(&mut self, channel: ChannelId, mapping: ChannelMapping) {
-        if mapping.is_replicated() {
-            assert!(
-                mapping.replication_factor() >= 2,
-                "replicated mappings need at least two servers"
-            );
-        }
-        self.entries.insert(channel, mapping);
+        self.try_set(channel, mapping)
+            .expect("replicated mappings need at least two servers");
     }
 
     /// Removes the explicit mapping for `channel`, reverting it to
@@ -462,5 +505,44 @@ mod tests {
     fn replicated_mapping_with_one_server_panics() {
         let mut plan = Plan::bootstrap();
         plan.set(ChannelId(1), ChannelMapping::AllSubscribers(vec![s(0)]));
+    }
+
+    #[test]
+    fn try_set_rejects_degenerate_replication_without_mutating() {
+        let mut plan = Plan::bootstrap();
+        for bad in [
+            ChannelMapping::AllSubscribers(Vec::new()),
+            ChannelMapping::AllPublishers(Vec::new()),
+            ChannelMapping::AllSubscribers(vec![s(0)]),
+            ChannelMapping::AllPublishers(vec![s(0)]),
+        ] {
+            let members = bad.replication_factor();
+            assert_eq!(
+                plan.try_set(ChannelId(1), bad),
+                Err(PlanError::DegenerateReplication { members })
+            );
+        }
+        assert!(plan.is_empty());
+        assert!(plan
+            .try_set(ChannelId(1), ChannelMapping::Single(s(0)))
+            .is_ok());
+        assert!(plan
+            .try_set(
+                ChannelId(2),
+                ChannelMapping::AllSubscribers(vec![s(0), s(1)])
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_replicated_mappings_route_nowhere_instead_of_panicking() {
+        // Reachable only through hand-built mappings (decode and
+        // try_set both reject empties), but a hostile install must
+        // degrade to zero targets, not kill the routing thread.
+        let mut rng = SimRng::new(3);
+        let empty_subs = ChannelMapping::AllSubscribers(Vec::new());
+        let empty_pubs = ChannelMapping::AllPublishers(Vec::new());
+        assert!(empty_subs.publish_targets(&mut rng).is_empty());
+        assert!(empty_pubs.subscribe_targets(&mut rng).is_empty());
     }
 }

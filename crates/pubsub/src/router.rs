@@ -240,6 +240,11 @@ impl RoutedClient {
         let mapping = self.resolve_locked(&mut routing, channel);
         let targets: Vec<usize> = match &mapping {
             ChannelMapping::Single(s) => vec![s.index()],
+            // Empty replicated member lists are rejected at decode and
+            // construction time; routing to nowhere (instead of
+            // indexing into nothing) keeps even a corrupt local plan
+            // from panicking the caller.
+            ChannelMapping::AllSubscribers(v) if v.is_empty() => Vec::new(),
             ChannelMapping::AllSubscribers(v) => {
                 let pick = routing.rng.next_below(v.len() as u64) as usize;
                 vec![v[pick].index()]
@@ -327,6 +332,7 @@ impl RoutedClient {
         match mapping {
             ChannelMapping::Single(s) => vec![s.index()],
             ChannelMapping::AllSubscribers(v) => v.iter().map(|s| s.index()).collect(),
+            ChannelMapping::AllPublishers(v) if v.is_empty() => Vec::new(),
             ChannelMapping::AllPublishers(v) => {
                 let members: BTreeSet<usize> = v.iter().map(|s| s.index()).collect();
                 if let Some(current) = routing.subscribed_on.get(channel) {
@@ -485,6 +491,9 @@ fn apply_control(
     let channel = frame.channel().to_owned();
     let mapping = frame.mapping().clone();
     let plan = frame.plan();
+    if mapping.servers().is_empty() {
+        return; // a mapping with no members cannot route anything
+    }
     if mapping
         .servers()
         .iter()
@@ -536,8 +545,19 @@ fn apply_control(
             }
         }
     };
+    // Brokers entering the target set are subscribed *from sequence 0*:
+    // the channel's sequence space on its new home starts at the
+    // migration, so the replay is exactly the post-migration suffix —
+    // which is how a client that was offline across the `<switch>`
+    // still recovers everything published to the new home while it was
+    // away. Frames the client did see (live before the outage, or via
+    // the sidecar's forwarding window) carry their original wire ids
+    // and dedup away. A channel returning to a broker it once lived on
+    // may replay pre-migration history too; those re-deliveries are
+    // bounded by the retention ring and largely absorbed by the dedup
+    // windows — the trade for never losing the suffix silently.
     for &idx in wanted.difference(&current) {
-        subscribe_via(clients, directory, cfg, idx, &channel);
+        subscribe_via(clients, directory, cfg, idx, &channel, Some(0));
     }
     // Superseded brokers are not unsubscribed yet: the new subscriptions
     // may ride connections still being established, so the old ones
@@ -580,14 +600,15 @@ fn drain_pending_unsubs(
     }
 }
 
-/// `client_for` + `subscribe`, callable from the pump thread (which
-/// has no `&RoutedClient`).
+/// `client_for` + `subscribe`/`subscribe_from`, callable from the pump
+/// thread (which has no `&RoutedClient`).
 fn subscribe_via(
     clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
     directory: &[SocketAddr],
     cfg: &RouterConfig,
     idx: usize,
     channel: &str,
+    from: Option<u64>,
 ) {
     let mut map = clients.lock();
     let client = map.entry(idx).or_insert_with(|| {
@@ -595,7 +616,10 @@ fn subscribe_via(
         c.subscribe(&control_channel(c.origin()));
         c
     });
-    client.subscribe(channel);
+    match from {
+        Some(f) => client.subscribe_from(channel, f),
+        None => client.subscribe(channel),
+    }
 }
 
 #[cfg(test)]

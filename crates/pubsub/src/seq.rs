@@ -1,0 +1,171 @@
+//! Wire helpers for sequence-numbered retention and resumable
+//! subscriptions (the `DMSEQ1` family).
+//!
+//! Three tiny textual encodings ride the existing RESP framing, so an
+//! unmodified Redis-protocol broker path carries them untouched:
+//!
+//! - **Subscribe-from**: a `SUBSCRIBE` channel argument of the form
+//!   `DMSEQ1;<from:016x|->;<name>` asks the broker to register the
+//!   subscription *sequenced* and, when `<from>` is an explicit hex
+//!   sequence, to replay the retained suffix `>= from` before going
+//!   live. `-` means "sequenced from now" (no replay).
+//! - **Sequenced delivery**: payloads pushed to sequenced subscribers
+//!   are prefixed `DMSEQ1;<seq:016x>;<original payload>`; plain
+//!   subscribers of the same channel receive the unprefixed payload.
+//! - **Markers**: unicast message pushes whose payload is
+//!   `DMGAP1;<requested:016x>;<resume_from:016x>` (the requested
+//!   sequence was already evicted — everything in
+//!   `[requested, resume_from)` is lost and *detectably* so) or
+//!   `DMRES1;<replayed:016x>;<next:016x>` (replay done; the next live
+//!   sequence will be `next`).
+//!
+//! Like the `DMID1` dedup header and the `DMCTL1` control frames, these
+//! markers live in payload space: an application payload could spoof
+//! them. The deployments this substrate models own both ends of the
+//! wire, so that is an accepted trade for broker-transparency.
+
+/// Magic prefixing sequenced subscribe arguments and delivery payloads.
+pub(crate) const SEQ_MAGIC: &[u8] = b"DMSEQ1;";
+/// Magic prefixing a gap marker payload.
+pub(crate) const GAP_MAGIC: &[u8] = b"DMGAP1;";
+/// Magic prefixing a resume-complete marker payload.
+pub(crate) const RES_MAGIC: &[u8] = b"DMRES1;";
+
+/// `DMSEQ1;` + 16 hex digits + `;`.
+pub(crate) const SEQ_PREFIX_LEN: usize = 7 + 16 + 1;
+
+fn parse_hex16(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() != 16 {
+        return None;
+    }
+    let s = std::str::from_utf8(bytes).ok()?;
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Encodes a `SUBSCRIBE` channel argument requesting a sequenced
+/// subscription on `name`, replaying from `from` when given.
+pub(crate) fn encode_subscribe_arg(name: &str, from: Option<u64>) -> String {
+    match from {
+        Some(seq) => format!("DMSEQ1;{seq:016x};{name}"),
+        None => format!("DMSEQ1;-;{name}"),
+    }
+}
+
+/// Decodes a sequenced `SUBSCRIBE` argument into `(name, from)`.
+/// Returns `None` for a plain channel name (not the `DMSEQ1` form);
+/// a malformed sequence field also falls back to `None` so the
+/// argument degrades to a plain subscription on the literal name
+/// rather than silently inventing a resume point.
+pub(crate) fn parse_subscribe_arg(arg: &str) -> Option<(&str, Option<u64>)> {
+    let rest = arg.strip_prefix("DMSEQ1;")?;
+    let (seq_field, name) = rest.split_once(';')?;
+    if seq_field == "-" {
+        return Some((name, None));
+    }
+    let from = parse_hex16(seq_field.as_bytes())?;
+    Some((name, Some(from)))
+}
+
+/// Prefixes `payload` with its assigned sequence for delivery to a
+/// sequenced subscriber.
+pub(crate) fn prefix_payload(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEQ_PREFIX_LEN + payload.len());
+    out.extend_from_slice(format!("DMSEQ1;{seq:016x};").as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a sequenced delivery payload into `(seq, original payload)`.
+pub(crate) fn parse_seq_payload(payload: &[u8]) -> Option<(u64, &[u8])> {
+    if payload.len() < SEQ_PREFIX_LEN || !payload.starts_with(SEQ_MAGIC) {
+        return None;
+    }
+    if payload[SEQ_PREFIX_LEN - 1] != b';' {
+        return None;
+    }
+    let seq = parse_hex16(&payload[7..23])?;
+    Some((seq, &payload[SEQ_PREFIX_LEN..]))
+}
+
+fn marker(magic: &[u8], a: u64, b: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(magic.len() + 16 + 1 + 16);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(format!("{a:016x};{b:016x}").as_bytes());
+    out
+}
+
+fn parse_marker(magic: &[u8], payload: &[u8]) -> Option<(u64, u64)> {
+    let rest = payload.strip_prefix(magic)?;
+    if rest.len() != 16 + 1 + 16 || rest[16] != b';' {
+        return None;
+    }
+    Some((parse_hex16(&rest[..16])?, parse_hex16(&rest[17..])?))
+}
+
+/// Encodes a gap marker: the retained suffix no longer reaches back to
+/// `requested`; delivery resumes at `resume_from`.
+pub(crate) fn gap_marker(requested: u64, resume_from: u64) -> Vec<u8> {
+    marker(GAP_MAGIC, requested, resume_from)
+}
+
+/// Decodes a gap marker into `(requested, resume_from)`.
+pub(crate) fn parse_gap(payload: &[u8]) -> Option<(u64, u64)> {
+    parse_marker(GAP_MAGIC, payload)
+}
+
+/// Encodes a resume-complete marker: `replayed` frames were replayed;
+/// the next live sequence on the channel will be `next`.
+pub(crate) fn resume_marker(replayed: u64, next: u64) -> Vec<u8> {
+    marker(RES_MAGIC, replayed, next)
+}
+
+/// Decodes a resume-complete marker into `(replayed, next)`.
+pub(crate) fn parse_resume(payload: &[u8]) -> Option<(u64, u64)> {
+    parse_marker(RES_MAGIC, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_arg_round_trips() {
+        let live = encode_subscribe_arg("room.7", None);
+        assert_eq!(parse_subscribe_arg(&live), Some(("room.7", None)));
+        let from = encode_subscribe_arg("room.7", Some(0x2a));
+        assert_eq!(parse_subscribe_arg(&from), Some(("room.7", Some(0x2a))));
+        // Names containing `;` survive: the name field is last and
+        // split only once.
+        let odd = encode_subscribe_arg("a;b", Some(1));
+        assert_eq!(parse_subscribe_arg(&odd), Some(("a;b", Some(1))));
+    }
+
+    #[test]
+    fn plain_and_malformed_args_are_not_sequenced() {
+        assert_eq!(parse_subscribe_arg("room.7"), None);
+        assert_eq!(parse_subscribe_arg("DMSEQ1;xyz;room"), None);
+        assert_eq!(parse_subscribe_arg("DMSEQ1;00ff;room"), None); // short hex
+        assert_eq!(parse_subscribe_arg("DMSEQ1;-"), None); // no name field
+    }
+
+    #[test]
+    fn seq_payload_round_trips() {
+        let framed = prefix_payload(7, b"hello");
+        let (seq, body) = parse_seq_payload(&framed).expect("parses");
+        assert_eq!(seq, 7);
+        assert_eq!(body, b"hello");
+        assert_eq!(parse_seq_payload(b"hello"), None);
+        assert_eq!(parse_seq_payload(b"DMSEQ1;short"), None);
+    }
+
+    #[test]
+    fn markers_round_trip_and_reject_junk() {
+        assert_eq!(parse_gap(&gap_marker(3, 9)), Some((3, 9)));
+        assert_eq!(parse_resume(&resume_marker(5, 12)), Some((5, 12)));
+        assert_eq!(parse_gap(&resume_marker(5, 12)), None);
+        assert_eq!(parse_gap(b"DMGAP1;junk"), None);
+        let mut trailing = gap_marker(3, 9);
+        trailing.push(b'x');
+        assert_eq!(parse_gap(&trailing), None);
+    }
+}

@@ -1,15 +1,27 @@
-//! Sharded fan-out index with RCU-style per-channel snapshots.
+//! Sharded fan-out index with per-channel sequence-numbered retention.
 //!
 //! The broker's subscription state is split into `N` shards selected by
 //! a hash of the **full channel name**, so SUBSCRIBE / UNSUBSCRIBE /
 //! PUBLISH on disjoint channels hit disjoint locks and never contend.
-//! Within a shard, each channel maps to an immutable
-//! `Arc<Vec<SubscriberRef>>` snapshot: writers clone-and-swap the
-//! vector under the shard's write lock, while PUBLISH takes only the
-//! shard's *shared* read lock long enough to clone the `Arc`, then fans
-//! out with no lock held at all — a publisher is never blocked by
-//! another publisher, and subscription churn on other channels of the
-//! same shard only contends for the brief pointer swap.
+//! Within a shard, each channel maps to an [`ChannelEntry`] holding an
+//! immutable `Arc<Vec<SubscriberRef>>` snapshot (writers clone-and-swap
+//! it), the channel's monotonic publish sequence, and a bounded
+//! evict-oldest ring of recently published payloads. PUBLISH takes the
+//! shard's *shared* read lock only long enough to clone the entry
+//! `Arc`, then assigns a sequence and clones the subscriber snapshot
+//! under the entry's own mutex and fans out with no lock held at all —
+//! publishers on *different* channels never serialize, and publishers
+//! on the *same* channel serialize exactly as long as sequence
+//! assignment requires.
+//!
+//! Because a subscribe-with-replay registers the subscriber and
+//! collects the retained suffix under the same per-channel mutex that
+//! publishers assign sequences under, resume is exactly-once by
+//! construction: for any concurrent publish, either its frame is in the
+//! ring when the subscriber registers (and is replayed, with the
+//! publisher's snapshot predating the subscriber), or the subscriber is
+//! in the publisher's snapshot (and the frame arrives live, not in the
+//! replayed suffix).
 //!
 //! Entries are keyed by the full channel name, not a hash of it: a
 //! 64-bit name-hash collision must never merge two channels' subscriber
@@ -17,10 +29,10 @@
 //! cross-delivered on collision). The hash here picks the *shard* only;
 //! colliding names land in the same shard but remain distinct keys.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::outbox::OutboxSender;
 
@@ -29,17 +41,82 @@ use crate::outbox::OutboxSender;
 pub(crate) struct SubscriberRef {
     pub conn: u64,
     pub outbox: OutboxSender,
+    /// Whether this subscriber asked for sequenced delivery (the
+    /// `DMSEQ1` subscribe form): it receives sequence-prefixed payloads
+    /// instead of plain ones.
+    pub sequenced: bool,
 }
 
 /// Immutable subscriber snapshot of one channel, shared with in-flight
 /// publishes.
 pub(crate) type ChannelSnapshot = Arc<Vec<SubscriberRef>>;
 
-type Shard = RwLock<HashMap<String, ChannelSnapshot>>;
+/// Mutable per-channel state, guarded by the entry mutex.
+struct ChannelInner {
+    subs: ChannelSnapshot,
+    /// Sequence the *next* publish will be assigned; sequences start at
+    /// 0 and are per-channel, per-broker-incarnation.
+    next_seq: u64,
+    /// Recently published payloads `(seq, raw payload)`, oldest first,
+    /// bounded by the index's retention caps.
+    ring: VecDeque<(u64, Arc<[u8]>)>,
+    ring_bytes: usize,
+}
+
+/// One channel's slot in a shard map: a mutex around the snapshot,
+/// sequence counter and retention ring. Cloning the `Arc<ChannelEntry>`
+/// under the shard read lock lets the publish path leave the shard
+/// immediately.
+struct ChannelEntry {
+    inner: Mutex<ChannelInner>,
+}
+
+impl ChannelEntry {
+    fn new() -> Arc<ChannelEntry> {
+        Arc::new(ChannelEntry {
+            inner: Mutex::new(ChannelInner {
+                subs: Arc::new(Vec::new()),
+                next_seq: 0,
+                ring: VecDeque::new(),
+                ring_bytes: 0,
+            }),
+        })
+    }
+}
+
+type Shard = RwLock<HashMap<String, Arc<ChannelEntry>>>;
+
+/// What one publish must fan out: the subscriber snapshot taken under
+/// the channel mutex, and the sequence assigned to the frame (when
+/// retention is enabled).
+pub(crate) struct PublishFanout {
+    pub subs: ChannelSnapshot,
+    pub seq: Option<u64>,
+}
+
+/// The retained suffix and gap verdict of a subscribe-with-resume.
+pub(crate) struct SubscribeOutcome {
+    /// Frames to replay to the new subscriber, oldest first.
+    pub replay: Vec<(u64, Arc<[u8]>)>,
+    /// `Some((requested, resume_from))` when the requested sequence is
+    /// no longer retained (or lies beyond this incarnation's counter):
+    /// everything in `[requested, resume_from)` is lost, detectably.
+    pub gap: Option<(u64, u64)>,
+    /// The sequence the next live publish will carry.
+    pub next_seq: u64,
+    /// Whether the subscription was actually registered sequenced
+    /// (`false` when retention is disabled and the request degraded to
+    /// a plain subscription).
+    pub sequenced: bool,
+}
 
 /// The broker's sharded subscription index.
 pub(crate) struct ShardedIndex {
     shards: Vec<Shard>,
+    /// Per-channel retention caps; retention (and therefore sequencing)
+    /// is enabled only when both are non-zero.
+    retention_frames: usize,
+    retention_bytes: usize,
 }
 
 /// FNV-1a over the channel name; used only to pick a shard.
@@ -54,56 +131,191 @@ pub(crate) fn fnv64(name: &str) -> u64 {
 
 impl ShardedIndex {
     /// Creates an index with `shards` shards (rounded up to a power of
-    /// two, minimum 1).
-    pub fn new(shards: usize) -> ShardedIndex {
+    /// two, minimum 1) retaining up to `retention_frames` frames /
+    /// `retention_bytes` payload bytes per channel. Either cap at zero
+    /// disables retention and sequencing entirely.
+    pub fn new(shards: usize, retention_frames: usize, retention_bytes: usize) -> ShardedIndex {
         let n = shards.max(1).next_power_of_two();
         ShardedIndex {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            retention_frames,
+            retention_bytes,
         }
+    }
+
+    fn retention_enabled(&self) -> bool {
+        self.retention_frames > 0 && self.retention_bytes > 0
     }
 
     fn shard(&self, name: &str) -> &Shard {
         &self.shards[(fnv64(name) as usize) & (self.shards.len() - 1)]
     }
 
-    /// The subscriber snapshot of `name`, if any. Holds the shard read
-    /// lock only for the map lookup; the returned snapshot is safe to
-    /// iterate with no lock held.
-    pub fn snapshot(&self, name: &str) -> Option<ChannelSnapshot> {
-        self.shard(name).read().get(name).cloned()
+    /// Looks up `name`'s entry, creating it when absent. Lock order is
+    /// always shard → entry, here and everywhere below.
+    fn entry_or_create(&self, name: &str) -> Arc<ChannelEntry> {
+        if let Some(entry) = self.shard(name).read().get(name) {
+            return Arc::clone(entry);
+        }
+        let mut shard = self.shard(name).write();
+        Arc::clone(
+            shard
+                .entry(name.to_owned())
+                .or_insert_with(ChannelEntry::new),
+        )
     }
 
-    /// Adds `sub` to `name`'s snapshot (clone-and-swap under the shard
-    /// write lock).
-    pub fn subscribe(&self, name: &str, sub: SubscriberRef) {
-        let mut shard = self.shard(name).write();
-        match shard.get_mut(name) {
-            Some(snapshot) => {
-                let mut next = Vec::with_capacity(snapshot.len() + 1);
-                next.extend(snapshot.iter().cloned());
-                next.push(sub);
-                *snapshot = Arc::new(next);
-            }
-            None => {
-                shard.insert(name.to_owned(), Arc::new(vec![sub]));
-            }
+    /// The subscriber snapshot of `name`, if any subscriber is
+    /// registered. The returned snapshot is immutable and safe to
+    /// iterate with no lock held.
+    pub fn snapshot(&self, name: &str) -> Option<ChannelSnapshot> {
+        let entry = self.shard(name).read().get(name).cloned()?;
+        let subs = Arc::clone(&entry.inner.lock().subs);
+        if subs.is_empty() {
+            None
+        } else {
+            Some(subs)
         }
     }
 
-    /// Removes connection `conn` from `name`'s snapshot, dropping the
-    /// channel entry when it empties.
+    /// Records one publish of `payload` on `name`: assigns the frame's
+    /// sequence, appends it to the retention ring (evicting oldest past
+    /// the caps) and returns the subscriber snapshot to fan out to —
+    /// all under the channel mutex, so the snapshot/ring hand-off to
+    /// concurrent resumes is exactly-once. With retention disabled this
+    /// is the old read-mostly path: no sequence, no ring, no entry
+    /// created for subscriber-less channels.
+    pub fn publish(&self, name: &str, payload: &[u8]) -> PublishFanout {
+        if !self.retention_enabled() {
+            return PublishFanout {
+                subs: self.snapshot(name).unwrap_or_else(|| Arc::new(Vec::new())),
+                seq: None,
+            };
+        }
+        // Retention holds frames for subscribers that are *not here
+        // yet*, so the entry must exist even when nobody subscribes.
+        let entry = self.entry_or_create(name);
+        let mut inner = entry.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let frame: Arc<[u8]> = payload.into();
+        inner.ring_bytes += frame.len();
+        inner.ring.push_back((seq, frame));
+        while inner.ring.len() > self.retention_frames || inner.ring_bytes > self.retention_bytes {
+            if let Some((_, old)) = inner.ring.pop_front() {
+                inner.ring_bytes -= old.len();
+            } else {
+                break;
+            }
+        }
+        PublishFanout {
+            subs: Arc::clone(&inner.subs),
+            seq: Some(seq),
+        }
+    }
+
+    /// Adds `sub` to `name`'s snapshot (replacing any previous
+    /// registration of the same connection, so a re-subscribe can
+    /// upgrade to sequenced delivery) and, when `from` asks to resume,
+    /// collects the retained suffix to replay. Registration and replay
+    /// collection happen under the channel mutex shared with
+    /// [`Self::publish`]; see the module docs for why that makes resume
+    /// exactly-once.
+    pub fn subscribe(
+        &self,
+        name: &str,
+        mut sub: SubscriberRef,
+        from: Option<u64>,
+    ) -> SubscribeOutcome {
+        let (sequenced, from) = if self.retention_enabled() {
+            (sub.sequenced, from)
+        } else {
+            // No retention ⇒ no sequences to prefix or resume from:
+            // degrade to a plain subscription.
+            (false, None)
+        };
+        sub.sequenced = sequenced;
+        let entry = self.entry_or_create(name);
+        let mut inner = entry.inner.lock();
+        let mut next: Vec<SubscriberRef> = inner
+            .subs
+            .iter()
+            .filter(|s| s.conn != sub.conn)
+            .cloned()
+            .collect();
+        next.push(sub);
+        inner.subs = Arc::new(next);
+        let next_seq = inner.next_seq;
+        let (replay, gap) = match from {
+            None => (Vec::new(), None),
+            Some(f) if f >= next_seq => {
+                // Nothing to replay. Requesting *beyond* the counter
+                // means the client's high-water predates this broker
+                // incarnation (restart reset the sequence space):
+                // surface that discontinuity as a gap, never silence.
+                let gap = if f > next_seq {
+                    Some((f, next_seq))
+                } else {
+                    None
+                };
+                (Vec::new(), gap)
+            }
+            Some(f) => {
+                let oldest = inner.ring.front().map(|(s, _)| *s);
+                match oldest {
+                    Some(o) if f >= o => {
+                        let replay = inner
+                            .ring
+                            .iter()
+                            .filter(|(s, _)| *s >= f)
+                            .map(|(s, p)| (*s, Arc::clone(p)))
+                            .collect();
+                        (replay, None)
+                    }
+                    _ => {
+                        // The requested point was evicted: replay what
+                        // is still retained and report the hole before
+                        // it.
+                        let resume_from = oldest.unwrap_or(next_seq);
+                        let replay = inner
+                            .ring
+                            .iter()
+                            .map(|(s, p)| (*s, Arc::clone(p)))
+                            .collect();
+                        (replay, Some((f, resume_from)))
+                    }
+                }
+            }
+        };
+        SubscribeOutcome {
+            replay,
+            gap,
+            next_seq,
+            sequenced,
+        }
+    }
+
+    /// Removes connection `conn` from `name`'s snapshot. The channel
+    /// entry is dropped only when no subscriber remains *and* the
+    /// channel has never been published sequenced — an entry with
+    /// history keeps its (bounded) ring so disconnected clients can
+    /// still resume.
     pub fn unsubscribe(&self, name: &str, conn: u64) {
         let mut shard = self.shard(name).write();
-        if let Some(snapshot) = shard.get_mut(name) {
-            let next: Vec<SubscriberRef> = snapshot
+        if let Some(entry) = shard.get(name) {
+            let mut inner = entry.inner.lock();
+            let next: Vec<SubscriberRef> = inner
+                .subs
                 .iter()
                 .filter(|s| s.conn != conn)
                 .cloned()
                 .collect();
-            if next.is_empty() {
+            let empty = next.is_empty();
+            inner.subs = Arc::new(next);
+            let dead = empty && inner.next_seq == 0;
+            drop(inner);
+            if dead {
                 shard.remove(name);
-            } else {
-                *snapshot = Arc::new(next);
             }
         }
     }
@@ -111,6 +323,18 @@ impl ShardedIndex {
     /// Number of subscribers currently on `name`.
     pub fn channel_subscribers(&self, name: &str) -> usize {
         self.snapshot(name).map_or(0, |s| s.len())
+    }
+
+    /// `(retained frames, next sequence)` of `name` — observability for
+    /// tests and tooling.
+    pub fn retained(&self, name: &str) -> (usize, u64) {
+        match self.shard(name).read().get(name) {
+            Some(entry) => {
+                let inner = entry.inner.lock();
+                (inner.ring.len(), inner.next_seq)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Every channel currently holding at least one subscriber, with its
@@ -121,11 +345,12 @@ impl ShardedIndex {
         let mut out = Vec::new();
         for shard in &self.shards {
             let guard = shard.read();
-            out.extend(
-                guard
-                    .iter()
-                    .map(|(name, subs)| (name.clone(), subs.len() as u32)),
-            );
+            for (name, entry) in guard.iter() {
+                let n = entry.inner.lock().subs.len();
+                if n > 0 {
+                    out.push((name.clone(), n as u32));
+                }
+            }
         }
         out
     }
@@ -134,7 +359,12 @@ impl ShardedIndex {
     pub fn subscription_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().values().map(|v| v.len()).sum::<usize>())
+            .map(|s| {
+                s.read()
+                    .values()
+                    .map(|e| e.inner.lock().subs.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -147,6 +377,18 @@ mod tests {
         OutboxSender::new(1024).0
     }
 
+    fn sub(conn: u64, sequenced: bool) -> SubscriberRef {
+        SubscriberRef {
+            conn,
+            outbox: sender(),
+            sequenced,
+        }
+    }
+
+    fn plain_index(shards: usize) -> ShardedIndex {
+        ShardedIndex::new(shards, 0, 0)
+    }
+
     /// The seed broker keyed its fan-out index by `Channel(fnv64(name))`,
     /// so two names with colliding hashes shared one subscriber set and
     /// cross-delivered. With a single shard every name's shard hash
@@ -154,21 +396,9 @@ mod tests {
     /// still stay distinct because the map key is the full name.
     #[test]
     fn colliding_shard_hashes_keep_channels_distinct() {
-        let index = ShardedIndex::new(1);
-        index.subscribe(
-            "alpha",
-            SubscriberRef {
-                conn: 1,
-                outbox: sender(),
-            },
-        );
-        index.subscribe(
-            "bravo",
-            SubscriberRef {
-                conn: 2,
-                outbox: sender(),
-            },
-        );
+        let index = plain_index(1);
+        index.subscribe("alpha", sub(1, false), None);
+        index.subscribe("bravo", sub(2, false), None);
         let alpha = index.snapshot("alpha").expect("alpha indexed");
         let bravo = index.snapshot("bravo").expect("bravo indexed");
         assert_eq!(alpha.iter().map(|s| s.conn).collect::<Vec<_>>(), vec![1]);
@@ -177,40 +407,125 @@ mod tests {
 
     #[test]
     fn snapshots_are_immutable_rcu_views() {
-        let index = ShardedIndex::new(4);
-        index.subscribe(
-            "ch",
-            SubscriberRef {
-                conn: 1,
-                outbox: sender(),
-            },
-        );
+        let index = plain_index(4);
+        index.subscribe("ch", sub(1, false), None);
         let before = index.snapshot("ch").unwrap();
-        index.subscribe(
-            "ch",
-            SubscriberRef {
-                conn: 2,
-                outbox: sender(),
-            },
-        );
+        index.subscribe("ch", sub(2, false), None);
         // The old snapshot is unchanged; the new one sees both.
         assert_eq!(before.len(), 1);
         assert_eq!(index.snapshot("ch").unwrap().len(), 2);
     }
 
     #[test]
+    fn resubscribe_replaces_same_connection() {
+        let index = ShardedIndex::new(1, 8, 1 << 20);
+        index.subscribe("ch", sub(1, false), None);
+        index.subscribe("ch", sub(1, true), None);
+        let snap = index.snapshot("ch").unwrap();
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].sequenced);
+    }
+
+    #[test]
     fn unsubscribe_clears_empty_channels() {
-        let index = ShardedIndex::new(2);
-        index.subscribe(
-            "ch",
-            SubscriberRef {
-                conn: 7,
-                outbox: sender(),
-            },
-        );
+        let index = plain_index(2);
+        index.subscribe("ch", sub(7, false), None);
         assert_eq!(index.subscription_count(), 1);
         index.unsubscribe("ch", 7);
         assert!(index.snapshot("ch").is_none());
         assert_eq!(index.subscription_count(), 0);
+    }
+
+    #[test]
+    fn publish_assigns_monotonic_sequences_and_retains() {
+        let index = ShardedIndex::new(2, 4, 1 << 20);
+        for i in 0..3u8 {
+            let fanout = index.publish("ch", &[i]);
+            assert_eq!(fanout.seq, Some(i as u64));
+        }
+        assert_eq!(index.retained("ch"), (3, 3));
+        // No subscriber yet, but the entry retains — and is invisible
+        // to the load gauge.
+        assert_eq!(index.channel_subscribers("ch"), 0);
+        assert!(index.channels_with_subscribers().is_empty());
+    }
+
+    #[test]
+    fn retention_evicts_oldest_by_frames_and_bytes() {
+        let index = ShardedIndex::new(1, 2, 1 << 20);
+        for i in 0..5u8 {
+            index.publish("ch", &[i]);
+        }
+        let out = index.subscribe("ch", sub(1, true), Some(0));
+        // Frames 0..=2 evicted by the 2-frame cap.
+        assert_eq!(out.gap, Some((0, 3)));
+        assert_eq!(
+            out.replay.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+
+        let bytes = ShardedIndex::new(1, 64, 8);
+        bytes.publish("ch", &[0; 6]);
+        bytes.publish("ch", &[1; 6]);
+        // 12 bytes > 8-byte cap ⇒ the first frame is evicted.
+        assert_eq!(bytes.retained("ch"), (1, 2));
+    }
+
+    #[test]
+    fn resume_replays_suffix_without_gap() {
+        let index = ShardedIndex::new(1, 16, 1 << 20);
+        for i in 0..4u8 {
+            index.publish("ch", &[i]);
+        }
+        let out = index.subscribe("ch", sub(1, true), Some(2));
+        assert_eq!(out.gap, None);
+        assert_eq!(
+            out.replay.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(out.next_seq, 4);
+        // Resuming exactly at the live edge replays nothing, no gap.
+        let live = index.subscribe("ch", sub(2, true), Some(4));
+        assert!(live.replay.is_empty());
+        assert_eq!(live.gap, None);
+    }
+
+    #[test]
+    fn resume_beyond_counter_reports_restart_gap() {
+        // A broker restart resets the sequence space; a client holding
+        // a high-water from the previous incarnation must get a gap,
+        // not silence.
+        let index = ShardedIndex::new(1, 16, 1 << 20);
+        index.publish("ch", b"x");
+        let out = index.subscribe("ch", sub(1, true), Some(40));
+        assert!(out.replay.is_empty());
+        assert_eq!(out.gap, Some((40, 1)));
+    }
+
+    #[test]
+    fn retention_disabled_degrades_to_plain_subscription() {
+        let index = plain_index(1);
+        index.publish("ch", b"lost");
+        let out = index.subscribe("ch", sub(1, true), Some(0));
+        assert!(!out.sequenced);
+        assert!(out.replay.is_empty());
+        assert_eq!(out.gap, None);
+        let fanout = index.publish("ch", b"live");
+        assert_eq!(fanout.seq, None);
+        assert_eq!(fanout.subs.len(), 1);
+        assert!(!fanout.subs[0].sequenced);
+    }
+
+    #[test]
+    fn entry_with_history_survives_unsubscribe() {
+        let index = ShardedIndex::new(1, 16, 1 << 20);
+        index.subscribe("ch", sub(1, true), None);
+        index.publish("ch", b"a");
+        index.unsubscribe("ch", 1);
+        assert_eq!(index.channel_subscribers("ch"), 0);
+        // The ring is still there: a resume from 0 replays it.
+        let out = index.subscribe("ch", sub(1, true), Some(0));
+        assert_eq!(out.replay.len(), 1);
+        assert_eq!(out.gap, None);
     }
 }

@@ -12,6 +12,11 @@
 //!    be dropped as stale and the client stayed wedged on the ring
 //!    mapping forever. Fallback entries are now provisional (version 0)
 //!    and never shadow a real frame.
+//! 3. The pump tore the watch down after a `GaveUp` (`watch = None`) but
+//!    later code paths still `unwrap()`ed it — an `install()` landing
+//!    during the outage panicked the pump thread, killing the sidecar
+//!    for good. The watch accessor now rebuilds the client in place
+//!    (`get_or_insert_with`), so no path can observe a missing watch.
 
 use std::net::SocketAddr;
 use std::sync::mpsc;
@@ -130,6 +135,84 @@ fn sidecar_survives_broker_outage_and_reports_it() {
         wait_until("post-recovery install", Duration::from_secs(10), || {
             broker.channel_subscribers("migrant") >= 1
         });
+
+        sidecar.shutdown();
+        proxy.shutdown();
+        broker.shutdown();
+    });
+}
+
+/// An `install()` that lands *while the watch is torn down* (its retry
+/// budget spent, `watch == None`) used to hit the pump's
+/// `self.watch.as_ref().unwrap()` and abort the thread — the sidecar
+/// looked alive but never processed another install. The pump must
+/// instead rebuild the watch in place, surface the outage as
+/// [`SidecarEvent::PeerUnavailable`], and apply the queued install once
+/// the path heals.
+#[test]
+fn install_during_watch_outage_rebuilds_instead_of_panicking() {
+    with_deadline(120, || {
+        let seed = seed();
+        let broker = TcpBroker::bind("127.0.0.1:0").expect("bind broker");
+        let proxy = ChaosProxy::spawn(broker.local_addr(), seed ^ 0xA5).expect("proxy");
+        let directory: Vec<SocketAddr> = vec![proxy.local_addr()];
+
+        let cfg = SidecarConfig {
+            ttl: Duration::from_secs(30),
+            tick: Duration::from_millis(5),
+            client: ClientConfig {
+                reconnect_base: Duration::from_millis(10),
+                reconnect_cap: Duration::from_millis(50),
+                connect_timeout: Duration::from_millis(300),
+                heartbeat_interval: Duration::from_millis(50),
+                liveness_timeout: Duration::from_millis(400),
+                tick: Duration::from_millis(5),
+                max_reconnect_attempts: Some(2),
+                seed: Some(seed),
+                ..ClientConfig::default()
+            },
+            ..SidecarConfig::default()
+        };
+        let sidecar = DispatcherSidecar::start(sid(0), directory, cfg);
+        wait_until("watch subscription", Duration::from_secs(10), || {
+            broker.channel_subscribers(&install_channel(0)) >= 1
+        });
+
+        // Spend the watch's retry budget.
+        proxy.set_black_hole(true);
+        proxy.reset_all();
+        wait_until("PeerUnavailable event", Duration::from_secs(30), || {
+            matches!(
+                sidecar.try_event(),
+                Some(SidecarEvent::PeerUnavailable { broker: 0 })
+            )
+        });
+
+        // The poison pill: an install while the watch is down. Pre-fix
+        // this panicked the pump on the unwrap; post-fix it records the
+        // channel state and subscribes once the watch is rebuilt.
+        sidecar.install(
+            dynamoth_pubsub::ChannelChange {
+                channel: "outage-install".to_owned(),
+                old: ChannelMapping::Single(sid(0)),
+                new: ChannelMapping::Single(sid(0)),
+            },
+            PlanId(1),
+        );
+        // The pump is still alive and tracking the install.
+        wait_until("install recorded", Duration::from_secs(10), || {
+            sidecar.stats().active_channels == 1
+        });
+
+        proxy.set_black_hole(false);
+        wait_until(
+            "post-outage watch and install subscriptions",
+            Duration::from_secs(30),
+            || {
+                broker.channel_subscribers(&install_channel(0)) >= 1
+                    && broker.channel_subscribers("outage-install") >= 1
+            },
+        );
 
         sidecar.shutdown();
         proxy.shutdown();

@@ -20,6 +20,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000);
-    let rows = broker_grid(&[1, 4, 16], &[1, 100, 1_000], Duration::from_millis(ms), 64);
+    let rows = broker_grid(
+        &[1, 4, 16],
+        &[1, 100, 1_000],
+        &[0],
+        Duration::from_millis(ms),
+        64,
+    );
     write_broker_csv(std::io::stdout(), &rows).expect("write csv");
 }

@@ -6,8 +6,9 @@
 //! dynamoth-cli fig5  [--strategy dynamoth|ch] [--players N] [--seed S] [--out FILE]
 //! dynamoth-cli fig7  [--seed S] [--out FILE]
 //! dynamoth-cli chat  [--users N] [--rooms N] [--seed S]
-//! dynamoth-cli bench-broker [--pubs 1,4,16] [--subs 1,100,1000]
+//! dynamoth-cli bench-broker [--pubs 1,4,16] [--subs 1,100,1000] [--conns 0,10000]
 //!                           [--duration-ms N] [--payload BYTES] [--out FILE]
+//!                           [--assert-coalescing RATIO]
 //! dynamoth-cli bench-router [--brokers 1,3] [--subs 1,4] [--duration-ms N]
 //!                           [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-rebalance [--offered 1000,4000,16000] [--duration-ms N]
@@ -203,7 +204,7 @@ fn main() {
             );
         }
         "bench-broker" => {
-            use dynamoth_bench::broker_bench::{broker_grid, write_broker_json};
+            use dynamoth_bench::broker_bench::{assert_coalescing, broker_grid, write_broker_json};
             use std::time::Duration;
 
             let parse_list = |flag: &str, default: &[usize]| -> Vec<usize> {
@@ -218,10 +219,33 @@ fn main() {
             };
             let pubs = parse_list("pubs", &[1, 4, 16]);
             let subs = parse_list("subs", &[1, 100, 1_000]);
+            let conns = parse_list("conns", &[0]);
             let duration = Duration::from_millis(args.num("duration-ms", 1_000u64));
             let payload = args.num("payload", 64usize);
-            let rows = broker_grid(&pubs, &subs, duration, payload);
+            let rows = broker_grid(&pubs, &subs, &conns, duration, payload);
             write_broker_json(out_writer(&args), &rows).expect("write json");
+            // CI gate: on high-fan-out cells the reactor must batch
+            // outbox frames into far fewer writev syscalls than the
+            // one-write-per-frame floor.
+            if args.has("assert-coalescing") {
+                let ratio: f64 = args.num("assert-coalescing", 0.5);
+                let gated: Vec<_> = rows.iter().filter(|r| r.subscribers >= 1_000).collect();
+                assert!(
+                    !gated.is_empty(),
+                    "--assert-coalescing needs a cell with >= 1000 subscribers"
+                );
+                for row in gated {
+                    assert_coalescing(row, ratio);
+                    eprintln!(
+                        "coalescing ok at {}x{} (+{} idle): {} writes / {} frames",
+                        row.publishers,
+                        row.subscribers,
+                        row.connections,
+                        row.flush_writes,
+                        row.flush_frames
+                    );
+                }
+            }
         }
         "bench-router" => {
             use dynamoth_bench::router_bench::{router_grid, write_router_json};

@@ -1,4 +1,4 @@
-//! Loopback-TCP concurrency benchmark of the sharded [`TcpBroker`].
+//! Loopback-TCP concurrency benchmark of the reactor-core [`TcpBroker`].
 //!
 //! Drives the *real* broker over real sockets: `P` publisher threads
 //! each own one channel and pipeline `PUBLISH` commands against it,
@@ -7,14 +7,26 @@
 //! fans out to exactly `S` subscribers regardless of `P`, so cells in
 //! one subscriber column are directly comparable: adding publisher
 //! threads adds offered load on disjoint index shards without changing
-//! per-publish work. On a multi-core host publish throughput should
-//! scale with publisher threads until the loopback saturates — exactly
-//! the per-broker ceiling the paper's load-ratio economics depend on
-//! (a faster single broker ⇒ fewer rented servers per unit of load).
+//! per-publish work.
+//!
+//! Two scale axes matter for the reactor engine and both are covered:
+//!
+//! * **Fan-out** (`subscribers`) exercises outbox batching — the
+//!   `flush_frames / flush_writes` ratio in each row is the measured
+//!   syscall coalescing of the event loops.
+//! * **Connection count** (`connections`) parks that many *idle*
+//!   extra connections on the broker for the whole cell, exercising
+//!   epoll-set scale: an engine that walks or wakes per connection
+//!   slows down here, a readiness-driven one does not.
+//!
+//! Subscriber sockets are drained by a small pool of reader threads
+//! (not thread-per-subscriber), so the bench client itself stays cheap
+//! enough to measure 1k+ subscribers on small hosts.
 //!
 //! [`bench_broker`] runs one grid cell and returns a [`BrokerBenchRow`];
 //! [`write_broker_json`] serialises a series as the `BENCH_broker.json`
-//! tracking artifact.
+//! tracking artifact; [`assert_coalescing`] turns a row's measured
+//! ratio into a CI gate.
 
 use std::io::{Read, Write as IoWrite};
 use std::net::TcpStream;
@@ -25,6 +37,9 @@ use std::time::{Duration, Instant};
 use dynamoth_pubsub::resp::{self, Value};
 use dynamoth_pubsub::TcpBroker;
 
+/// Reader threads draining the subscriber sockets.
+const READER_POOL: usize = 4;
+
 /// One cell of the broker concurrency grid.
 #[derive(Debug, Clone)]
 pub struct BrokerBenchConfig {
@@ -32,6 +47,9 @@ pub struct BrokerBenchConfig {
     pub publishers: usize,
     /// Subscriber connections; each subscribes to every channel.
     pub subscribers: usize,
+    /// Extra idle connections parked on the broker for the whole cell
+    /// (clamped to the process fd budget; see [`fd_clamped_conns`]).
+    pub connections: usize,
     /// Wall-clock publishing window.
     pub duration: Duration,
     /// `PUBLISH` payload size in bytes.
@@ -45,6 +63,7 @@ impl Default for BrokerBenchConfig {
         BrokerBenchConfig {
             publishers: 1,
             subscribers: 1,
+            connections: 0,
             duration: Duration::from_millis(1_000),
             payload_bytes: 64,
             pipeline: 32,
@@ -59,6 +78,10 @@ pub struct BrokerBenchRow {
     pub publishers: usize,
     /// Subscriber connections.
     pub subscribers: usize,
+    /// Idle extra connections actually parked (post fd-clamp).
+    pub connections: usize,
+    /// Event loops the broker ran with.
+    pub io_loops: usize,
     /// Publishing window actually used, seconds.
     pub publish_secs: f64,
     /// `PUBLISH` commands acknowledged by the broker.
@@ -73,10 +96,28 @@ pub struct BrokerBenchRow {
     pub deliver_per_s: f64,
     /// Subscriber connections killed by output-buffer overflow.
     pub killed: u64,
-    /// Frames flushed by the broker's writer threads.
+    /// Frames flushed by the broker's event loops.
     pub flush_frames: u64,
     /// Vectored-write syscalls those flushes used.
     pub flush_writes: u64,
+}
+
+/// Clamps an idle-connection request to the process fd budget: both
+/// socket ends live in this process (two fds per connection), and the
+/// live bench traffic plus broker plumbing need headroom.
+pub fn fd_clamped_conns(requested: usize, reserved: usize) -> usize {
+    let soft = std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits
+                .lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(1_024);
+    let budget = (soft.saturating_sub(512) / 2).saturating_sub(reserved);
+    requested.min(budget)
 }
 
 fn connect(addr: std::net::SocketAddr) -> TcpStream {
@@ -118,10 +159,20 @@ fn send_command(stream: &mut TcpStream, words: &[&str]) {
     stream.write_all(&out).expect("write command");
 }
 
+/// One subscriber socket owned by the reader pool: nonblocking stream
+/// plus the byte remainder carried between reads (pushes are
+/// fixed-length, so deliveries are counted as `bytes / frame_len`).
+struct PooledSub {
+    stream: TcpStream,
+    carry: u64,
+    dead: bool,
+}
+
 /// Runs one grid cell against a fresh broker on a loopback socket.
 pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
     let broker = TcpBroker::bind("127.0.0.1:0").expect("bind broker");
     let addr = broker.local_addr();
+    let io_loops = broker.io_loops();
     let channels = cfg.publishers.max(1);
     let stop = Arc::new(AtomicBool::new(false));
     let delivered = Arc::new(AtomicU64::new(0));
@@ -138,45 +189,85 @@ pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
         buf.len() as u64
     };
 
+    // Idle connections first: they sit in the broker's epoll sets for
+    // the whole cell without ever sending a command, so any per-
+    // connection cost in the hot path shows up in the row's throughput.
+    let idle_target = fd_clamped_conns(cfg.connections, cfg.subscribers + cfg.publishers + 16);
+    if idle_target < cfg.connections {
+        eprintln!(
+            "bench-broker: fd limit clamps idle connections {} -> {idle_target}",
+            cfg.connections
+        );
+    }
+    let idle_conns: Vec<TcpStream> = (0..idle_target)
+        .map(|_| TcpStream::connect(addr).expect("connect idle"))
+        .collect();
+
     // Subscribers: each subscribes to every channel, so per-publish
     // fan-out is exactly `subscribers` no matter how many publisher
-    // threads the cell uses.
-    let mut sub_threads = Vec::new();
-    for _ in 0..cfg.subscribers {
-        let names = channel_names.clone();
-        let stop = Arc::clone(&stop);
-        let delivered = Arc::clone(&delivered);
-        sub_threads.push(std::thread::spawn(move || {
-            let mut stream = connect(addr);
-            let mut buf = Vec::new();
-            for name in &names {
-                send_command(&mut stream, &["SUBSCRIBE", name]);
-                recv_value(&mut stream, &mut buf, Duration::from_secs(5)).expect("subscribe ack");
-            }
-            let mut bytes = buf.len() as u64; // pushes that raced the acks
-            buf.clear();
-            let mut chunk = vec![0u8; 256 * 1024];
-            loop {
-                match stream.read(&mut chunk) {
-                    Ok(0) => break, // killed or shut down
-                    Ok(n) => {
-                        bytes += n as u64;
-                        delivered.fetch_add(bytes / frame_len, Ordering::Relaxed);
-                        bytes %= frame_len; // carry the partial tail frame
-                    }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
+    // threads the cell uses. The handshake runs on this thread; the
+    // sockets then go nonblocking and are drained by a fixed pool of
+    // reader threads.
+    let mut pool: Vec<Vec<PooledSub>> = (0..READER_POOL).map(|_| Vec::new()).collect();
+    for i in 0..cfg.subscribers {
+        let mut stream = connect(addr);
+        let mut buf = Vec::new();
+        for name in &channel_names {
+            send_command(&mut stream, &["SUBSCRIBE", name]);
+        }
+        for _ in &channel_names {
+            recv_value(&mut stream, &mut buf, Duration::from_secs(5)).expect("subscribe ack");
+        }
+        stream
+            .set_nonblocking(true)
+            .expect("nonblocking subscriber");
+        pool[i % READER_POOL].push(PooledSub {
+            stream,
+            carry: buf.len() as u64, // pushes that raced the acks
+            dead: false,
+        });
+    }
+    let sub_threads: Vec<_> = pool
+        .into_iter()
+        .map(|mut subs| {
+            let stop = Arc::clone(&stop);
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || {
+                let mut chunk = vec![0u8; 256 * 1024];
+                loop {
+                    let mut progress = false;
+                    for sub in subs.iter_mut().filter(|s| !s.dead) {
+                        loop {
+                            match sub.stream.read(&mut chunk) {
+                                Ok(0) => {
+                                    sub.dead = true; // killed or shut down
+                                    break;
+                                }
+                                Ok(n) => {
+                                    progress = true;
+                                    sub.carry += n as u64;
+                                    delivered.fetch_add(sub.carry / frame_len, Ordering::Relaxed);
+                                    sub.carry %= frame_len;
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                                Err(_) => {
+                                    sub.dead = true;
+                                    break;
+                                }
+                            }
                         }
                     }
-                    Err(_) => break,
+                    if !progress {
+                        if stop.load(Ordering::Relaxed) || subs.iter().all(|s| s.dead) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
                 }
-            }
-        }));
-    }
+            })
+        })
+        .collect();
+
     // Wait until every subscription is registered before publishing.
     let expected_registrations = cfg.subscribers * channels;
     let reg_deadline = Instant::now() + Duration::from_secs(10);
@@ -252,6 +343,7 @@ pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
     for t in sub_threads {
         t.join().unwrap();
     }
+    drop(idle_conns);
     let total_secs = started.elapsed().as_secs_f64();
     let delivered = delivered.load(Ordering::Relaxed);
     let flush = broker.flush_stats();
@@ -260,6 +352,8 @@ pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
     BrokerBenchRow {
         publishers: cfg.publishers,
         subscribers: cfg.subscribers,
+        connections: idle_target,
+        io_loops,
         publish_secs,
         published,
         delivered,
@@ -272,34 +366,60 @@ pub fn bench_broker(cfg: &BrokerBenchConfig) -> BrokerBenchRow {
     }
 }
 
-/// Runs the full `{publishers} × {subscribers}` grid.
+/// Runs the `{publishers} × {subscribers} × {connections}` grid.
 pub fn broker_grid(
     publishers: &[usize],
     subscribers: &[usize],
+    connections: &[usize],
     duration: Duration,
     payload_bytes: usize,
 ) -> Vec<BrokerBenchRow> {
+    let conns = if connections.is_empty() {
+        &[0][..]
+    } else {
+        connections
+    };
     let mut rows = Vec::new();
-    for &p in publishers {
-        for &s in subscribers {
-            rows.push(bench_broker(&BrokerBenchConfig {
-                publishers: p,
-                subscribers: s,
-                duration,
-                payload_bytes,
-                ..BrokerBenchConfig::default()
-            }));
+    for &c in conns {
+        for &p in publishers {
+            for &s in subscribers {
+                rows.push(bench_broker(&BrokerBenchConfig {
+                    publishers: p,
+                    subscribers: s,
+                    connections: c,
+                    duration,
+                    payload_bytes,
+                    ..BrokerBenchConfig::default()
+                }));
+            }
         }
     }
     rows
 }
 
+/// Panics unless `row` shows at least the required syscall coalescing:
+/// `flush_writes <= max_ratio × flush_frames`. A ratio of 1.0 is the
+/// no-coalescing floor (one writev per frame); the reactor's batched
+/// outbox drain should land far below it on fan-out workloads.
+pub fn assert_coalescing(row: &BrokerBenchRow, max_ratio: f64) {
+    assert!(row.flush_frames > 0, "no frames flushed — empty cell?");
+    let ratio = row.flush_writes as f64 / row.flush_frames as f64;
+    assert!(
+        ratio <= max_ratio,
+        "coalescing regression at {}x{} (+{} idle): {} writes for {} frames \
+         (ratio {ratio:.3} > {max_ratio})",
+        row.publishers,
+        row.subscribers,
+        row.connections,
+        row.flush_writes,
+        row.flush_frames,
+    );
+}
+
 /// Serialises a bench series as the `BENCH_broker.json` artifact
 /// (hand-rolled — the workspace has no JSON dependency).
 pub fn write_broker_json(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::io::Result<()> {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = crate::host_cores();
     writeln!(w, "{{")?;
     writeln!(w, "  \"bench\": \"broker_concurrency\",")?;
     writeln!(w, "  \"host_cores\": {cores},")?;
@@ -308,12 +428,15 @@ pub fn write_broker_json(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::i
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(
             w,
-            "    {{\"publishers\": {}, \"subscribers\": {}, \"publish_secs\": {:.3}, \
+            "    {{\"publishers\": {}, \"subscribers\": {}, \"connections\": {}, \
+             \"io_loops\": {}, \"publish_secs\": {:.3}, \
              \"published\": {}, \"delivered\": {}, \"expected\": {}, \
              \"publish_per_s\": {:.0}, \"deliver_per_s\": {:.0}, \"killed\": {}, \
              \"flush_frames\": {}, \"flush_writes\": {}}}{comma}",
             r.publishers,
             r.subscribers,
+            r.connections,
+            r.io_loops,
             r.publish_secs,
             r.published,
             r.delivered,
@@ -333,15 +456,17 @@ pub fn write_broker_json(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::i
 pub fn write_broker_csv(mut w: impl IoWrite, rows: &[BrokerBenchRow]) -> std::io::Result<()> {
     writeln!(
         w,
-        "publishers,subscribers,publish_secs,published,delivered,expected,\
+        "publishers,subscribers,connections,io_loops,publish_secs,published,delivered,expected,\
          publish_per_s,deliver_per_s,killed,flush_frames,flush_writes"
     )?;
     for r in rows {
         writeln!(
             w,
-            "{},{},{:.3},{},{},{},{:.0},{:.0},{},{},{}",
+            "{},{},{},{},{:.3},{},{},{},{:.0},{:.0},{},{},{}",
             r.publishers,
             r.subscribers,
+            r.connections,
+            r.io_loops,
             r.publish_secs,
             r.published,
             r.delivered,

@@ -33,6 +33,21 @@ use dynamoth_workloads::{
     rgame::RGameConfig, schedule::Schedule, setup::spawn_hot_channel, setup::spawn_players,
 };
 
+/// Physical parallelism of the bench host, recorded in every
+/// `BENCH_*.json` artifact so rows from different machines are
+/// comparable. `available_parallelism` alone under-reports inside
+/// cgroup CPU quotas (it reflects the quota, not the silicon), so take
+/// the max of it and the processor count in `/proc/cpuinfo`.
+pub fn host_cores() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(cpuinfo).max(1)
+}
+
 /// Scale factor for experiment durations, settable via the
 /// `DYNAMOTH_TIME_SCALE` environment variable (default 1.0 = the
 /// durations below; larger values lengthen runs towards the paper's

@@ -222,12 +222,12 @@ pub fn resume_grid(
 /// Serialises a bench series as the `BENCH_resume.json` artifact
 /// (hand-rolled — the workspace has no JSON dependency).
 pub fn write_resume_json(mut w: impl IoWrite, rows: &[ResumeBenchRow]) -> std::io::Result<()> {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = crate::host_cores();
+    let io_loops = dynamoth_pubsub::BrokerConfig::default().resolved_io_loops();
     writeln!(w, "{{")?;
     writeln!(w, "  \"bench\": \"resume\",")?;
     writeln!(w, "  \"host_cores\": {cores},")?;
+    writeln!(w, "  \"io_loops\": {io_loops},")?;
     writeln!(w, "  \"rows\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -269,12 +269,12 @@ pub fn router_grid(
 /// Serialises a bench series as the `BENCH_router.json` artifact
 /// (hand-rolled — the workspace has no JSON dependency).
 pub fn write_router_json(mut w: impl IoWrite, rows: &[RouterBenchRow]) -> std::io::Result<()> {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = crate::host_cores();
+    let io_loops = dynamoth_pubsub::BrokerConfig::default().resolved_io_loops();
     writeln!(w, "{{")?;
     writeln!(w, "  \"bench\": \"router_fanout\",")?;
     writeln!(w, "  \"host_cores\": {cores},")?;
+    writeln!(w, "  \"io_loops\": {io_loops},")?;
     writeln!(w, "  \"rows\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -16,17 +16,28 @@ fn main() {
     let seconds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
     let broker = TcpBroker::bind(("127.0.0.1", port)).expect("bind broker");
-    println!("listening on {}", broker.local_addr());
+    println!(
+        "listening on {} ({} event loops)",
+        broker.local_addr(),
+        broker.io_loops()
+    );
     std::thread::sleep(std::time::Duration::from_secs(seconds));
 
     let health = broker.health();
     println!(
-        "health: {} connections accepted, {} live, {} subscriptions",
-        health.connections_accepted, health.connections_live, health.subscriptions
+        "health: {} connections accepted, {} open (peak {}), {} subscriptions",
+        health.connections_accepted,
+        health.open_connections,
+        health.peak_connections,
+        health.subscriptions
     );
     println!(
-        "disconnect causes: {} overflow kills, {} read errors, {} client closes, {} protocol errors",
-        health.overflow_kills, health.read_errors, health.client_closes, health.protocol_errors
+        "disconnect causes: {} overflow kills, {} liveness kills, {} read errors, {} client closes, {} protocol errors",
+        health.overflow_kills,
+        health.liveness_kills,
+        health.read_errors,
+        health.client_closes,
+        health.protocol_errors
     );
     println!(
         "frames: {} flushed in {} writes ({:.1} frames/writev), {} dropped",
@@ -39,6 +50,12 @@ fn main() {
         if dropped > 0 {
             println!("  connection {conn}: {dropped} frames shed");
         }
+    }
+    for l in broker.per_loop_flush_stats() {
+        println!(
+            "  loop {}: {} conns, {} frames in {} writes ({} bytes), {} wakeups",
+            l.loop_id, l.connections, l.frames, l.writes, l.bytes, l.wakeups
+        );
     }
     let stats = broker.shutdown();
     println!(

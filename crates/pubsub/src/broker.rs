@@ -3,11 +3,14 @@
 //! This is the "deploy it for real" face of the substrate: a
 //! [`TcpBroker`] accepts RESP connections (`SUBSCRIBE`, `UNSUBSCRIBE`,
 //! `PUBLISH`, `PING`) — enough protocol for any Redis pub/sub client.
-//! One OS thread reads each connection; deliveries go through a
-//! per-connection outbox thread so a slow subscriber never blocks a
-//! publisher, and an outbox overflowing its **byte** budget disconnects
-//! the subscriber exactly like Redis' `client-output-buffer-limit`
-//! (and the simulation's transport model).
+//! All I/O runs on [`BrokerConfig::io_loops`] reactor threads (see
+//! [`crate::reactor`]): each connection is pinned to one epoll event
+//! loop at accept time, which reads it non-blockingly, executes its
+//! commands, and drains its outbox with vectored writes when the socket
+//! is writable. A slow subscriber never blocks a publisher — deliveries
+//! only queue on its outbox — and an outbox overflowing its **byte**
+//! budget disconnects the subscriber exactly like Redis'
+//! `client-output-buffer-limit` (and the simulation's transport model).
 //!
 //! The hot path is built to scale with cores:
 //!
@@ -22,12 +25,14 @@
 //! - the push frame is encoded exactly once per publish and shared as
 //!   an `Arc<[u8]>` by every outbox — per-subscriber cost is a
 //!   reference-count bump and a bounded-queue push;
-//! - each outbox's writer thread drains every queued frame per wakeup
-//!   and flushes the batch with one vectored write, so a burst of N
-//!   pushes costs one syscall instead of N;
+//! - publishing stays on the caller's thread: only the first push onto
+//!   an empty outbox signals the subscriber's home loop, so a burst of
+//!   N frames crosses threads once, and the loop flushes the whole
+//!   backlog with one vectored write — under load the coalescing ratio
+//!   (frames per `writev`) *improves*;
 //! - connection-level state (outbox, subscription list, shutdown flag)
-//!   is owned by the connection, so the idle-path liveness check and
-//!   overflow kills touch no global lock.
+//!   is owned by the connection, so overflow kills and liveness checks
+//!   touch no global lock.
 //!
 //! Beyond plain Redis semantics the broker speaks the `DMSEQ1` resume
 //! protocol (see [`crate::seq`]): every publish is assigned a
@@ -40,9 +45,8 @@
 //! detectable instead of silent.
 
 use std::collections::{BTreeSet, HashMap};
-use std::io::Read;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -51,9 +55,15 @@ use parking_lot::Mutex;
 
 use crate::load::{BrokerLoadAnalyzer, BrokerLoadReport};
 use crate::outbox::{self, Frame, OutboxSender, OverflowPolicy};
+use crate::reactor::{self, LoopHandle};
 use crate::resp::{self, Command, Value};
 use crate::seq;
 use crate::shard::{ShardedIndex, SubscriberRef};
+
+/// Hard ceiling on auto-selected I/O loops: beyond this, extra loops
+/// buy contention, not throughput, for a pub/sub broker whose hot path
+/// is fan-out.
+const MAX_AUTO_IO_LOOPS: usize = 8;
 
 /// Tuning knobs of a [`TcpBroker`].
 #[derive(Debug, Clone)]
@@ -81,6 +91,16 @@ pub struct BrokerConfig {
     /// applied together with [`Self::retention_frames`]). Zero disables
     /// retention and sequencing.
     pub retention_bytes: usize,
+    /// Number of reactor I/O event loops serving connections. `0` (the
+    /// default) auto-selects `min(available cores, 8)`. Connections are
+    /// pinned to the least-loaded loop at accept time.
+    pub io_loops: usize,
+    /// When set, a connection whose socket produces no bytes for this
+    /// long is killed — half-open TCP detection (a peer that vanished
+    /// without a FIN). `None` (the default) keeps silent connections
+    /// forever, since a pure subscriber legitimately never writes;
+    /// enable it for deployments whose clients `PING` periodically.
+    pub liveness_timeout: Option<Duration>,
 }
 
 impl Default for BrokerConfig {
@@ -92,11 +112,27 @@ impl Default for BrokerConfig {
             shutdown_drain_timeout: Duration::from_secs(1),
             retention_frames: 1024,
             retention_bytes: 1024 * 1024,
+            io_loops: 0,
+            liveness_timeout: None,
         }
     }
 }
 
-/// Flush statistics aggregated over every connection writer: the ratio
+impl BrokerConfig {
+    /// The actual loop count [`Self::io_loops`] resolves to: the value
+    /// itself when non-zero, else `min(available cores, 8)`.
+    pub fn resolved_io_loops(&self) -> usize {
+        if self.io_loops > 0 {
+            return self.io_loops;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_AUTO_IO_LOOPS)
+    }
+}
+
+/// Flush statistics aggregated over every reactor loop: the ratio
 /// `frames / writes` is the measured syscall-coalescing factor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlushStats {
@@ -104,6 +140,25 @@ pub struct FlushStats {
     pub frames: u64,
     /// Vectored write syscalls issued to flush them.
     pub writes: u64,
+}
+
+/// Per-event-loop I/O statistics (see [`TcpBroker::per_loop_flush_stats`]);
+/// summing `frames`/`writes` over all loops yields [`FlushStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopFlushStats {
+    /// Index of the event loop (0-based; loop 0 also accepts).
+    pub loop_id: usize,
+    /// Connections currently pinned to this loop.
+    pub connections: usize,
+    /// RESP frames this loop flushed to sockets.
+    pub frames: u64,
+    /// Vectored write syscalls this loop issued.
+    pub writes: u64,
+    /// Payload bytes this loop handed to the kernel.
+    pub bytes: u64,
+    /// Times this loop was woken from its poll by another thread
+    /// (cross-thread work arriving while it slept).
+    pub wakeups: u64,
 }
 
 /// What [`TcpBroker::shutdown`] managed to deliver while draining.
@@ -125,11 +180,20 @@ pub struct BrokerHealth {
     pub connections_accepted: u64,
     /// Connections currently registered.
     pub connections_live: usize,
+    /// Connections currently open across all event loops (counted at
+    /// the loops; equals [`Self::connections_live`] modulo in-flight
+    /// registrations).
+    pub open_connections: usize,
+    /// High-water mark of simultaneously open connections.
+    pub peak_connections: usize,
     /// Live (channel, subscriber) registrations.
     pub subscriptions: usize,
     /// Connections killed because their outbox exceeded its byte
     /// budget under [`OverflowPolicy::Kill`].
     pub overflow_kills: u64,
+    /// Connections killed by the liveness deadline
+    /// ([`BrokerConfig::liveness_timeout`]): half-open peers.
+    pub liveness_kills: u64,
     /// Connections closed after a socket read error.
     pub read_errors: u64,
     /// Connections the peer closed in an orderly way.
@@ -137,58 +201,62 @@ pub struct BrokerHealth {
     /// Connections closed after an unparseable RESP frame.
     pub protocol_errors: u64,
     /// Frames shed instead of delivered: `DropOldest` overflow, dead
-    /// writers, and expired shutdown drains.
+    /// sockets, and expired shutdown drains.
     pub dropped_frames: u64,
-    /// Writer flush efficiency (see [`TcpBroker::flush_stats`]).
+    /// Flush efficiency (see [`TcpBroker::flush_stats`]).
     pub flush: FlushStats,
 }
 
-/// Per-connection state, owned by the connection and shared with the
-/// kill paths (overflow, shutdown). Everything the idle path needs is
-/// reachable without any broker-global lock.
-struct ConnState {
-    conn: u64,
-    /// Set once by whichever side kills the connection first; the read
-    /// loop polls it on its 100 ms timeout without taking any lock.
-    dead: Arc<AtomicBool>,
-    outbox: OutboxSender,
+/// Per-connection state, shared between the connection's home reactor
+/// loop (which owns the socket) and the kill paths (overflow, shutdown,
+/// cross-loop publishes).
+pub(crate) struct ConnState {
+    pub(crate) conn: u64,
+    /// Set once by whichever side kills the connection first.
+    pub(crate) dead: AtomicBool,
+    pub(crate) outbox: OutboxSender,
     /// Channels this connection is subscribed to, in subscription-set
     /// order (drives the count in subscribe/unsubscribe replies and the
-    /// teardown sweep). Only the connection thread and its killer touch
-    /// it.
-    channels: Mutex<BTreeSet<String>>,
+    /// teardown sweep).
+    pub(crate) channels: Mutex<BTreeSet<String>>,
+    /// The reactor loop owning this connection's socket; kills from
+    /// other threads are forwarded here for the actual teardown.
+    pub(crate) home: LoopHandle,
 }
 
-struct BrokerShared {
-    config: BrokerConfig,
-    index: ShardedIndex,
+pub(crate) struct BrokerShared {
+    pub(crate) config: BrokerConfig,
+    pub(crate) index: ShardedIndex,
     /// Live load analyzer riding the publish hot path (see
     /// [`crate::load`]).
-    load: BrokerLoadAnalyzer,
+    pub(crate) load: BrokerLoadAnalyzer,
     /// Connection registry: touched on connect, disconnect and kill —
     /// never on the pub/sub hot path.
-    conns: Mutex<HashMap<u64, Arc<ConnState>>>,
-    /// Join handles of live connection threads, reaped on shutdown so
-    /// drain accounting is complete before [`TcpBroker::shutdown`]
-    /// returns. The accept loop prunes finished entries as it goes.
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    flush_counters: Arc<outbox::FlushCounters>,
-    running: AtomicBool,
-    next_conn: AtomicU64,
-    connections_accepted: AtomicU64,
+    pub(crate) conns: Mutex<HashMap<u64, Arc<ConnState>>>,
+    /// One handle per reactor loop, indexed by loop id.
+    pub(crate) loops: Vec<LoopHandle>,
+    pub(crate) flush_counters: Arc<outbox::FlushCounters>,
+    pub(crate) running: AtomicBool,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) peak_connections: AtomicUsize,
     /// Disconnect causes, for [`TcpBroker::health`].
-    overflow_kills: AtomicU64,
-    read_errors: AtomicU64,
-    client_closes: AtomicU64,
-    protocol_errors: AtomicU64,
+    pub(crate) overflow_kills: AtomicU64,
+    pub(crate) liveness_kills: AtomicU64,
+    pub(crate) read_errors: AtomicU64,
+    pub(crate) client_closes: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
 }
 
 impl BrokerShared {
     /// Kills a connection exactly once: marks it dead, closes its
     /// outbox, unregisters it, and removes every subscription. Safe to
-    /// call from any thread; later callers are no-ops. Returns `true`
-    /// when this call performed the kill.
-    fn kill(&self, state: &Arc<ConnState>) -> bool {
+    /// call from any thread; later callers are no-ops. With `notify`
+    /// the connection's home loop is told to tear down the socket —
+    /// pass `false` only from the home loop's own teardown (which
+    /// handles the socket itself). Returns `true` when this call
+    /// performed the kill.
+    pub(crate) fn kill(&self, state: &Arc<ConnState>, notify: bool) -> bool {
         if state.dead.swap(true, Ordering::SeqCst) {
             return false;
         }
@@ -201,6 +269,9 @@ impl BrokerShared {
         let names = std::mem::take(&mut *state.channels.lock());
         for name in &names {
             self.index.unsubscribe(name, state.conn);
+        }
+        if notify {
+            state.home.schedule_kill(state.conn);
         }
         true
     }
@@ -221,7 +292,7 @@ impl BrokerShared {
 pub struct TcpBroker {
     shared: Arc<BrokerShared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
 }
 
 impl TcpBroker {
@@ -239,10 +310,14 @@ impl TcpBroker {
     ///
     /// # Errors
     ///
-    /// Returns any socket error from binding the listener.
+    /// Returns any socket error from binding the listener or setting up
+    /// the event loops.
     pub fn bind_with(addr: impl ToSocketAddrs, config: BrokerConfig) -> std::io::Result<TcpBroker> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let n_loops = config.resolved_io_loops();
+        let loops = reactor::build_loops(n_loops)?;
         let shared = Arc::new(BrokerShared {
             index: ShardedIndex::new(
                 config.shards,
@@ -252,28 +327,41 @@ impl TcpBroker {
             load: BrokerLoadAnalyzer::new(config.shards),
             config,
             conns: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
+            loops: loops.iter().map(|(_, h)| h.clone()).collect(),
             flush_counters: Arc::new(outbox::FlushCounters::default()),
             running: AtomicBool::new(true),
             next_conn: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
+            peak_connections: AtomicUsize::new(0),
             overflow_kills: AtomicU64::new(0),
+            liveness_kills: AtomicU64::new(0),
             read_errors: AtomicU64::new(0),
             client_closes: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let mut listener = Some(listener);
+        let loop_threads = loops
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (poll, handle))| {
+                reactor::spawn(idx, poll, handle, Arc::clone(&shared), listener.take())
+            })
+            .collect();
         Ok(TcpBroker {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
+            loop_threads,
         })
     }
 
     /// The address the broker listens on.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The number of reactor I/O event loops serving connections.
+    pub fn io_loops(&self) -> usize {
+        self.shared.loops.len()
     }
 
     /// Connections accepted since startup.
@@ -299,13 +387,34 @@ impl TcpBroker {
         self.shared.index.retained(name)
     }
 
-    /// Aggregate writer-thread flush statistics (frames flushed and
-    /// vectored-write syscalls used).
+    /// Aggregate flush statistics over all event loops (frames flushed
+    /// and vectored-write syscalls used).
     pub fn flush_stats(&self) -> FlushStats {
         FlushStats {
             frames: self.shared.flush_counters.frames.load(Ordering::Relaxed),
             writes: self.shared.flush_counters.writes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-event-loop I/O breakdown: connection placement, flush
+    /// efficiency and cross-thread wakeups of each loop.
+    pub fn per_loop_flush_stats(&self) -> Vec<LoopFlushStats> {
+        self.shared
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(loop_id, h)| {
+                let s = h.stats();
+                LoopFlushStats {
+                    loop_id,
+                    connections: h.conn_count(),
+                    frames: s.frames.load(Ordering::Relaxed),
+                    writes: s.writes.load(Ordering::Relaxed),
+                    bytes: s.bytes.load(Ordering::Relaxed),
+                    wakeups: s.wakeups.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// A health snapshot: connection churn, disconnect causes, shed
@@ -315,8 +424,11 @@ impl TcpBroker {
         BrokerHealth {
             connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
             connections_live: s.conns.lock().len(),
+            open_connections: s.loops.iter().map(|h| h.conn_count()).sum(),
+            peak_connections: s.peak_connections.load(Ordering::Relaxed),
             subscriptions: s.index.subscription_count(),
             overflow_kills: s.overflow_kills.load(Ordering::Relaxed),
+            liveness_kills: s.liveness_kills.load(Ordering::Relaxed),
             read_errors: s.read_errors.load(Ordering::Relaxed),
             client_closes: s.client_closes.load(Ordering::Relaxed),
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
@@ -368,23 +480,13 @@ impl TcpBroker {
         let flushed_before = self.shared.flush_counters.frames.load(Ordering::Relaxed);
         let dropped_before = self.shared.flush_counters.dropped.load(Ordering::Relaxed);
         self.shared.running.store(false, Ordering::SeqCst);
-        // The accept loop blocks in `accept`; a throwaway self-connect
-        // wakes it so it can observe `running == false` and exit.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        // Wake every loop; each drains its own connections (bounded by
+        // the drain deadline), closes their sockets and exits.
+        for handle in &self.shared.loops {
+            handle.wake();
         }
-        // Kill every live connection; readers notice their dead flag on
-        // the next read-timeout tick, drain their outbox (bounded by
-        // the drain deadline) and exit.
-        let states: Vec<Arc<ConnState>> = self.shared.conns.lock().values().cloned().collect();
-        for state in states {
-            self.shared.kill(&state);
-        }
-        // Reap every connection thread so drain accounting is complete.
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conn_threads.lock());
-        for handle in handles {
-            let _ = handle.join();
+        for thread in self.loop_threads.drain(..) {
+            let _ = thread.join();
         }
         let counters = &self.shared.flush_counters;
         ShutdownStats {
@@ -421,7 +523,7 @@ impl std::fmt::Debug for BrokerLoadHandle {
 
 impl Drop for TcpBroker {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if !self.loop_threads.is_empty() {
             self.stop();
         }
     }
@@ -435,32 +537,8 @@ impl std::fmt::Debug for TcpBroker {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<BrokerShared>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if !shared.running.load(Ordering::SeqCst) {
-                    break; // the shutdown self-connect
-                }
-                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(&shared);
-                let handle = std::thread::spawn(move || connection_loop(conn, stream, conn_shared));
-                let mut threads = shared.conn_threads.lock();
-                threads.retain(|h| !h.is_finished());
-                threads.push(handle);
-            }
-            Err(_) => {
-                if !shared.running.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-        }
-    }
-}
-
 /// Encodes `value` into a shareable frame.
-fn encode_frame(value: &Value) -> Frame {
+pub(crate) fn encode_frame(value: &Value) -> Frame {
     let mut buf = Vec::new();
     resp::encode(value, &mut buf);
     buf.into()
@@ -470,89 +548,11 @@ fn send_value(out: &OutboxSender, value: &Value) -> bool {
     out.push(encode_frame(value))
 }
 
-fn connection_loop(conn: u64, stream: TcpStream, shared: Arc<BrokerShared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (tx, rx) = OutboxSender::new_with(
-        shared.config.outbox_limit_bytes,
-        shared.config.overflow_policy,
-        Arc::clone(&shared.flush_counters),
-    );
-    let state = Arc::new(ConnState {
-        conn,
-        dead: Arc::new(AtomicBool::new(false)),
-        outbox: tx,
-        channels: Mutex::new(BTreeSet::new()),
-    });
-    shared.conns.lock().insert(conn, Arc::clone(&state));
-    let writer = std::thread::spawn(move || outbox::writer_loop(rx, write_half));
-
-    let mut read_stream = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    'conn: while !state.dead.load(Ordering::SeqCst) {
-        match read_stream.read(&mut chunk) {
-            Ok(0) => {
-                shared.client_closes.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle tick: the `dead` flag in the loop condition is
-                // the whole liveness check — no lock taken.
-                continue;
-            }
-            Err(_) => {
-                shared.read_errors.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-        }
-        // Process every complete frame in the buffer.
-        loop {
-            match resp::decode(&buf) {
-                Ok(Some((value, used))) => {
-                    buf.drain(..used);
-                    if !handle_command(&state, &value, &shared) {
-                        break 'conn;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = send_value(&state.outbox, &Value::Error("ERR protocol error".into()));
-                    break 'conn;
-                }
-            }
-        }
-    }
-
-    // Tear down: unregister, then — when the whole broker is shutting
-    // down — give queued frames a bounded chance to reach the kernel
-    // before the socket closes under them. Kills while the broker is
-    // running (dead peers, overflow) skip the wait: the writer either
-    // drains instantly or its socket is already useless.
-    shared.kill(&state);
-    if !shared.running.load(Ordering::SeqCst)
-        && !state
-            .outbox
-            .wait_drained(shared.config.shutdown_drain_timeout)
-    {
-        state.outbox.discard_remaining();
-    }
-    // Closing the socket unblocks a writer stuck on a full socket; it
-    // counts whatever it could not flush as dropped.
-    let _ = read_stream.shutdown(Shutdown::Both);
-    let _ = writer.join();
-}
-
-/// Executes one client command; returns `false` to close the connection.
-fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) -> bool {
+/// Executes one client command; returns `false` to close the
+/// connection. Runs on the connection's home reactor loop; replies go
+/// through the outbox like any delivery, so ordering with concurrent
+/// publishes is the queue order.
+pub(crate) fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) -> bool {
     let command = match resp::parse_command(value) {
         Ok(c) => c,
         Err(msg) => return send_value(&state.outbox, &Value::Error(msg)),
@@ -679,7 +679,7 @@ fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &BrokerShared) 
             for dead_conn in overflowed {
                 let victim = shared.conns.lock().get(&dead_conn).cloned();
                 if let Some(victim) = victim {
-                    if shared.kill(&victim) {
+                    if shared.kill(&victim, true) {
                         shared.overflow_kills.fetch_add(1, Ordering::Relaxed);
                     }
                 }

@@ -40,17 +40,20 @@ mod ids;
 pub mod load;
 mod outbox;
 pub mod plan;
+mod reactor;
 pub mod resp;
 mod rng;
 pub mod router;
 mod seq;
 mod server;
 mod shard;
+mod timer;
 
 pub use balance::{CapacityEstimator, Tuning};
 pub use balancer::{BalancerConfig, LiveBalancerStats, LiveLoadBalancer, LoadReporter};
 pub use broker::{
-    BrokerConfig, BrokerHealth, BrokerLoadHandle, FlushStats, ShutdownStats, TcpBroker,
+    BrokerConfig, BrokerHealth, BrokerLoadHandle, FlushStats, LoopFlushStats, ShutdownStats,
+    TcpBroker,
 };
 pub use channel::{Channel, ChannelRegistry};
 pub use chaos::{ChaosProxy, Direction};

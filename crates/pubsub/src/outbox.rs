@@ -1,4 +1,4 @@
-//! Byte-budgeted subscriber outboxes with syscall-coalescing writers.
+//! Byte-budgeted subscriber outboxes drained by the reactor loops.
 //!
 //! Each broker connection owns one outbox: a bounded queue of encoded
 //! RESP frames measured in **bytes** (the Redis
@@ -14,26 +14,27 @@
 //!   make room, counts them, and keeps the connection alive — a lossy
 //!   subscriber instead of a dead one.
 //!
-//! The draining side is a dedicated writer thread per connection
-//! ([`writer_loop`]): each wakeup takes *every* queued frame in one
-//! critical section and flushes the whole batch with
+//! The draining side is **not** a thread: the connection's home reactor
+//! loop calls [`OutboxSender::flush_to`] against the non-blocking
+//! socket, flushing as many queued frames as the kernel will take with
 //! [`Write::write_vectored`], so N frames queued behind a slow socket
 //! cost one `writev` syscall instead of N `write` syscalls. Under a
 //! publish storm the queue depth grows exactly when coalescing pays off
-//! most, which is what makes the bound in bytes (not frames) safe.
+//! most, which is what makes the bound in bytes (not frames) safe. A
+//! flush stopped short by `EWOULDBLOCK` remembers its offset into the
+//! front frame and resumes mid-frame when the socket turns writable.
 //!
-//! For graceful shutdown, [`OutboxSender::wait_drained`] blocks (with a
-//! deadline) until every queued frame has been handed to the kernel, so
-//! the broker can flush in-flight deliveries before closing sockets;
-//! frames still queued when the writer dies or the deadline passes are
-//! tallied as dropped.
+//! Producers and the draining loop meet through the *scheduled* flag:
+//! the first push onto an empty, unscheduled queue fires the outbox's
+//! notifier exactly once (telling the home loop "this connection has
+//! pending output"), and the flag stays set until a flush fully drains
+//! the queue — so a burst of pushes costs one notification, not one
+//! per frame, and an idle reactor loop is woken at most once per burst.
 
 use std::collections::VecDeque;
-use std::io::{IoSlice, Write};
-use std::net::TcpStream;
+use std::io::{ErrorKind, IoSlice, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
 
 /// An encoded RESP frame shared by every outbox it is queued on.
 pub(crate) type Frame = Arc<[u8]>;
@@ -56,7 +57,7 @@ pub enum OverflowPolicy {
     DropOldest,
 }
 
-/// Aggregate flush counters shared by every writer of one broker:
+/// Aggregate flush counters shared by every reactor loop of one broker:
 /// `frames / writes` is the measured coalescing ratio.
 #[derive(Debug, Default)]
 pub(crate) struct FlushCounters {
@@ -65,29 +66,71 @@ pub(crate) struct FlushCounters {
     /// Vectored write syscalls issued.
     pub writes: AtomicU64,
     /// Frames shed before reaching the kernel: `DropOldest` overflow,
-    /// frames abandoned when a writer's socket dies, and frames still
-    /// queued when a shutdown drain deadline passes.
+    /// frames abandoned when a connection's socket dies, and frames
+    /// still queued when a shutdown drain deadline passes.
     pub dropped: AtomicU64,
+}
+
+/// Per-reactor-loop I/O counters ([`FlushCounters`] is the broker-wide
+/// sum of the first three; wakeups are loop-local by nature).
+#[derive(Debug, Default)]
+pub(crate) struct LoopIoStats {
+    /// Frames this loop handed to the kernel.
+    pub frames: AtomicU64,
+    /// Vectored write syscalls this loop issued.
+    pub writes: AtomicU64,
+    /// Payload bytes this loop handed to the kernel.
+    pub bytes: AtomicU64,
+    /// Times this loop was woken from `epoll_wait` via its eventfd
+    /// (cross-thread work arriving while it slept).
+    pub wakeups: AtomicU64,
+}
+
+/// Outcome of one [`OutboxSender::flush_to`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flush {
+    /// Every queued frame reached the kernel; the loop can disarm
+    /// write-readiness for this connection.
+    Drained,
+    /// The socket stopped accepting bytes mid-queue; the loop must arm
+    /// write-readiness and resume when the socket turns writable.
+    Pending,
+    /// The socket died. Remaining frames were counted as dropped and
+    /// the outbox closed; the caller tears the connection down.
+    Failed,
 }
 
 struct Queue {
     frames: VecDeque<Frame>,
+    /// Bytes of the front frame already handed to the kernel by an
+    /// earlier partial flush. The front frame is *in flight* whenever
+    /// this is non-zero — it can never be shed, or the byte stream
+    /// would be corrupted mid-frame.
+    front_offset: usize,
+    /// Sum of the **full** lengths of queued frames (the budget is
+    /// charged until a frame is completely on the wire).
     bytes: usize,
     closed: bool,
-    /// True while the writer is flushing a batch it already took out of
-    /// `frames` — the queue can be empty with bytes still in flight.
-    in_flight: bool,
+    /// True from the first push onto an empty queue until a flush fully
+    /// drains it — the home loop has been told about the pending data
+    /// and needs no further notification.
+    scheduled: bool,
 }
+
+/// Callback fired (outside all outbox locks) when the queue goes from
+/// empty-and-unscheduled to non-empty: tells the connection's home
+/// reactor loop to flush this outbox.
+pub(crate) type Notifier = Box<dyn Fn() + Send + Sync>;
 
 struct Inner {
     queue: Mutex<Queue>,
-    wakeup: Condvar,
     limit_bytes: usize,
     policy: OverflowPolicy,
     /// Frames this connection shed (see [`FlushCounters::dropped`] for
     /// the broker-wide total).
     dropped: AtomicU64,
     counters: Arc<FlushCounters>,
+    notify: Option<Notifier>,
 }
 
 impl Inner {
@@ -102,7 +145,7 @@ impl Inner {
 }
 
 /// Producer handle to a connection's outbox. Cloneable; all clones feed
-/// the same writer thread.
+/// the same queue, drained by the connection's home reactor loop.
 #[derive(Clone)]
 pub(crate) struct OutboxSender {
     inner: Arc<Inner>,
@@ -110,44 +153,43 @@ pub(crate) struct OutboxSender {
 
 impl OutboxSender {
     /// Creates an outbox bounded at `limit_bytes` queued bytes with the
-    /// [`Kill`](OverflowPolicy::Kill) overflow policy and private
-    /// counters (convenience for tests).
+    /// [`Kill`](OverflowPolicy::Kill) overflow policy, private counters
+    /// and no notifier (convenience for tests).
     #[cfg(test)]
-    pub fn new(limit_bytes: usize) -> (OutboxSender, OutboxReceiver) {
+    pub fn new(limit_bytes: usize) -> OutboxSender {
         OutboxSender::new_with(
             limit_bytes,
             OverflowPolicy::Kill,
             Arc::new(FlushCounters::default()),
+            None,
         )
     }
 
     /// Creates an outbox bounded at `limit_bytes` queued bytes with an
-    /// explicit overflow `policy`, reporting into `counters`, and the
-    /// receiving half its writer thread drains.
+    /// explicit overflow `policy`, reporting into `counters`, firing
+    /// `notify` on each empty-to-pending transition.
     pub fn new_with(
         limit_bytes: usize,
         policy: OverflowPolicy,
         counters: Arc<FlushCounters>,
-    ) -> (OutboxSender, OutboxReceiver) {
-        let inner = Arc::new(Inner {
-            queue: Mutex::new(Queue {
-                frames: VecDeque::new(),
-                bytes: 0,
-                closed: false,
-                in_flight: false,
+        notify: Option<Notifier>,
+    ) -> OutboxSender {
+        OutboxSender {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(Queue {
+                    frames: VecDeque::new(),
+                    front_offset: 0,
+                    bytes: 0,
+                    closed: false,
+                    scheduled: false,
+                }),
+                limit_bytes,
+                policy,
+                dropped: AtomicU64::new(0),
+                counters,
+                notify,
             }),
-            wakeup: Condvar::new(),
-            limit_bytes,
-            policy,
-            dropped: AtomicU64::new(0),
-            counters,
-        });
-        (
-            OutboxSender {
-                inner: Arc::clone(&inner),
-            },
-            OutboxReceiver { inner },
-        )
+        }
     }
 
     /// Enqueues `frame` without blocking. Returns `false` when the
@@ -156,9 +198,11 @@ impl OutboxSender {
     /// connection as dead. Under [`OverflowPolicy::DropOldest`] the
     /// push always succeeds on an open outbox: older frames (or, when
     /// the frame alone exceeds the whole budget, the frame itself) are
-    /// shed and counted instead.
+    /// shed and counted instead. A frame mid-write from an earlier
+    /// partial flush is never shed.
     pub fn push(&self, frame: Frame) -> bool {
         let mut shed = 0u64;
+        let mut fire = false;
         let pushed = {
             let mut q = lock(&self.inner.queue);
             if q.closed {
@@ -173,9 +217,15 @@ impl OutboxSender {
                     OverflowPolicy::DropOldest if frame.len() > self.inner.limit_bytes => {}
                     OverflowPolicy::DropOldest => {
                         while q.bytes + frame.len() > self.inner.limit_bytes {
-                            if let Some(old) = q.frames.pop_front() {
-                                q.bytes -= old.len();
-                                shed += 1;
+                            // The oldest *sheddable* frame: index 0, or
+                            // index 1 while the front is mid-write.
+                            let victim = usize::from(q.front_offset > 0);
+                            match q.frames.remove(victim) {
+                                Some(old) => {
+                                    q.bytes -= old.len();
+                                    shed += 1;
+                                }
+                                None => break, // only the in-flight frame remains
                             }
                         }
                     }
@@ -184,6 +234,10 @@ impl OutboxSender {
             if q.bytes + frame.len() <= self.inner.limit_bytes {
                 q.bytes += frame.len();
                 q.frames.push_back(frame);
+                if !q.scheduled {
+                    q.scheduled = true;
+                    fire = true;
+                }
                 true
             } else {
                 shed += 1;
@@ -191,45 +245,91 @@ impl OutboxSender {
             }
         };
         self.inner.record_dropped(shed);
-        if pushed {
-            self.inner.wakeup.notify_all();
+        if fire {
+            if let Some(notify) = &self.inner.notify {
+                notify();
+            }
         }
         // DropOldest never reports failure for an open outbox: the
         // connection stays alive even when the frame itself was shed.
         pushed || self.inner.policy == OverflowPolicy::DropOldest
     }
 
-    /// Closes the outbox: queued frames still drain, further pushes
-    /// fail, and the writer thread exits once the queue is empty.
+    /// Closes the outbox: queued frames still drain via
+    /// [`Self::flush_to`], but further pushes fail.
     pub fn close(&self) {
         lock(&self.inner.queue).closed = true;
-        self.inner.wakeup.notify_all();
     }
 
     /// Frames this connection has shed (overflow under `DropOldest`,
-    /// writer death, or an expired drain deadline).
+    /// socket death, or an expired drain deadline).
     pub fn dropped_frames(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
-    /// Blocks until every queued frame has been handed to the kernel
-    /// (queue empty and no batch in flight) or `timeout` passes.
-    /// Returns `true` when fully drained.
-    pub fn wait_drained(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+    /// True when no frames are queued (nothing left to flush).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner.queue).frames.is_empty()
+    }
+
+    /// Flushes as many queued frames as `w` will take, with at most one
+    /// `writev` per [`MAX_IOVECS`] frames. Called only by the
+    /// connection's home reactor loop against its non-blocking socket.
+    ///
+    /// Frame/write/byte counts land in both the broker-wide
+    /// [`FlushCounters`] and the loop's [`LoopIoStats`]; a frame is
+    /// counted once, when its last byte is handed to the kernel. On
+    /// socket death every remaining frame is counted as dropped and the
+    /// outbox closes.
+    pub fn flush_to<W: Write>(&self, w: &mut W, loop_stats: &LoopIoStats) -> Flush {
+        let counters = &self.inner.counters;
         let mut q = lock(&self.inner.queue);
         loop {
-            if q.frames.is_empty() && !q.in_flight {
-                return true;
+            if q.frames.is_empty() {
+                q.scheduled = false;
+                return Flush::Drained;
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(q.frames.len().min(MAX_IOVECS));
+            for (i, f) in q.frames.iter().take(MAX_IOVECS).enumerate() {
+                slices.push(IoSlice::new(if i == 0 { &f[q.front_offset..] } else { f }));
             }
-            q = match self.inner.wakeup.wait_timeout(q, deadline - now) {
-                Ok((g, _)) => g,
-                Err(p) => p.into_inner().0,
-            };
+            match w.write_vectored(&slices) {
+                Ok(0) => {
+                    let abandoned = self::fail(&mut q);
+                    drop(q);
+                    self.inner.record_dropped(abandoned);
+                    return Flush::Failed;
+                }
+                Ok(mut n) => {
+                    counters.writes.fetch_add(1, Ordering::Relaxed);
+                    loop_stats.writes.fetch_add(1, Ordering::Relaxed);
+                    loop_stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    let mut done = 0u64;
+                    while n > 0 {
+                        let remaining = q.frames[0].len() - q.front_offset;
+                        if n >= remaining {
+                            n -= remaining;
+                            let f = q.frames.pop_front().expect("non-empty queue");
+                            q.bytes -= f.len();
+                            q.front_offset = 0;
+                            done += 1;
+                        } else {
+                            q.front_offset += n;
+                            n = 0;
+                        }
+                    }
+                    counters.frames.fetch_add(done, Ordering::Relaxed);
+                    loop_stats.frames.fetch_add(done, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Flush::Pending,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    let abandoned = self::fail(&mut q);
+                    drop(q);
+                    self.inner.record_dropped(abandoned);
+                    return Flush::Failed;
+                }
+            }
         }
     }
 
@@ -241,98 +341,30 @@ impl OutboxSender {
             let mut q = lock(&self.inner.queue);
             let n = q.frames.len() as u64;
             q.frames.clear();
+            q.front_offset = 0;
             q.bytes = 0;
+            q.scheduled = false;
             n
         };
         self.inner.record_dropped(n);
-        self.inner.wakeup.notify_all();
         n
     }
 }
 
-/// Receiving half of an outbox, consumed by [`writer_loop`].
-pub(crate) struct OutboxReceiver {
-    inner: Arc<Inner>,
+/// Marks a queue dead after a socket error: everything still queued is
+/// abandoned. Returns the abandoned frame count (recorded by the caller
+/// after the lock drops).
+fn fail(q: &mut Queue) -> u64 {
+    let abandoned = q.frames.len() as u64;
+    q.frames.clear();
+    q.front_offset = 0;
+    q.bytes = 0;
+    q.closed = true;
+    q.scheduled = false;
+    abandoned
 }
 
-/// Drains an outbox into `stream` until it is closed and empty or the
-/// socket errors. Every wakeup takes the whole queue and flushes it
-/// with vectored writes. On socket death the un-flushed remainder is
-/// counted as dropped so drain accounting stays exact.
-pub(crate) fn writer_loop(rx: OutboxReceiver, mut stream: TcpStream) {
-    let counters = Arc::clone(&rx.inner.counters);
-    let mut batch: Vec<Frame> = Vec::new();
-    loop {
-        {
-            let mut q = lock(&rx.inner.queue);
-            while q.frames.is_empty() && !q.closed {
-                q = match rx.inner.wakeup.wait(q) {
-                    Ok(g) => g,
-                    Err(p) => p.into_inner(),
-                };
-            }
-            if q.frames.is_empty() {
-                break; // closed and fully drained
-            }
-            batch.extend(q.frames.drain(..));
-            q.bytes = 0;
-            q.in_flight = true;
-        }
-        let flushed = write_batch(&mut stream, &batch, &counters);
-        let failed = flushed < batch.len();
-        {
-            let mut q = lock(&rx.inner.queue);
-            q.in_flight = false;
-            if failed {
-                // The socket is gone: everything not yet handed to the
-                // kernel — the rest of this batch and whatever queued
-                // meanwhile — is dropped.
-                let abandoned = (batch.len() - flushed) as u64 + q.frames.len() as u64;
-                q.frames.clear();
-                q.bytes = 0;
-                q.closed = true;
-                drop(q);
-                rx.inner.record_dropped(abandoned);
-            }
-        }
-        rx.inner.wakeup.notify_all();
-        if failed {
-            return;
-        }
-        batch.clear();
-    }
-    let _ = stream.flush();
-    rx.inner.wakeup.notify_all();
-}
-
-/// Writes every frame of `batch` with as few syscalls as the kernel
-/// allows. Returns the number of frames fully handed to the kernel
-/// (`batch.len()` on success, fewer on socket error).
-fn write_batch(stream: &mut TcpStream, batch: &[Frame], counters: &FlushCounters) -> usize {
-    let mut flushed = 0usize;
-    for chunk in batch.chunks(MAX_IOVECS) {
-        let mut slices: Vec<IoSlice<'_>> = chunk.iter().map(|f| IoSlice::new(f)).collect();
-        let mut rest: &mut [IoSlice<'_>] = &mut slices;
-        while !rest.is_empty() {
-            match stream.write_vectored(rest) {
-                Ok(0) => return flushed,
-                Ok(n) => {
-                    counters.writes.fetch_add(1, Ordering::Relaxed);
-                    IoSlice::advance_slices(&mut rest, n);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return flushed,
-            }
-        }
-        counters
-            .frames
-            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-        flushed += chunk.len();
-    }
-    flushed
-}
-
-fn lock<'a>(m: &'a Mutex<Queue>) -> std::sync::MutexGuard<'a, Queue> {
+fn lock(m: &Mutex<Queue>) -> std::sync::MutexGuard<'_, Queue> {
     match m.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
@@ -347,9 +379,60 @@ mod tests {
         vec![b'x'; n].into()
     }
 
+    /// A writer with a depleting byte budget — a socket send buffer:
+    /// once the budget is spent every write is `WouldBlock` until the
+    /// test "drains the kernel" by refilling it.
+    struct Throttled {
+        budget: usize,
+        sunk: Vec<u8>,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.budget);
+            if n == 0 {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            self.budget -= n;
+            self.sunk.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut wrote = 0usize;
+            for b in bufs {
+                let n = b.len().min(self.budget);
+                self.budget -= n;
+                self.sunk.extend_from_slice(&b[..n]);
+                wrote += n;
+                if self.budget == 0 {
+                    break;
+                }
+            }
+            if wrote == 0 {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            Ok(wrote)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A writer whose socket has died.
+    struct Broken;
+
+    impl Write for Broken {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(ErrorKind::BrokenPipe.into())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn push_respects_byte_budget_not_frame_count() {
-        let (tx, _rx) = OutboxSender::new(100);
+        let tx = OutboxSender::new(100);
         // Many tiny frames fit …
         for _ in 0..10 {
             assert!(tx.push(frame(10)));
@@ -360,14 +443,14 @@ mod tests {
 
     #[test]
     fn one_big_frame_can_overflow_alone() {
-        let (tx, _rx) = OutboxSender::new(100);
+        let tx = OutboxSender::new(100);
         assert!(!tx.push(frame(101)));
         assert!(tx.push(frame(100)));
     }
 
     #[test]
     fn closed_outbox_rejects_pushes() {
-        let (tx, _rx) = OutboxSender::new(100);
+        let tx = OutboxSender::new(100);
         tx.close();
         assert!(!tx.push(frame(1)));
     }
@@ -375,10 +458,10 @@ mod tests {
     #[test]
     fn drop_oldest_sheds_exactly_the_overflow() {
         let counters = Arc::new(FlushCounters::default());
-        let (tx, _rx) =
-            OutboxSender::new_with(100, OverflowPolicy::DropOldest, Arc::clone(&counters));
+        let tx =
+            OutboxSender::new_with(100, OverflowPolicy::DropOldest, Arc::clone(&counters), None);
         // 3 × 30 bytes fit; each further push sheds exactly one oldest
-        // frame (no writer is draining, so this is deterministic).
+        // frame (nothing drains, so this is deterministic).
         for _ in 0..10 {
             assert!(tx.push(frame(30)));
         }
@@ -388,10 +471,11 @@ mod tests {
 
     #[test]
     fn drop_oldest_survives_a_frame_bigger_than_the_budget() {
-        let (tx, _rx) = OutboxSender::new_with(
+        let tx = OutboxSender::new_with(
             100,
             OverflowPolicy::DropOldest,
             Arc::new(FlushCounters::default()),
+            None,
         );
         assert!(tx.push(frame(60)));
         // The oversized frame itself is shed — without evicting the
@@ -405,24 +489,147 @@ mod tests {
 
     #[test]
     fn closed_drop_oldest_outbox_still_rejects() {
-        let (tx, _rx) = OutboxSender::new_with(
+        let tx = OutboxSender::new_with(
             100,
             OverflowPolicy::DropOldest,
             Arc::new(FlushCounters::default()),
+            None,
         );
         tx.close();
         assert!(!tx.push(frame(1)));
     }
 
     #[test]
-    fn wait_drained_reports_empty_queues_immediately() {
-        let (tx, _rx) = OutboxSender::new(100);
-        assert!(tx.wait_drained(Duration::from_millis(1)));
-        tx.push(frame(10));
-        // Nothing drains (no writer): the deadline must fire.
-        assert!(!tx.wait_drained(Duration::from_millis(10)));
-        assert_eq!(tx.discard_remaining(), 1);
-        assert!(tx.wait_drained(Duration::from_millis(1)));
+    fn flush_coalesces_a_burst_into_one_write() {
+        let counters = Arc::new(FlushCounters::default());
+        let tx = OutboxSender::new_with(1024, OverflowPolicy::Kill, Arc::clone(&counters), None);
+        for _ in 0..8 {
+            assert!(tx.push(frame(16)));
+        }
+        let stats = LoopIoStats::default();
+        let mut sink: Vec<u8> = Vec::new();
+        assert_eq!(tx.flush_to(&mut sink, &stats), Flush::Drained);
+        assert_eq!(sink.len(), 128);
+        assert_eq!(counters.frames.load(Ordering::Relaxed), 8);
+        // `Vec` accepts every iovec at once: one syscall-equivalent.
+        assert_eq!(counters.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.frames.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.bytes.load(Ordering::Relaxed), 128);
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn partial_flush_resumes_mid_frame_without_corruption() {
+        let counters = Arc::new(FlushCounters::default());
+        let tx = OutboxSender::new_with(1024, OverflowPolicy::Kill, Arc::clone(&counters), None);
+        let payload: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        tx.push(payload.clone().into());
+        let stats = LoopIoStats::default();
+        // The socket takes 100 bytes per writability cycle.
+        let mut socket = Throttled {
+            budget: 100,
+            sunk: Vec::new(),
+        };
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
+        // The frame is mid-write: not yet counted, still budgeted.
+        assert_eq!(counters.frames.load(Ordering::Relaxed), 0);
+        assert!(!tx.is_empty());
+        socket.budget = 100;
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
+        socket.budget = 100;
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Drained);
+        assert_eq!(socket.sunk, payload);
+        assert_eq!(counters.frames.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.writes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn drop_oldest_never_sheds_the_in_flight_frame() {
+        let tx = OutboxSender::new_with(
+            100,
+            OverflowPolicy::DropOldest,
+            Arc::new(FlushCounters::default()),
+            None,
+        );
+        let front: Vec<u8> = vec![b'a'; 60];
+        tx.push(front.clone().into());
+        let stats = LoopIoStats::default();
+        let mut socket = Throttled {
+            budget: 10,
+            sunk: Vec::new(),
+        };
+        // 10 of the front frame's 60 bytes reach the wire: in flight.
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
+        // Overflow now: the second frame (not the in-flight front) is
+        // the eviction victim.
+        assert!(tx.push(frame(40)));
+        assert!(tx.push(frame(40)));
         assert_eq!(tx.dropped_frames(), 1);
+        // Unthrottle: the wire sees the *complete* front frame.
+        socket.budget = 1024;
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Drained);
+        assert_eq!(&socket.sunk[..60], &front[..]);
+        assert_eq!(socket.sunk.len(), 100);
+    }
+
+    #[test]
+    fn dead_socket_fails_the_flush_and_counts_the_queue_dropped() {
+        let counters = Arc::new(FlushCounters::default());
+        let tx = OutboxSender::new_with(1024, OverflowPolicy::Kill, Arc::clone(&counters), None);
+        for _ in 0..5 {
+            tx.push(frame(10));
+        }
+        let stats = LoopIoStats::default();
+        assert_eq!(tx.flush_to(&mut Broken, &stats), Flush::Failed);
+        assert_eq!(tx.dropped_frames(), 5);
+        assert_eq!(counters.dropped.load(Ordering::Relaxed), 5);
+        // The outbox is closed: later pushes fail.
+        assert!(!tx.push(frame(1)));
+    }
+
+    #[test]
+    fn notifier_fires_once_per_burst() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let hits = Arc::clone(&fired);
+        let tx = OutboxSender::new_with(
+            1024,
+            OverflowPolicy::Kill,
+            Arc::new(FlushCounters::default()),
+            Some(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        // First push of the burst notifies; the rest ride along.
+        for _ in 0..10 {
+            tx.push(frame(8));
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        // Draining re-arms the notifier for the next burst.
+        let stats = LoopIoStats::default();
+        let mut sink: Vec<u8> = Vec::new();
+        assert_eq!(tx.flush_to(&mut sink, &stats), Flush::Drained);
+        tx.push(frame(8));
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+        // A flush stopped short keeps the connection scheduled: no
+        // extra notification until the queue fully drains.
+        let mut socket = Throttled {
+            budget: 4,
+            sunk: Vec::new(),
+        };
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
+        tx.push(frame(8));
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn discard_remaining_counts_exactly_the_leftovers() {
+        let tx = OutboxSender::new(100);
+        assert!(tx.is_empty());
+        tx.push(frame(10));
+        tx.push(frame(10));
+        assert_eq!(tx.discard_remaining(), 2);
+        assert!(tx.is_empty());
+        assert_eq!(tx.dropped_frames(), 2);
     }
 }

@@ -374,7 +374,7 @@ mod tests {
     use super::*;
 
     fn sender() -> OutboxSender {
-        OutboxSender::new(1024).0
+        OutboxSender::new(1024)
     }
 
     fn sub(conn: u64, sequenced: bool) -> SubscriberRef {

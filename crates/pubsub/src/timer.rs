@@ -1,0 +1,190 @@
+//! A hashed timer wheel for the broker's event loops.
+//!
+//! Each reactor loop owns one [`TimerWheel`] and uses it for
+//! time-based work that must not cost a thread or a sorted structure:
+//! per-connection liveness deadlines (half-open detection) and
+//! periodic idle ticks. The wheel trades resolution for O(1)
+//! scheduling: time is quantised into fixed-width ticks, each tick
+//! hashes to one of `slots` buckets, and expiry walks only the buckets
+//! the clock has passed. An entry scheduled more than one wheel
+//! revolution out simply stays in its bucket until the cursor comes
+//! round to its actual tick — the classic "hashed wheel" scheme
+//! (Varghese & Lauck), also used by Netty and Kafka.
+//!
+//! Cancellation is deliberately lazy: there is no `cancel`. Callers
+//! revalidate on expiry (e.g. "has this connection received bytes
+//! since?") and reschedule when the deadline moved. That keeps the hot
+//! paths (socket reads) free of any wheel bookkeeping.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled entry: an opaque token due at an absolute tick.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    tick: u64,
+}
+
+/// A hashed timer wheel over opaque `u64` tokens.
+pub(crate) struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Next absolute tick the cursor will process (all ticks before it
+    /// have been expired).
+    cursor: u64,
+    origin: Instant,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel with the given tick width and bucket count
+    /// (rounded up to a power of two, minimum 1).
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        let n = slots.max(1).next_power_of_two();
+        TimerWheel {
+            tick: tick.max(Duration::from_millis(1)),
+            slots: (0..n).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            origin: Instant::now(),
+            len: 0,
+        }
+    }
+
+    /// The wheel's tick width — the scheduling resolution, and the
+    /// longest a due entry can wait past its deadline before
+    /// [`Self::expire`] (called every tick) reports it.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Number of scheduled entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        // Round up: an entry never fires before its deadline.
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64 + 1
+    }
+
+    /// Schedules `token` to expire at `deadline` (quantised up to the
+    /// next tick boundary; never before the cursor, so an entry in the
+    /// past fires on the very next [`Self::expire`]).
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick as usize) & (self.slots.len() - 1);
+        self.slots[slot].push(Entry { token, tick });
+        self.len += 1;
+    }
+
+    /// Drains every entry due at or before `now` into `out`. Walks only
+    /// the buckets between the cursor and `now`'s tick; when the clock
+    /// jumped a whole revolution ahead, each bucket is visited exactly
+    /// once instead.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let now_tick = self.tick_of(now).saturating_sub(1);
+        if now_tick < self.cursor {
+            return;
+        }
+        let slots = self.slots.len() as u64;
+        let walk = (now_tick - self.cursor + 1).min(slots);
+        let mut removed = 0usize;
+        for step in 0..walk {
+            let slot = ((self.cursor + step) as usize) & (self.slots.len() - 1);
+            self.slots[slot].retain(|e| {
+                if e.tick <= now_tick {
+                    out.push(e.token);
+                    removed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.len -= removed;
+        self.cursor = now_tick + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expired(wheel: &mut TimerWheel, now: Instant) -> Vec<u64> {
+        let mut out = Vec::new();
+        wheel.expire(now, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn entries_fire_at_their_deadline_not_before() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        wheel.schedule(1, start + Duration::from_millis(35));
+        wheel.schedule(2, start + Duration::from_millis(95));
+        assert_eq!(wheel.len(), 2);
+
+        assert!(expired(&mut wheel, start + Duration::from_millis(20)).is_empty());
+        // 35 ms quantises up to the 40 ms boundary.
+        assert!(expired(&mut wheel, start + Duration::from_millis(34)).is_empty());
+        assert_eq!(expired(&mut wheel, start + Duration::from_millis(50)), [1]);
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(expired(&mut wheel, start + Duration::from_millis(200)), [2]);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn far_future_entries_survive_whole_revolutions() {
+        let start = Instant::now();
+        // 4 slots × 10 ms tick = one revolution every 40 ms.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4);
+        wheel.schedule(7, start + Duration::from_millis(250));
+        // Several revolutions pass; the entry's bucket is visited each
+        // time but the entry stays until its actual tick.
+        for ms in [40u64, 80, 120, 160, 200] {
+            assert!(
+                expired(&mut wheel, start + Duration::from_millis(ms)).is_empty(),
+                "fired {ms} ms early"
+            );
+        }
+        assert_eq!(expired(&mut wheel, start + Duration::from_millis(260)), [7]);
+    }
+
+    #[test]
+    fn clock_jump_expires_everything_due_in_one_pass() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        for t in 0..20u64 {
+            wheel.schedule(t, start + Duration::from_millis(10 * (t + 1)));
+        }
+        // The loop stalled for "an hour": every entry is due, each
+        // bucket must be visited exactly once.
+        let out = expired(&mut wheel, start + Duration::from_secs(3600));
+        assert_eq!(out, (0..20).collect::<Vec<u64>>());
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_expire() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let _ = expired(&mut wheel, start + Duration::from_millis(500));
+        // Scheduled "in the past" relative to the cursor.
+        wheel.schedule(3, start);
+        assert_eq!(expired(&mut wheel, start + Duration::from_millis(510)), [3]);
+    }
+
+    #[test]
+    fn duplicate_tokens_fire_once_per_schedule() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        wheel.schedule(9, start + Duration::from_millis(10));
+        wheel.schedule(9, start + Duration::from_millis(20));
+        assert_eq!(
+            expired(&mut wheel, start + Duration::from_millis(100)),
+            [9, 9]
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Minimal offline stand-in for the `mio` crate, backed directly by
+//! Linux `epoll(7)` and `eventfd(2)` — the workspace builds fully
+//! offline, so like the other `vendor/` crates this implements exactly
+//! the API subset `dynamoth-pubsub`'s reactor uses, not a general
+//! replacement:
+//!
+//! - [`Poll`] / [`Events`] / [`Event`] — a level-triggered readiness
+//!   poller (`epoll_create1` / `epoll_ctl` / `epoll_wait`);
+//! - [`Registry`] — cloneable registration handle; [`Source`] is
+//!   implemented for the std TCP types via `AsRawFd` instead of
+//!   wrapping them in mio-specific net types;
+//! - [`Token`] / [`Interest`] — the usual opaque id and readiness mask;
+//! - [`Waker`] — cross-thread wakeup via an edge-triggered `eventfd`
+//!   (like real mio, the counter is written and never read: every
+//!   `write` is a fresh edge, and a `u64` counter cannot practically
+//!   saturate).
+//!
+//! All `unsafe` in the workspace is confined to this crate: the raw
+//! syscall declarations and the `epoll_event` buffer handed to the
+//! kernel. Everything above it (the broker reactor included) stays
+//! under `#![forbid(unsafe_code)]`.
+//!
+//! Linux-only, which is all the real-network tier supports anyway.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+// Raw syscall surface. These link against the C library std already
+// links; signatures match the Linux ABI.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+/// Mirror of the kernel's `struct epoll_event`. The x86-64 kernel ABI
+/// declares it packed; other 64-bit architectures use natural layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Opaque per-registration id, echoed back in every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interests a source is registered with. Combine with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Whether this interest includes readability.
+    pub fn is_readable(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub fn is_writable(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// Anything registrable with a [`Registry`]. Unlike real mio this stub
+/// registers raw fds directly, so any `AsRawFd` type qualifies; the
+/// caller owns fd lifetime (deregister before closing).
+pub trait Source: AsRawFd {}
+
+impl Source for std::net::TcpListener {}
+impl Source for std::net::TcpStream {}
+impl Source for OwnedFd {}
+
+/// Cloneable handle that registers event sources with a [`Poll`].
+#[derive(Clone)]
+pub struct Registry {
+    epfd: Arc<OwnedFd>,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token.0 as u64,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `source` for the given interests under `token`
+    /// (level-triggered).
+    pub fn register<S: Source>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), interest.0, token)
+    }
+
+    /// Changes the interests of an already registered `source`.
+    pub fn reregister<S: Source>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), interest.0, token)
+    }
+
+    /// Removes `source` from the poller.
+    pub fn deregister<S: Source>(&self, source: &S) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), 0, Token(0))
+    }
+}
+
+/// An epoll instance: polls registered sources for readiness.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh poller.
+    pub fn new() -> io::Result<Poll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry {
+                epfd: Arc::new(unsafe { OwnedFd::from_raw_fd(fd) }),
+            },
+        })
+    }
+
+    /// The registration handle of this poller.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or
+    /// `timeout` passes (`None` blocks indefinitely), filling `events`.
+    /// Sub-millisecond timeouts round **up** so a short timeout never
+    /// degenerates into a busy spin.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis() + u128::from(d.subsec_nanos() % 1_000_000 != 0);
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        events.len = 0;
+        loop {
+            match cvt(unsafe {
+                epoll_wait(
+                    self.registry.epfd.as_raw_fd(),
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => {
+                    events.len = n as usize;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // Retry with the original timeout: precise deadline
+                    // accounting is the caller's job (ours re-derives
+                    // timeouts every iteration anyway).
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A buffer of readiness [`Event`]s filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Creates a buffer holding up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy out of the (possibly packed) kernel struct before
+            // touching the fields.
+            let raw = *raw;
+            Event {
+                bits: raw.events,
+                token: Token(raw.data as usize),
+            }
+        })
+    }
+
+    /// Whether the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    bits: u32,
+    token: Token,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes errors and hangups, which a read will
+    /// surface as `Ok(0)` / `Err`).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Write readiness (includes errors, which a write will surface).
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+
+    /// The peer closed its writing half (or the connection errored).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// Cross-thread wakeup handle: readying a poller from outside any
+/// registered source. Backed by an edge-triggered `eventfd` that is
+/// written and never read — each write is a fresh edge, and the `u64`
+/// counter cannot practically overflow.
+pub struct Waker {
+    file: std::fs::File,
+}
+
+impl Waker {
+    /// Creates a waker whose [`Waker::wake`] makes `registry`'s poll
+    /// return an event carrying `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        let file = std::fs::File::from(unsafe { OwnedFd::from_raw_fd(fd) });
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLET,
+            data: token.0 as u64,
+        };
+        cvt(unsafe {
+            epoll_ctl(
+                registry.epfd.as_raw_fd(),
+                EPOLL_CTL_ADD,
+                file.as_raw_fd(),
+                &mut ev,
+            )
+        })?;
+        Ok(Waker { file })
+    }
+
+    /// Wakes the poller. One `write(2)` on the eventfd; thread-safe,
+    /// and coalescing multiple wakes into one event is fine by design.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.file).write_all(&1u64.to_ne_bytes()) {
+            Ok(()) => Ok(()),
+            // Counter saturated: a wake is already pending, good enough.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(7)).unwrap());
+        let mut poll = poll;
+        let mut events = Events::with_capacity(8);
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let tokens: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![Token(7)]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn readable_socket_reports_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&server, Token(3), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet.
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        std::io::Write::write_all(&mut client, b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("one event");
+        assert_eq!(ev.token(), Token(3));
+        assert!(ev.is_readable());
+
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        // Level-triggered: drained socket stops reporting.
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Peer close surfaces as read-closed.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().next().expect("close event").is_read_closed());
+        poll.registry().deregister(&server).unwrap();
+    }
+
+    #[test]
+    fn writability_tracks_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&server, Token(1), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "readable-only idle socket is silent");
+
+        poll.registry()
+            .reregister(&server, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("writable event");
+        assert!(ev.is_writable());
+        drop(client);
+    }
+}

@@ -15,6 +15,8 @@
 //!                              [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-resume [--outages 64,512,4096] [--retentions 128,1024]
 //!                           [--payload BYTES] [--seed S] [--out FILE]
+//! dynamoth-cli bench-failover [--suspects 2,3] [--intervals-ms 100,200]
+//!                             [--seed S] [--out FILE]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -305,10 +307,35 @@ fn main() {
             let rows = resume_grid(&outages, &retentions, payload, seed);
             write_resume_json(out_writer(&args), &rows).expect("write json");
         }
+        "bench-failover" => {
+            use dynamoth_bench::failover_bench::{failover_grid, write_failover_json};
+
+            let suspects: Vec<u32> = args
+                .get("suspects")
+                .map(|v| {
+                    v.split(',')
+                        .filter_map(|n| n.trim().parse().ok())
+                        .collect::<Vec<u32>>()
+                })
+                .filter(|v| !v.is_empty())
+                .unwrap_or_else(|| vec![2, 3]);
+            let intervals: Vec<u64> = args
+                .get("intervals-ms")
+                .map(|v| {
+                    v.split(',')
+                        .filter_map(|n| n.trim().parse().ok())
+                        .collect::<Vec<u64>>()
+                })
+                .filter(|v| !v.is_empty())
+                .unwrap_or_else(|| vec![100, 200]);
+            let rows = failover_grid(&suspects, &intervals, seed);
+            write_failover_json(out_writer(&args), &rows).expect("write json");
+        }
         other => {
             eprintln!(
                 "unknown command {other:?}; expected \
-                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance|bench-resume"
+                 fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance|\
+                 bench-resume|bench-failover"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod broker_bench;
+pub mod failover_bench;
 pub mod rebalance_bench;
 pub mod resume_bench;
 pub mod router_bench;

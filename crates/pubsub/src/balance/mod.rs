@@ -132,6 +132,16 @@ impl CapacityEstimator {
         }
     }
 
+    /// Discards the trailing observation window without touching the
+    /// demonstrated-capacity estimate. Called when a broker is declared
+    /// dead: its final (often artificially high or truncated) egress
+    /// samples must not complete a "sustained" window and skew the
+    /// capacity — and with it the mean-load math every survivor's LR is
+    /// measured against — after the broker is gone.
+    pub fn forget_window(&mut self) {
+        self.recent.clear();
+    }
+
     /// The current estimate of `T_i`: the decayed maximum sustained
     /// egress, never below the provisioned floor.
     pub fn capacity(&self) -> f64 {

@@ -23,8 +23,8 @@
 //! dies, traffic keeps flowing under the last installed plan — the data
 //! plane never depends on the control plane being alive.
 
-use std::collections::{HashMap, HashSet};
-use std::net::SocketAddr;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -40,11 +40,11 @@ use crate::channel::Channel as ChannelId;
 use crate::client::{ClientConfig, TcpPubSubClient};
 use crate::control::{
     channel_id_of, decode_report, encode_report, install_channel, is_control_channel, lla_channel,
-    InstallFrame,
+    InstallFrame, Quarantine,
 };
 use crate::hashing::{Ring, DEFAULT_VNODES};
 use crate::ids::{PlanId, ServerId};
-use crate::plan::Plan;
+use crate::plan::{ChannelMapping, Plan};
 
 /// Tuning knobs of a [`LiveLoadBalancer`].
 #[derive(Debug, Clone)]
@@ -70,6 +70,24 @@ pub struct BalancerConfig {
     pub vnodes: u32,
     /// Tuning for the balancer's own broker connections.
     pub client: ClientConfig,
+    /// The [`LoadReporter`] cadence the balancer expects. Together with
+    /// [`Self::suspect_after`] this defines the failure detector: a
+    /// broker whose last `DMLLA1` report is older than
+    /// `suspect_after × report_interval` becomes **suspect**.
+    pub report_interval: Duration,
+    /// Missed report intervals before a broker becomes suspect (K in
+    /// the kill-to-recovery SLO `K·report_interval + probe_timeout`).
+    pub suspect_after: u32,
+    /// Timeout of the confirmation probe (a bare TCP connect to the
+    /// suspect). A suspect whose probe *succeeds* stays suspect — its
+    /// reporter is wedged but the broker serves, and failing over a
+    /// serving broker would split routing. Only a failed probe declares
+    /// death.
+    pub probe_timeout: Duration,
+    /// ε of the bounded-load rule used by the emergency replan: a
+    /// survivor is skipped (spilling the channel to the next ring node)
+    /// once its projected load exceeds `(1+ε)×` the post-failover mean.
+    pub failover_epsilon: f64,
 }
 
 impl Default for BalancerConfig {
@@ -83,6 +101,10 @@ impl Default for BalancerConfig {
             install_refresh: Duration::from_secs(3),
             vnodes: DEFAULT_VNODES,
             client: ClientConfig::default(),
+            report_interval: Duration::from_secs(1),
+            suspect_after: 3,
+            probe_timeout: Duration::from_millis(500),
+            failover_epsilon: 0.25,
         }
     }
 }
@@ -108,6 +130,38 @@ pub struct LiveBalancerStats {
     /// Windowed load ratio per broker directory index, for brokers that
     /// have reported.
     pub load_ratios: Vec<(usize, f64)>,
+    /// Brokers currently suspect (missed reports, but the confirmation
+    /// probe still connects — alive, reporter wedged).
+    pub suspects: Vec<usize>,
+    /// Brokers currently quarantined (declared dead; skipped by plans
+    /// until they re-report).
+    pub quarantined: Vec<usize>,
+    /// Whole-broker deaths declared so far.
+    pub deaths_declared: u64,
+    /// Emergency replans executed (one per death with survivors).
+    pub emergency_replans: u64,
+    /// Quarantined brokers re-admitted after they re-reported.
+    pub brokers_recovered: u64,
+    /// Summary of the most recent emergency replan.
+    pub last_replan: Option<ReplanSummary>,
+}
+
+/// What the most recent emergency replan did, for observability and for
+/// asserting the bounded-load invariant in tests: immediately after a
+/// replan, no survivor's projected load ratio exceeds `cap_ratio`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanSummary {
+    /// Directory index of the broker whose death triggered the replan.
+    pub dead: usize,
+    /// Channels reassigned off the corpse.
+    pub channels_moved: usize,
+    /// The bounded-load cap as a load ratio: `(1+ε)×` the projected
+    /// post-failover mean LR.
+    pub cap_ratio: f64,
+    /// Highest projected survivor LR after the reassignment.
+    pub max_survivor_lr: f64,
+    /// Mean projected survivor LR after the reassignment.
+    pub mean_survivor_lr: f64,
 }
 
 /// Publishes one broker's load reports on its `__dmc.lla.*` channel at
@@ -133,8 +187,21 @@ impl LoadReporter {
         let thread = std::thread::spawn(move || {
             let conn = TcpPubSubClient::connect_addr(addr, client);
             let channel = lla_channel(broker);
+            let mut next = Instant::now() + interval;
             while flag.load(Ordering::SeqCst) {
-                std::thread::sleep(interval);
+                // A reporter must observe its broker's shutdown and stop
+                // cleanly: publishing into a closed listener would spin
+                // the connection's reconnect loop forever. Sleep in
+                // short slices so both exits stay responsive.
+                if handle.is_shutdown() {
+                    return;
+                }
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep((next - now).min(Duration::from_millis(10)));
+                    continue;
+                }
+                next = now + interval;
                 let report = handle.report();
                 conn.publish(&channel, &encode_report(&report));
             }
@@ -143,6 +210,13 @@ impl LoadReporter {
             running,
             thread: Some(thread),
         }
+    }
+
+    /// Whether the reporter thread has exited — true after
+    /// [`shutdown`](Self::shutdown), and also on its own once the
+    /// reporter observed its broker shut down.
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(|t| t.is_finished())
     }
 
     /// Stops the reporter thread.
@@ -272,6 +346,20 @@ struct Engine {
     reported: HashSet<usize>,
     ticks: u64,
     pending_installs: Vec<PendingInstall>,
+    /// When each broker's most recent report arrived (engine start
+    /// counts as a report, so a never-reporting broker becomes suspect
+    /// after the normal K intervals instead of instantly).
+    last_report: Vec<Instant>,
+    /// Death count per broker; bumped on every death declaration and
+    /// carried on the wire so receivers dedup death handling.
+    incarnations: Vec<u64>,
+    /// Brokers declared dead, by directory index → incarnation. A
+    /// quarantined broker is skipped by plans and pool re-admission
+    /// until a fresh report proves it back.
+    quarantined: BTreeMap<usize, u64>,
+    /// Brokers past the missed-report threshold whose probe still
+    /// succeeds.
+    suspects: HashSet<usize>,
 }
 
 impl Engine {
@@ -295,6 +383,10 @@ impl Engine {
         Engine {
             store: MetricsStore::new(cfg.window),
             capacity: CapacityEstimator::new(cfg.capacity_floor),
+            last_report: vec![Instant::now(); directory.len()],
+            incarnations: vec![0; directory.len()],
+            quarantined: BTreeMap::new(),
+            suspects: HashSet::new(),
             directory,
             running,
             stats,
@@ -316,12 +408,29 @@ impl Engine {
             std::thread::sleep(self.cfg.tick);
             self.ingest();
             self.ticks += 1;
-            if self.reported.len() == self.directory.len() && self.ticks >= self.cfg.warmup_ticks {
+            self.detect_failures();
+            // The evaluation gate counts only live brokers: a dead one
+            // can never report again, and waiting for it would deadlock
+            // balancing exactly when it is needed most.
+            let live = self.directory.len() - self.quarantined.len();
+            if live > 0 && self.reported.len() >= live && self.ticks >= self.cfg.warmup_ticks {
                 self.evaluate();
             }
             self.refresh_installs();
             self.publish_stats();
         }
+    }
+
+    /// The current quarantine list in wire form (sorted by index, so
+    /// every frame encodes it identically).
+    fn quarantine_list(&self) -> Vec<Quarantine> {
+        self.quarantined
+            .iter()
+            .map(|(&broker, &incarnation)| Quarantine {
+                broker,
+                incarnation,
+            })
+            .collect()
     }
 
     /// Drains every broker connection, converting `DMLLA1` payloads to
@@ -359,12 +468,215 @@ impl Engine {
                     channels,
                 });
                 self.reported.insert(idx);
+                self.last_report[idx] = Instant::now();
+                self.suspects.remove(&idx);
                 self.stats.lock().reports_received += 1;
+                if self.quarantined.remove(&idx).is_some() {
+                    // A fresh report lifts the quarantine: the broker is
+                    // back (new incarnation, fresh sequence spaces) and
+                    // rejoins the pool as free capacity.
+                    let s = ServerId::from_index(idx);
+                    if !self.active.contains(&s) {
+                        self.active.push(s);
+                        self.active.sort();
+                    }
+                    self.stats.lock().brokers_recovered += 1;
+                }
             }
         }
         if let Some(max) = max_egress {
             self.capacity.observe(max);
         }
+    }
+
+    /// The suspect → probe → dead state machine. A broker is suspect
+    /// once its last report is older than `suspect_after ×
+    /// report_interval`; a suspect is probed every tick with a bare TCP
+    /// connect. Probe success keeps it suspect (broker alive, reporter
+    /// wedged — failing over a serving broker would split routing);
+    /// probe failure declares death and triggers the emergency replan.
+    fn detect_failures(&mut self) {
+        let threshold = self.cfg.report_interval * self.cfg.suspect_after.max(1);
+        let mut deaths = Vec::new();
+        for idx in 0..self.directory.len() {
+            if self.quarantined.contains_key(&idx) {
+                continue;
+            }
+            if self.last_report[idx].elapsed() < threshold {
+                self.suspects.remove(&idx);
+                continue;
+            }
+            self.suspects.insert(idx);
+            if TcpStream::connect_timeout(&self.directory[idx], self.cfg.probe_timeout).is_err() {
+                deaths.push(idx);
+            }
+        }
+        for idx in deaths {
+            self.declare_dead(idx);
+        }
+    }
+
+    /// Declares broker `idx` dead: bump its incarnation, quarantine it,
+    /// replan its channels onto survivors, then prune every piece of
+    /// state that would otherwise keep the corpse in the math.
+    fn declare_dead(&mut self, idx: usize) {
+        self.suspects.remove(&idx);
+        self.reported.remove(&idx);
+        self.incarnations[idx] += 1;
+        self.quarantined.insert(idx, self.incarnations[idx]);
+        self.stats.lock().deaths_declared += 1;
+        // Replan *before* forgetting the corpse's metrics: they are the
+        // only estimate of how much load each of its channels carries.
+        self.emergency_replan(idx);
+        let dead = ServerId::from_index(idx);
+        self.store.forget(dead);
+        self.reported.remove(&idx);
+        self.active.retain(|&s| s != dead);
+        // The corpse's final egress samples must not complete a
+        // "sustained" window and skew the capacity estimate the
+        // survivors' load ratios are measured against.
+        self.capacity.forget_window();
+    }
+
+    /// Reassigns every channel homed on the dead broker to survivors
+    /// chosen by a load-capped ring walk: walk the ring from the
+    /// channel's hash point and take the first survivor whose projected
+    /// load stays within `(1+ε)×` the post-failover mean (*Consistent
+    /// Hashing with Bounded Loads*); when a survivor is over the cap
+    /// the channel spills to the next ring node. The resulting installs
+    /// go to **every** survivor (not just old/new members): carrying
+    /// the quarantine list, they teach all surviving sidecars where the
+    /// corpse's channels now live, so stray publications are corrected
+    /// wherever they land.
+    fn emergency_replan(&mut self, dead_idx: usize) {
+        let dead = ServerId::from_index(dead_idx);
+        let survivors: Vec<ServerId> = (0..self.directory.len())
+            .filter(|i| !self.quarantined.contains_key(i))
+            .map(ServerId::from_index)
+            .collect();
+        if survivors.is_empty() {
+            return; // nobody left to replan onto
+        }
+        // Every survivor absorbs failover load, so all join the pool.
+        for &s in &survivors {
+            if !self.active.contains(&s) {
+                self.active.push(s);
+            }
+        }
+        self.active.sort();
+
+        let capacity = self.capacity.capacity().max(1.0);
+        // Projected post-failover load per survivor, seeded from the
+        // live LLA view and updated as channels are assigned so the
+        // walk does not dogpile one survivor.
+        let mut projected: HashMap<ServerId, f64> = survivors
+            .iter()
+            .map(|&s| (s, self.store.egress_bytes_per_tick(s).unwrap_or(0.0)))
+            .collect();
+
+        // Channels homed on the corpse, heaviest first (first-fit
+        // decreasing packs tightest under the cap; ties by id for
+        // determinism).
+        let mut homeless: Vec<(ChannelId, f64)> = self
+            .names
+            .keys()
+            .filter(|&&id| self.plan.resolve(id, &self.ring).servers().contains(&dead))
+            .map(|&id| (id, self.store.channel_bytes_on(dead, id)))
+            .collect();
+        homeless.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let total: f64 =
+            projected.values().sum::<f64>() + homeless.iter().map(|&(_, b)| b).sum::<f64>();
+        let cap_bytes = (1.0 + self.cfg.failover_epsilon.max(0.0)) * total / survivors.len() as f64;
+
+        let mut candidate = self.plan.clone();
+        for &(id, bytes) in &homeless {
+            let old = self.plan.resolve(id, &self.ring);
+            let keep: Vec<ServerId> = old
+                .servers()
+                .iter()
+                .copied()
+                .filter(|&s| s != dead && projected.contains_key(&s))
+                .collect();
+            // Load-capped ring walk: first eligible survivor under the
+            // cap, else spill onward; fall back to the least-projected
+            // survivor when everyone is over (the cap bounds imbalance,
+            // not admission).
+            let eligible = |s: &ServerId| projected.contains_key(s) && !keep.contains(s);
+            let walk = self.ring.walk(id);
+            let target = walk
+                .iter()
+                .copied()
+                .filter(eligible)
+                .find(|s| projected[s] + bytes <= cap_bytes)
+                .or_else(|| {
+                    walk.iter()
+                        .copied()
+                        .filter(eligible)
+                        .min_by(|a, b| projected[a].total_cmp(&projected[b]))
+                });
+            let mut members = keep;
+            if let Some(target) = target {
+                *projected.entry(target).or_insert(0.0) += bytes;
+                members.push(target);
+            }
+            let mapping = match (&old, members.len()) {
+                (_, 0) => continue, // unreachable: survivors is non-empty
+                (ChannelMapping::AllSubscribers(_), n) if n >= 2 => {
+                    ChannelMapping::AllSubscribers(members)
+                }
+                (ChannelMapping::AllPublishers(_), n) if n >= 2 => {
+                    ChannelMapping::AllPublishers(members)
+                }
+                _ => ChannelMapping::Single(members[0]),
+            };
+            candidate.set(id, mapping);
+        }
+
+        let changes = self.plan.diff(&candidate, &self.ring);
+        let n = survivors.len() as f64;
+        let mean_lr = projected.values().sum::<f64>() / n / capacity;
+        let max_lr = projected.values().fold(0.0f64, |m, &v| m.max(v / capacity));
+        {
+            let mut stats = self.stats.lock();
+            stats.emergency_replans += 1;
+            stats.last_replan = Some(ReplanSummary {
+                dead: dead_idx,
+                channels_moved: changes.len(),
+                cap_ratio: cap_bytes / capacity,
+                max_survivor_lr: max_lr,
+                mean_survivor_lr: mean_lr,
+            });
+        }
+        if changes.is_empty() {
+            return;
+        }
+        let plan_id = PlanId(self.next_plan_id);
+        self.next_plan_id += 1;
+        candidate.set_id(plan_id);
+        let quarantine = self.quarantine_list();
+        let targets: Vec<usize> = survivors.iter().map(|s| s.index()).collect();
+        let now = Instant::now();
+        for change in changes {
+            let Some(name) = self.names.get(&change.channel) else {
+                continue;
+            };
+            let frame = InstallFrame {
+                plan: plan_id,
+                channel: name.clone(),
+                old: change.old,
+                new: change.new,
+                quarantine: quarantine.clone(),
+            };
+            self.send_install(&frame, &targets);
+            self.pending_installs.push(PendingInstall {
+                installed_at: now,
+                frame,
+                targets: targets.clone(),
+            });
+        }
+        self.plan = candidate;
+        self.stats.lock().plans_installed += 1;
     }
 
     /// One balancing evaluation, mirroring the simulator's
@@ -418,8 +730,12 @@ impl Engine {
         if high.servers_wanted > 0 {
             // The pool cannot absorb the load: re-admit parked brokers
             // (the TCP tier cannot rent new machines, but drained ones
-            // are free capacity).
+            // are free capacity). Quarantined brokers stay out — a
+            // corpse is not capacity.
             for idx in 0..self.directory.len() {
+                if self.quarantined.contains_key(&idx) {
+                    continue;
+                }
                 let s = ServerId::from_index(idx);
                 if !self.active.contains(&s) {
                     self.active.push(s);
@@ -440,6 +756,7 @@ impl Engine {
         let plan_id = PlanId(self.next_plan_id);
         self.next_plan_id += 1;
         candidate.set_id(plan_id);
+        let quarantine = self.quarantine_list();
         let now = Instant::now();
         for change in changes {
             let Some(name) = self.names.get(&change.channel) else {
@@ -450,6 +767,7 @@ impl Engine {
                 channel: name.clone(),
                 old: change.old,
                 new: change.new,
+                quarantine: quarantine.clone(),
             };
             let mut targets: Vec<usize> = frame
                 .old
@@ -478,6 +796,9 @@ impl Engine {
         let threshold = self.cfg.tuning.lr_low * self.capacity.capacity();
         let mut changed = false;
         for idx in 0..self.directory.len() {
+            if self.quarantined.contains_key(&idx) {
+                continue;
+            }
             let s = ServerId::from_index(idx);
             if self.active.contains(&s) {
                 continue;
@@ -523,10 +844,14 @@ impl Engine {
             })
             .collect();
         load_ratios.sort_by_key(|&(idx, _)| idx);
+        let mut suspects: Vec<usize> = self.suspects.iter().copied().collect();
+        suspects.sort_unstable();
         let mut stats = self.stats.lock();
         stats.active_brokers = self.active.len();
         stats.plan_version = self.plan.id().0;
         stats.load_ratios = load_ratios;
+        stats.suspects = suspects;
+        stats.quarantined = self.quarantined.keys().copied().collect();
     }
 }
 
@@ -547,5 +872,11 @@ mod tests {
         assert!(cfg.warmup_ticks >= 1);
         assert!(cfg.capacity_floor > 0.0);
         assert!(cfg.install_refresh > cfg.tick);
+        assert!(cfg.suspect_after >= 1);
+        assert!(cfg.probe_timeout > Duration::ZERO);
+        assert!(cfg.failover_epsilon >= 0.0);
+        // The detector must tolerate at least one report interval of
+        // jitter before suspecting anyone.
+        assert!(cfg.report_interval * cfg.suspect_after >= cfg.report_interval);
     }
 }

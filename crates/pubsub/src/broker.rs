@@ -513,6 +513,14 @@ impl BrokerLoadHandle {
             .load
             .harvest(self.shared.index.channels_with_subscribers())
     }
+
+    /// `true` once the broker behind this handle has shut down. A
+    /// [`LoadReporter`](crate::LoadReporter) polls this to stop cleanly
+    /// instead of spinning its publish connection's reconnect loop
+    /// against a closed listener forever.
+    pub fn is_shutdown(&self) -> bool {
+        !self.shared.running.load(Ordering::SeqCst)
+    }
 }
 
 impl std::fmt::Debug for BrokerLoadHandle {

@@ -5,6 +5,10 @@
 //!
 //! - [`reset_all`](ChaosProxy::reset_all) — tear down every proxied
 //!   connection at once (what clients see when a broker dies);
+//! - [`kill_upstream_hard`](ChaosProxy::kill_upstream_hard) — tear down
+//!   every flow *and* close the listener for good, so new connection
+//!   attempts are refused at the TCP level (a whole broker host dying,
+//!   as a failure-detector probe sees it);
 //! - [`set_black_hole`](ChaosProxy::set_black_hole) — accept new
 //!   connections but forward nothing, the classic *half-open*
 //!   connection TCP itself never reports;
@@ -49,6 +53,7 @@ pub enum Direction {
 struct ProxyShared {
     upstream: Mutex<SocketAddr>,
     running: AtomicBool,
+    hard_killed: AtomicBool,
     black_hole: AtomicBool,
     latency_micros: AtomicU64,
     truncate_permille: AtomicU64,
@@ -112,6 +117,7 @@ impl ChaosProxy {
         let shared = Arc::new(ProxyShared {
             upstream: Mutex::new(upstream),
             running: AtomicBool::new(true),
+            hard_killed: AtomicBool::new(false),
             black_hole: AtomicBool::new(false),
             latency_micros: AtomicU64::new(0),
             truncate_permille: AtomicU64::new(0),
@@ -152,6 +158,23 @@ impl ChaosProxy {
         for conn in conns {
             self.shared.deregister(conn);
         }
+    }
+
+    /// Kills the upstream *permanently*: tears down every proxied flow
+    /// at once and closes the listener itself, so new connection
+    /// attempts — including bare failure-detector probes — fail at the
+    /// TCP level with "connection refused". Unlike
+    /// [`set_black_hole`](Self::set_black_hole) the handshake itself
+    /// fails, and unlike [`set_upstream`](Self::set_upstream) there is
+    /// no retarget: this proxy never serves again (stage a replacement
+    /// broker on a fresh address instead).
+    pub fn kill_upstream_hard(&self) {
+        self.shared.hard_killed.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the kill and drops the
+        // listener — the close is what turns new connects into
+        // refusals instead of backlog accepts.
+        let _ = TcpStream::connect(self.local_addr);
+        self.reset_all();
     }
 
     /// While enabled, new connections are accepted and their bytes read
@@ -248,6 +271,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
         };
         if !shared.running.load(Ordering::SeqCst) {
             return; // the shutdown self-connect
+        }
+        if shared.hard_killed.load(Ordering::SeqCst) {
+            // Hard kill: drop the just-accepted stream unanswered and
+            // exit, closing the listener — every later connect is
+            // refused by the kernel.
+            return;
         }
         shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
         let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);

@@ -198,16 +198,40 @@ pub enum ClientEvent {
     /// missing frames were evicted from retention (or the broker
     /// restarted and reset its sequence space). Loss is bounded and
     /// *explicit*: it is exactly `missed` frames (zero only for the
-    /// restart-reset discontinuity, which still surfaces as a gap).
+    /// discontinuities, which still surface as a gap).
     Gap {
         /// Channel with the hole.
         channel: String,
         /// Frames between the requested and first-replayable sequence.
         missed: u64,
+        /// Why the hole exists.
+        reason: GapReason,
     },
     /// `max_reconnect_attempts` consecutive attempts failed; the worker
     /// stopped.
     GaveUp,
+}
+
+/// Why a [`ClientEvent::Gap`] was emitted. Sequences are per-broker
+/// *incarnation*: a broker that restarts — and a channel that fails over
+/// to a different broker — starts a fresh sequence stream, so continuity
+/// with the old stream is impossible and the discontinuity is surfaced
+/// instead of silently conflated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapReason {
+    /// The broker evicted the requested frames from retention; `missed`
+    /// counts them exactly.
+    Evicted,
+    /// The broker's sequence space restarted under us (broker restart):
+    /// the old high-water mark is meaningless in the new incarnation.
+    Restart,
+    /// The channel's home broker died and the channel was re-pointed to
+    /// a survivor with a fresh sequence stream. Frames acknowledged by
+    /// the dead broker but never delivered are unquantifiable across
+    /// incarnations, so `missed` is 0; applications that need stronger
+    /// guarantees should re-publish their unconfirmed tail on this
+    /// event.
+    Failover,
 }
 
 /// A delivered publication.
@@ -299,10 +323,22 @@ impl Dedup {
 }
 
 enum Cmd {
-    Subscribe { channel: String, from: Option<u64> },
+    Subscribe {
+        channel: String,
+        from: Option<u64>,
+    },
     Unsubscribe(String),
-    Publish { channel: String, body: Vec<u8> },
-    PublishRaw { channel: String, payload: Vec<u8> },
+    Publish {
+        channel: String,
+        body: Vec<u8>,
+    },
+    PublishRaw {
+        channel: String,
+        payload: Vec<u8>,
+    },
+    /// Drain every queued/unacknowledged publication and hand it to the
+    /// caller (failover rescue; see [`TcpPubSubClient::take_unsent`]).
+    TakeUnsent(mpsc::Sender<Vec<(String, Vec<u8>)>>),
 }
 
 /// Per-channel resume bookkeeping: where the caller asked to start and
@@ -335,6 +371,13 @@ impl ResumeState {
 struct ClientShared {
     running: AtomicBool,
     cmds: Mutex<VecDeque<Cmd>>,
+    /// `true` once the worker thread has exited (gave up or shut down);
+    /// after that, commands are never processed again.
+    exited: AtomicBool,
+    /// Publications the worker deposited when it gave up, so
+    /// [`TcpPubSubClient::take_unsent`] can still rescue them from a
+    /// client whose worker is gone.
+    stranded: Mutex<Vec<(String, Vec<u8>)>>,
 }
 
 /// A resilient RESP pub/sub client (see the module docs for the failure
@@ -402,6 +445,8 @@ impl TcpPubSubClient {
         let shared = Arc::new(ClientShared {
             running: AtomicBool::new(true),
             cmds: Mutex::new(VecDeque::new()),
+            exited: AtomicBool::new(false),
+            stranded: Mutex::new(Vec::new()),
         });
         let (msg_tx, msg_rx) = mpsc::channel();
         let (event_tx, event_rx) = mpsc::channel();
@@ -496,6 +541,30 @@ impl TcpPubSubClient {
         });
     }
 
+    /// Drains every publication still queued or unacknowledged and
+    /// returns it as `(channel, framed payload)` pairs, oldest first.
+    /// The payloads keep their original `DMID1` wire ids, so
+    /// re-publishing them via [`Self::publish_raw`] on another broker is
+    /// dedup-safe: entries that in fact landed before the drain are
+    /// suppressed by receive-side windows. This is the failover rescue
+    /// primitive — when this client's broker is declared dead, the
+    /// router moves the stranded tail to a survivor instead of retrying
+    /// into the corpse. Works on a worker that already gave up (it
+    /// deposits its queue on exit); a live worker that does not respond
+    /// within `timeout` yields an empty result.
+    pub fn take_unsent(&self, timeout: Duration) -> Vec<(String, Vec<u8>)> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.cmds.lock().push_back(Cmd::TakeUnsent(tx));
+        // A worker that already gave up deposited its queue instead;
+        // only wait on the command round-trip while the worker lives.
+        let mut out = std::mem::take(&mut *self.shared.stranded.lock());
+        if !self.shared.exited.load(Ordering::SeqCst) {
+            out.extend(rx.recv_timeout(timeout).unwrap_or_default());
+        }
+        out.extend(std::mem::take(&mut *self.shared.stranded.lock()));
+        out
+    }
+
     /// The next delivered message, if one is already queued.
     pub fn try_message(&self) -> Option<Message> {
         self.messages.lock().try_recv().ok()
@@ -545,10 +614,26 @@ impl std::fmt::Debug for TcpPubSubClient {
 
 struct PendingPub {
     channel: String,
-    /// Fully encoded `PUBLISH` frame (payload already id-framed), so a
-    /// retry re-sends byte-identical data — same id, dedupable.
-    wire: Vec<u8>,
+    /// Id-framed payload; every send encodes the same `PUBLISH` frame
+    /// from it, so a retry re-sends byte-identical data — same id,
+    /// dedupable — and a failover rescue can re-home it verbatim.
+    framed: Vec<u8>,
     attempts: u32,
+}
+
+impl PendingPub {
+    fn wire(&self) -> Vec<u8> {
+        let mut wire = Vec::new();
+        resp::encode(
+            &Value::array(vec![
+                Value::bulk("PUBLISH"),
+                Value::bulk(self.channel.as_str()),
+                Value::Bulk(Some(self.framed.clone())),
+            ]),
+            &mut wire,
+        );
+        wire
+    }
 }
 
 struct Worker {
@@ -600,12 +685,23 @@ impl Worker {
             }
             if let Some(max) = self.cfg.max_reconnect_attempts {
                 if attempts >= max {
+                    // Deposit the undeliverable queue where
+                    // `take_unsent` can rescue it after this worker is
+                    // gone (a failover re-homes it to a survivor).
+                    let stranded: Vec<(String, Vec<u8>)> = self
+                        .unacked
+                        .drain(..)
+                        .chain(self.pending.drain(..))
+                        .map(|p| (p.channel, p.framed))
+                        .collect();
+                    *self.shared.stranded.lock() = stranded;
                     self.emit(ClientEvent::GaveUp);
-                    return;
+                    break;
                 }
             }
             self.backoff_sleep(attempts);
         }
+        self.shared.exited.store(true, Ordering::SeqCst);
     }
 
     /// Runs one connected session; returns whether any bytes were
@@ -726,15 +822,19 @@ impl Worker {
                         // sequence space restarted under us: the stale
                         // high-water must be forgotten or every future
                         // resubscribe re-requests it.
-                        if resume_from < requested {
+                        let reason = if resume_from < requested {
                             if let Some(st) = self.desired.get_mut(&channel) {
                                 st.base_from = None;
                                 st.high_water = None;
                             }
-                        }
+                            GapReason::Restart
+                        } else {
+                            GapReason::Evicted
+                        };
                         self.emit(ClientEvent::Gap {
                             channel,
                             missed: resume_from.saturating_sub(requested),
+                            reason,
                         });
                         return;
                     }
@@ -832,6 +932,16 @@ impl Worker {
                 Cmd::PublishRaw { channel, payload } => {
                     self.enqueue_publish(channel, payload);
                 }
+                Cmd::TakeUnsent(reply) => {
+                    // Oldest first: in-flight (unacked) precede queued.
+                    let drained: Vec<(String, Vec<u8>)> = self
+                        .unacked
+                        .drain(..)
+                        .chain(self.pending.drain(..))
+                        .map(|p| (p.channel, p.framed))
+                        .collect();
+                    let _ = reply.send(drained);
+                }
             }
         }
     }
@@ -839,15 +949,6 @@ impl Worker {
     /// Queues one fully framed payload for publication, shedding the
     /// oldest pending entry when the queue is full.
     fn enqueue_publish(&mut self, channel: String, framed: Vec<u8>) {
-        let mut wire = Vec::new();
-        resp::encode(
-            &Value::array(vec![
-                Value::bulk("PUBLISH"),
-                Value::bulk(channel.as_str()),
-                Value::Bulk(Some(framed)),
-            ]),
-            &mut wire,
-        );
         if self.pending.len() + self.unacked.len() >= self.cfg.max_pending_publishes {
             if let Some(shed) = self.pending.pop_front() {
                 self.emit(ClientEvent::Dropped {
@@ -859,7 +960,7 @@ impl Worker {
         }
         self.pending.push_back(PendingPub {
             channel,
-            wire,
+            framed,
             attempts: 0,
         });
     }
@@ -875,7 +976,7 @@ impl Worker {
                 continue;
             }
             p.attempts += 1;
-            if stream.write_all(&p.wire).is_err() {
+            if stream.write_all(&p.wire()).is_err() {
                 self.pending.push_front(p);
                 return false;
             }

@@ -68,6 +68,51 @@ pub fn install_channel(broker: usize) -> String {
     format!("__dmc.inst.{broker:04x}")
 }
 
+/// A broker the balancer has declared dead, together with the death
+/// count ("incarnation") it is on. Control and install frames carry the
+/// current quarantine list so routers learn about whole-broker failures
+/// from any surviving sidecar, without waiting for their own probes.
+/// The incarnation lets receivers deduplicate death announcements: a
+/// router acts on `(broker, incarnation)` at most once, and a later
+/// re-report by the broker (it came back) starts a new incarnation with
+/// a fresh sequence space — which is why cross-broker failover is a
+/// [`GapReason::Failover`](crate::GapReason) gap, never a silent splice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quarantine {
+    /// Directory index of the dead broker.
+    pub broker: usize,
+    /// How many times it has been declared dead (starts at 1).
+    pub incarnation: u64,
+}
+
+/// `-` when empty, else `broker.incarnation` (decimal.hex) joined by
+/// commas: the quarantine field of `DMCTL1`/`DMINST1` frames.
+fn encode_quarantine(list: &[Quarantine]) -> String {
+    if list.is_empty() {
+        return "-".to_owned();
+    }
+    let entries: Vec<String> = list
+        .iter()
+        .map(|q| format!("{}.{:x}", q.broker, q.incarnation))
+        .collect();
+    entries.join(",")
+}
+
+fn decode_quarantine(text: &str) -> Option<Vec<Quarantine>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split(',')
+        .map(|entry| {
+            let (broker, incarnation) = entry.split_once('.')?;
+            Some(Quarantine {
+                broker: broker.parse().ok()?,
+                incarnation: u64::from_str_radix(incarnation, 16).ok()?,
+            })
+        })
+        .collect()
+}
+
 /// A reconfiguration notification (see module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlFrame {
@@ -79,6 +124,8 @@ pub enum ControlFrame {
         mapping: ChannelMapping,
         /// Version of the plan that moved it.
         plan: PlanId,
+        /// Brokers currently believed dead (may be empty).
+        quarantine: Vec<Quarantine>,
     },
     /// "You published to the wrong server; update your local plan."
     Moved {
@@ -88,6 +135,8 @@ pub enum ControlFrame {
         mapping: ChannelMapping,
         /// Version of the plan that moved it.
         plan: PlanId,
+        /// Brokers currently believed dead (may be empty).
+        quarantine: Vec<Quarantine>,
     },
 }
 
@@ -113,26 +162,38 @@ impl ControlFrame {
         }
     }
 
+    /// The quarantine list it carries (brokers believed dead).
+    pub fn quarantine(&self) -> &[Quarantine] {
+        match self {
+            ControlFrame::Switch { quarantine, .. } | ControlFrame::Moved { quarantine, .. } => {
+                quarantine
+            }
+        }
+    }
+
     /// Serializes to payload bytes:
-    /// `DMCTL1;<kind>;<plan:016x>;<mapping>;<channel-name>`. The name
-    /// comes last and unescaped — it may contain `;`.
+    /// `DMCTL1;<kind>;<plan:016x>;<mapping>;<quarantine>;<channel-name>`.
+    /// The name comes last and unescaped — it may contain `;`.
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, channel, mapping, plan) = match self {
+        let (kind, channel, mapping, plan, quarantine) = match self {
             ControlFrame::Switch {
                 channel,
                 mapping,
                 plan,
-            } => ("switch", channel, mapping, plan),
+                quarantine,
+            } => ("switch", channel, mapping, plan, quarantine),
             ControlFrame::Moved {
                 channel,
                 mapping,
                 plan,
-            } => ("moved", channel, mapping, plan),
+                quarantine,
+            } => ("moved", channel, mapping, plan, quarantine),
         };
         format!(
-            "{MAGIC};{kind};{:016x};{};{channel}",
+            "{MAGIC};{kind};{:016x};{};{};{channel}",
             plan.0,
-            encode_mapping(mapping)
+            encode_mapping(mapping),
+            encode_quarantine(quarantine)
         )
         .into_bytes()
     }
@@ -141,24 +202,27 @@ impl ControlFrame {
     /// control frame (then it is application payload).
     pub fn decode(payload: &[u8]) -> Option<ControlFrame> {
         let text = std::str::from_utf8(payload).ok()?;
-        let mut parts = text.splitn(5, ';');
+        let mut parts = text.splitn(6, ';');
         if parts.next()? != MAGIC {
             return None;
         }
         let kind = parts.next()?;
         let plan = PlanId(u64::from_str_radix(parts.next()?, 16).ok()?);
         let mapping = decode_mapping(parts.next()?)?;
+        let quarantine = decode_quarantine(parts.next()?)?;
         let channel = parts.next()?.to_owned();
         match kind {
             "switch" => Some(ControlFrame::Switch {
                 channel,
                 mapping,
                 plan,
+                quarantine,
             }),
             "moved" => Some(ControlFrame::Moved {
                 channel,
                 mapping,
                 plan,
+                quarantine,
             }),
             _ => None,
         }
@@ -268,18 +332,24 @@ pub struct InstallFrame {
     pub old: ChannelMapping,
     /// Mapping after the move.
     pub new: ChannelMapping,
+    /// Brokers believed dead when the plan was computed. Non-empty
+    /// marks this as an **emergency failover install**: every surviving
+    /// sidecar applies it (not just those in `old`/`new`), so stray
+    /// publications land on a broker that knows where to forward them.
+    pub quarantine: Vec<Quarantine>,
 }
 
 impl InstallFrame {
     /// Serializes to payload bytes:
-    /// `DMINST1;<plan:016x>;<old-mapping>;<new-mapping>;<channel-name>`
+    /// `DMINST1;<plan:016x>;<old-mapping>;<new-mapping>;<quarantine>;<channel-name>`
     /// (name last and unescaped, like [`ControlFrame::encode`]).
     pub fn encode(&self) -> Vec<u8> {
         format!(
-            "{INSTALL_MAGIC};{:016x};{};{};{}",
+            "{INSTALL_MAGIC};{:016x};{};{};{};{}",
             self.plan.0,
             encode_mapping(&self.old),
             encode_mapping(&self.new),
+            encode_quarantine(&self.quarantine),
             self.channel
         )
         .into_bytes()
@@ -289,19 +359,21 @@ impl InstallFrame {
     /// install frame.
     pub fn decode(payload: &[u8]) -> Option<InstallFrame> {
         let text = std::str::from_utf8(payload).ok()?;
-        let mut parts = text.splitn(5, ';');
+        let mut parts = text.splitn(6, ';');
         if parts.next()? != INSTALL_MAGIC {
             return None;
         }
         let plan = PlanId(u64::from_str_radix(parts.next()?, 16).ok()?);
         let old = decode_mapping(parts.next()?)?;
         let new = decode_mapping(parts.next()?)?;
+        let quarantine = decode_quarantine(parts.next()?)?;
         let channel = parts.next()?.to_owned();
         Some(InstallFrame {
             plan,
             channel,
             old,
             new,
+            quarantine,
         })
     }
 }
@@ -362,19 +434,19 @@ mod tests {
         }
         for (frame, label) in [
             (
-                b"DMCTL1;switch;0000000000000001;allsub:;c".as_slice(),
+                b"DMCTL1;switch;0000000000000001;allsub:;-;c".as_slice(),
                 "switch",
             ),
             (
-                b"DMCTL1;moved;0000000000000001;allpub:;c".as_slice(),
+                b"DMCTL1;moved;0000000000000001;allpub:;-;c".as_slice(),
                 "moved",
             ),
             (
-                b"DMINST1;0000000000000002;allsub:;single:0;c".as_slice(),
+                b"DMINST1;0000000000000002;allsub:;single:0;-;c".as_slice(),
                 "install-old",
             ),
             (
-                b"DMINST1;0000000000000002;single:0;allpub:;c".as_slice(),
+                b"DMINST1;0000000000000002;single:0;allpub:;-;c".as_slice(),
                 "install-new",
             ),
         ] {
@@ -392,16 +464,31 @@ mod tests {
                 channel: "tile_3_4".into(),
                 mapping: ChannelMapping::Single(s(2)),
                 plan: PlanId(7),
+                quarantine: Vec::new(),
             },
             ControlFrame::Moved {
                 channel: "weird;name;with;semicolons".into(),
                 mapping: ChannelMapping::AllSubscribers(vec![s(0), s(2)]),
                 plan: PlanId(u64::MAX),
+                quarantine: vec![Quarantine {
+                    broker: 3,
+                    incarnation: 0x1f,
+                }],
             },
             ControlFrame::Switch {
                 channel: "fan_in".into(),
                 mapping: ChannelMapping::AllPublishers(vec![s(1), s(2), s(3)]),
                 plan: PlanId(0),
+                quarantine: vec![
+                    Quarantine {
+                        broker: 0,
+                        incarnation: 1,
+                    },
+                    Quarantine {
+                        broker: 7,
+                        incarnation: 2,
+                    },
+                ],
             },
         ];
         for frame in frames {
@@ -416,16 +503,49 @@ mod tests {
             &b"hello"[..],
             b"",
             b"DMCTL1;",
-            b"DMCTL1;switch;zz;single:0;c",
-            b"DMCTL1;switch;0000000000000007;single:x;c",
-            b"DMCTL1;bogus;0000000000000007;single:0;c",
-            b"DMCTL2;switch;0000000000000007;single:0;c",
+            b"DMCTL1;switch;zz;single:0;-;c",
+            b"DMCTL1;switch;0000000000000007;single:x;-;c",
+            b"DMCTL1;bogus;0000000000000007;single:0;-;c",
+            b"DMCTL2;switch;0000000000000007;single:0;-;c",
             // Degenerate replicated mappings are rejected, preserving
             // the plan invariant on the wire.
-            b"DMCTL1;switch;0000000000000007;allsub:1;c",
+            b"DMCTL1;switch;0000000000000007;allsub:1;-;c",
+            // Malformed or missing quarantine field (the old five-field
+            // format lands here and is rejected, not misread).
+            b"DMCTL1;switch;0000000000000007;single:0;c",
+            b"DMCTL1;switch;0000000000000007;single:0;3;c",
+            b"DMCTL1;switch;0000000000000007;single:0;x.y;c",
+            b"DMCTL1;switch;0000000000000007;single:0;,;c",
             &[0xff, 0xfe, 0x00][..],
         ] {
             assert_eq!(ControlFrame::decode(junk), None, "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn quarantine_field_roundtrips() {
+        for list in [
+            Vec::new(),
+            vec![Quarantine {
+                broker: 0,
+                incarnation: 1,
+            }],
+            vec![
+                Quarantine {
+                    broker: 12,
+                    incarnation: 0xdead,
+                },
+                Quarantine {
+                    broker: 3,
+                    incarnation: 1,
+                },
+            ],
+        ] {
+            let text = encode_quarantine(&list);
+            assert_eq!(decode_quarantine(&text), Some(list), "{text:?}");
+        }
+        for bad in ["", "3", "3.", ".1", "a.b", "1.1,", "-,-"] {
+            assert_eq!(decode_quarantine(bad), None, "{bad:?} should not decode");
         }
     }
 
@@ -517,6 +637,10 @@ mod tests {
             channel: "tile;with;semis".into(),
             old: ChannelMapping::Single(s(0)),
             new: ChannelMapping::AllSubscribers(vec![s(1), s(2)]),
+            quarantine: vec![Quarantine {
+                broker: 0,
+                incarnation: 2,
+            }],
         };
         let bytes = frame.encode();
         assert_eq!(InstallFrame::decode(&bytes), Some(frame));
@@ -526,6 +650,7 @@ mod tests {
             channel: "c".into(),
             mapping: ChannelMapping::Single(s(1)),
             plan: PlanId(1),
+            quarantine: Vec::new(),
         };
         assert_eq!(InstallFrame::decode(&ctl.encode()), None);
     }
@@ -534,9 +659,11 @@ mod tests {
     fn junk_is_not_an_install_frame() {
         for junk in [
             &b""[..],
-            b"DMINST1;0000000000000001;single:0;c",
-            b"DMINST1;0000000000000001;single:0;allsub:1;c",
-            b"DMINST1;zz;single:0;single:1;c",
+            b"DMINST1;0000000000000001;single:0;-;c",
+            b"DMINST1;0000000000000001;single:0;allsub:1;-;c",
+            b"DMINST1;zz;single:0;single:1;-;c",
+            // Old five-field format: no quarantine field.
+            b"DMINST1;0000000000000001;single:0;single:1;c",
         ] {
             assert_eq!(InstallFrame::decode(junk), None, "{junk:?}");
         }

@@ -51,7 +51,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::client::{frame_payload, ClientConfig, ClientEvent, Dedup, TcpPubSubClient};
-use crate::control::{control_channel, install_channel, ControlFrame, InstallFrame};
+use crate::control::{control_channel, install_channel, ControlFrame, InstallFrame, Quarantine};
 use crate::ids::{PlanId, ServerId};
 use crate::plan::ChannelMapping;
 
@@ -130,11 +130,24 @@ struct ChannelState {
     new: ChannelMapping,
     plan: PlanId,
     expires_at: Instant,
+    /// Brokers the balancer declared dead when it computed this state.
+    /// Non-empty marks a failover install: every surviving sidecar
+    /// participates (see [`Pump::apply_installs`]) and forwarding never
+    /// targets a quarantined broker.
+    quarantine: Vec<Quarantine>,
+}
+
+/// One queued install: the public [`DispatcherSidecar::install`] path
+/// queues an empty quarantine; `DMINST1` frames carry the balancer's.
+struct Install {
+    change: ChannelChange,
+    plan: PlanId,
+    quarantine: Vec<Quarantine>,
 }
 
 struct SidecarShared {
     running: AtomicBool,
-    installs: Mutex<Vec<(ChannelChange, PlanId)>>,
+    installs: Mutex<Vec<Install>>,
     stats: Mutex<SidecarStats>,
     active: Mutex<usize>,
 }
@@ -189,7 +202,11 @@ impl DispatcherSidecar {
     /// plan version `plan`. Idempotent per (channel, plan): re-installing
     /// refreshes the TTL.
     pub fn install(&self, change: ChannelChange, plan: PlanId) {
-        self.shared.installs.lock().push((change, plan));
+        self.shared.installs.lock().push(Install {
+            change,
+            plan,
+            quarantine: Vec::new(),
+        });
     }
 
     /// The next queued [`SidecarEvent`], if any.
@@ -300,11 +317,20 @@ impl Pump {
     }
 
     fn apply_installs(&mut self) {
-        let installs: Vec<(ChannelChange, PlanId)> =
-            std::mem::take(&mut *self.shared.installs.lock());
-        for (change, plan) in installs {
+        let installs: Vec<Install> = std::mem::take(&mut *self.shared.installs.lock());
+        for install in installs {
+            let Install {
+                change,
+                plan,
+                quarantine,
+            } = install;
+            // A failover install (non-empty quarantine) involves every
+            // surviving sidecar: routers guessing the new home by ring
+            // exclusion may land publications on *any* survivor, which
+            // must then know where to forward and correct them.
             let involved = change.old.contains(self.me) || change.new.contains(self.me);
-            if !involved {
+            let failover = !quarantine.is_empty();
+            if !involved && !failover {
                 continue;
             }
             let stale = self
@@ -324,6 +350,7 @@ impl Pump {
                     new: change.new,
                     plan,
                     expires_at: Instant::now() + self.cfg.ttl,
+                    quarantine,
                 },
             );
             *self.shared.active.lock() = self.channels.len();
@@ -365,7 +392,21 @@ impl Pump {
             }
         }
         for idx in dead_peers {
-            self.peers.remove(&idx);
+            if let Some(peer) = self.peers.remove(&idx) {
+                // The dead worker deposited its queued-but-unconfirmed
+                // forwards before exiting; rescue them onto a fresh
+                // client (with a fresh reconnect budget) so an in-flight
+                // migration window does not silently drop frames when
+                // the peer connection dies mid-forward. Wire ids are
+                // preserved, so a frame that *did* land before the
+                // connection died is absorbed by downstream dedup.
+                let stranded = peer.take_unsent(Duration::from_millis(500));
+                drop(peer);
+                for (channel, framed) in stranded {
+                    self.peer(ServerId::from_index(idx))
+                        .publish_raw(&channel, &framed);
+                }
+            }
             let _ = self
                 .events
                 .send(SidecarEvent::PeerUnavailable { broker: idx });
@@ -382,14 +423,15 @@ impl Pump {
         // refresh on re-send).
         if msg.channel == install_channel(self.me.index()) {
             if let Some(frame) = InstallFrame::decode(&msg.payload) {
-                self.shared.installs.lock().push((
-                    ChannelChange {
+                self.shared.installs.lock().push(Install {
+                    change: ChannelChange {
                         channel: frame.channel,
                         old: frame.old,
                         new: frame.new,
                     },
-                    frame.plan,
-                ));
+                    plan: frame.plan,
+                    quarantine: frame.quarantine,
+                });
             }
             return;
         }
@@ -403,15 +445,27 @@ impl Pump {
             return; // teardown raced a late delivery
         };
         let i_am_old = state.old.contains(self.me);
+        let involved = i_am_old || state.new.contains(self.me);
         let new = state.new.clone();
         let old = state.old.clone();
         let plan = state.plan;
+        let quarantine = state.quarantine.clone();
+        let dead: Vec<ServerId> = quarantine
+            .iter()
+            .map(|q| ServerId::from_index(q.broker))
+            .collect();
+        // During a failover window an uninvolved survivor acts like an
+        // old home: publications landing here are a router's
+        // ring-exclusion guess at the corpse's replacement, and this
+        // sidecar must re-point the guesser and forward the frame to
+        // the real new home.
+        let act_as_old = i_am_old || (!involved && !quarantine.is_empty());
 
         let Some(id) = msg.id else {
             self.shared.stats.lock().unforwardable += 1;
             // Still tell local subscribers where the channel went.
-            if i_am_old {
-                self.emit_switch(&msg.channel, &new, plan);
+            if act_as_old {
+                self.emit_switch(&msg.channel, &new, plan, &quarantine);
             }
             return;
         };
@@ -424,10 +478,13 @@ impl Pump {
         // window downstream recognizes it.
         let framed = frame_payload(id, &msg.payload);
 
-        if i_am_old {
-            self.emit_switch(&msg.channel, &new, plan);
-            self.emit_moved(id.origin, &msg.channel, &new, plan);
+        if act_as_old {
+            self.emit_switch(&msg.channel, &new, plan, &quarantine);
+            self.emit_moved(id.origin, &msg.channel, &new, plan, &quarantine);
             for target in forward_targets_old_to_new(self.me, &new) {
+                if dead.contains(&target) {
+                    continue; // never forward into the corpse
+                }
                 self.peer(target).publish_raw(&msg.channel, &framed);
                 self.shared.stats.lock().forwarded += 1;
             }
@@ -435,27 +492,45 @@ impl Pump {
             // New home: cover unswitched subscribers still sitting on
             // old members that left the mapping.
             for target in forward_targets_new_to_old(self.me, &old, &new) {
+                if dead.contains(&target) {
+                    continue; // never forward into the corpse
+                }
                 self.peer(target).publish_raw(&msg.channel, &framed);
                 self.shared.stats.lock().forwarded += 1;
             }
         }
     }
 
-    fn emit_switch(&mut self, channel: &str, new: &ChannelMapping, plan: PlanId) {
+    fn emit_switch(
+        &mut self,
+        channel: &str,
+        new: &ChannelMapping,
+        plan: PlanId,
+        quarantine: &[Quarantine],
+    ) {
         let frame = ControlFrame::Switch {
             channel: channel.to_owned(),
             mapping: new.clone(),
             plan,
+            quarantine: quarantine.to_vec(),
         };
         self.watch().publish(channel, &frame.encode());
         self.shared.stats.lock().switches_emitted += 1;
     }
 
-    fn emit_moved(&mut self, origin: u64, channel: &str, new: &ChannelMapping, plan: PlanId) {
+    fn emit_moved(
+        &mut self,
+        origin: u64,
+        channel: &str,
+        new: &ChannelMapping,
+        plan: PlanId,
+        quarantine: &[Quarantine],
+    ) {
         let frame = ControlFrame::Moved {
             channel: channel.to_owned(),
             mapping: new.clone(),
             plan,
+            quarantine: quarantine.to_vec(),
         };
         self.watch()
             .publish(&control_channel(origin), &frame.encode());

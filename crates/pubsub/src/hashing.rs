@@ -105,6 +105,31 @@ impl Ring {
             .find(|s| !excluded.contains(s))
     }
 
+    /// The distinct servers in ring order starting at `channel`'s hash
+    /// point: the natural owner first, then each successive fallback.
+    /// This is the walk order of the bounded-load spill rule
+    /// (*Consistent Hashing with Bounded Loads*, arXiv 1608.01350): the
+    /// emergency replan takes the first server on this walk whose
+    /// projected load stays under the (1+ε)× mean cap. Deterministic
+    /// for a given ring, and consistent with
+    /// [`Self::server_for_excluding`]: excluding a set and taking the
+    /// first non-excluded walk entry agree.
+    pub fn walk(&self, channel: ChannelId) -> Vec<ServerId> {
+        let h = mix(channel.0 ^ 0x1234_5678_9ABC_DEF0);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut order = Vec::with_capacity(self.servers.len());
+        for k in 0..self.points.len() {
+            let s = self.points[(start + k) % self.points.len()].1;
+            if !order.contains(&s) {
+                order.push(s);
+                if order.len() == self.servers.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
     /// Adds a server to the ring (used by the consistent-hashing
     /// baseline when it rents a new machine). No-op if already present.
     pub fn add_server(&mut self, server: ServerId) {
@@ -187,6 +212,29 @@ mod tests {
                 (0.15..0.35).contains(&share),
                 "share {share} should be near 0.25: {counts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn walk_visits_every_server_once_and_agrees_with_exclusion() {
+        let ss = servers(5);
+        let ring = Ring::new(&ss, DEFAULT_VNODES);
+        for c in 0..200 {
+            let walk = ring.walk(ChannelId(c));
+            assert_eq!(walk.len(), 5, "walk must cover every server");
+            let mut sorted = walk.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "walk entries must be distinct");
+            assert_eq!(walk[0], ring.server_for(ChannelId(c)));
+            // Excluding the first k walk entries resolves to entry k.
+            for k in 0..5 {
+                assert_eq!(
+                    ring.server_for_excluding(ChannelId(c), &walk[..k]),
+                    Some(walk[k])
+                );
+            }
+            assert_eq!(ring.server_for_excluding(ChannelId(c), &walk), None);
         }
     }
 

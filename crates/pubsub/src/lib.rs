@@ -50,7 +50,9 @@ mod shard;
 mod timer;
 
 pub use balance::{CapacityEstimator, Tuning};
-pub use balancer::{BalancerConfig, LiveBalancerStats, LiveLoadBalancer, LoadReporter};
+pub use balancer::{
+    BalancerConfig, LiveBalancerStats, LiveLoadBalancer, LoadReporter, ReplanSummary,
+};
 pub use broker::{
     BrokerConfig, BrokerHealth, BrokerLoadHandle, FlushStats, LoopFlushStats, ShutdownStats,
     TcpBroker,
@@ -58,10 +60,12 @@ pub use broker::{
 pub use channel::{Channel, ChannelRegistry};
 pub use chaos::{ChaosProxy, Direction};
 pub use client::{
-    ClientConfig, ClientEvent, DisconnectReason, DropCause, Message, MessageId, TcpPubSubClient,
+    ClientConfig, ClientEvent, DisconnectReason, DropCause, GapReason, Message, MessageId,
+    TcpPubSubClient,
 };
 pub use control::{
     channel_id_of, control_channel, install_channel, lla_channel, ControlFrame, InstallFrame,
+    Quarantine,
 };
 pub use dispatcher::{ChannelChange, DispatcherSidecar, SidecarConfig, SidecarEvent, SidecarStats};
 pub use hashing::{Ring, DEFAULT_VNODES};

@@ -34,9 +34,32 @@
 //! a client that only ever touches channels of one broker holds exactly
 //! one connection, matching the paper's "connects to the server(s) it
 //! needs" behaviour.
+//!
+//! # Whole-broker failover
+//!
+//! The router also detects *dead* brokers on its own, mirroring the
+//! balancer's suspect/dead state machine (see `DESIGN.md` §12) from the
+//! client's seat. A broker connection that stays down past
+//! [`RouterConfig::failover_after`] without **data evidence** (a
+//! delivered message or a successful resume — a bare TCP accept is not
+//! evidence, because a half-dead host can complete handshakes while
+//! serving nothing) is confirmed with a bare TCP probe; only a *failed*
+//! probe declares the broker dead. Death re-points every subscription
+//! stranded on the corpse to the deterministic ring-exclusion fallback,
+//! surfaces a synthetic [`ClientEvent::Gap`] with
+//! [`GapReason::Failover`] per re-pointed channel (sequences are
+//! per-broker-incarnation, so the new home starts a fresh stream and
+//! continuity is impossible), rescues the dead connection's queued
+//! publications onto survivors, and filters the corpse out of every
+//! publish until it re-appears. Control frames carrying the balancer's
+//! quarantine list short-circuit the local timer: the balancer already
+//! probed, so the router adopts the death immediately (deduplicated by
+//! broker incarnation). Dead brokers are re-probed every
+//! [`RouterConfig::reprobe_interval`]; a successful probe (or data from
+//! the broker) lifts the death mark.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -44,7 +67,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::client::{ClientConfig, ClientEvent, Dedup, Message, TcpPubSubClient};
+use crate::client::{ClientConfig, ClientEvent, Dedup, GapReason, Message, TcpPubSubClient};
 use crate::control::{channel_id_of, control_channel, ControlFrame};
 use crate::hashing::{Ring, DEFAULT_VNODES};
 use crate::ids::{PlanId, ServerId};
@@ -69,6 +92,15 @@ pub struct RouterConfig {
     /// Seed for replication-mode random member picks and for deriving
     /// per-broker client seeds. `None` uses OS entropy.
     pub seed: Option<u64>,
+    /// How long a broker connection must stay down — without data
+    /// evidence; a bare TCP accept does not count — before the router
+    /// probes the broker and, if the probe fails, declares it dead.
+    pub failover_after: Duration,
+    /// Connect timeout of a death-confirmation probe.
+    pub probe_timeout: Duration,
+    /// Minimum spacing between probes of the same broker, both
+    /// confirmation probes and dead-broker revival re-probes.
+    pub reprobe_interval: Duration,
 }
 
 impl Default for RouterConfig {
@@ -80,6 +112,9 @@ impl Default for RouterConfig {
             tick: Duration::from_millis(5),
             switch_grace: Duration::from_secs(1),
             seed: None,
+            failover_after: Duration::from_secs(3),
+            probe_timeout: Duration::from_millis(500),
+            reprobe_interval: Duration::from_secs(2),
         }
     }
 }
@@ -111,6 +146,14 @@ pub struct RouterStats {
     /// from control frames plus provisional ring-fallback entries
     /// (recorded at plan version 0 on first use).
     pub local_plan_len: usize,
+    /// Brokers this router declared dead (probe failure, `GaveUp`, or a
+    /// balancer quarantine frame) and has not seen revive.
+    pub deaths_detected: u64,
+    /// Subscriptions re-pointed to a ring-exclusion fallback because
+    /// their only home died.
+    pub failover_repoints: u64,
+    /// Directory indices of brokers currently believed dead.
+    pub dead_brokers: Vec<usize>,
 }
 
 struct RouterShared {
@@ -119,6 +162,26 @@ struct RouterShared {
     moved_applied: AtomicU64,
     switches_applied: AtomicU64,
     stale_frames: AtomicU64,
+    deaths: AtomicU64,
+    repoints: AtomicU64,
+}
+
+/// Liveness view of one broker, updated by the pump thread and read at
+/// routing time.
+#[derive(Debug, Default)]
+struct BrokerHealth {
+    /// When the connection went down, if it has produced no data
+    /// evidence since. `Connected` does NOT clear this: a hard-killed
+    /// proxy (or a wedged host) can complete TCP handshakes forever
+    /// while delivering nothing.
+    down_since: Option<Instant>,
+    /// Declared dead; routing skips the broker until it revives.
+    dead: bool,
+    /// Last probe attempt (confirmation or revival), for rate limiting.
+    last_probe: Option<Instant>,
+    /// Highest balancer-declared death incarnation seen, so stale
+    /// quarantine frames cannot re-kill a revived broker.
+    incarnation: u64,
 }
 
 struct Routing {
@@ -130,7 +193,21 @@ struct Routing {
     subscribed_on: BTreeMap<String, BTreeSet<usize>>,
     /// Superseded subscriptions awaiting their grace-period unsubscribe.
     pending_unsubs: Vec<(Instant, usize, String)>,
+    /// Per-broker liveness, indexed by directory position.
+    health: Vec<BrokerHealth>,
     rng: SplitMix64,
+}
+
+impl Routing {
+    /// Directory indices currently believed dead, as ring exclusions.
+    fn dead_servers(&self) -> Vec<ServerId> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.dead)
+            .map(|(i, _)| ServerId::from_index(i))
+            .collect()
+    }
 }
 
 /// The plan-routed multi-broker client (see module docs).
@@ -168,6 +245,8 @@ impl RoutedClient {
             moved_applied: AtomicU64::new(0),
             switches_applied: AtomicU64::new(0),
             stale_frames: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+            repoints: AtomicU64::new(0),
         });
         let clients = Arc::new(Mutex::new(HashMap::new()));
         let routing = Arc::new(Mutex::new(Routing {
@@ -175,6 +254,9 @@ impl RoutedClient {
             desired: BTreeSet::new(),
             subscribed_on: BTreeMap::new(),
             pending_unsubs: Vec::new(),
+            health: (0..directory.len())
+                .map(|_| BrokerHealth::default())
+                .collect(),
             rng,
         }));
         let (msg_tx, msg_rx) = mpsc::channel();
@@ -200,6 +282,7 @@ impl RoutedClient {
         let mut routing = self.routing.lock();
         routing.desired.insert(channel.to_owned());
         let mapping = self.resolve_locked(&mut routing, channel);
+        let mapping = route_around_dead(&self.ring, &routing, channel, &mapping);
         let targets = self.subscribe_targets(&mut routing, channel, &mapping);
         for &idx in &targets {
             self.client_for(idx).subscribe(channel);
@@ -238,6 +321,7 @@ impl RoutedClient {
     pub fn publish(&self, channel: &str, body: &[u8]) {
         let mut routing = self.routing.lock();
         let mapping = self.resolve_locked(&mut routing, channel);
+        let mapping = route_around_dead(&self.ring, &routing, channel, &mapping);
         let targets: Vec<usize> = match &mapping {
             ChannelMapping::Single(s) => vec![s.index()],
             // Empty replicated member lists are rejected at decode and
@@ -280,13 +364,17 @@ impl RoutedClient {
 
     /// Counters so far.
     pub fn stats(&self) -> RouterStats {
+        let routing = self.routing.lock();
         RouterStats {
             duplicates_suppressed: self.shared.duplicates.load(Ordering::Relaxed),
             moved_applied: self.shared.moved_applied.load(Ordering::Relaxed),
             switches_applied: self.shared.switches_applied.load(Ordering::Relaxed),
             stale_control_frames: self.shared.stale_frames.load(Ordering::Relaxed),
             connections: self.clients.lock().len(),
-            local_plan_len: self.routing.lock().local_plan.len(),
+            local_plan_len: routing.local_plan.len(),
+            deaths_detected: self.shared.deaths.load(Ordering::Relaxed),
+            failover_repoints: self.shared.repoints.load(Ordering::Relaxed),
+            dead_brokers: routing.dead_servers().iter().map(|s| s.index()).collect(),
         }
     }
 
@@ -386,15 +474,33 @@ impl RoutedClient {
                     .collect();
                 for (idx, client) in snapshot {
                     while let Some(event) = client.try_event() {
+                        note_event(&routing, idx, &event);
+                        if matches!(event, ClientEvent::GaveUp) {
+                            // The connection exhausted its whole retry
+                            // budget: treat as death without waiting out
+                            // the failover timer.
+                            declare_dead(
+                                &shared, &clients, &routing, &directory, &cfg, &ring, &event_tx,
+                                idx, None,
+                            );
+                        }
                         let _ = event_tx.send(RouterEvent { broker: idx, event });
                     }
+                    let mut got_data = false;
                     while let Some(msg) = client.try_message() {
+                        got_data = true;
                         pump_handle(
                             &shared, &clients, &routing, &directory, &cfg, &ring, &mut dedup,
-                            &client, msg, &msg_tx,
+                            &client, msg, &msg_tx, &event_tx,
                         );
                     }
+                    if got_data {
+                        mark_alive(&routing, idx);
+                    }
                 }
+                check_health(
+                    &shared, &clients, &routing, &directory, &cfg, &ring, &event_tx,
+                );
                 drain_pending_unsubs(&clients, &routing);
                 std::thread::sleep(cfg.tick);
             }
@@ -450,6 +556,7 @@ fn pump_handle(
     via: &Arc<TcpPubSubClient>,
     msg: Message,
     msg_tx: &mpsc::Sender<Message>,
+    event_tx: &mpsc::Sender<RouterEvent>,
 ) {
     let on_control_channel = msg.channel == control_channel(via.origin());
     if let Some(frame) = ControlFrame::decode(&msg.payload) {
@@ -458,7 +565,9 @@ fn pump_handle(
             ControlFrame::Switch { channel, .. } => *channel == msg.channel,
         };
         if applies {
-            apply_control(shared, clients, routing, directory, cfg, ring, &frame);
+            apply_control(
+                shared, clients, routing, directory, cfg, ring, event_tx, &frame,
+            );
             return;
         }
         // A control frame on the wrong channel is application payload
@@ -479,6 +588,7 @@ fn pump_handle(
 /// Applies a `Moved`/`Switch` to the local plan and re-points any
 /// affected subscription — new brokers first, old ones after, so the
 /// subscription windows overlap.
+#[allow(clippy::too_many_arguments)]
 fn apply_control(
     shared: &Arc<RouterShared>,
     clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
@@ -486,8 +596,29 @@ fn apply_control(
     directory: &[SocketAddr],
     cfg: &RouterConfig,
     ring: &Ring,
+    event_tx: &mpsc::Sender<RouterEvent>,
     frame: &ControlFrame,
 ) {
+    // Quarantine entries piggy-backed on control frames are the
+    // balancer's already-probed death verdicts: adopt them immediately
+    // instead of waiting out the local failover timer. Incarnation
+    // numbers deduplicate — a stale frame replaying an old death cannot
+    // re-kill a broker that has since revived.
+    for q in frame.quarantine() {
+        if q.broker < directory.len() {
+            declare_dead(
+                shared,
+                clients,
+                routing,
+                directory,
+                cfg,
+                ring,
+                event_tx,
+                q.broker,
+                Some(q.incarnation),
+            );
+        }
+    }
     let channel = frame.channel().to_owned();
     let mapping = frame.mapping().clone();
     let plan = frame.plan();
@@ -600,6 +731,24 @@ fn drain_pending_unsubs(
     }
 }
 
+/// `client_for`, callable from the pump thread (which has no
+/// `&RoutedClient`): the lazily created client for broker `idx`,
+/// control-channel subscription included.
+fn client_via(
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    idx: usize,
+) -> Arc<TcpPubSubClient> {
+    let mut map = clients.lock();
+    let client = map.entry(idx).or_insert_with(|| {
+        let c = Arc::new(connect_broker(directory, idx, &cfg.client, cfg.seed));
+        c.subscribe(&control_channel(c.origin()));
+        c
+    });
+    Arc::clone(client)
+}
+
 /// `client_for` + `subscribe`/`subscribe_from`, callable from the pump
 /// thread (which has no `&RoutedClient`).
 fn subscribe_via(
@@ -610,15 +759,248 @@ fn subscribe_via(
     channel: &str,
     from: Option<u64>,
 ) {
-    let mut map = clients.lock();
-    let client = map.entry(idx).or_insert_with(|| {
-        let c = Arc::new(connect_broker(directory, idx, &cfg.client, cfg.seed));
-        c.subscribe(&control_channel(c.origin()));
-        c
-    });
+    let client = client_via(clients, directory, cfg, idx);
     match from {
         Some(f) => client.subscribe_from(channel, f),
         None => client.subscribe(channel),
+    }
+}
+
+/// `mapping` with brokers currently believed dead removed. A mapping
+/// whose members are *all* dead collapses to the deterministic
+/// ring-exclusion fallback — every router excluding the same dead set
+/// resolves the same survivor, so publishers and subscribers meet on it
+/// without coordination (the survivor's sidecar then corrects them once
+/// the balancer's emergency replan installs).
+fn route_around_dead(
+    ring: &Ring,
+    routing: &Routing,
+    channel: &str,
+    mapping: &ChannelMapping,
+) -> ChannelMapping {
+    let dead = routing.dead_servers();
+    if dead.is_empty() || mapping.servers().is_empty() {
+        return mapping.clone();
+    }
+    let live: Vec<ServerId> = mapping
+        .servers()
+        .iter()
+        .copied()
+        .filter(|s| !dead.contains(s))
+        .collect();
+    if live.len() == mapping.servers().len() {
+        return mapping.clone();
+    }
+    if live.is_empty() {
+        return match ring.server_for_excluding(channel_id_of(channel), &dead) {
+            Some(s) => ChannelMapping::Single(s),
+            // Everything is believed dead; keep the original mapping and
+            // let the underlying clients retry rather than route nowhere.
+            None => mapping.clone(),
+        };
+    }
+    match mapping {
+        ChannelMapping::Single(_) => ChannelMapping::Single(live[0]),
+        ChannelMapping::AllSubscribers(_) => ChannelMapping::AllSubscribers(live),
+        ChannelMapping::AllPublishers(_) => ChannelMapping::AllPublishers(live),
+    }
+}
+
+/// Folds one client event into the broker's health view. `Connected` is
+/// deliberately *not* alive-evidence: a hard-killed proxy (or half-dead
+/// host) can complete TCP handshakes forever while serving nothing, so
+/// only delivered data or a successful resume resets the failover timer.
+fn note_event(routing: &Arc<Mutex<Routing>>, idx: usize, event: &ClientEvent) {
+    let mut r = routing.lock();
+    let h = &mut r.health[idx];
+    match event {
+        ClientEvent::Disconnected { .. } if h.down_since.is_none() && !h.dead => {
+            h.down_since = Some(Instant::now());
+        }
+        ClientEvent::Resumed { .. } => {
+            h.down_since = None;
+            h.dead = false;
+        }
+        _ => {}
+    }
+}
+
+/// Data arrived from broker `idx`: it is alive, whatever the timers say.
+fn mark_alive(routing: &Arc<Mutex<Routing>>, idx: usize) {
+    let mut r = routing.lock();
+    let h = &mut r.health[idx];
+    h.down_since = None;
+    h.dead = false;
+}
+
+/// Runs the suspect/probe half of failure detection: connections down
+/// past `failover_after` get a confirmation probe (failure ⇒ death;
+/// success ⇒ the broker is up and our client just needs to reconnect,
+/// so failing over would split routing for nothing), and dead brokers
+/// get a revival re-probe.
+#[allow(clippy::too_many_arguments)]
+fn check_health(
+    shared: &Arc<RouterShared>,
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: &Arc<Mutex<Routing>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    ring: &Ring,
+    event_tx: &mpsc::Sender<RouterEvent>,
+) {
+    let now = Instant::now();
+    let mut to_probe: Vec<(usize, bool)> = Vec::new();
+    {
+        let mut r = routing.lock();
+        for (idx, h) in r.health.iter_mut().enumerate() {
+            let due = h
+                .last_probe
+                .is_none_or(|t| now.duration_since(t) >= cfg.reprobe_interval);
+            if !due {
+                continue;
+            }
+            if h.dead {
+                h.last_probe = Some(now);
+                to_probe.push((idx, true));
+            } else if let Some(since) = h.down_since {
+                if now.duration_since(since) >= cfg.failover_after {
+                    h.last_probe = Some(now);
+                    to_probe.push((idx, false));
+                }
+            }
+        }
+    }
+    for (idx, was_dead) in to_probe {
+        let alive = TcpStream::connect_timeout(&directory[idx], cfg.probe_timeout).is_ok();
+        if was_dead && alive {
+            // Revived: lift the death mark so routing may use the broker
+            // again (subscriptions moved away stay put until control
+            // frames re-point them).
+            let mut r = routing.lock();
+            let h = &mut r.health[idx];
+            h.dead = false;
+            h.down_since = None;
+        } else if !was_dead && !alive {
+            declare_dead(
+                shared, clients, routing, directory, cfg, ring, event_tx, idx, None,
+            );
+        }
+    }
+}
+
+/// Declares broker `idx` dead: re-points every subscription whose only
+/// home it was to the ring-exclusion fallback (surfacing a synthetic
+/// [`ClientEvent::Gap`] with [`GapReason::Failover`] — the new home's
+/// sequence stream is a fresh incarnation, so the discontinuity is
+/// explicit and `missed` is zero because it is unquantifiable), and
+/// rescues the dead connection's queued publications onto survivors.
+/// `incarnation` carries a balancer-declared death's incarnation number
+/// for dedup; local verdicts (probe failure, `GaveUp`) pass `None`.
+#[allow(clippy::too_many_arguments)]
+fn declare_dead(
+    shared: &Arc<RouterShared>,
+    clients: &Arc<Mutex<HashMap<usize, Arc<TcpPubSubClient>>>>,
+    routing: &Arc<Mutex<Routing>>,
+    directory: &[SocketAddr],
+    cfg: &RouterConfig,
+    ring: &Ring,
+    event_tx: &mpsc::Sender<RouterEvent>,
+    idx: usize,
+    incarnation: Option<u64>,
+) {
+    // Phase 1 under the routing lock: flip the health state and re-point
+    // stranded subscriptions.
+    let corpse = {
+        let mut guard = routing.lock();
+        let r = &mut *guard;
+        let h = &mut r.health[idx];
+        if let Some(inc) = incarnation {
+            if inc <= h.incarnation {
+                return; // stale replay of a death we already handled
+            }
+            h.incarnation = inc;
+        }
+        if h.dead {
+            return;
+        }
+        h.dead = true;
+        h.down_since = None;
+        shared.deaths.fetch_add(1, Ordering::Relaxed);
+        let dead = r.dead_servers();
+        // Take the corpse's client out of the map: stops its reconnect
+        // spin and frees its queued publications for rescue below. The
+        // broker re-appearing later just lazily reconnects.
+        let corpse = clients.lock().remove(&idx);
+        let stranded: Vec<String> = r
+            .desired
+            .iter()
+            .filter(|ch| {
+                r.subscribed_on
+                    .get(*ch)
+                    .is_some_and(|set| set.contains(&idx))
+            })
+            .cloned()
+            .collect();
+        for channel in stranded {
+            let set = r.subscribed_on.get_mut(&channel).expect("filtered above");
+            set.remove(&idx);
+            if !set.is_empty() {
+                continue; // replicated elsewhere; surviving members cover it
+            }
+            let Some(target) = ring.server_for_excluding(channel_id_of(&channel), &dead) else {
+                continue; // every broker dead; nothing to re-point to
+            };
+            set.insert(target.index());
+            // Provisional entry (version 0): the emergency replan's
+            // Switch/Moved frames override it the moment they arrive.
+            r.local_plan
+                .insert(channel.clone(), (ChannelMapping::Single(target), PlanId(0)));
+            subscribe_via(clients, directory, cfg, target.index(), &channel, Some(0));
+            shared.repoints.fetch_add(1, Ordering::Relaxed);
+            // Sequences are per-broker-incarnation: continuity with the
+            // dead home's stream is impossible, so surface the
+            // discontinuity explicitly instead of resuming silently.
+            let _ = event_tx.send(RouterEvent {
+                broker: idx,
+                event: ClientEvent::Gap {
+                    channel,
+                    missed: 0,
+                    reason: GapReason::Failover,
+                },
+            });
+        }
+        corpse
+    };
+    // Phase 2 off the lock: rescue publications the dead connection had
+    // queued or unconfirmed, re-routing each onto a live broker. Wire
+    // ids are preserved, so any frame that did land before the death is
+    // absorbed by the receive-side dedup windows.
+    if let Some(corpse) = corpse {
+        let rescued = corpse.take_unsent(Duration::from_millis(500));
+        drop(corpse);
+        for (channel, framed) in rescued {
+            let target = {
+                let mut r = routing.lock();
+                let mapping = r
+                    .local_plan
+                    .get(&channel)
+                    .map(|(m, _)| m.clone())
+                    .unwrap_or_else(|| {
+                        ChannelMapping::Single(ring.server_for(channel_id_of(&channel)))
+                    });
+                match route_around_dead(ring, &r, &channel, &mapping) {
+                    ChannelMapping::Single(s) => Some(s.index()),
+                    ChannelMapping::AllSubscribers(v) => {
+                        let pick = r.rng.next_below(v.len() as u64) as usize;
+                        Some(v[pick].index())
+                    }
+                    ChannelMapping::AllPublishers(v) => v.first().map(|s| s.index()),
+                }
+            };
+            if let Some(target) = target {
+                client_via(clients, directory, cfg, target).publish_raw(&channel, &framed);
+            }
+        }
     }
 }
 

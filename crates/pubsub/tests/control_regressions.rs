@@ -276,6 +276,7 @@ fn ring_fallback_entries_never_shadow_control_frames() {
             plan: PlanId(0),
             mapping: ChannelMapping::Single(sid(other)),
             channel: CH.to_owned(),
+            quarantine: Vec::new(),
         };
         let target = (ChannelMapping::Single(sid(other)), PlanId(0));
         wait_until("plan-0 switch applied", Duration::from_secs(20), || {
@@ -307,6 +308,7 @@ fn ring_fallback_entries_never_shadow_control_frames() {
             plan: PlanId(7),
             mapping: ChannelMapping::Single(sid(home)),
             channel: CH.to_owned(),
+            quarantine: Vec::new(),
         };
         let target = (ChannelMapping::Single(sid(home)), PlanId(7));
         wait_until("plan-7 switch applied", Duration::from_secs(20), || {
@@ -318,6 +320,7 @@ fn ring_fallback_entries_never_shadow_control_frames() {
             plan: PlanId(3),
             mapping: ChannelMapping::Single(sid(other)),
             channel: CH.to_owned(),
+            quarantine: Vec::new(),
         };
         let before = sub.stats().stale_control_frames;
         publisher.publish(CH, &stale.encode());

@@ -280,7 +280,9 @@ fn outage_beyond_retention_surfaces_an_explicit_gap() {
         let missed = events
             .iter()
             .find_map(|e| match e {
-                ClientEvent::Gap { channel, missed } if channel == "room" => Some(*missed),
+                ClientEvent::Gap {
+                    channel, missed, ..
+                } if channel == "room" => Some(*missed),
                 _ => None,
             })
             .expect("an under-retained resume must surface a gap, never silence");

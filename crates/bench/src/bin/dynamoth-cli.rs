@@ -17,6 +17,11 @@
 //!                           [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-failover [--suspects 2,3] [--intervals-ms 100,200]
 //!                             [--seed S] [--out FILE]
+//! dynamoth-cli bench-scale [--scenario celebrity|rgame|chat|flash|conflate]
+//!                          [--vclients N] [--pool N] [--brokers N]
+//!                          [--publishes K] [--steps N] [--payload BYTES]
+//!                          [--seed S] [--assert-ratio R] [--out FILE]
+//! dynamoth-cli bench-scale --figs DIR [--sim-players N] [--quick] [--seed S]
 //! ```
 //!
 //! Series are printed as CSV (or written to `--out`). Durations scale
@@ -331,11 +336,81 @@ fn main() {
             let rows = failover_grid(&suspects, &intervals, seed);
             write_failover_json(out_writer(&args), &rows).expect("write json");
         }
+        "bench-scale" => {
+            use dynamoth_bench::scale::{
+                celebrity_scale, chat_scale, conflate_scale, emit_figs, flash_scale, rgame_scale,
+                write_conflate_json, write_scale_json, ScaleConfig,
+            };
+
+            if let Some(dir) = args.get("figs") {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir).expect("create --figs dir");
+                emit_figs(
+                    dir,
+                    seed,
+                    args.num("sim-players", 900usize),
+                    args.has("quick"),
+                );
+                eprintln!(
+                    "wrote BENCH_fig4.json..BENCH_fig7.json to {}",
+                    dir.display()
+                );
+                return;
+            }
+
+            let cfg = ScaleConfig {
+                brokers: args.num("brokers", 2usize),
+                pool: args.num("pool", 64usize),
+                vclients: args.num("vclients", 100_000usize),
+                publishes: args.num("publishes", 200usize),
+                steps: args.num("steps", 20usize),
+                payload: args.num("payload", 256usize),
+                seed,
+            };
+            let scenario = args.get("scenario").unwrap_or("celebrity");
+            if scenario == "conflate" {
+                let row = conflate_scale(seed, args.num("publishes", 2_000u64), cfg.payload);
+                write_conflate_json(out_writer(&args), &row).expect("write json");
+                assert!(row.accounted, "conflation drop accounting did not close");
+                assert!(row.seq_monotone, "conflated stream regressed a sequence");
+                return;
+            }
+            let run = match scenario {
+                "celebrity" => celebrity_scale(&cfg),
+                "rgame" => rgame_scale(&cfg),
+                "chat" => chat_scale(&cfg),
+                "flash" => flash_scale(&cfg),
+                other => {
+                    eprintln!(
+                        "unknown scenario {other:?}; expected \
+                         celebrity|rgame|chat|flash|conflate"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            eprintln!(
+                "{}: {} virtual clients over {} real connections, delivery ratio {:.4}",
+                run.row.scenario,
+                run.row.vclients,
+                run.row.real_connections,
+                run.row.delivery_ratio
+            );
+            write_scale_json(out_writer(&args), std::slice::from_ref(&run.row))
+                .expect("write json");
+            if let Some(min) = args.get("assert-ratio").and_then(|v| v.parse::<f64>().ok()) {
+                assert!(
+                    run.row.delivery_ratio >= min,
+                    "delivery ratio {:.4} below the {min} gate",
+                    run.row.delivery_ratio
+                );
+                assert_eq!(run.row.duplicates, 0, "duplicate virtual deliveries");
+            }
+        }
         other => {
             eprintln!(
                 "unknown command {other:?}; expected \
                  fig4a|fig4b|fig5|fig7|chat|bench-broker|bench-router|bench-rebalance|\
-                 bench-resume|bench-failover"
+                 bench-resume|bench-failover|bench-scale"
             );
             std::process::exit(2);
         }

@@ -21,6 +21,7 @@ pub mod failover_bench;
 pub mod rebalance_bench;
 pub mod resume_bench;
 pub mod router_bench;
+pub mod scale;
 
 use std::sync::Arc;
 

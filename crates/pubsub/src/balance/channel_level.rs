@@ -113,7 +113,11 @@ pub fn apply(
                     ReplicationDecision::None => unreachable!(),
                 };
                 if mapping != current {
-                    plan.set(*channel, mapping);
+                    // `n >= 2` holds above, but a degenerate member
+                    // list must not unwind the balancer thread.
+                    if plan.try_set(*channel, mapping).is_err() {
+                        continue;
+                    }
                     view.rereplicate(*channel, &members);
                     changed = true;
                 }
@@ -132,7 +136,9 @@ fn least_loaded_member(view: &LoadView, members: &[ServerId]) -> ServerId {
                 .total_cmp(&view.load_ratio(b))
                 .then(a.cmp(&b))
         })
-        .expect("mapping has at least one member")
+        // Decoded mappings always have members, but a degenerate empty
+        // list degrades to server 0 instead of unwinding the balancer.
+        .unwrap_or(ServerId::from_index(0))
 }
 
 /// Chooses `n` servers for a replicated channel: existing members are

@@ -77,8 +77,10 @@ pub struct BrokerConfig {
     /// two). Commands on channels in different shards never contend.
     pub shards: usize,
     /// What to do with a subscriber whose outbox exceeds its byte
-    /// budget: kill it (Redis' behaviour, the default) or shed its
-    /// oldest queued frames and keep it connected.
+    /// budget: kill it (Redis' behaviour, the default), shed its
+    /// oldest queued frames, or conflate — shed the oldest queued
+    /// frame *of the same channel* as the incoming one (market-data
+    /// style latest-value delivery) — and keep it connected.
     pub overflow_policy: OverflowPolicy,
     /// How long shutdown waits for each connection's queued frames to
     /// reach the kernel before closing the socket anyway. Frames still
@@ -346,7 +348,15 @@ impl TcpBroker {
             .map(|(idx, (poll, handle))| {
                 reactor::spawn(idx, poll, handle, Arc::clone(&shared), listener.take())
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()
+            .inspect_err(|_| {
+                // A failed thread spawn mid-bind: tell the loops that
+                // did start to exit so their threads wind down.
+                shared.running.store(false, Ordering::SeqCst);
+                for h in &shared.loops {
+                    h.wake();
+                }
+            })?;
         Ok(TcpBroker {
             shared,
             local_addr,
@@ -659,6 +669,9 @@ pub(crate) fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &Bro
             // only exist when retention is on, i.e. when `seq` is set.
             let mut plain: Option<Frame> = None;
             let mut seqed: Option<Frame> = None;
+            // The channel key is shared by every outbox push of this
+            // fan-out; only `ConflateByChannel` consults it.
+            let chan_key: Arc<str> = Arc::from(name.as_str());
             for sub in fanout.subs.iter() {
                 let frame = if sub.sequenced {
                     seqed.get_or_insert_with(|| {
@@ -668,7 +681,10 @@ pub(crate) fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &Bro
                 } else {
                     plain.get_or_insert_with(|| encode_frame(&resp::message_push(&name, &payload)))
                 };
-                if sub.outbox.push(Arc::clone(frame)) {
+                if sub
+                    .outbox
+                    .push_keyed(Arc::clone(frame), Some(Arc::clone(&chan_key)))
+                {
                     delivered += 1;
                     sent_bytes += frame.len() as u64;
                 } else {
@@ -682,8 +698,9 @@ pub(crate) fn handle_command(state: &Arc<ConnState>, value: &Value, shared: &Bro
                 delivered as u64,
             );
             // A full outbox means the subscriber cannot keep up: kill
-            // it, like Redis does. (Under `DropOldest` the push never
-            // fails on a live connection, so nothing lands here.)
+            // it, like Redis does. (Under `DropOldest` and
+            // `ConflateByChannel` the push never fails on a live
+            // connection, so nothing lands here.)
             for dead_conn in overflowed {
                 let victim = shared.conns.lock().get(&dead_conn).cloned();
                 if let Some(victim) = victim {

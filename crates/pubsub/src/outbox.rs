@@ -12,7 +12,15 @@
 //!   overflowing connection (Redis' behaviour);
 //! - [`OverflowPolicy::DropOldest`] sheds the oldest queued frames to
 //!   make room, counts them, and keeps the connection alive — a lossy
-//!   subscriber instead of a dead one.
+//!   subscriber instead of a dead one;
+//! - [`OverflowPolicy::ConflateByChannel`] sheds the oldest queued
+//!   frame **of the same channel** as the incoming one (market-data
+//!   conflation: a stalled feed subscriber keeps getting the latest
+//!   value per channel instead of an ever-staler backlog), falling back
+//!   to oldest-first when no same-channel frame is queued. Because only
+//!   older frames of the channel are removed and the new frame is
+//!   appended at the tail, the PR-6 per-channel sequence stream stays
+//!   monotone — conflation advances it, it never reorders it.
 //!
 //! The draining side is **not** a thread: the connection's home reactor
 //! loop calls [`OutboxSender::flush_to`] against the non-blocking
@@ -55,6 +63,15 @@ pub enum OverflowPolicy {
     /// shed frames, and keep the connection alive. A subscriber that
     /// cannot keep up sees gaps instead of a disconnect.
     DropOldest,
+    /// Shed the oldest queued frame **for the same channel** as the
+    /// incoming one until it fits (market-data conflation: a slow
+    /// subscriber keeps the latest value per channel instead of a
+    /// stale backlog), falling back to oldest-first when no queued
+    /// frame shares the channel. Like [`DropOldest`], the connection
+    /// stays alive and every shed frame is counted.
+    ///
+    /// [`DropOldest`]: OverflowPolicy::DropOldest
+    ConflateByChannel,
 }
 
 /// Aggregate flush counters shared by every reactor loop of one broker:
@@ -100,8 +117,14 @@ pub(crate) enum Flush {
     Failed,
 }
 
+/// The channel a queued frame belongs to, when the producer knows it.
+/// Compared by **string content** (never a hash) so two distinct
+/// channels can never conflate into each other; `None` frames (replies,
+/// control markers, replays) are never conflation victims of a publish.
+pub(crate) type FrameKey = Option<Arc<str>>;
+
 struct Queue {
-    frames: VecDeque<Frame>,
+    frames: VecDeque<(Frame, FrameKey)>,
     /// Bytes of the front frame already handed to the kernel by an
     /// earlier partial flush. The front frame is *in flight* whenever
     /// this is non-zero — it can never be shed, or the byte stream
@@ -201,6 +224,14 @@ impl OutboxSender {
     /// shed and counted instead. A frame mid-write from an earlier
     /// partial flush is never shed.
     pub fn push(&self, frame: Frame) -> bool {
+        self.push_keyed(frame, None)
+    }
+
+    /// Like [`Self::push`], but tags the frame with the channel it
+    /// carries so [`OverflowPolicy::ConflateByChannel`] can pick a
+    /// same-channel victim on overflow. Under the other policies the
+    /// key is carried but never consulted.
+    pub fn push_keyed(&self, frame: Frame, key: FrameKey) -> bool {
         let mut shed = 0u64;
         let mut fire = false;
         let pushed = {
@@ -214,26 +245,26 @@ impl OutboxSender {
                     // A frame that alone exceeds the whole budget is
                     // shed itself, without pointlessly evicting the
                     // queue first.
-                    OverflowPolicy::DropOldest if frame.len() > self.inner.limit_bytes => {}
+                    _ if frame.len() > self.inner.limit_bytes => {}
                     OverflowPolicy::DropOldest => {
-                        while q.bytes + frame.len() > self.inner.limit_bytes {
-                            // The oldest *sheddable* frame: index 0, or
-                            // index 1 while the front is mid-write.
-                            let victim = usize::from(q.front_offset > 0);
-                            match q.frames.remove(victim) {
-                                Some(old) => {
-                                    q.bytes -= old.len();
-                                    shed += 1;
-                                }
-                                None => break, // only the in-flight frame remains
-                            }
+                        shed += shed_oldest(&mut q, frame.len(), self.inner.limit_bytes);
+                    }
+                    OverflowPolicy::ConflateByChannel => {
+                        // Stale frames of the same channel go first —
+                        // that is the conflation — then oldest-first
+                        // like DropOldest once no same-channel victim
+                        // remains.
+                        if let Some(key) = key.as_deref() {
+                            shed +=
+                                shed_same_channel(&mut q, key, frame.len(), self.inner.limit_bytes);
                         }
+                        shed += shed_oldest(&mut q, frame.len(), self.inner.limit_bytes);
                     }
                 }
             }
             if q.bytes + frame.len() <= self.inner.limit_bytes {
                 q.bytes += frame.len();
-                q.frames.push_back(frame);
+                q.frames.push_back((frame, key));
                 if !q.scheduled {
                     q.scheduled = true;
                     fire = true;
@@ -250,9 +281,14 @@ impl OutboxSender {
                 notify();
             }
         }
-        // DropOldest never reports failure for an open outbox: the
-        // connection stays alive even when the frame itself was shed.
-        pushed || self.inner.policy == OverflowPolicy::DropOldest
+        // DropOldest and ConflateByChannel never report failure for an
+        // open outbox: the connection stays alive even when the frame
+        // itself was shed.
+        pushed
+            || matches!(
+                self.inner.policy,
+                OverflowPolicy::DropOldest | OverflowPolicy::ConflateByChannel
+            )
     }
 
     /// Closes the outbox: queued frames still drain via
@@ -290,7 +326,7 @@ impl OutboxSender {
                 return Flush::Drained;
             }
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(q.frames.len().min(MAX_IOVECS));
-            for (i, f) in q.frames.iter().take(MAX_IOVECS).enumerate() {
+            for (i, (f, _)) in q.frames.iter().take(MAX_IOVECS).enumerate() {
                 slices.push(IoSlice::new(if i == 0 { &f[q.front_offset..] } else { f }));
             }
             match w.write_vectored(&slices) {
@@ -305,12 +341,20 @@ impl OutboxSender {
                     loop_stats.writes.fetch_add(1, Ordering::Relaxed);
                     loop_stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
                     let mut done = 0u64;
+                    // A buggy `Write` impl can report more bytes than
+                    // the slices it was handed held; stop at an empty
+                    // queue instead of indexing past it.
                     while n > 0 {
-                        let remaining = q.frames[0].len() - q.front_offset;
+                        let Some((front, _)) = q.frames.front() else {
+                            q.front_offset = 0;
+                            break;
+                        };
+                        let remaining = front.len() - q.front_offset;
                         if n >= remaining {
                             n -= remaining;
-                            let f = q.frames.pop_front().expect("non-empty queue");
-                            q.bytes -= f.len();
+                            if let Some((f, _)) = q.frames.pop_front() {
+                                q.bytes -= f.len();
+                            }
                             q.front_offset = 0;
                             done += 1;
                         } else {
@@ -349,6 +393,50 @@ impl OutboxSender {
         self.inner.record_dropped(n);
         n
     }
+}
+
+/// Sheds the oldest *sheddable* frames (index 0, or index 1 while the
+/// front is mid-write) until `incoming` more bytes fit under `limit`,
+/// or nothing sheddable remains. Returns the shed count.
+fn shed_oldest(q: &mut Queue, incoming: usize, limit: usize) -> u64 {
+    let mut shed = 0u64;
+    while q.bytes + incoming > limit {
+        let victim = usize::from(q.front_offset > 0);
+        match q.frames.remove(victim) {
+            Some((old, _)) => {
+                q.bytes -= old.len();
+                shed += 1;
+            }
+            None => break, // only the in-flight frame remains
+        }
+    }
+    shed
+}
+
+/// Sheds the oldest sheddable frames whose key matches `key` (string
+/// comparison — a hash could conflate distinct channels on collision)
+/// until `incoming` more bytes fit under `limit`, or no same-channel
+/// victim remains. The in-flight front frame is never shed. Returns the
+/// shed count.
+fn shed_same_channel(q: &mut Queue, key: &str, incoming: usize, limit: usize) -> u64 {
+    let mut shed = 0u64;
+    while q.bytes + incoming > limit {
+        let start = usize::from(q.front_offset > 0);
+        let Some(pos) = q
+            .frames
+            .iter()
+            .skip(start)
+            .position(|(_, k)| k.as_deref() == Some(key))
+            .map(|p| p + start)
+        else {
+            break;
+        };
+        if let Some((old, _)) = q.frames.remove(pos) {
+            q.bytes -= old.len();
+            shed += 1;
+        }
+    }
+    shed
 }
 
 /// Marks a queue dead after a socket error: everything still queued is
@@ -620,6 +708,152 @@ mod tests {
         assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
         tx.push(frame(8));
         assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    fn key(s: &str) -> FrameKey {
+        Some(Arc::from(s))
+    }
+
+    fn conflating(limit: usize) -> (OutboxSender, Arc<FlushCounters>) {
+        let counters = Arc::new(FlushCounters::default());
+        let tx = OutboxSender::new_with(
+            limit,
+            OverflowPolicy::ConflateByChannel,
+            Arc::clone(&counters),
+            None,
+        );
+        (tx, counters)
+    }
+
+    /// Drains the outbox and returns the concatenated wire bytes.
+    fn drain(tx: &OutboxSender) -> Vec<u8> {
+        let stats = LoopIoStats::default();
+        let mut sink: Vec<u8> = Vec::new();
+        assert_eq!(tx.flush_to(&mut sink, &stats), Flush::Drained);
+        sink
+    }
+
+    fn tagged(tag: u8, n: usize) -> Frame {
+        vec![tag; n].into()
+    }
+
+    #[test]
+    fn conflate_sheds_the_same_channel_first() {
+        let (tx, counters) = conflating(100);
+        assert!(tx.push_keyed(tagged(b'a', 40), key("prices.AAPL")));
+        assert!(tx.push_keyed(tagged(b'b', 40), key("prices.MSFT")));
+        // Overflow: the stale AAPL tick is the victim, not the oldest
+        // frame per se and not the MSFT tick.
+        assert!(tx.push_keyed(tagged(b'c', 40), key("prices.AAPL")));
+        assert_eq!(tx.dropped_frames(), 1);
+        assert_eq!(counters.dropped.load(Ordering::Relaxed), 1);
+        let wire = drain(&tx);
+        // MSFT survives ahead of the fresh AAPL tick; order preserved.
+        assert_eq!(&wire[..40], &vec![b'b'; 40][..]);
+        assert_eq!(&wire[40..], &vec![b'c'; 40][..]);
+    }
+
+    #[test]
+    fn conflate_falls_back_to_oldest_when_no_channel_match() {
+        let (tx, _) = conflating(100);
+        assert!(tx.push_keyed(tagged(b'a', 40), key("prices.AAPL")));
+        assert!(tx.push_keyed(tagged(b'b', 40), key("prices.MSFT")));
+        // A third channel has no stale frame to replace: oldest-first.
+        assert!(tx.push_keyed(tagged(b'c', 40), key("prices.GOOG")));
+        assert_eq!(tx.dropped_frames(), 1);
+        let wire = drain(&tx);
+        assert_eq!(&wire[..40], &vec![b'b'; 40][..]);
+        assert_eq!(&wire[40..], &vec![b'c'; 40][..]);
+    }
+
+    #[test]
+    fn conflate_matches_by_string_never_by_prefix() {
+        let (tx, _) = conflating(100);
+        assert!(tx.push_keyed(tagged(b'a', 40), key("tile.1")));
+        assert!(tx.push_keyed(tagged(b'b', 40), key("tile.11")));
+        // "tile.1" != "tile.11": the distinct channel is only shed by
+        // the oldest-first fallback, and "tile.1" goes first (stale
+        // same-channel), leaving "tile.11" untouched.
+        assert!(tx.push_keyed(tagged(b'c', 40), key("tile.1")));
+        let wire = drain(&tx);
+        assert_eq!(&wire[..40], &vec![b'b'; 40][..]);
+        assert_eq!(&wire[40..], &vec![b'c'; 40][..]);
+    }
+
+    #[test]
+    fn conflate_never_sheds_the_in_flight_frame() {
+        let (tx, _) = conflating(100);
+        let front: Vec<u8> = vec![b'a'; 60];
+        tx.push_keyed(front.clone().into(), key("feed"));
+        let stats = LoopIoStats::default();
+        let mut socket = Throttled {
+            budget: 10,
+            sunk: Vec::new(),
+        };
+        // 10 of the front frame's 60 bytes are on the wire: in flight.
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Pending);
+        // Same channel overflows — the in-flight front must survive
+        // even though it is the conflation victim by channel.
+        assert!(tx.push_keyed(tagged(b'b', 40), key("feed")));
+        assert!(tx.push_keyed(tagged(b'c', 40), key("feed")));
+        assert_eq!(tx.dropped_frames(), 1);
+        socket.budget = 1024;
+        assert_eq!(tx.flush_to(&mut socket, &stats), Flush::Drained);
+        assert_eq!(&socket.sunk[..60], &front[..]);
+        assert_eq!(&socket.sunk[60..], &vec![b'c'; 40][..]);
+    }
+
+    #[test]
+    fn conflate_survives_a_frame_bigger_than_the_budget() {
+        let (tx, _) = conflating(100);
+        assert!(tx.push_keyed(tagged(b'a', 60), key("feed")));
+        // The oversized frame itself is shed without evicting the queue.
+        assert!(tx.push_keyed(tagged(b'b', 101), key("feed")));
+        assert_eq!(tx.dropped_frames(), 1);
+        assert_eq!(drain(&tx), vec![b'a'; 60]);
+    }
+
+    #[test]
+    fn conflate_unkeyed_frames_are_never_channel_victims() {
+        let (tx, _) = conflating(100);
+        // A control reply (no key) queued between ticks.
+        assert!(tx.push(tagged(b'r', 40)));
+        assert!(tx.push_keyed(tagged(b'a', 40), key("feed")));
+        assert!(tx.push_keyed(tagged(b'b', 40), key("feed")));
+        // The stale same-channel tick was shed; the reply survived.
+        assert_eq!(tx.dropped_frames(), 1);
+        let wire = drain(&tx);
+        assert_eq!(&wire[..40], &vec![b'r'; 40][..]);
+        assert_eq!(&wire[40..], &vec![b'b'; 40][..]);
+    }
+
+    /// A writer that reports having written more bytes than the
+    /// slices it was handed held (a buggy `Write` impl). Regression
+    /// test for the former `expect("non-empty queue")` in `flush_to`:
+    /// the flush must drain and stop, not index past the queue.
+    struct OverReporting;
+
+    impl Write for OverReporting {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len() + 64)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            Ok(bufs.iter().map(|b| b.len()).sum::<usize>() + 64)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn overreporting_writer_does_not_panic_the_flush() {
+        let tx = OutboxSender::new(1024);
+        for _ in 0..4 {
+            assert!(tx.push(frame(16)));
+        }
+        let stats = LoopIoStats::default();
+        assert_eq!(tx.flush_to(&mut OverReporting, &stats), Flush::Drained);
+        assert!(tx.is_empty());
     }
 
     #[test]

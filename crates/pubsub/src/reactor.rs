@@ -35,7 +35,7 @@
 //! sockets and exiting.
 
 use std::collections::{BTreeSet, HashMap};
-use std::io::{ErrorKind, Read};
+use std::io::{self, ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -180,14 +180,16 @@ pub(crate) fn build_loops(n: usize) -> std::io::Result<Vec<(Poll, LoopHandle)>> 
 }
 
 /// Spawns reactor loop `idx` on its own thread. Loop 0 owns the
-/// listening socket.
+/// listening socket. Thread-spawn failure (resource exhaustion) is
+/// returned to the caller instead of panicking so `bind` can fail
+/// cleanly.
 pub(crate) fn spawn(
     idx: usize,
     poll: Poll,
     handle: LoopHandle,
     shared: Arc<BrokerShared>,
     listener: Option<TcpListener>,
-) -> std::thread::JoinHandle<()> {
+) -> io::Result<std::thread::JoinHandle<()>> {
     let rl = ReactorLoop {
         idx,
         poll,
@@ -200,7 +202,6 @@ pub(crate) fn spawn(
     std::thread::Builder::new()
         .name(format!("broker-io-{idx}"))
         .spawn(move || rl.run())
-        .expect("spawn reactor loop thread")
 }
 
 /// Loop-local per-connection state. The socket, read buffer and
@@ -313,7 +314,12 @@ impl ReactorLoop {
     /// the currently least-loaded loop.
     fn accept_ready(&mut self) {
         loop {
-            let accepted = match self.listener.as_ref().expect("accept on loop 0").accept() {
+            // Only loop 0 owns the listener; a stray accept-readiness
+            // token on any other loop is ignored rather than a panic.
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            let accepted = match listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 // Transient accept errors (EMFILE, aborted handshake):
@@ -329,6 +335,9 @@ impl ReactorLoop {
                 .connections_accepted
                 .fetch_add(1, Ordering::Relaxed);
             let conn = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            // The loop list is never empty while this code runs (this
+            // loop is on it); fall back to accepting onto this loop
+            // rather than panicking if that invariant ever breaks.
             let (home_idx, home) = self
                 .shared
                 .loops
@@ -336,7 +345,14 @@ impl ReactorLoop {
                 .enumerate()
                 .min_by_key(|(_, h)| h.conn_count())
                 .map(|(i, h)| (i, h.clone()))
-                .expect("at least one loop");
+                .unwrap_or_else(|| {
+                    (
+                        self.idx,
+                        LoopHandle {
+                            shared: Arc::clone(&self.me),
+                        },
+                    )
+                });
             home.shared.conn_count.fetch_add(1, Ordering::Relaxed);
             let notify_home = home.clone();
             let outbox = OutboxSender::new_with(

@@ -67,7 +67,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::client::{ClientConfig, ClientEvent, Dedup, GapReason, Message, TcpPubSubClient};
+use crate::client::{
+    frame_payload, ClientConfig, ClientEvent, Dedup, GapReason, Message, MessageId, TcpPubSubClient,
+};
 use crate::control::{channel_id_of, control_channel, ControlFrame};
 use crate::hashing::{Ring, DEFAULT_VNODES};
 use crate::ids::{PlanId, ServerId};
@@ -164,6 +166,12 @@ struct RouterShared {
     stale_frames: AtomicU64,
     deaths: AtomicU64,
     repoints: AtomicU64,
+    /// Wire-id origin for publishes the *router* frames itself (the
+    /// replicated fan-out path). Per-broker clients keep their own
+    /// decorrelated origins for single-target publishes.
+    pub_origin: u64,
+    /// Sequence counter within `pub_origin`'s wire-id namespace.
+    pub_seq: AtomicU64,
 }
 
 /// Liveness view of one broker, updated by the pump thread and read at
@@ -239,8 +247,17 @@ impl RoutedClient {
             Some(seed) => SplitMix64::new(seed),
             None => SplitMix64::from_entropy(),
         };
+        // A namespace of its own, decorrelated from every per-broker
+        // client origin (those mix the broker index in), so replicated
+        // fan-out ids collide with nobody.
+        let pub_origin = match cfg.seed {
+            Some(seed) => SplitMix64::new(seed ^ 0xD1B5_4A32_D192_ED03).next_u64(),
+            None => SplitMix64::from_entropy().next_u64(),
+        };
         let shared = Arc::new(RouterShared {
             running: AtomicBool::new(true),
+            pub_origin,
+            pub_seq: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             moved_applied: AtomicU64::new(0),
             switches_applied: AtomicU64::new(0),
@@ -336,8 +353,26 @@ impl RoutedClient {
             ChannelMapping::AllPublishers(v) => v.iter().map(|s| s.index()).collect(),
         };
         drop(routing);
-        for idx in targets {
-            self.client_for(idx).publish(channel, body);
+        if targets.len() > 1 {
+            // Replicated fan-out: every copy must carry the SAME wire
+            // id, or a subscriber observing more than one member (a
+            // switch-grace overlap, an `AllSubscribers` view, or a
+            // pooled virtual-client demux) counts the publish twice —
+            // per-broker clients have deliberately decorrelated
+            // origins, so letting each frame its own id defeats every
+            // dedup window downstream. Frame once here, send verbatim.
+            let id = MessageId {
+                origin: self.shared.pub_origin,
+                seq: self.shared.pub_seq.fetch_add(1, Ordering::Relaxed),
+            };
+            let framed = frame_payload(id, body);
+            for idx in targets {
+                self.client_for(idx).publish_raw(channel, &framed);
+            }
+        } else {
+            for idx in targets {
+                self.client_for(idx).publish(channel, body);
+            }
         }
     }
 
@@ -360,6 +395,20 @@ impl RoutedClient {
     /// taught this client one.
     pub fn local_mapping(&self, channel: &str) -> Option<(ChannelMapping, PlanId)> {
         self.routing.lock().local_plan.get(channel).cloned()
+    }
+
+    /// Pre-seeds the local plan with `mapping` for `channel` at version
+    /// `plan`, as if a control frame had announced it — used by tests
+    /// and scale harnesses that run replicated mappings without a live
+    /// balancer. Install **before** subscribing: an already-active
+    /// subscription is re-pointed only by real control frames, and a
+    /// later control frame with a newer version overrides this entry
+    /// exactly like any other local-plan record.
+    pub fn install_local_mapping(&self, channel: &str, mapping: ChannelMapping, plan: PlanId) {
+        self.routing
+            .lock()
+            .local_plan
+            .insert(channel.to_owned(), (mapping, plan));
     }
 
     /// Counters so far.
@@ -942,7 +991,11 @@ fn declare_dead(
             .cloned()
             .collect();
         for channel in stranded {
-            let set = r.subscribed_on.get_mut(&channel).expect("filtered above");
+            // Filtered on membership above, but stay panic-free if the
+            // map shifts between the two passes.
+            let Some(set) = r.subscribed_on.get_mut(&channel) else {
+                continue;
+            };
             set.remove(&idx);
             if !set.is_empty() {
                 continue; // replicated elsewhere; surviving members cover it

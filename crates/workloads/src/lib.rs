@@ -10,18 +10,23 @@
 //!   Experiment 1;
 //! * [`schedule`] — player arrival/departure schedules (ramps, steps);
 //! * [`setup`] — glue spawning workload actors into a
-//!   [`Cluster`](dynamoth_core::Cluster).
+//!   [`Cluster`](dynamoth_core::Cluster);
+//! * [`live`] — the same generators re-expressed as pure step
+//!   functions the live scale harness (`dynamoth-cli bench-scale`) can
+//!   multiplex over pooled real connections.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chat;
+pub mod live;
 pub mod micro;
 pub mod rgame;
 pub mod schedule;
 pub mod setup;
 
 pub use chat::{ChatConfig, ChatUser};
+pub use live::{LiveChat, LiveFlash, LivePublish, LiveRGame, LiveWorkload};
 pub use micro::{Publisher, Subscriber};
 pub use rgame::{Player, PlayerCounter, RGameConfig};
 pub use schedule::{PlayerSchedule, Schedule};

@@ -1,0 +1,465 @@
+//! Live-tier ports of the workload generators: the same movement /
+//! room-membership / flash-schedule logic that drives the simulator
+//! actors, re-expressed as pure step functions a *live* harness can
+//! pull from.
+//!
+//! A [`LiveWorkload`] is deliberately free of any networking type: it
+//! answers "which string channels does virtual client `v` want at step
+//! `s`?" and "which publications happen during step `s`?". The
+//! `dynamoth-bench` scale harness multiplexes those answers over a
+//! bounded pool of real [`RoutedClient`] connections, so a single
+//! process can drive 10^5–10^6 logical clients against live brokers —
+//! the MigratoryData-style benchmarking shape — without 10^5 sockets.
+//!
+//! Determinism: every implementation derives all randomness from the
+//! seed it was built with, so a run is reproducible from `(workload
+//! config, seed)` alone.
+//!
+//! [`RoutedClient`]: dynamoth_pubsub::RoutedClient
+
+use dynamoth_sim::{SimRng, Zipf};
+
+use crate::chat::ChatConfig;
+use crate::rgame::RGameConfig;
+
+/// One publication emitted by a workload step: virtual publisher
+/// `vpub` sends `payload` filler bytes on `channel`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivePublish {
+    /// Virtual publisher identity — its own wire-id namespace in the
+    /// harness accounting.
+    pub vpub: usize,
+    /// Live-tier channel name.
+    pub channel: String,
+    /// Application payload size in bytes (the harness adds its own
+    /// accounting header).
+    pub payload: usize,
+}
+
+/// A workload the live scale harness can drive, advanced in discrete
+/// steps (the harness maps one step to one publish tick).
+///
+/// Contract: the harness calls [`LiveWorkload::step`] exactly once per
+/// step, in order, and may then query [`LiveWorkload::subscriptions`]
+/// for any virtual client; `subscriptions` reflects the state *after*
+/// the last `step` call (players have moved, waves have arrived).
+pub trait LiveWorkload {
+    /// Short scenario name, used in benchmark output.
+    fn name(&self) -> &'static str;
+    /// Total virtual-client population.
+    fn clients(&self) -> usize;
+    /// Virtual clients active at `step` — always a prefix `0..active`
+    /// of the population, so churn is expressed by the count moving.
+    fn active(&self, step: usize) -> usize;
+    /// Channels virtual client `vid` wants to be subscribed to now.
+    fn subscriptions(&self, vid: usize) -> Vec<String>;
+    /// Whether `step` can change the subscriptions of already-active
+    /// clients (player movement). When `false`, the harness skips the
+    /// per-step reconcile sweep over the whole population.
+    fn subscriptions_change_on_step(&self) -> bool {
+        false
+    }
+    /// Advances the workload one step and returns the publications
+    /// emitted during it.
+    fn step(&mut self, step: usize) -> Vec<LivePublish>;
+}
+
+/// The live channel name of an RGame tile.
+pub fn tile_channel_name(grid: usize, x: f64, y: f64) -> String {
+    let gx = (x.floor() as usize).min(grid - 1);
+    let gy = (y.floor() as usize).min(grid - 1);
+    format!("tile.{gx}.{gy}")
+}
+
+/// The live channel name of a chat room rank.
+pub fn room_channel_name(rank: usize) -> String {
+    format!("room.{rank}")
+}
+
+struct LivePlayer {
+    x: f64,
+    y: f64,
+    wx: f64,
+    wy: f64,
+    pause_steps: u32,
+    rng: SimRng,
+}
+
+/// RGame on the live tier: `players` AI players walk a `grid × grid`
+/// tile world with POI-biased waypoints (the same movement rules as the
+/// simulator's [`Player`](crate::rgame::Player) actor), each subscribed
+/// to the tile it stands on and publishing its state update there every
+/// step.
+pub struct LiveRGame {
+    cfg: RGameConfig,
+    /// Steps per second the harness runs, used to scale per-step
+    /// movement to the configured tiles-per-second speed.
+    step_hz: f64,
+    players: Vec<LivePlayer>,
+}
+
+impl LiveRGame {
+    /// Builds the world with every player at a deterministic position.
+    pub fn new(cfg: RGameConfig, players: usize, step_hz: f64, seed: u64) -> LiveRGame {
+        let mut root = SimRng::new(seed);
+        let players = (0..players)
+            .map(|_| {
+                let mut rng = root.fork();
+                let g = cfg.grid as f64;
+                let (x, y) = (rng.range_f64(0.0, g), rng.range_f64(0.0, g));
+                let (wx, wy) = waypoint(&cfg, &mut rng);
+                LivePlayer {
+                    x,
+                    y,
+                    wx,
+                    wy,
+                    pause_steps: 0,
+                    rng,
+                }
+            })
+            .collect();
+        LiveRGame {
+            cfg,
+            step_hz,
+            players,
+        }
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &RGameConfig {
+        &self.cfg
+    }
+}
+
+/// Picks a waypoint: POI-biased with probability `poi_bias`, uniform
+/// otherwise — identical skew rules to the simulator player.
+fn waypoint(cfg: &RGameConfig, rng: &mut SimRng) -> (f64, f64) {
+    let g = cfg.grid as f64;
+    if cfg.poi_count > 0 && rng.chance(cfg.poi_bias) {
+        let (px, py) = cfg.poi(rng.next_below(cfg.poi_count as u64) as usize);
+        let x = (px + rng.range_f64(-cfg.poi_jitter, cfg.poi_jitter)).clamp(0.0, g - 1e-9);
+        let y = (py + rng.range_f64(-cfg.poi_jitter, cfg.poi_jitter)).clamp(0.0, g - 1e-9);
+        (x, y)
+    } else {
+        (rng.range_f64(0.0, g), rng.range_f64(0.0, g))
+    }
+}
+
+impl LiveWorkload for LiveRGame {
+    fn name(&self) -> &'static str {
+        "rgame"
+    }
+
+    fn clients(&self) -> usize {
+        self.players.len()
+    }
+
+    fn active(&self, _step: usize) -> usize {
+        self.players.len()
+    }
+
+    fn subscriptions(&self, vid: usize) -> Vec<String> {
+        let p = &self.players[vid];
+        vec![tile_channel_name(self.cfg.grid, p.x, p.y)]
+    }
+
+    fn subscriptions_change_on_step(&self) -> bool {
+        true
+    }
+
+    fn step(&mut self, _step: usize) -> Vec<LivePublish> {
+        let per_step = self.cfg.speed / self.step_hz;
+        let pause_steps = (self.cfg.pause.as_micros() as f64 / 1e6 * self.step_hz) as u32;
+        let payload = self.cfg.payload as usize;
+        let grid = self.cfg.grid;
+        let mut out = Vec::with_capacity(self.players.len());
+        for (vid, p) in self.players.iter_mut().enumerate() {
+            if p.pause_steps > 0 {
+                p.pause_steps -= 1;
+            } else {
+                let (dx, dy) = (p.wx - p.x, p.wy - p.y);
+                let dist = (dx * dx + dy * dy).sqrt();
+                if dist <= per_step {
+                    p.x = p.wx;
+                    p.y = p.wy;
+                    p.pause_steps = pause_steps;
+                    let (wx, wy) = waypoint(&self.cfg, &mut p.rng);
+                    p.wx = wx;
+                    p.wy = wy;
+                } else {
+                    p.x += dx / dist * per_step;
+                    p.y += dy / dist * per_step;
+                }
+            }
+            out.push(LivePublish {
+                vpub: vid,
+                channel: tile_channel_name(grid, p.x, p.y),
+                payload,
+            });
+        }
+        out
+    }
+}
+
+/// Chat on the live tier: each user is a member of a few Zipf-popular
+/// rooms (static membership — the harness exercises churn via flash
+/// crowds instead) and sends a message into one of them with
+/// probability `message_hz / step_hz` per step.
+pub struct LiveChat {
+    cfg: ChatConfig,
+    step_hz: f64,
+    memberships: Vec<Vec<usize>>,
+    rng: SimRng,
+}
+
+impl LiveChat {
+    /// Builds the room memberships deterministically from `seed`.
+    pub fn new(cfg: ChatConfig, users: usize, step_hz: f64, seed: u64) -> LiveChat {
+        let zipf = Zipf::new(cfg.rooms, cfg.zipf_exponent);
+        let mut rng = SimRng::new(seed);
+        let memberships = (0..users)
+            .map(|_| {
+                let mut rooms: Vec<usize> = Vec::with_capacity(cfg.rooms_per_user);
+                while rooms.len() < cfg.rooms_per_user.min(cfg.rooms) {
+                    let rank = zipf.sample(&mut rng);
+                    if !rooms.contains(&rank) {
+                        rooms.push(rank);
+                    }
+                }
+                rooms
+            })
+            .collect();
+        LiveChat {
+            cfg,
+            step_hz,
+            memberships,
+            rng,
+        }
+    }
+}
+
+impl LiveWorkload for LiveChat {
+    fn name(&self) -> &'static str {
+        "chat"
+    }
+
+    fn clients(&self) -> usize {
+        self.memberships.len()
+    }
+
+    fn active(&self, _step: usize) -> usize {
+        self.memberships.len()
+    }
+
+    fn subscriptions(&self, vid: usize) -> Vec<String> {
+        self.memberships[vid]
+            .iter()
+            .map(|&r| room_channel_name(r))
+            .collect()
+    }
+
+    fn step(&mut self, _step: usize) -> Vec<LivePublish> {
+        let p = (self.cfg.message_hz / self.step_hz).min(1.0);
+        let payload = self.cfg.payload as usize;
+        let mut out = Vec::new();
+        for (vid, rooms) in self.memberships.iter().enumerate() {
+            if self.rng.chance(p) {
+                if let Some(&room) = self.rng.choose(rooms) {
+                    out.push(LivePublish {
+                        vpub: vid,
+                        channel: room_channel_name(room),
+                        payload,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A flash crowd on the live tier (the Experiment-4 shape): a base
+/// population follows an event channel; at `flash_at` a wave of extra
+/// subscribers floods in, and at `flash_end` it drains away. A small
+/// set of broadcasters publishes every step throughout.
+pub struct LiveFlash {
+    /// Steady-state subscribers.
+    pub base: usize,
+    /// Extra subscribers at the flash peak.
+    pub wave: usize,
+    /// Step at which the wave starts arriving.
+    pub flash_at: usize,
+    /// Steps the wave takes to fully arrive (linear ramp).
+    pub ramp_steps: usize,
+    /// Step at which the wave starts leaving (same ramp down).
+    pub flash_end: usize,
+    /// Broadcasting virtual publishers.
+    pub broadcasters: usize,
+    /// Payload bytes per broadcast.
+    pub payload: usize,
+}
+
+/// The single hot channel every flash-crowd subscriber follows.
+pub const FLASH_CHANNEL: &str = "flash.event";
+
+/// Side channels the flash wave also joins, so churn is visible at the
+/// wire (the hot channel alone is kept subscribed by the base cohort on
+/// every pooled connection, making wave joins refcount-only).
+pub const FLASH_WAVE_CHANNELS: usize = 61;
+
+impl LiveWorkload for LiveFlash {
+    fn name(&self) -> &'static str {
+        "flash"
+    }
+
+    fn clients(&self) -> usize {
+        self.base + self.wave
+    }
+
+    fn active(&self, step: usize) -> usize {
+        let ramp = self.ramp_steps.max(1);
+        let arrived = if step < self.flash_at {
+            0
+        } else {
+            (self.wave * (step - self.flash_at + 1) / ramp).min(self.wave)
+        };
+        let left = if step < self.flash_end {
+            0
+        } else {
+            (self.wave * (step - self.flash_end + 1) / ramp).min(self.wave)
+        };
+        self.base + arrived - left.min(arrived)
+    }
+
+    fn subscriptions(&self, vid: usize) -> Vec<String> {
+        if vid < self.base {
+            vec![FLASH_CHANNEL.to_owned()]
+        } else {
+            vec![
+                FLASH_CHANNEL.to_owned(),
+                format!("flash.wave.{}", vid % FLASH_WAVE_CHANNELS),
+            ]
+        }
+    }
+
+    fn step(&mut self, _step: usize) -> Vec<LivePublish> {
+        (0..self.broadcasters)
+            .map(|b| LivePublish {
+                vpub: b,
+                channel: FLASH_CHANNEL.to_owned(),
+                payload: self.payload,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgame_is_deterministic_and_stays_in_the_world() {
+        let cfg = RGameConfig::default();
+        let mut a = LiveRGame::new(cfg.clone(), 20, 3.0, 42);
+        let mut b = LiveRGame::new(cfg.clone(), 20, 3.0, 42);
+        for step in 0..50 {
+            let pa = a.step(step);
+            let pb = b.step(step);
+            assert_eq!(pa, pb, "same seed must produce the same schedule");
+            assert_eq!(pa.len(), 20, "every player publishes every step");
+            for p in &pa {
+                let (gx, gy) = {
+                    let rest = p.channel.strip_prefix("tile.").expect("tile channel");
+                    let (x, y) = rest.split_once('.').expect("x.y");
+                    (
+                        x.parse::<usize>().expect("x"),
+                        y.parse::<usize>().expect("y"),
+                    )
+                };
+                assert!(gx < cfg.grid && gy < cfg.grid, "outside the world");
+            }
+        }
+        // Subscriptions track positions: each player subscribes to the
+        // tile it last published on.
+        for vid in 0..20 {
+            assert_eq!(a.subscriptions(vid).len(), 1);
+        }
+    }
+
+    #[test]
+    fn rgame_movement_visits_multiple_tiles() {
+        let mut w = LiveRGame::new(
+            RGameConfig {
+                pause: dynamoth_sim::SimDuration::from_secs(0),
+                ..RGameConfig::default()
+            },
+            5,
+            3.0,
+            7,
+        );
+        let mut tiles: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for step in 0..600 {
+            for p in w.step(step) {
+                tiles.insert(p.channel);
+            }
+        }
+        assert!(tiles.len() > 3, "players never moved: {tiles:?}");
+    }
+
+    #[test]
+    fn chat_memberships_are_skewed_and_messages_land_in_joined_rooms() {
+        let cfg = ChatConfig::default();
+        let mut w = LiveChat::new(cfg.clone(), 200, 2.0, 11);
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for vid in 0..200 {
+            let rooms = w.subscriptions(vid);
+            assert_eq!(rooms.len(), cfg.rooms_per_user);
+            for r in rooms {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        // Zipf skew: rank 0 is the most popular room by a wide margin.
+        let top = counts.get("room.0").copied().unwrap_or(0);
+        let median_rank = counts
+            .get(&room_channel_name(cfg.rooms / 2))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            top > median_rank,
+            "no popularity skew: {top} vs {median_rank}"
+        );
+        for step in 0..50 {
+            for p in w.step(step) {
+                assert!(
+                    w.subscriptions(p.vpub).contains(&p.channel),
+                    "user {} sent into a room it is not a member of",
+                    p.vpub
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flash_wave_arrives_and_leaves() {
+        let w = LiveFlash {
+            base: 100,
+            wave: 400,
+            flash_at: 10,
+            ramp_steps: 5,
+            flash_end: 30,
+            broadcasters: 2,
+            payload: 64,
+        };
+        assert_eq!(w.active(0), 100);
+        assert_eq!(w.active(9), 100);
+        assert_eq!(w.active(20), 500);
+        assert!(w.active(12) > 100 && w.active(12) < 500, "ramping in");
+        assert_eq!(w.active(60), 100, "wave fully left");
+        assert_eq!(w.clients(), 500);
+        assert_eq!(w.subscriptions(0), vec![FLASH_CHANNEL.to_owned()]);
+        assert_eq!(
+            w.subscriptions(100).len(),
+            2,
+            "wave members carry a churn-visible side channel"
+        );
+    }
+}

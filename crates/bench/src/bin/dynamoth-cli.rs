@@ -13,6 +13,7 @@
 //!                           [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-rebalance [--offered 1000,4000,16000] [--duration-ms N]
 //!                              [--payload BYTES] [--seed S] [--out FILE]
+//!                              [--skewed] [--skew-offered 2000,2500,3000]
 //! dynamoth-cli bench-resume [--outages 64,512,4096] [--retentions 128,1024]
 //!                           [--payload BYTES] [--seed S] [--out FILE]
 //! dynamoth-cli bench-failover [--suspects 2,3] [--intervals-ms 100,200]
@@ -276,7 +277,9 @@ fn main() {
             write_router_json(out_writer(&args), &rows).expect("write json");
         }
         "bench-rebalance" => {
-            use dynamoth_bench::rebalance_bench::{rebalance_grid, write_rebalance_json};
+            use dynamoth_bench::rebalance_bench::{
+                rebalance_grid, rebalance_skewed_grid, write_rebalance_json,
+            };
             use std::time::Duration;
 
             let offered: Vec<u64> = args
@@ -290,7 +293,27 @@ fn main() {
                 .unwrap_or_else(|| vec![1_000, 4_000, 16_000]);
             let duration = Duration::from_millis(args.num("duration-ms", 2_000u64));
             let payload = args.num("payload", 512usize);
-            let rows = rebalance_grid(&offered, duration, payload, seed);
+            let mut rows = rebalance_grid(&offered, duration, payload, seed);
+            if args.has("skewed") {
+                // Zipf-named channels, placement pass off vs on. Own
+                // rung list: the contrast lives in the moderate-overload
+                // regime (see rebalance_skewed_grid).
+                let skew_offered: Vec<u64> = args
+                    .get("skew-offered")
+                    .map(|v| {
+                        v.split(',')
+                            .filter_map(|n| n.trim().parse().ok())
+                            .collect::<Vec<u64>>()
+                    })
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| vec![2_000, 2_500, 3_000]);
+                rows.extend(rebalance_skewed_grid(
+                    &skew_offered,
+                    duration,
+                    payload,
+                    seed,
+                ));
+            }
             write_rebalance_json(out_writer(&args), &rows).expect("write json");
         }
         "bench-resume" => {

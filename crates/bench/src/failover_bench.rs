@@ -82,7 +82,8 @@ pub struct FailoverBenchRow {
     pub channels_moved: usize,
     /// Post-replan max survivor load ratio.
     pub max_survivor_lr: f64,
-    /// The `(1+ε)×mean` bounded-load cap the replan packed under.
+    /// The `(1+ε)×mean` bounded-load cap the replan packed under;
+    /// `-1.0` when the replan was uncapped (zero measured load).
     pub cap_ratio: f64,
 }
 
@@ -306,7 +307,13 @@ pub fn bench_failover(cfg: &FailoverBenchConfig) -> FailoverBenchRow {
             .count(),
         channels_moved: replan.channels_moved,
         max_survivor_lr: replan.max_survivor_lr,
-        cap_ratio: replan.cap_ratio,
+        // A zero-total (cold-start) replan is uncapped; inf is not
+        // valid JSON, so serialize it as the -1.0 sentinel.
+        cap_ratio: if replan.cap_ratio.is_finite() {
+            replan.cap_ratio
+        } else {
+            -1.0
+        },
     };
 
     balancer.shutdown();

@@ -133,7 +133,7 @@ pub fn bench_resume(cfg: &ResumeBenchConfig) -> ResumeBenchRow {
         publisher.publish(CHANNEL, &body);
     }
     wait("outage traffic sequenced", Duration::from_secs(30), || {
-        broker.channel_retention(CHANNEL).1 >= 1 + cfg.outage_frames as u64
+        broker.channel_retention(CHANNEL).1 > cfg.outage_frames as u64
     });
 
     // Heal and time the recovery.

@@ -268,11 +268,14 @@ impl LoadBalancer {
             self.cfg.capacity_per_tick(),
             self.cpu_term(),
         );
+        // Failed servers are routed around, so every resolve the
+        // algorithms gate on must agree with where traffic really goes.
+        let excluded: Vec<ServerId> = self.failed.iter().copied().collect();
         let plan = &self.plan;
         let ring = &self.ring;
         let mut aggregates: Vec<_> = self
             .store
-            .channel_aggregates(|c| plan.resolve(c, ring))
+            .channel_aggregates(|c| plan.resolve_excluding(c, ring, &excluded))
             .into_iter()
             .collect();
         aggregates.sort_by_key(|&(c, _)| c);
@@ -286,16 +289,19 @@ impl LoadBalancer {
             &mut view,
             &self.active,
             &self.effective,
+            &excluded,
         );
 
         // Step 2: system-level (macro) rebalancing — Algorithm 2.
-        let high = high_load::rebalance(&plan, &mut view, &self.ring, &self.effective);
+        let high = high_load::rebalance(&plan, &mut view, &self.ring, &self.effective, &excluded);
         let mut plan = high.plan;
 
         // Step 3: low-load drain, only when nothing else is going on.
         let mut release = None;
         if !high.changed && high.servers_wanted == 0 && !cl_changed {
-            if let Some(low) = low_load::rebalance(&plan, &mut view, &self.ring, &self.effective) {
+            if let Some(low) =
+                low_load::rebalance(&plan, &mut view, &self.ring, &self.effective, &excluded)
+            {
                 release = Some(low.release);
                 plan = low.plan;
             }
@@ -376,17 +382,26 @@ impl LoadBalancer {
             return;
         }
         // Remap every known channel that resolved to a failed server,
-        // spreading them round-robin over the healthy pool.
+        // spreading them round-robin over the healthy pool. Resolution
+        // excludes *earlier* corpses (traffic already routes around
+        // them) but not this batch, so the containment check still
+        // sees the dying mapping it must replace.
+        let prior: Vec<ServerId> = self
+            .failed
+            .iter()
+            .copied()
+            .filter(|s| !failed.contains(s))
+            .collect();
         let mut plan = self.plan.clone();
         let healthy = self.active.clone();
         let mut round = 0usize;
         for &channel in &self.known_channels.clone() {
-            let mapping = plan.resolve(channel, &self.ring);
+            let mapping = plan.resolve_excluding(channel, &self.ring, &prior);
             for &dead in &failed {
                 if mapping.contains(dead) {
                     let target = healthy[round % healthy.len()];
                     round += 1;
-                    plan.migrate(channel, dead, target, &self.ring);
+                    plan.migrate_excluding(channel, dead, target, &self.ring, &prior);
                 }
             }
         }

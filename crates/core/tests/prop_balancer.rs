@@ -104,7 +104,7 @@ proptest! {
         let (store, servers) = store_from(&dist);
         let mut view = LoadView::from_store(&store, &servers, 1_000.0);
         let before: Vec<f64> = servers.iter().map(|&s| view.load_ratio(s)).collect();
-        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg());
+        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg(), &[]);
         if out.servers_wanted == 0 {
             for &s in &servers {
                 prop_assert!(
@@ -132,7 +132,7 @@ proptest! {
         let (store, servers) = store_from(&dist);
         let mut view = LoadView::from_store(&store, &servers, 1_000.0);
         let before: Vec<f64> = servers.iter().map(|&s| view.load_ratio(s)).collect();
-        if let Some(out) = low_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg()) {
+        if let Some(out) = low_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg(), &[]) {
             prop_assert!(view.channels_on(out.release).is_empty());
             for (i, &s) in servers.iter().enumerate() {
                 prop_assert!(view.load_ratio(s) <= before[i].max(0.7) + 1e-9);
@@ -157,7 +157,7 @@ proptest! {
         let mut view = LoadView::from_store(&store, &servers, 1_000.0);
         let reference = LoadView::from_store(&store, &servers, 1_000.0);
         let cfg = DynamothConfig { lr_low: 0.5, ..cfg() };
-        if low_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg).is_none() {
+        if low_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg, &[]).is_none() {
             for &s in &servers {
                 prop_assert!(
                     (view.load_ratio(s) - reference.load_ratio(s)).abs() < 1e-12,
@@ -175,7 +175,7 @@ proptest! {
     fn algorithm2_only_migrates(dist in arb_distribution()) {
         let (store, servers) = store_from(&dist);
         let mut view = LoadView::from_store(&store, &servers, 1_000.0);
-        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg());
+        let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg(), &[]);
         for (_, mapping) in out.plan.iter() {
             prop_assert_eq!(mapping.replication_factor(), 1);
             prop_assert!(servers.contains(&mapping.servers()[0]));
@@ -198,7 +198,13 @@ fn saved_regression_boundary_drain_is_safe() {
     // Algorithm 2: LR_0 = 0.701 is below LR_high, so no migration and
     // no growth request.
     let mut view = LoadView::from_store(&store, &servers, 1_000.0);
-    let out = high_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg());
+    let out = high_load::rebalance(
+        &Plan::bootstrap(),
+        &mut view,
+        &ring_of(&servers),
+        &cfg(),
+        &[],
+    );
     assert!(!out.changed);
     assert_eq!(out.servers_wanted, 0);
     assert!(out.plan.is_empty());
@@ -207,8 +213,14 @@ fn saved_regression_boundary_drain_is_safe() {
     // idle servers is released; the loaded server's estimate must be
     // exactly untouched even though it sits above LR_safe.
     let mut view = LoadView::from_store(&store, &servers, 1_000.0);
-    let out = low_load::rebalance(&Plan::bootstrap(), &mut view, &ring_of(&servers), &cfg())
-        .expect("drain fires");
+    let out = low_load::rebalance(
+        &Plan::bootstrap(),
+        &mut view,
+        &ring_of(&servers),
+        &cfg(),
+        &[],
+    )
+    .expect("drain fires");
     assert!(out.release == servers[1] || out.release == servers[2]);
     assert!(view.channels_on(out.release).is_empty());
     assert!(out.plan.is_empty(), "an idle server needs no migrations");

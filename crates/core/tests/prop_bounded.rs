@@ -1,0 +1,159 @@
+//! Property tests for the bounded-load placer (consistent hashing with
+//! bounded loads): the `(1+ε)×mean` cap is respected whenever any
+//! eligible server has room, placement is a pure function of its
+//! inputs, and `rehome` implements the balls-and-bins minimal-movement
+//! contract — a channel moves only off an over-cap or ineligible home.
+
+use std::collections::HashMap;
+
+use dynamoth_pubsub::{BoundedPlacer, Channel as ChannelId, Ring, ServerId};
+use proptest::prelude::*;
+
+fn servers(n: usize) -> Vec<ServerId> {
+    (0..n).map(ServerId::from_index).collect()
+}
+
+fn seeded(ids: &[ServerId], loads: &[f64]) -> Vec<(ServerId, f64)> {
+    ids.iter().copied().zip(loads.iter().copied()).collect()
+}
+
+proptest! {
+    /// Greedy cap feasibility: whenever at least one eligible server
+    /// could take the channel without blowing the cap, the chosen
+    /// server does not blow it either. (When nobody fits, the placer
+    /// falls back to least-projected — bounding imbalance, not
+    /// admission — and the cap check is vacuous.)
+    #[test]
+    fn cap_is_respected_whenever_feasible(
+        loads in prop::collection::vec(0.0f64..1_000.0, 2..8),
+        epsilon in 0.0f64..1.0,
+        channels in prop::collection::vec((any::<u64>(), 0.0f64..500.0), 1..64),
+    ) {
+        let ids = servers(loads.len());
+        let ring = Ring::new(&ids, 64);
+        let pending: f64 = channels.iter().map(|&(_, b)| b).sum();
+        let mut placer = BoundedPlacer::new(&seeded(&ids, &loads), epsilon, pending, 0.0);
+        let cap = placer.cap_bytes();
+        for &(c, bytes) in &channels {
+            let before: HashMap<ServerId, f64> = placer.loads().collect();
+            let feasible = before.values().any(|&p| p + bytes <= cap);
+            let target = placer
+                .place(&ring, ChannelId(c), bytes, &[])
+                .expect("non-empty pool always places");
+            prop_assert!(before.contains_key(&target), "placed on unknown server");
+            if feasible {
+                prop_assert!(
+                    before[&target] + bytes <= cap + 1e-6,
+                    "feasible placement blew the cap: {} + {} > {}",
+                    before[&target], bytes, cap
+                );
+            }
+        }
+    }
+
+    /// Placement is deterministic: identical loads, ε and channel
+    /// sequence produce the identical assignment sequence.
+    #[test]
+    fn placement_is_a_pure_function_of_its_inputs(
+        loads in prop::collection::vec(0.0f64..1_000.0, 2..8),
+        epsilon in 0.0f64..1.0,
+        channels in prop::collection::vec((any::<u64>(), 0.0f64..500.0), 1..48),
+    ) {
+        let ids = servers(loads.len());
+        let ring = Ring::new(&ids, 64);
+        let pending: f64 = channels.iter().map(|&(_, b)| b).sum();
+        let run = || {
+            let mut placer =
+                BoundedPlacer::new(&seeded(&ids, &loads), epsilon, pending, 0.0);
+            channels
+                .iter()
+                .map(|&(c, bytes)| placer.place(&ring, ChannelId(c), bytes, &[]))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Minimal movement (balls-and-bins hysteresis): `rehome` keeps the
+    /// current home whenever it is eligible and under the cap; a home
+    /// that is ineligible (removed/quarantined server) always yields an
+    /// eligible replacement.
+    #[test]
+    fn rehome_moves_only_cap_violating_or_ineligible_channels(
+        loads in prop::collection::vec(0.0f64..1_000.0, 2..8),
+        epsilon in 0.0f64..1.0,
+        channel in any::<u64>(),
+        bytes in 0.0f64..500.0,
+        cur in 0usize..8,
+        cap_floor in 0.0f64..2_000.0,
+    ) {
+        let ids = servers(loads.len());
+        let ring = Ring::new(&ids, 64);
+        let cur = cur % loads.len();
+        let current = ids[cur];
+
+        let mut placer =
+            BoundedPlacer::new(&seeded(&ids, &loads), epsilon, 0.0, cap_floor);
+        let over = placer.is_over_cap(current);
+        let target = placer
+            .rehome(&ring, ChannelId(channel), bytes, Some(current))
+            .expect("non-empty pool always rehomes");
+        if !over {
+            prop_assert_eq!(target, current, "under-cap home was moved");
+        } else {
+            prop_assert!(placer.is_eligible(target));
+        }
+
+        // The same channel homed on a server outside the pool (rented
+        // away or quarantined) must be re-placed on a live one.
+        let ghost = ServerId::from_index(loads.len() + 3);
+        let mut placer2 =
+            BoundedPlacer::new(&seeded(&ids, &loads), epsilon, 0.0, cap_floor);
+        let landed = placer2
+            .rehome(&ring, ChannelId(channel), bytes, Some(ghost))
+            .expect("non-empty pool always rehomes");
+        prop_assert!(ids.contains(&landed), "rehome landed on the ghost");
+    }
+
+    /// Server-set change end to end: place a batch over `n` servers,
+    /// then add one server and `rehome` every channel against the
+    /// post-placement loads. Channels whose old home is still under the
+    /// new cap stay put — the hysteresis that keeps a broker rent from
+    /// cascading into mass migration.
+    #[test]
+    fn adding_a_server_moves_only_over_cap_channels(
+        loads in prop::collection::vec(0.0f64..500.0, 2..7),
+        epsilon in 0.1f64..1.0,
+        channels in prop::collection::vec((any::<u64>(), 1.0f64..300.0), 1..32),
+    ) {
+        let ids = servers(loads.len());
+        let ring = Ring::new(&ids, 64);
+        let pending: f64 = channels.iter().map(|&(_, b)| b).sum();
+        let mut placer =
+            BoundedPlacer::new(&seeded(&ids, &loads), epsilon, pending, 0.0);
+        let assigned: Vec<(u64, f64, ServerId)> = channels
+            .iter()
+            .map(|&(c, bytes)| {
+                let s = placer.place(&ring, ChannelId(c), bytes, &[]).unwrap();
+                (c, bytes, s)
+            })
+            .collect();
+        let after: Vec<(ServerId, f64)> = placer.loads().collect();
+
+        // Rent one more broker (measured load 0) and re-examine.
+        let mut grown = ids.clone();
+        grown.push(ServerId::from_index(loads.len()));
+        let grown_ring = Ring::new(&grown, 64);
+        let mut seeds = after;
+        seeds.push((ServerId::from_index(loads.len()), 0.0));
+        let mut replacer = BoundedPlacer::new(&seeds, epsilon, 0.0, 0.0);
+        for &(c, bytes, home) in &assigned {
+            let keeps = !replacer.is_over_cap(home);
+            let target = replacer
+                .rehome(&grown_ring, ChannelId(c), bytes, Some(home))
+                .unwrap();
+            if keeps {
+                prop_assert_eq!(target, home, "under-cap channel migrated on growth");
+            }
+        }
+    }
+}

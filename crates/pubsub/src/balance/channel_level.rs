@@ -54,6 +54,11 @@ pub fn decide(agg: &ChannelAggregate, cfg: impl Into<Tuning>) -> ReplicationDeci
 /// Server selection follows §III-B1: when replication is enabled or
 /// grown, the least-loaded servers are added first; when it shrinks or
 /// is cancelled, the busiest members are freed first.
+///
+/// `excluded` is the balancer's quarantine set: unmapped channels
+/// resolve through [`Plan::resolve_excluding`] so a channel ring-homed
+/// on a dead broker is attributed to the healthy server actually
+/// carrying it.
 pub fn apply(
     plan: &mut Plan,
     ring: &Ring,
@@ -61,12 +66,13 @@ pub fn apply(
     view: &mut LoadView,
     active: &[ServerId],
     cfg: impl Into<Tuning>,
+    excluded: &[ServerId],
 ) -> bool {
     let cfg: Tuning = cfg.into();
     let mut changed = false;
     for (channel, agg) in aggregates {
         let decision = decide(agg, cfg);
-        let current = plan.resolve(*channel, ring);
+        let current = plan.resolve_excluding(*channel, ring, excluded);
         match decision {
             ReplicationDecision::None => {
                 if current.is_replicated() {
@@ -282,7 +288,15 @@ mod tests {
         let mut plan = Plan::bootstrap();
         let mut view = view_with_loads(&[(0, 900), (1, 100), (2, 500), (3, 200)]);
         let aggregates = vec![(ChannelId(9), agg(2_000.0, 1.0))];
-        let changed = apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg());
+        let changed = apply(
+            &mut plan,
+            &ring,
+            &aggregates,
+            &mut view,
+            &active,
+            &cfg(),
+            &[],
+        );
         assert!(changed);
         let mapping = plan.mapping(ChannelId(9)).unwrap();
         match mapping {
@@ -308,7 +322,15 @@ mod tests {
         );
         let mut view = view_with_loads(&[(0, 900), (1, 100)]);
         let aggregates = vec![(ChannelId(9), agg(1.0, 1.0))];
-        let changed = apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg());
+        let changed = apply(
+            &mut plan,
+            &ring,
+            &aggregates,
+            &mut view,
+            &active,
+            &cfg(),
+            &[],
+        );
         assert!(changed);
         // Collapsed onto the least loaded member.
         assert_eq!(
@@ -330,7 +352,8 @@ mod tests {
             &aggregates,
             &mut view,
             &active,
-            &cfg()
+            &cfg(),
+            &[]
         ));
         assert!(plan.is_empty());
     }
@@ -342,7 +365,15 @@ mod tests {
         let mut plan = Plan::bootstrap();
         let mut view = view_with_loads(&[(0, 500), (1, 500)]);
         let aggregates = vec![(ChannelId(9), agg(100_000.0, 1.0))];
-        apply(&mut plan, &ring, &aggregates, &mut view, &active, &cfg());
+        apply(
+            &mut plan,
+            &ring,
+            &aggregates,
+            &mut view,
+            &active,
+            &cfg(),
+            &[],
+        );
         assert_eq!(plan.mapping(ChannelId(9)).unwrap().replication_factor(), 2);
     }
 
@@ -359,7 +390,8 @@ mod tests {
             &aggregates,
             &mut view,
             &active,
-            &cfg()
+            &cfg(),
+            &[]
         ));
     }
 }

@@ -11,6 +11,7 @@
 //! either tier pass whatever configuration type they hold (`core`
 //! provides `impl From<&DynamothConfig> for Tuning`).
 
+pub mod bounded;
 pub mod channel_level;
 pub mod estimator;
 pub mod high_load;

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::balance::bounded::BoundedPlacer;
 use crate::balance::estimator::LoadView;
 use crate::balance::metrics::{ChannelAggregate, LlaReport, MetricsStore};
 use crate::balance::{channel_level, high_load, low_load, CapacityEstimator, Tuning};
@@ -84,10 +85,25 @@ pub struct BalancerConfig {
     /// serving broker would split routing. Only a failed probe declares
     /// death.
     pub probe_timeout: Duration,
-    /// ε of the bounded-load rule used by the emergency replan: a
-    /// survivor is skipped (spilling the channel to the next ring node)
-    /// once its projected load exceeds `(1+ε)×` the post-failover mean.
+    /// ε of the bounded-load rule shared by the emergency replan and
+    /// the placement pass: a server is skipped (spilling the channel to
+    /// the next ring node) once its projected load exceeds `(1+ε)×` the
+    /// projected mean.
     pub failover_epsilon: f64,
+    /// Enables the proactive bounded-load placement pass: each
+    /// evaluation, channels observed in `DMLLA1` reports that have no
+    /// plan entry and whose ring home violates the `(1+ε)×`-mean cap
+    /// get bounded-load homes installed *before* they trip the reactive
+    /// high-load path. Disable to measure the reactive baseline.
+    pub placement_pass: bool,
+    /// Evaluation ticks the *reactive* stages (Algorithms 1/2, low-load
+    /// drain) hold off after any plan install. A migration's handoff
+    /// window double-counts egress (old and new broker both forward),
+    /// so the reports right after an install overstate load; acting on
+    /// them triggers follow-on migrations that were never needed. The
+    /// placement pass still runs every tick — newly observed channels
+    /// are placed from their own (clean) per-channel bytes.
+    pub settle_ticks: u64,
 }
 
 impl Default for BalancerConfig {
@@ -105,6 +121,8 @@ impl Default for BalancerConfig {
             suspect_after: 3,
             probe_timeout: Duration::from_millis(500),
             failover_epsilon: 0.25,
+            placement_pass: true,
+            settle_ticks: 2,
         }
     }
 }
@@ -123,6 +141,14 @@ pub struct LiveBalancerStats {
     pub low_load_drains: u64,
     /// Evaluations where Algorithm 1 changed a channel's replication.
     pub channel_level_rebalances: u64,
+    /// Channels pinned by the proactive bounded-load placement pass
+    /// (cap-violating ring homes re-homed before the reactive path).
+    pub placement_installs: u64,
+    /// Channels whose mapping was changed by the reactive stages
+    /// (Algorithm 1 replication, Algorithm 2 migration, low-load
+    /// drain) — the per-channel cost the placement pass exists to
+    /// avoid, where one evaluation event can move many channels.
+    pub reactive_migrations: u64,
     /// Brokers currently active (not drained).
     pub active_brokers: usize,
     /// Version of the most recently installed plan (0 = bootstrap).
@@ -156,7 +182,10 @@ pub struct ReplanSummary {
     /// Channels reassigned off the corpse.
     pub channels_moved: usize,
     /// The bounded-load cap as a load ratio: `(1+ε)×` the projected
-    /// post-failover mean LR.
+    /// post-failover mean LR. Infinite when the replan ran before any
+    /// load was measured (a cold start is uncapped: the walk then
+    /// degenerates to plain consistent hashing, which every observer
+    /// agrees on).
     pub cap_ratio: f64,
     /// Highest projected survivor LR after the reassignment.
     pub max_survivor_lr: f64,
@@ -360,6 +389,19 @@ struct Engine {
     /// Brokers past the missed-report threshold whose probe still
     /// succeeds.
     suspects: HashSet<usize>,
+    /// Channels pinned by the placement pass (always `Single` entries),
+    /// keyed to the evaluation tick that placed them. Each channel is
+    /// placed at most once: after that it has a plan entry and its
+    /// broker's load drift belongs to the reactive algorithms.
+    /// (Keeping these entries mobile and re-judging them against every
+    /// tick's fluctuating measurements was tried — it churns plans
+    /// continuously as each install's handoff transient re-triggers
+    /// the next move.)
+    placed: HashMap<ChannelId, u64>,
+    /// Tick of the most recent plan install; the reactive stages hold
+    /// off for [`BalancerConfig::settle_ticks`] after it so handoff
+    /// double-egress transients cannot trigger follow-on migrations.
+    last_install_tick: Option<u64>,
 }
 
 impl Engine {
@@ -387,6 +429,8 @@ impl Engine {
             incarnations: vec![0; directory.len()],
             quarantined: BTreeMap::new(),
             suspects: HashSet::new(),
+            placed: HashMap::new(),
+            last_install_tick: None,
             directory,
             running,
             stats,
@@ -419,6 +463,15 @@ impl Engine {
             self.refresh_installs();
             self.publish_stats();
         }
+    }
+
+    /// The quarantined brokers as [`ServerId`]s — the exclusion set for
+    /// ring fallbacks ([`Plan::resolve_excluding`]) and migration gates.
+    fn quarantined_servers(&self) -> Vec<ServerId> {
+        self.quarantined
+            .keys()
+            .map(|&idx| ServerId::from_index(idx))
+            .collect()
     }
 
     /// The current quarantine list in wire form (sorted by index, so
@@ -566,58 +619,52 @@ impl Engine {
         self.active.sort();
 
         let capacity = self.capacity.capacity().max(1.0);
-        // Projected post-failover load per survivor, seeded from the
-        // live LLA view and updated as channels are assigned so the
-        // walk does not dogpile one survivor.
-        let mut projected: HashMap<ServerId, f64> = survivors
-            .iter()
-            .map(|&s| (s, self.store.egress_bytes_per_tick(s).unwrap_or(0.0)))
+        // Channels a router would currently send to the corpse: the
+        // effective home honors *earlier* quarantines (routers already
+        // route around those), so exclude every corpse but this one.
+        // Heaviest first: first-fit decreasing packs tightest under the
+        // cap; ties by id for determinism.
+        let prior: Vec<ServerId> = self
+            .quarantined_servers()
+            .into_iter()
+            .filter(|&s| s != dead)
             .collect();
-
-        // Channels homed on the corpse, heaviest first (first-fit
-        // decreasing packs tightest under the cap; ties by id for
-        // determinism).
         let mut homeless: Vec<(ChannelId, f64)> = self
             .names
             .keys()
-            .filter(|&&id| self.plan.resolve(id, &self.ring).servers().contains(&dead))
+            .filter(|&&id| {
+                self.plan
+                    .resolve_excluding(id, &self.ring, &prior)
+                    .servers()
+                    .contains(&dead)
+            })
             .map(|&id| (id, self.store.channel_bytes_on(dead, id)))
             .collect();
         homeless.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
-        let total: f64 =
-            projected.values().sum::<f64>() + homeless.iter().map(|&(_, b)| b).sum::<f64>();
-        let cap_bytes = (1.0 + self.cfg.failover_epsilon.max(0.0)) * total / survivors.len() as f64;
+        // The shared bounded-load placer: survivors seeded from the
+        // live LLA view, the corpse's load counted as pending so the
+        // cap reflects the post-failover system. No cap floor here —
+        // with nothing measured anywhere the placer runs uncapped and
+        // the walk degenerates to plain consistent hashing.
+        let loads: Vec<(ServerId, f64)> = survivors
+            .iter()
+            .map(|&s| (s, self.store.egress_bytes_per_tick(s).unwrap_or(0.0)))
+            .collect();
+        let pending: f64 = homeless.iter().map(|&(_, b)| b).sum();
+        let mut placer = BoundedPlacer::new(&loads, self.cfg.failover_epsilon, pending, 0.0);
 
         let mut candidate = self.plan.clone();
         for &(id, bytes) in &homeless {
-            let old = self.plan.resolve(id, &self.ring);
+            let old = self.plan.resolve_excluding(id, &self.ring, &prior);
             let keep: Vec<ServerId> = old
                 .servers()
                 .iter()
                 .copied()
-                .filter(|&s| s != dead && projected.contains_key(&s))
+                .filter(|&s| s != dead && placer.is_eligible(s))
                 .collect();
-            // Load-capped ring walk: first eligible survivor under the
-            // cap, else spill onward; fall back to the least-projected
-            // survivor when everyone is over (the cap bounds imbalance,
-            // not admission).
-            let eligible = |s: &ServerId| projected.contains_key(s) && !keep.contains(s);
-            let walk = self.ring.walk(id);
-            let target = walk
-                .iter()
-                .copied()
-                .filter(eligible)
-                .find(|s| projected[s] + bytes <= cap_bytes)
-                .or_else(|| {
-                    walk.iter()
-                        .copied()
-                        .filter(eligible)
-                        .min_by(|a, b| projected[a].total_cmp(&projected[b]))
-                });
-            let mut members = keep;
-            if let Some(target) = target {
-                *projected.entry(target).or_insert(0.0) += bytes;
+            let mut members = keep.clone();
+            if let Some(target) = placer.place(&self.ring, id, bytes, &keep) {
                 members.push(target);
             }
             let mapping = match (&old, members.len()) {
@@ -633,17 +680,17 @@ impl Engine {
             candidate.set(id, mapping);
         }
 
-        let changes = self.plan.diff(&candidate, &self.ring);
+        let changes = self.plan.diff_excluding(&candidate, &self.ring, &prior);
         let n = survivors.len() as f64;
-        let mean_lr = projected.values().sum::<f64>() / n / capacity;
-        let max_lr = projected.values().fold(0.0f64, |m, &v| m.max(v / capacity));
+        let mean_lr = placer.loads().map(|(_, b)| b).sum::<f64>() / n / capacity;
+        let max_lr = placer.loads().fold(0.0f64, |m, (_, b)| m.max(b / capacity));
         {
             let mut stats = self.stats.lock();
             stats.emergency_replans += 1;
             stats.last_replan = Some(ReplanSummary {
                 dead: dead_idx,
                 channels_moved: changes.len(),
-                cap_ratio: cap_bytes / capacity,
+                cap_ratio: placer.cap_bytes() / capacity,
                 max_survivor_lr: max_lr,
                 mean_survivor_lr: mean_lr,
             });
@@ -676,50 +723,84 @@ impl Engine {
             });
         }
         self.plan = candidate;
+        self.last_install_tick = Some(self.ticks);
         self.stats.lock().plans_installed += 1;
     }
 
     /// One balancing evaluation, mirroring the simulator's
-    /// `evaluate_dynamoth`: Algorithm 1 (channel-level replication),
-    /// then Algorithm 2 (high-load migration), then — only when the
-    /// system is otherwise stable — the low-load drain.
+    /// `evaluate_dynamoth`: the proactive bounded-load placement pass,
+    /// then Algorithm 1 (channel-level replication), then Algorithm 2
+    /// (high-load migration), then — only when the system is otherwise
+    /// stable — the low-load drain.
     fn evaluate(&mut self) {
         let capacity = self.capacity.capacity();
+        let exclude = self.quarantined_servers();
         let mut view = LoadView::from_store(&self.store, &self.active, capacity);
         let mut aggregates: Vec<(ChannelId, ChannelAggregate)> = self
             .store
-            .channel_aggregates(|c| self.plan.resolve(c, &self.ring))
+            .channel_aggregates(|c| self.plan.resolve_excluding(c, &self.ring, &exclude))
             .into_iter()
             .collect();
         aggregates.sort_by_key(|&(c, _)| c); // deterministic decisions
 
         let mut candidate = self.plan.clone();
-        let cl_changed = channel_level::apply(
-            &mut candidate,
-            &self.ring,
-            &aggregates,
-            &mut view,
-            &self.active,
-            self.cfg.tuning,
-        );
-        let high = high_load::rebalance(&candidate, &mut view, &self.ring, self.cfg.tuning);
-        let mut candidate = high.plan;
+        let placement_moves = if self.cfg.placement_pass {
+            self.placement_pass(&mut candidate, &mut view, capacity, &exclude)
+        } else {
+            0
+        };
+        let pre_reactive = candidate.clone();
+        // Post-install settle: the reports right after a migration
+        // double-count the handoff egress, so acting on them manufactures
+        // follow-on migrations. Placement (above) is exempt — it judges
+        // newly observed channels by their own per-channel bytes.
+        let settling = self
+            .last_install_tick
+            .is_some_and(|t| self.ticks.saturating_sub(t) < self.cfg.settle_ticks);
+        let mut cl_changed = false;
+        let mut high_changed = false;
+        let mut servers_wanted = 0usize;
         let mut drained = None;
-        if !high.changed && !cl_changed && high.servers_wanted == 0 && self.active.len() > 1 {
-            if let Some(out) =
-                low_load::rebalance(&candidate, &mut view, &self.ring, self.cfg.tuning)
-            {
-                candidate = out.plan;
-                drained = Some(out.release);
+        if !settling {
+            cl_changed = channel_level::apply(
+                &mut candidate,
+                &self.ring,
+                &aggregates,
+                &mut view,
+                &self.active,
+                self.cfg.tuning,
+                &exclude,
+            );
+            let high =
+                high_load::rebalance(&candidate, &mut view, &self.ring, self.cfg.tuning, &exclude);
+            candidate = high.plan;
+            high_changed = high.changed;
+            servers_wanted = high.servers_wanted;
+            if !high_changed && !cl_changed && servers_wanted == 0 && self.active.len() > 1 {
+                if let Some(out) = low_load::rebalance(
+                    &candidate,
+                    &mut view,
+                    &self.ring,
+                    self.cfg.tuning,
+                    &exclude,
+                ) {
+                    candidate = out.plan;
+                    drained = Some(out.release);
+                }
             }
         }
 
+        let reactive_moves = pre_reactive
+            .diff_excluding(&candidate, &self.ring, &exclude)
+            .len() as u64;
         {
             let mut stats = self.stats.lock();
+            stats.placement_installs += placement_moves;
+            stats.reactive_migrations += reactive_moves;
             if cl_changed {
                 stats.channel_level_rebalances += 1;
             }
-            if high.changed {
+            if high_changed {
                 stats.high_load_rebalances += 1;
             }
             if drained.is_some() {
@@ -727,7 +808,7 @@ impl Engine {
             }
         }
 
-        if high.servers_wanted > 0 {
+        if servers_wanted > 0 {
             // The pool cannot absorb the load: re-admit parked brokers
             // (the TCP tier cannot rent new machines, but drained ones
             // are free capacity). Quarantined brokers stay out — a
@@ -749,7 +830,11 @@ impl Engine {
         }
         self.readmit_loaded_parked_brokers();
 
-        let changes = self.plan.diff(&candidate, &self.ring);
+        // Exclusion-aware diff: for a previously unmapped channel whose
+        // plain home is quarantined, `old` must name the survivor that
+        // actually serves it, or the install never reaches the sidecar
+        // that has to announce the switch.
+        let changes = self.plan.diff_excluding(&candidate, &self.ring, &exclude);
         if changes.is_empty() {
             return;
         }
@@ -778,6 +863,10 @@ impl Engine {
                 .collect();
             targets.sort_unstable();
             targets.dedup();
+            // A corpse in `old` (a placed entry being moved off a
+            // quarantined broker) gets no install: it cannot ack, and
+            // the sidecar quarantine list already covers forwarding.
+            targets.retain(|idx| !self.quarantined.contains_key(idx));
             self.send_install(&frame, &targets);
             self.pending_installs.push(PendingInstall {
                 installed_at: now,
@@ -786,7 +875,107 @@ impl Engine {
             });
         }
         self.plan = candidate;
+        self.last_install_tick = Some(self.ticks);
         self.stats.lock().plans_installed += 1;
+    }
+
+    /// Proactive bounded-load placement (consistent hashing with
+    /// bounded loads, Mirrokni et al.): channels the plan does not
+    /// mention whose plain-ring home would blow the `(1+ε)·mean` cap
+    /// get an explicit bounded-load home *before* the reactive
+    /// high-load path has to fire. Balls-and-bins hysteresis: an
+    /// unmapped channel whose ring home is under the cap is left
+    /// untouched (no plan entry, no install), so only cap-violating
+    /// channels ever move, and each channel is placed at most once
+    /// (`self.placed`) — afterwards its broker's load drift belongs to
+    /// the reactive algorithms, which keeps broker rent/release churn
+    /// from cascading into mass migrations.
+    ///
+    /// Returns the number of channels rehomed into `candidate`; `view`
+    /// is updated alongside so the downstream reactive algorithms see
+    /// the post-placement loads instead of double-moving the same
+    /// channels.
+    fn placement_pass(
+        &mut self,
+        candidate: &mut Plan,
+        view: &mut LoadView,
+        capacity: f64,
+        exclude: &[ServerId],
+    ) -> u64 {
+        if self.active.len() < 2 {
+            return 0;
+        }
+        let loads: Vec<(ServerId, f64)> = self
+            .active
+            .iter()
+            .map(|&s| (s, self.store.egress_bytes_per_tick(s).unwrap_or(0.0)))
+            .collect();
+        // Floor the cap at the reactive safe line: below it the plain
+        // ring is fine and the pass stays quiet rather than churning
+        // plans over trivial imbalance.
+        let cap_floor = self.cfg.tuning.lr_safe * capacity;
+        let mut placer = BoundedPlacer::new(&loads, self.cfg.failover_epsilon, 0.0, cap_floor);
+
+        // Work list: unmapped channels at their effective ring home.
+        // Every mapped channel — including our own past placements —
+        // belongs to the reactive algorithms. Heaviest first: first-fit
+        // decreasing packs tightest under the cap; ties by id for
+        // determinism.
+        let mut work: Vec<(ChannelId, ServerId, f64)> = Vec::new();
+        for &id in self.names.keys() {
+            let home = match candidate.mapping(id) {
+                None => self
+                    .ring
+                    .server_for_excluding(id, exclude)
+                    .unwrap_or_else(|| self.ring.server_for(id)),
+                Some(_) => continue,
+            };
+            // Homes on parked-but-healthy brokers are the readmit
+            // path's business; hijacking them here would fight the
+            // low-load drain.
+            if !placer.is_eligible(home) && !exclude.contains(&home) {
+                continue;
+            }
+            work.push((id, home, self.store.channel_bytes_on(home, id)));
+        }
+        work.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        let mut moved = 0u64;
+        for (id, home, bytes) in work {
+            // A channel too fat to fit under the cap on *any* broker
+            // cannot be packed, only shifted. Shift it while that
+            // strictly lowers its broker's projected load (first-fit
+            // decreasing still converges), but once the least-loaded
+            // alternative would end up no better than where it sits,
+            // leave it alone — further moves just ping-pong the hot
+            // spot, and replication (Algorithm 1) is the real fix.
+            if placer.is_eligible(home) {
+                let cap = placer.cap_bytes();
+                let home_p = placer.projected(home).unwrap_or(0.0);
+                let (fits, improves) = placer
+                    .loads()
+                    .filter(|&(s, _)| s != home)
+                    .fold((false, false), |(f, i), (_, p)| {
+                        (f || p + bytes <= cap, i || p + bytes < home_p)
+                    });
+                if !fits && !improves {
+                    continue;
+                }
+            }
+            let Some(target) = placer.rehome(&self.ring, id, bytes, Some(home)) else {
+                continue;
+            };
+            if target == home {
+                continue;
+            }
+            candidate.set(id, ChannelMapping::Single(target));
+            self.placed.insert(id, self.ticks);
+            if placer.is_eligible(home) {
+                view.migrate(id, home, target);
+            }
+            moved += 1;
+        }
+        moved
     }
 
     /// A drained broker is invisible to the plan, but the ring still

@@ -678,7 +678,16 @@ impl Worker {
                         attempts = 0;
                     }
                 }
-                Err(_) => attempts += 1,
+                Err(_) => {
+                    attempts += 1;
+                    // A refused/timed-out connect is down-ness evidence
+                    // too: without this a broker that died *before* the
+                    // first contact would never trip the router's
+                    // failover timer (no session, no event, no probe).
+                    self.emit(ClientEvent::Disconnected {
+                        reason: DisconnectReason::Io,
+                    });
+                }
             }
             if !self.running() {
                 break;

@@ -118,9 +118,15 @@ impl Ring {
         let h = mix(channel.0 ^ 0x1234_5678_9ABC_DEF0);
         let start = self.points.partition_point(|&(p, _)| p < h);
         let mut order = Vec::with_capacity(self.servers.len());
+        // A seen-set instead of `order.contains` per point: the walk
+        // runs per channel in the replan and placement hot loops, and a
+        // linear scan per virtual identifier made it O(points²) on
+        // large rings.
+        let mut seen: std::collections::HashSet<ServerId> =
+            std::collections::HashSet::with_capacity(self.servers.len());
         for k in 0..self.points.len() {
             let s = self.points[(start + k) % self.points.len()].1;
-            if !order.contains(&s) {
+            if seen.insert(s) {
                 order.push(s);
                 if order.len() == self.servers.len() {
                     break;
@@ -235,6 +241,36 @@ mod tests {
                 );
             }
             assert_eq!(ring.server_for_excluding(ChannelId(c), &walk), None);
+        }
+    }
+
+    #[test]
+    fn lookups_are_independent_of_insertion_order() {
+        // `points` is sorted by the (point, server) tuple, so even when
+        // two servers' virtual identifiers collide on the same point the
+        // tie-break is the server id — never the order servers were
+        // added. Build the same membership three ways (constructor
+        // order, reversed, and incremental add/remove) and require
+        // identical walks everywhere.
+        let ss = servers(5);
+        let forward = Ring::new(&ss, DEFAULT_VNODES);
+        let mut reversed_ids = ss.clone();
+        reversed_ids.reverse();
+        let reversed = Ring::new(&reversed_ids, DEFAULT_VNODES);
+        let mut incremental = Ring::new(&[ss[3]], DEFAULT_VNODES);
+        for &s in [ss[1], ss[4], ss[0], ss[2]].iter() {
+            incremental.add_server(s);
+        }
+        // A detour through extra membership must not leave residue.
+        incremental.add_server(ServerId::from_index(9));
+        incremental.remove_server(ServerId::from_index(9));
+        for c in 0..500 {
+            let channel = ChannelId(c);
+            let walk = forward.walk(channel);
+            assert_eq!(walk, reversed.walk(channel));
+            assert_eq!(walk, incremental.walk(channel));
+            assert_eq!(forward.server_for(channel), reversed.server_for(channel));
+            assert_eq!(forward.server_for(channel), incremental.server_for(channel));
         }
     }
 

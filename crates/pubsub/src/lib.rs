@@ -49,7 +49,7 @@ mod server;
 mod shard;
 mod timer;
 
-pub use balance::{CapacityEstimator, Tuning};
+pub use balance::{bounded::BoundedPlacer, CapacityEstimator, Tuning};
 pub use balancer::{
     BalancerConfig, LiveBalancerStats, LiveLoadBalancer, LoadReporter, ReplanSummary,
 };

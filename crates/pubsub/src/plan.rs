@@ -158,10 +158,30 @@ impl Plan {
     /// Resolves `channel` to a mapping, falling back to the consistent
     /// hashing `ring` when the plan has no entry (§II-C).
     pub fn resolve(&self, channel: ChannelId, ring: &Ring) -> ChannelMapping {
-        self.entries
-            .get(&channel)
-            .cloned()
-            .unwrap_or_else(|| ChannelMapping::Single(ring.server_for(channel)))
+        self.resolve_excluding(channel, ring, &[])
+    }
+
+    /// Like [`Self::resolve`], but the ring fallback skips the servers
+    /// in `excluded` (the balancer's quarantine set): an unmapped
+    /// channel whose ring home is a dead broker resolves to the first
+    /// healthy server on its walk — the same survivor routers pick via
+    /// [`Ring::server_for_excluding`] — instead of to the corpse.
+    /// Explicit plan entries are returned as-is (a plan that names a
+    /// quarantined broker is repaired by the emergency replan, not
+    /// rewritten here). When every server is excluded the fallback
+    /// degrades to the plain ring home.
+    pub fn resolve_excluding(
+        &self,
+        channel: ChannelId,
+        ring: &Ring,
+        excluded: &[ServerId],
+    ) -> ChannelMapping {
+        self.entries.get(&channel).cloned().unwrap_or_else(|| {
+            ChannelMapping::Single(
+                ring.server_for_excluding(channel, excluded)
+                    .unwrap_or_else(|| ring.server_for(channel)),
+            )
+        })
     }
 
     /// Inserts or replaces the mapping for `channel`, rejecting
@@ -215,6 +235,24 @@ impl Plan {
     /// ring home — a migration away from a server that does not serve
     /// the channel is a no-op.
     pub fn migrate(&mut self, channel: ChannelId, from: ServerId, to: ServerId, ring: &Ring) {
+        self.migrate_excluding(channel, from, to, ring, &[]);
+    }
+
+    /// Like [`Self::migrate`], but the unmapped-channel ownership gate
+    /// honors the `excluded` (quarantined) set: with broker Q dead, an
+    /// unmapped channel ring-homed on Q actually lives on the first
+    /// healthy walk server — so a migration away from *that* server
+    /// must pin the channel, and the plain-ring gate must not. Without
+    /// this, the high-load rebalancer's migrations of such channels
+    /// silently no-op and the load never moves.
+    pub fn migrate_excluding(
+        &mut self,
+        channel: ChannelId,
+        from: ServerId,
+        to: ServerId,
+        ring: &Ring,
+        excluded: &[ServerId],
+    ) {
         if let Some(mapping) = self.entries.get_mut(&channel) {
             match mapping {
                 ChannelMapping::Single(s) => {
@@ -237,7 +275,10 @@ impl Plan {
             }
             return;
         }
-        if ring.server_for(channel) == from {
+        let home = ring
+            .server_for_excluding(channel, excluded)
+            .unwrap_or_else(|| ring.server_for(channel));
+        if home == from {
             self.entries.insert(channel, ChannelMapping::Single(to));
         }
     }
@@ -251,11 +292,25 @@ impl Plan {
     /// Channels only present in one plan are reported with the other
     /// side resolved through `ring`.
     pub fn diff<'a>(&'a self, new: &'a Plan, ring: &Ring) -> Vec<PlanChange> {
+        self.diff_excluding(new, ring, &[])
+    }
+
+    /// [`Plan::diff`] with quarantine knowledge: ring-side resolution
+    /// skips `excluded` servers, so the reported `old` mapping of a
+    /// previously unmapped channel is its *effective* home — the broker
+    /// whose sidecar must announce the switch — rather than a corpse no
+    /// install can reach.
+    pub fn diff_excluding<'a>(
+        &'a self,
+        new: &'a Plan,
+        ring: &Ring,
+        excluded: &[ServerId],
+    ) -> Vec<PlanChange> {
         let mut changes = Vec::new();
         let mut seen: Vec<ChannelId> = Vec::new();
         for (c, old_mapping) in self.iter() {
             seen.push(c);
-            let new_mapping = new.resolve(c, ring);
+            let new_mapping = new.resolve_excluding(c, ring, excluded);
             if *old_mapping != new_mapping {
                 changes.push(PlanChange {
                     channel: c,
@@ -268,7 +323,7 @@ impl Plan {
             if seen.contains(&c) {
                 continue;
             }
-            let old_mapping = self.resolve(c, ring);
+            let old_mapping = self.resolve_excluding(c, ring, excluded);
             if old_mapping != *new_mapping {
                 changes.push(PlanChange {
                     channel: c,
@@ -404,6 +459,52 @@ mod tests {
         plan.migrate(foreign, s(0), s(3), &r);
         assert_eq!(plan.mapping(foreign), None);
         assert_eq!(plan.resolve(foreign, &r), ChannelMapping::Single(s(1)));
+    }
+
+    #[test]
+    fn resolve_excluding_routes_unmapped_channels_around_the_dead() {
+        // Regression: the plain `resolve` fallback homed fresh unmapped
+        // channels on quarantined brokers until clients noticed.
+        let plan = Plan::bootstrap();
+        let r = ring();
+        let victim = s(0);
+        let chan = homed_on(&r, victim);
+        assert_eq!(plan.resolve(chan, &r), ChannelMapping::Single(victim));
+        assert_eq!(
+            plan.resolve_excluding(chan, &r, &[victim]),
+            ChannelMapping::Single(r.server_for_excluding(chan, &[victim]).unwrap())
+        );
+        // Explicit entries are returned untouched even when they name
+        // an excluded server (the emergency replan repairs those).
+        let mut pinned = Plan::bootstrap();
+        pinned.set(chan, ChannelMapping::Single(victim));
+        assert_eq!(
+            pinned.resolve_excluding(chan, &r, &[victim]),
+            ChannelMapping::Single(victim)
+        );
+        // All-excluded degrades to the plain ring home.
+        assert_eq!(
+            plan.resolve_excluding(chan, &r, &[s(0), s(1)]),
+            ChannelMapping::Single(victim)
+        );
+    }
+
+    #[test]
+    fn migrate_excluding_gates_on_the_effective_home() {
+        // With s0 quarantined, a channel ring-homed on s0 effectively
+        // lives on s1; migrating it away *from s1* must pin it, and the
+        // plain-ring gate (`from == s0's channel? no-op`) must not.
+        let r = ring();
+        let victim = s(0);
+        let chan = homed_on(&r, victim);
+        let survivor = r.server_for_excluding(chan, &[victim]).unwrap();
+        let mut plan = Plan::bootstrap();
+        plan.migrate_excluding(chan, survivor, s(3), &r, &[victim]);
+        assert_eq!(plan.mapping(chan), Some(&ChannelMapping::Single(s(3))));
+        // The stale plain-ring owner is no longer a valid source.
+        let mut plan = Plan::bootstrap();
+        plan.migrate_excluding(chan, victim, s(3), &r, &[victim]);
+        assert_eq!(plan.mapping(chan), None);
     }
 
     #[test]

@@ -450,7 +450,16 @@ impl RoutedClient {
         if let Some((m, _)) = routing.local_plan.get(channel) {
             return m.clone();
         }
-        let mapping = ChannelMapping::Single(self.ring.server_for(channel_id_of(channel)));
+        // Exclusion-aware fallback: a channel first resolved after a
+        // broker death must not cache the corpse as its provisional
+        // home. This walk agrees with the balancer's bounded-load
+        // placer and with `route_around_dead`.
+        let id = channel_id_of(channel);
+        let home = self
+            .ring
+            .server_for_excluding(id, &routing.dead_servers())
+            .unwrap_or_else(|| self.ring.server_for(id));
+        let mapping = ChannelMapping::Single(home);
         routing
             .local_plan
             .insert(channel.to_owned(), (mapping.clone(), PlanId(0)));

@@ -341,6 +341,358 @@ fn hard_kill_is_detected_replanned_and_survived() {
     });
 }
 
+/// Cold-start regression: a broker killed before *any* traffic has been
+/// measured used to produce a `(1+ε)×0/n = 0` byte cap in the emergency
+/// replan. Zero total now means uncapped — the load-capped walk
+/// degenerates to plain consistent hashing over the survivors — and the
+/// replan must still rehome every stranded subscription. Survivors run
+/// without reporters so their measured egress is exactly `None → 0`.
+#[test]
+fn cold_start_kill_replans_uncapped() {
+    with_deadline(180, || {
+        let seed = seed();
+        let report_interval = Duration::from_millis(100);
+
+        let brokers: Vec<TcpBroker> = (0..3)
+            .map(|_| TcpBroker::bind("127.0.0.1:0").expect("bind broker"))
+            .collect();
+        let direct: Vec<SocketAddr> = brokers.iter().map(|b| b.local_addr()).collect();
+        let proxies: Vec<ChaosProxy> = direct
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| ChaosProxy::spawn(addr, seed ^ (0xC0 + i as u64)).expect("proxy"))
+            .collect();
+        let proxied: Vec<SocketAddr> = proxies.iter().map(|p| p.local_addr()).collect();
+
+        let sidecars: Vec<DispatcherSidecar> = (0..3)
+            .map(|i| {
+                DispatcherSidecar::start(
+                    sid(i),
+                    proxied.clone(),
+                    SidecarConfig {
+                        ttl: Duration::from_secs(30),
+                        tick: Duration::from_millis(5),
+                        client: client_cfg(seed ^ (0xD0 + i as u64)),
+                        ..SidecarConfig::default()
+                    },
+                )
+            })
+            .collect();
+
+        // Subscribe-only channels homed on the victim: they appear in
+        // LLA reports (current-subscriber gauge) with zero bytes, so
+        // the balancer knows their names but has measured no load.
+        let ring = Ring::new(&(0..3).map(sid).collect::<Vec<_>>(), DEFAULT_VNODES);
+        let victim = ring.server_for(channel_id_of("cs-00")).index();
+        let channels: Vec<String> = (0..)
+            .map(|i| format!("cs-{i:02}"))
+            .filter(|name| ring.server_for(channel_id_of(name)).index() == victim)
+            .take(VICTIM_CHANNELS)
+            .collect();
+
+        // ONLY the victim reports. The survivors' egress therefore
+        // reads zero at replan time, which is exactly the cold-start
+        // total==0 input the old cap computation got wrong. (The
+        // balancer keeps the silent survivors as permanent suspects —
+        // their probes succeed — which does not block the replan.)
+        let victim_reporter = LoadReporter::start(
+            brokers[victim].load_handle(),
+            victim,
+            proxied[victim],
+            report_interval,
+            client_cfg(seed ^ 0xE0),
+        );
+
+        let router_cfg = |s: u64| RouterConfig {
+            client: client_cfg(s),
+            switch_grace: Duration::from_secs(1),
+            failover_after: Duration::from_millis(700),
+            probe_timeout: Duration::from_millis(250),
+            reprobe_interval: Duration::from_millis(500),
+            seed: Some(s),
+            ..RouterConfig::default()
+        };
+        let sub = RoutedClient::connect(proxied.clone(), router_cfg(seed ^ 0xE1));
+        let publisher = RoutedClient::connect(proxied.clone(), router_cfg(seed ^ 0xE2));
+        for name in &channels {
+            sub.subscribe(name);
+        }
+        wait_until("subscriptions landed", Duration::from_secs(10), || {
+            channels
+                .iter()
+                .all(|name| brokers[victim].channel_subscribers(name) > 0)
+        });
+
+        let balancer = LiveLoadBalancer::start(
+            proxied.clone(),
+            BalancerConfig {
+                capacity_floor: 500_000.0,
+                tick: Duration::from_millis(100),
+                window: 2,
+                warmup_ticks: 2,
+                install_refresh: Duration::from_secs(2),
+                client: client_cfg(seed ^ 0xE3),
+                report_interval,
+                suspect_after: 3,
+                probe_timeout: Duration::from_millis(250),
+                ..BalancerConfig::default()
+            },
+        );
+        // The victim's reports must have carried the channel names
+        // before the kill, or the replan has nothing to rehome.
+        wait_until("victim reported", Duration::from_secs(15), || {
+            balancer.stats().reports_received >= 3
+        });
+
+        proxies[victim].kill_upstream_hard();
+
+        wait_until("emergency replan", Duration::from_secs(15), || {
+            let stats = balancer.stats();
+            stats.quarantined.contains(&victim) && stats.emergency_replans >= 1
+        });
+        let replan = balancer.stats().last_replan.clone().expect("summary");
+        assert_eq!(replan.dead, victim);
+        assert!(
+            replan.channels_moved >= VICTIM_CHANNELS,
+            "cold-start replan stranded channels: {replan:?}"
+        );
+        // The regression: with nothing measured anywhere the cap must
+        // be *uncapped*, never zero.
+        assert!(
+            replan.cap_ratio.is_infinite(),
+            "zero-total replan should be uncapped, got cap_ratio {}",
+            replan.cap_ratio
+        );
+        assert!(
+            replan.max_survivor_lr <= 1e-9,
+            "survivors carried load in a cold-start replan: {replan:?}"
+        );
+
+        // The rehomed subscriptions must actually work: publish one
+        // body per channel and require full delivery via survivors.
+        let mut delivered: HashSet<String> = HashSet::new();
+        let mut published: Vec<String> = Vec::new();
+        for name in &channels {
+            let body = format!("{name}:post-kill");
+            publisher.publish(name, body.as_bytes());
+            published.push(body);
+        }
+        wait_until("post-replan delivery", Duration::from_secs(60), || {
+            while let Some(msg) = sub.try_message() {
+                delivered.insert(String::from_utf8(msg.payload).expect("utf8"));
+            }
+            while sub.try_event().is_some() {}
+            if !published.iter().all(|b| delivered.contains(b)) {
+                // Failover re-publish protocol: the tail is retried
+                // until the routers settle on survivors.
+                for name in &channels {
+                    publisher.publish(name, format!("{name}:post-kill").as_bytes());
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                return false;
+            }
+            true
+        });
+
+        balancer.shutdown();
+        sub.shutdown();
+        publisher.shutdown();
+        victim_reporter.shutdown();
+        for sidecar in sidecars {
+            sidecar.shutdown();
+        }
+        for proxy in proxies {
+            proxy.shutdown();
+        }
+        for broker in brokers {
+            broker.shutdown();
+        }
+    });
+}
+
+/// Quarantine-blind fallback regression: channels first observed *after*
+/// a broker death, whose plain-ring home is the corpse, are actually
+/// served by the first healthy walk successor. `Plan::resolve`,
+/// `Plan::migrate` and `Plan::diff` used to consult the plain ring for
+/// them, so the reactive rebalancer either gated its migrations on a
+/// home nobody uses (no-op plans) or addressed installs to the corpse.
+/// With the quarantine set threaded through, a hot post-mortem channel
+/// must produce a real, installed plan change.
+#[test]
+fn post_mortem_hot_channels_are_rebalanced_off_the_effective_home() {
+    with_deadline(240, || {
+        let seed = seed();
+        let report_interval = Duration::from_millis(100);
+
+        let brokers: Vec<TcpBroker> = (0..3)
+            .map(|_| TcpBroker::bind("127.0.0.1:0").expect("bind broker"))
+            .collect();
+        let direct: Vec<SocketAddr> = brokers.iter().map(|b| b.local_addr()).collect();
+        let proxies: Vec<ChaosProxy> = direct
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| ChaosProxy::spawn(addr, seed ^ (0xF0 + i as u64)).expect("proxy"))
+            .collect();
+        let proxied: Vec<SocketAddr> = proxies.iter().map(|p| p.local_addr()).collect();
+
+        let sidecars: Vec<DispatcherSidecar> = (0..3)
+            .map(|i| {
+                DispatcherSidecar::start(
+                    sid(i),
+                    proxied.clone(),
+                    SidecarConfig {
+                        ttl: Duration::from_secs(30),
+                        tick: Duration::from_millis(5),
+                        client: client_cfg(seed ^ (0x100 + i as u64)),
+                        ..SidecarConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let reporters: Vec<LoadReporter> = brokers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                LoadReporter::start(
+                    b.load_handle(),
+                    i,
+                    proxied[i],
+                    report_interval,
+                    client_cfg(seed ^ (0x110 + i as u64)),
+                )
+            })
+            .collect();
+
+        let ring = Ring::new(&(0..3).map(sid).collect::<Vec<_>>(), DEFAULT_VNODES);
+        let victim = ring.server_for(channel_id_of("pm-00")).index();
+        // Channels whose plain home is the victim; after the kill their
+        // effective home is each one's first healthy walk successor.
+        let channels: Vec<String> = (0..)
+            .map(|i| format!("pm-{i:02}"))
+            .filter(|name| ring.server_for(channel_id_of(name)).index() == victim)
+            .take(VICTIM_CHANNELS)
+            .collect();
+
+        let balancer = LiveLoadBalancer::start(
+            proxied.clone(),
+            BalancerConfig {
+                // Low floor so the post-kill traffic genuinely trips the
+                // reactive LR_high threshold on the effective home.
+                capacity_floor: 50_000.0,
+                tick: Duration::from_millis(100),
+                window: 2,
+                warmup_ticks: 2,
+                install_refresh: Duration::from_secs(2),
+                client: client_cfg(seed ^ 0x120),
+                report_interval,
+                suspect_after: 3,
+                probe_timeout: Duration::from_millis(250),
+                // Pin the *reactive* path: with the pass on, proactive
+                // placement would fix the hot spot before Algorithm 2
+                // ever exercises the quarantine-aware migrate gate.
+                placement_pass: false,
+                ..BalancerConfig::default()
+            },
+        );
+        wait_until("all brokers reporting", Duration::from_secs(15), || {
+            balancer.stats().reports_received >= 9
+        });
+
+        // The kill comes FIRST; the hot channels above have never been
+        // published or subscribed, so the emergency replan cannot know
+        // them and they stay unmapped.
+        proxies[victim].kill_upstream_hard();
+        wait_until("death declared", Duration::from_secs(15), || {
+            let stats = balancer.stats();
+            stats.quarantined.contains(&victim) && stats.deaths_declared >= 1
+        });
+        let installs_after_replan = balancer.stats().plans_installed;
+
+        let router_cfg = |s: u64| RouterConfig {
+            client: client_cfg(s),
+            switch_grace: Duration::from_secs(1),
+            failover_after: Duration::from_millis(700),
+            probe_timeout: Duration::from_millis(250),
+            reprobe_interval: Duration::from_millis(500),
+            seed: Some(s),
+            ..RouterConfig::default()
+        };
+        let sub = RoutedClient::connect(proxied.clone(), router_cfg(seed ^ 0x121));
+        let publisher = RoutedClient::connect(proxied.clone(), router_cfg(seed ^ 0x122));
+        for name in &channels {
+            sub.subscribe(name);
+        }
+        // The routers discover the corpse on their own (probe timeout),
+        // land the subscriptions on the healthy walk successors, and
+        // the post-mortem traffic heats those survivors up.
+        let mut delivered: HashSet<String> = HashSet::new();
+        let mut published: Vec<String> = Vec::new();
+        let mut next = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(90);
+        loop {
+            let stats = balancer.stats();
+            if stats.plans_installed > installs_after_replan
+                && (stats.high_load_rebalances >= 1 || stats.channel_level_rebalances >= 1)
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reactive rebalancer never produced an installed plan for \
+                 post-mortem channels: {stats:?}"
+            );
+            for name in &channels {
+                let mut body = format!("{name}:{next}:");
+                body.push_str(&"y".repeat(PAYLOAD.saturating_sub(body.len())));
+                publisher.publish(name, body.as_bytes());
+                published.push(body);
+                next += 1;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            while let Some(msg) = sub.try_message() {
+                delivered.insert(String::from_utf8(msg.payload).expect("utf8"));
+            }
+            while sub.try_event().is_some() {}
+        }
+
+        // Migration must not lose the stream: re-publish the tail (the
+        // failover protocol's cue covers the kill window) and require
+        // every distinct body to arrive.
+        let tail = published.clone();
+        for body in &tail {
+            let name = body.split(':').next().expect("name prefix");
+            publisher.publish(name, body.as_bytes());
+        }
+        wait_until(
+            "zero loss across migration",
+            Duration::from_secs(60),
+            || {
+                while let Some(msg) = sub.try_message() {
+                    delivered.insert(String::from_utf8(msg.payload).expect("utf8"));
+                }
+                while sub.try_event().is_some() {}
+                published.iter().all(|b| delivered.contains(b))
+            },
+        );
+
+        balancer.shutdown();
+        sub.shutdown();
+        publisher.shutdown();
+        for reporter in reporters {
+            reporter.shutdown();
+        }
+        for sidecar in sidecars {
+            sidecar.shutdown();
+        }
+        for proxy in proxies {
+            proxy.shutdown();
+        }
+        for broker in brokers {
+            broker.shutdown();
+        }
+    });
+}
+
 /// Satellite: a sidecar peer connection dying mid-migration (old→new
 /// forwarding active) must not drop in-flight forwards. The peer client
 /// gives up, `SidecarEvent::PeerUnavailable` surfaces, and the stranded

@@ -192,6 +192,10 @@ fn skewed_traffic_trips_autonomous_rebalancing() {
                 warmup_ticks: 2,
                 install_refresh: Duration::from_secs(2),
                 client: client_cfg(seed ^ 3),
+                // This test exercises the *reactive* Algorithm 2 path;
+                // the proactive placement pass would defuse the hot
+                // broker before it ever trips LR_high.
+                placement_pass: false,
                 ..BalancerConfig::default()
             },
         );
